@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every module regenerates one table or figure from the paper's evaluation
+(Sections V and VI), printing the measured series next to the paper's
+published values. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CerebrasBackend,
+    GPUBackend,
+    GraphcoreBackend,
+    SambaNovaBackend,
+)
+from repro.hardware.specs import BOW_POD
+
+
+@pytest.fixture(scope="session")
+def cerebras() -> CerebrasBackend:
+    return CerebrasBackend()
+
+
+@pytest.fixture(scope="session")
+def sambanova() -> SambaNovaBackend:
+    return SambaNovaBackend()
+
+
+@pytest.fixture(scope="session")
+def graphcore() -> GraphcoreBackend:
+    return GraphcoreBackend()
+
+
+@pytest.fixture(scope="session")
+def graphcore_pod() -> GraphcoreBackend:
+    return GraphcoreBackend(BOW_POD)
+
+
+@pytest.fixture(scope="session")
+def gpu() -> GPUBackend:
+    return GPUBackend()

@@ -1,0 +1,87 @@
+"""Published numbers from the paper's tables and figures.
+
+Used by the benchmark harness to print paper-vs-measured rows. Values
+are transcribed from the paper text; figure series are approximate
+readings where only a plot is given.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import render_table
+
+# Table I: WSE-2 PE allocation ratio (%) vs decoder layers, HS=768.
+TABLE1_LAYERS = [1, 6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72, 78]
+TABLE1_PE_PERCENT = [33, 60, 85, 87, 91, 88, 92, 92, 92, 92, 92, 92, 93,
+                     None]  # None == Fail
+
+# Table II(a): O3 forward/backward sections-per-decoder ratios vs HS.
+TABLE2A = {
+    # HS: (forward util %, fwd ratio, backward util %, bwd ratio)
+    480: (55.0, 0.66, 44.0, 1.83),
+    768: (62.0, 0.66, 52.5, 2.0),
+    1024: (64.0, 0.75, 59.5, 2.0),
+    1280: (53.0, 1.0, 60.5, 2.0),
+    1600: (63.0, 1.0, 56.75, 3.0),
+}
+
+# Table II(b): O1 LM-head sharding vs HS.
+TABLE2B = {
+    # HS: (shards, sections, PMU/section, PCU/section)
+    3072: (9, 2, 316, 504),
+    4096: (9, 2, 316, 504),
+    5120: (26, 2, 340, 402),
+    6686: (30, 3, 339, 382),
+    8192: (30, 3, 339, 382),
+}
+
+# Table III: scalability throughput.
+TABLE3_WSE = {  # label: (model, tokens/s)
+    "DP0": ("small", 0.66e6),
+    "DP2": ("small", 0.98e6),
+    "DP4": ("mini", 1.84e6),
+    "DP8": ("tiny", 3.6e6),
+    "PP(stream)": ("small", 0.53e6),
+}
+TABLE3_IPU = {  # (n_ipus, layers): samples/s-scale figure
+    (4, 6): 120.0, (4, 12): 80.0,
+    (8, 18): 129.0, (8, 24): 105.4,
+    (16, 30): 223.0, (16, 36): 181.0, (16, 42): 178.0, (16, 48): 153.0,
+}
+TABLE3_RDU = {2: 1540.0, 4: 945.0, 8: 918.0}  # tp: tokens/s
+TABLE3_GPU = {  # (tp, pp, dp): per-GPU TFLOP/s reference
+    (8, 1, 1): 155.3, (4, 2, 1): 145.2, (2, 4, 1): 135.8, (1, 8, 1): 120.4,
+    (8, 8, 16): 163.2, (4, 4, 64): 158.9,
+}
+
+# Table IV: precision throughput pairs (baseline, optimized, gain).
+TABLE4 = {
+    "IPU": (154e3, 188e3, 0.220),
+    "WSE": (527e3, 583e3, 0.107),
+    "RDU": (631.0, 847.0, 0.343),
+}
+
+# Fig. 9a: WSE peak TFLOPs window.
+FIG9A_PEAK_TFLOPS = (327.0, 338.0)
+FIG9A_PEAK_LAYERS = (18, 30)
+
+# Fig. 9d: IPU TFLOPs plateau after ~4 layers; fail at 10.
+FIG9D_FAIL_LAYERS = 10
+FIG10_IPU_TFLOPS = (91.0, 143.0)
+FIG10_RDU_TFLOPS = (35.55, 50.64)
+
+# Fig. 10 classifications.
+FIG10_BOUNDS = {"CS-2": "compute", "SN30": "memory", "Bow-2000": "memory"}
+
+
+def print_comparison(title: str, headers: list[str],
+                     rows: list[list[object]]) -> None:
+    """Print one paper-vs-measured table to the bench log."""
+    print()
+    print(render_table(headers, rows, title=title))
+
+
+def fmt(value: float | None, spec: str = ".1f") -> str:
+    """Format an optional value ('Fail' when None)."""
+    if value is None:
+        return "Fail"
+    return format(value, spec)

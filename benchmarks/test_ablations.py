@@ -1,0 +1,166 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Elastic (cap-limited) vs unbounded PE allocation on WSE-2.
+2. Operator fusion (O1) vs none (O0) on the RDU.
+3. Pipeline load-balancing policy on the IPU (balanced vs contiguous
+   naive grouping).
+4. Time-weighted (Eq. 2/4) vs unweighted averaging of section metrics.
+"""
+
+import pytest
+
+from repro import (
+    TrainConfig,
+    allocation_ratio,
+    gpt2_model,
+    weighted_load_imbalance,
+)
+from repro.core.metrics import load_imbalance, phase_allocation_ratio
+from repro.cerebras.placement import WaferPlacer
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+from paper_data import print_comparison
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_placement_strategy(benchmark):
+    """Strip (slicing) placement vs naive shelf packing on a full wafer."""
+
+    def run():
+        demands = [(f"k{i}", 18_000.0 + 997.0 * (i % 7))
+                   for i in range(40)]
+        strips = WaferPlacer(922, 857, strategy="strips")
+        shelves = WaferPlacer(922, 857, strategy="shelves")
+        return (strips.packing_efficiency(demands),
+                shelves.packing_efficiency(demands))
+
+    strip_eff, shelf_eff = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_comparison(
+        "Ablation: placement strategy packing efficiency",
+        ["strategy", "efficiency"],
+        [["strips (slicing)", f"{strip_eff:.3f}"],
+         ["shelves (naive)", f"{shelf_eff:.3f}"]])
+    assert strip_eff >= shelf_eff
+    assert strip_eff > 0.9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_elastic_allocation(benchmark, cerebras):
+    """Kernel scalability caps on vs off: without them, the simulator
+    cannot reproduce Table I's under-subscribed regime (33% at one
+    layer, 60% at six) — every model would report ~93% allocation."""
+    train = TrainConfig(batch_size=64, seq_len=1024)
+
+    def run():
+        rows = {}
+        for layers in (1, 6, 24):
+            model = gpt2_model("small").with_layers(layers)
+            capped = allocation_ratio(cerebras.compile(model, train))
+            uncapped = allocation_ratio(cerebras.compile(
+                model, train, respect_caps=False))
+            rows[layers] = (capped, uncapped)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_comparison(
+        "Ablation: per-kernel scalability caps (paper Table I needs them)",
+        ["layers", "with caps", "without caps"],
+        [[layers, f"{capped:.1%}", f"{uncapped:.1%}"]
+         for layers, (capped, uncapped) in rows.items()])
+    # Small models under-subscribe only when caps exist.
+    assert rows[1][0] < 0.40
+    assert rows[1][1] > 0.85
+    assert rows[6][0] < 0.70
+    # At saturation the two agree.
+    assert rows[24][0] == pytest.approx(rows[24][1], abs=0.03)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fusion(benchmark, sambanova):
+    """O1 fusion vs O0: section count, DDR traffic, and throughput."""
+    train = TrainConfig(batch_size=16, seq_len=1024,
+                        precision=PrecisionPolicy.pure(Precision.BF16))
+    model = gpt2_model("small")
+
+    def run():
+        out = {}
+        for mode in ("O0", "O1"):
+            compiled = sambanova.compile(model, train, mode=mode)
+            measured = sambanova.run(compiled)
+            out[mode] = {
+                "sections": len(compiled.phases),
+                "traffic_gb": measured.global_traffic_bytes_per_step / 1e9,
+                "tokens_per_s": measured.tokens_per_second,
+            }
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_comparison(
+        "Ablation: operator fusion (O0 -> O1)",
+        ["mode", "sections", "DDR GB/step", "tokens/s"],
+        [[mode, row["sections"], f"{row['traffic_gb']:.1f}",
+          f"{row['tokens_per_s']:,.0f}"] for mode, row in out.items()])
+    assert out["O1"]["sections"] < out["O0"]["sections"]
+    assert out["O1"]["traffic_gb"] < out["O0"]["traffic_gb"]
+    assert out["O1"]["tokens_per_s"] > 1.5 * out["O0"]["tokens_per_s"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_pipeline_balance(benchmark, graphcore_pod):
+    """Balanced grouping vs naive front-loaded grouping on the IPU."""
+    train = TrainConfig(batch_size=64, seq_len=1024)
+    model = decoder_block_probe(768, 13)
+
+    def run():
+        balanced = graphcore_pod.run(graphcore_pod.compile(
+            model, train, n_ipus=8)).samples_per_second
+        naive = graphcore_pod.run(graphcore_pod.compile(
+            model, train, n_ipus=8,
+            layers_per_ipu=[5, 5, 3, 0, 0])).samples_per_second
+        return balanced, naive
+
+    balanced, naive = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_comparison(
+        "Ablation: IPU layer grouping",
+        ["policy", "samples/s"],
+        [["balanced (bottleneck-optimal)", f"{balanced:.1f}"],
+         ["naive front-loaded", f"{naive:.1f}"]])
+    assert balanced > 1.3 * naive
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_time_weighting(benchmark, sambanova):
+    """Why Eq. 2/4 weight by section runtime: unweighted averages
+    misstate both allocation and balance on the RDU."""
+    train = TrainConfig(batch_size=16, seq_len=1024,
+                        precision=PrecisionPolicy.pure(Precision.BF16))
+    model = gpt2_model("small")
+
+    def run():
+        report = sambanova.compile(model, train, mode="O3")
+        weighted_alloc = allocation_ratio(report)
+        unweighted_alloc = sum(
+            phase_allocation_ratio(p, report.total_compute_units)
+            for p in report.phases) / len(report.phases)
+        weighted_li = weighted_load_imbalance(report)
+        lis = []
+        for phase in report.phases:
+            try:
+                lis.append(load_imbalance(phase.tasks))
+            except Exception:
+                continue
+        unweighted_li = sum(lis) / len(lis)
+        return weighted_alloc, unweighted_alloc, weighted_li, unweighted_li
+
+    w_alloc, u_alloc, w_li, u_li = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    print_comparison(
+        "Ablation: Eq. 2/4 time weighting",
+        ["metric", "weighted (paper)", "unweighted"],
+        [["allocation", f"{w_alloc:.3f}", f"{u_alloc:.3f}"],
+         ["load imbalance", f"{w_li:.3f}", f"{u_li:.3f}"]])
+    # The estimates genuinely differ — dropping the weights changes the
+    # reported numbers by several points.
+    assert abs(w_alloc - u_alloc) > 0.01
+    assert abs(w_li - u_li) > 0.002

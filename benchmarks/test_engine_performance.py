@@ -1,0 +1,77 @@
+"""Simulator-performance benchmarks (not a paper figure).
+
+Guards the framework's own speed: the discrete-event engine and the
+end-to-end compile+run paths must stay fast enough that full paper
+sweeps run in seconds. pytest-benchmark tracks regressions.
+"""
+
+import pytest
+
+from repro import TrainConfig, gpt2_model
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.sim.engine import Resource, Simulator
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_event_throughput(benchmark):
+    """Raw DES event dispatch rate."""
+
+    def run_events(n: int = 50_000) -> int:
+        sim = Simulator()
+
+        def tick(remaining: int) -> None:
+            if remaining > 0:
+                sim.schedule(1.0, tick, remaining - 1)
+
+        sim.schedule(0.0, tick, n)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run_events)
+    assert processed == 50_001
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_contended_resource(benchmark):
+    """Resource queueing under heavy contention."""
+
+    def run_contended(jobs: int = 5_000) -> float:
+        sim = Simulator()
+        res = Resource(sim, capacity=4)
+
+        def work() -> None:
+            sim.schedule(1.0, res.release)
+
+        for _ in range(jobs):
+            res.request(work)
+        return sim.run()
+
+    makespan = benchmark(run_contended)
+    assert makespan == pytest.approx(5_000 / 4)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_wse_compile_run_latency(benchmark, cerebras):
+    """One full compile+run on the heaviest backend."""
+    model = gpt2_model("small").with_layers(24)
+    train = TrainConfig(batch_size=64, seq_len=1024)
+
+    def compile_and_run():
+        return cerebras.run(cerebras.compile(model, train))
+
+    run = benchmark(compile_and_run)
+    assert run.tokens_per_second > 0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_rdu_o3_compile_latency(benchmark, sambanova):
+    """Full-graph sectioning of a deep model."""
+    model = gpt2_model("small").with_layers(48)
+    train = TrainConfig(batch_size=16, seq_len=1024,
+                        precision=PrecisionPolicy.pure(Precision.BF16))
+
+    def compile_only():
+        return sambanova.compile(model, train, mode="O3")
+
+    report = benchmark(compile_only)
+    assert len(report.phases) > 48

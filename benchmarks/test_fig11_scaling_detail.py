@@ -1,0 +1,120 @@
+"""Fig. 11 — scalability details across dataflow hardware.
+
+(a) WSE throughput and communication overhead vs replica count,
+(b) RDU per-chip resource utilization vs TP configuration,
+(c) IPU throughput under nine layer-distribution configurations.
+"""
+
+import pytest
+
+from repro import TrainConfig, allocation_ratio, gpt2_model, llama2_model
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+from paper_data import print_comparison
+
+IPU_DISTRIBUTIONS = [
+    [3, 3, 3, 3, 0], [3, 3, 2, 2, 2], [2, 3, 3, 2, 2],
+    [4, 2, 2, 2, 2], [4, 4, 2, 2, 0], [2, 2, 4, 2, 2],
+    [5, 3, 2, 1, 1], [2, 4, 4, 1, 1], [6, 2, 2, 2, 0],
+]
+
+
+def measure_wse_replicas(cerebras):
+    train = TrainConfig(batch_size=256, seq_len=1024)
+    model = gpt2_model("tiny")
+    rows = []
+    for replicas in (1, 2, 4, 8):
+        run = cerebras.run(cerebras.compile(model, train,
+                                            n_replicas=replicas))
+        rows.append({
+            "replicas": replicas,
+            "tokens_per_s": run.tokens_per_second,
+            "comm_fraction": run.meta["sync_time"] / run.step_time,
+        })
+    return rows
+
+
+def measure_rdu_tp(sambanova):
+    train = TrainConfig(batch_size=8, seq_len=4096,
+                        precision=PrecisionPolicy.pure(Precision.BF16))
+    model = llama2_model("7b")
+    rows = []
+    for tp in (2, 4, 8):
+        report = sambanova.compile(model, train, mode="O1", tp=tp)
+        rows.append({
+            "tp": tp,
+            "pcu_pct": 100 * allocation_ratio(report, kind="compute"),
+            "pmu_pct": 100 * allocation_ratio(report, kind="memory"),
+        })
+    return rows
+
+
+def measure_ipu_distributions(graphcore_pod):
+    train = TrainConfig(batch_size=64, seq_len=1024)
+    model = decoder_block_probe(768, 12)
+    rows = []
+    for dist in IPU_DISTRIBUTIONS:
+        run = graphcore_pod.run(graphcore_pod.compile(
+            model, train, n_ipus=8, layers_per_ipu=dist))
+        rows.append({"dist": dist, "max_load": max(dist),
+                     "samples_per_s": run.samples_per_second})
+    return rows
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_wse_replicas(benchmark, cerebras):
+    rows = benchmark.pedantic(measure_wse_replicas, args=(cerebras,),
+                              rounds=1, iterations=1)
+    print_comparison(
+        "Fig. 11a: WSE throughput and comm share vs replicas (gpt2-tiny)",
+        ["replicas", "tokens/s", "comm %"],
+        [[r["replicas"], f"{r['tokens_per_s']:,.0f}",
+          f"{100 * r['comm_fraction']:.3f}"] for r in rows])
+
+    tokens = [r["tokens_per_s"] for r in rows]
+    comm = [r["comm_fraction"] for r in rows]
+    # Replication keeps improving throughput for this small model...
+    assert tokens == sorted(tokens)
+    # ...while communication overhead grows with the replica count,
+    # starting from effectively zero at two replicas.
+    assert comm[1] < 0.02
+    assert comm[3] > comm[2] > comm[1] >= comm[0]
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_rdu_tp_utilization(benchmark, sambanova):
+    rows = benchmark.pedantic(measure_rdu_tp, args=(sambanova,),
+                              rounds=1, iterations=1)
+    print_comparison(
+        "Fig. 11b: RDU per-chip allocation vs TP (LLaMA-2 7B)",
+        ["TP", "PCU %", "PMU %"],
+        [[r["tp"], f"{r['pcu_pct']:.1f}", f"{r['pmu_pct']:.1f}"]
+         for r in rows])
+
+    by_tp = {r["tp"]: r for r in rows}
+    # Cross-machine TP slashes per-chip PCU and PMU allocation
+    # (paper: ~40% and ~25% reductions).
+    assert by_tp[4]["pcu_pct"] < 0.7 * by_tp[2]["pcu_pct"]
+    assert by_tp[4]["pmu_pct"] < 0.85 * by_tp[2]["pmu_pct"]
+    assert by_tp[8]["pcu_pct"] <= by_tp[4]["pcu_pct"]
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11c_ipu_distributions(benchmark, graphcore_pod):
+    rows = benchmark.pedantic(measure_ipu_distributions,
+                              args=(graphcore_pod,), rounds=1, iterations=1)
+    print_comparison(
+        "Fig. 11c: IPU throughput under nine layer distributions "
+        "(12 layers, 8 IPUs)",
+        ["distribution", "max load", "samples/s"],
+        [[str(r["dist"]), r["max_load"], f"{r['samples_per_s']:.1f}"]
+         for r in rows])
+
+    # Throughput is ordered by the most heavily loaded IPU.
+    best = {}
+    for r in rows:
+        best.setdefault(r["max_load"], []).append(r["samples_per_s"])
+    loads = sorted(best)
+    for light, heavy in zip(loads, loads[1:]):
+        assert min(best[light]) > max(best[heavy])

@@ -1,0 +1,59 @@
+"""Fig. 12 — batch-size scaling behaviour across platforms.
+
+Paper: IPU and RDU throughput improves near-linearly with batch size;
+WSE gains strongly below batch ~200 and little beyond.
+"""
+
+import pytest
+
+from repro import DeploymentOptimizer, TrainConfig, gpt2_model
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+from paper_data import print_comparison
+
+WSE_BATCHES = [32, 64, 128, 200, 256, 400, 512]
+RDU_BATCHES = [4, 8, 16, 32]
+IPU_BATCHES = [8, 16, 32]
+
+
+def measure_batches(cerebras, sambanova, graphcore):
+    wse = DeploymentOptimizer(cerebras).batch_sweep(
+        gpt2_model("small"), TrainConfig(batch_size=8, seq_len=1024),
+        WSE_BATCHES)
+    rdu = DeploymentOptimizer(sambanova).batch_sweep(
+        gpt2_model("small"),
+        TrainConfig(batch_size=4, seq_len=1024,
+                    precision=PrecisionPolicy.pure(Precision.BF16)),
+        RDU_BATCHES, mode="O1")
+    ipu = DeploymentOptimizer(graphcore).batch_sweep(
+        decoder_block_probe(768, 4),
+        TrainConfig(batch_size=8, seq_len=1024),
+        IPU_BATCHES, n_ipus=2)
+    return wse, rdu, ipu
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_batch_scaling(benchmark, cerebras, sambanova, graphcore):
+    wse, rdu, ipu = benchmark.pedantic(
+        measure_batches, args=(cerebras, sambanova, graphcore),
+        rounds=1, iterations=1)
+
+    for label, sweep in (("WSE", wse), ("RDU", rdu), ("IPU", ipu)):
+        print_comparison(
+            f"Fig. 12 ({label}): tokens/s vs batch "
+            f"(scaling exponent {sweep.scaling_exponent:.2f})",
+            ["batch"] + [str(b) for b in sweep.batch_sizes],
+            [["tokens/s"] + [f"{v:,.0f}" for v in sweep.tokens_per_second]])
+
+    # IPU and RDU scale near-linearly; WSE saturates.
+    assert rdu.near_linear
+    assert ipu.near_linear
+    assert not wse.near_linear
+    # The WSE knee falls below the paper's 200 recommendation threshold.
+    assert wse.saturation_batch is not None
+    assert wse.saturation_batch <= 256
+    # Beyond ~200 the marginal WSE gain is small.
+    rates = dict(zip(wse.batch_sizes, wse.tokens_per_second))
+    assert rates[400] / rates[200] < 1.10
+    assert rates[128] / rates[64] > 1.10

@@ -1,0 +1,65 @@
+"""Fig. 6 — WSE-2 computation vs transmission PEs, per-kernel usage.
+
+Paper: computation and transmission PEs follow similar trends in close
+proportion; per-attention-kernel PE usage is stable below 12 layers
+(kernels sit at their scalability caps) and shrinks as the model grows
+(elastic adaptation).
+"""
+
+import pytest
+
+from repro import TrainConfig, gpt2_model
+
+from paper_data import print_comparison
+
+TRAIN = TrainConfig(batch_size=64, seq_len=1024)
+LAYERS = [1, 6, 12, 18, 24, 36, 48]
+
+
+def measure_breakdown(cerebras):
+    model = gpt2_model("small")
+    series = []
+    for layers in LAYERS:
+        report = cerebras.compile(model.with_layers(layers), TRAIN)
+        tasks = report.phases[0].tasks
+        compute = sum(t.compute_units for t in tasks if t.role == "compute")
+        trans = sum(t.compute_units for t in tasks
+                    if t.role == "transmission")
+        attn = [t.compute_units for t in tasks
+                if t.role == "compute" and t.meta.get("kind") == "attention"]
+        series.append({
+            "layers": layers,
+            "compute_pes": compute,
+            "transmission_pes": trans,
+            "attn_kernel_pes": attn[0],
+        })
+    return series
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_pe_breakdown(benchmark, cerebras):
+    series = benchmark.pedantic(measure_breakdown, args=(cerebras,),
+                                rounds=1, iterations=1)
+
+    print_comparison(
+        "Fig. 6: PE breakdown vs layers (HS=768)",
+        ["layers", "compute PEs", "transmission PEs", "PEs/attn kernel"],
+        [[s["layers"], f"{s['compute_pes']:.0f}",
+          f"{s['transmission_pes']:.0f}", f"{s['attn_kernel_pes']:.0f}"]
+         for s in series])
+
+    # Computation and transmission track each other in close proportion.
+    for s in series:
+        ratio = s["transmission_pes"] / s["compute_pes"]
+        assert ratio == pytest.approx(ratio, abs=0.0)  # definitional
+        assert 0.5 < ratio < 0.8
+
+    # Below 12 layers the attention kernel sits at its cap (stable).
+    assert series[0]["attn_kernel_pes"] == pytest.approx(
+        series[1]["attn_kernel_pes"], rel=0.05)
+    # Beyond saturation it shrinks with model size.
+    attn = [s["attn_kernel_pes"] for s in series]
+    assert attn[-1] < attn[-2] < attn[3]
+    # Both pools grow with the model until the wafer saturates.
+    totals = [s["compute_pes"] + s["transmission_pes"] for s in series[:4]]
+    assert totals == sorted(totals)

@@ -1,0 +1,159 @@
+"""Fig. 9 — Memory utilization and compute performance across chips.
+
+(a) WSE: configuration memory grows sharply past 36 layers, TFLOPs peak
+    at 18-36 layers then collapse.
+(b/c) RDU: O0 severely limited; O1/O3 TFLOPs grow with layers and hidden
+    size with slowing gains.
+(d) IPU: TFLOPs plateau around 4 layers; memory grows linearly; the run
+    fails at 10 layers.
+"""
+
+import pytest
+
+from repro import TrainConfig, gpt2_model, llama2_model
+from repro.common.errors import CompilationError
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+from paper_data import (
+    FIG9A_PEAK_LAYERS,
+    FIG9D_FAIL_LAYERS,
+    FIG10_RDU_TFLOPS,
+    fmt,
+    print_comparison,
+)
+
+WSE_LAYERS = [6, 12, 18, 24, 30, 36, 48, 60, 72]
+RDU_LAYERS = [4, 8, 16, 32]
+RDU_HIDDENS = [3072, 4096, 5120, 8192]
+IPU_LAYERS = [1, 2, 4, 6, 8, 9, 10]
+
+
+def measure_wse(cerebras):
+    train = TrainConfig(batch_size=256, seq_len=1024)
+    model = gpt2_model("small")
+    rows = []
+    for layers in WSE_LAYERS:
+        report = cerebras.compile(model.with_layers(layers), train)
+        run = cerebras.run(report)
+        memory = report.shared_memory
+        rows.append({
+            "layers": layers,
+            "config_pct": 100 * memory.configuration_bytes
+            / memory.capacity_bytes,
+            "training_pct": 100 * memory.training_bytes
+            / memory.capacity_bytes,
+            "tflops": run.achieved_flops / 1e12,
+        })
+    return rows
+
+
+def measure_rdu(sambanova):
+    train = TrainConfig(batch_size=16, seq_len=1024,
+                        precision=PrecisionPolicy.pure(Precision.BF16))
+    by_layers = {mode: [sambanova.run(sambanova.compile(
+        decoder_block_probe(768, n), train, mode=mode)).achieved_flops / 1e12
+        for n in RDU_LAYERS] for mode in ("O0", "O1", "O3")}
+    o1_train = TrainConfig(batch_size=32, seq_len=2048,
+                           precision=PrecisionPolicy.pure(Precision.BF16))
+    base = llama2_model("7b")
+    by_hidden = [sambanova.run(sambanova.compile(
+        base.with_hidden(h).with_layers(4), o1_train,
+        mode="O1")).achieved_flops / 1e12 for h in RDU_HIDDENS]
+    return by_layers, by_hidden
+
+
+def measure_ipu(graphcore):
+    train = TrainConfig(batch_size=32, seq_len=1024)
+    model = gpt2_model("small")
+    rows = []
+    for layers in IPU_LAYERS:
+        try:
+            report = graphcore.compile(model.with_layers(layers), train,
+                                       n_ipus=2)
+            run = graphcore.run(report)
+        except CompilationError:
+            rows.append({"layers": layers, "memory_mb": None,
+                         "tflops": None})
+        else:
+            rows.append({
+                "layers": layers,
+                "memory_mb": report.shared_memory.total_bytes / 1e6,
+                "tflops": run.achieved_flops / 1e12,
+            })
+    return rows
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9a_wse_memory_and_tflops(benchmark, cerebras):
+    rows = benchmark.pedantic(measure_wse, args=(cerebras,),
+                              rounds=1, iterations=1)
+    print_comparison(
+        "Fig. 9a: WSE memory breakdown and TFLOPs vs layers",
+        ["layers", "config %", "training %", "TFLOP/s"],
+        [[r["layers"], f"{r['config_pct']:.1f}", f"{r['training_pct']:.1f}",
+          f"{r['tflops']:.1f}"] for r in rows])
+
+    tflops = {r["layers"]: r["tflops"] for r in rows}
+    config = {r["layers"]: r["config_pct"] for r in rows}
+    # TFLOPs peak inside the paper's 18-36 window, then collapse.
+    peak_layer = max(tflops, key=tflops.get)
+    assert FIG9A_PEAK_LAYERS[0] <= peak_layer <= 36
+    assert tflops[72] < 0.3 * tflops[peak_layer]
+    # Configuration memory growth is sharply superlinear past 36 layers.
+    assert config[72] / config[36] > (72 / 36) * 1.5
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9bc_rdu_tflops(benchmark, sambanova):
+    by_layers, by_hidden = benchmark.pedantic(
+        measure_rdu, args=(sambanova,), rounds=1, iterations=1)
+    print_comparison(
+        "Fig. 9b: RDU TFLOPs vs layers (HS=768 blocks)",
+        ["mode"] + [f"L{n}" for n in RDU_LAYERS],
+        [[mode] + [f"{v:.1f}" for v in curve]
+         for mode, curve in by_layers.items()])
+    print_comparison(
+        "Fig. 9c: RDU O1 TFLOPs vs hidden (paper range "
+        f"{FIG10_RDU_TFLOPS[0]}-{FIG10_RDU_TFLOPS[1]})",
+        [f"H{h}" for h in RDU_HIDDENS],
+        [[f"{v:.1f}" for v in by_hidden]])
+
+    # O0 severely limited.
+    assert max(by_layers["O0"]) < 0.4 * max(by_layers["O3"])
+    # O1/O3 grow with layers, gains slowing.
+    for mode in ("O1", "O3"):
+        curve = by_layers[mode]
+        assert curve == sorted(curve)
+        assert curve[-1] / curve[-2] < curve[1] / curve[0]
+    # Hidden-size growth spans the paper's 35-50 TFLOP band shape.
+    assert by_hidden == sorted(by_hidden)
+    assert 0.5 * FIG10_RDU_TFLOPS[0] < by_hidden[0]
+    assert by_hidden[-1] < 1.6 * FIG10_RDU_TFLOPS[1]
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9d_ipu_memory_and_tflops(benchmark, graphcore):
+    rows = benchmark.pedantic(measure_ipu, args=(graphcore,),
+                              rounds=1, iterations=1)
+    print_comparison(
+        "Fig. 9d: IPU memory and TFLOPs vs layers",
+        ["layers", "memory (MB)", "TFLOP/s"],
+        [[r["layers"], fmt(r["memory_mb"], ".0f"), fmt(r["tflops"], ".1f")]
+         for r in rows])
+
+    # Fails exactly at the paper's 10-layer point.
+    by_layer = {r["layers"]: r for r in rows}
+    assert by_layer[FIG9D_FAIL_LAYERS]["tflops"] is None
+    assert by_layer[9]["tflops"] is not None
+    # TFLOPs plateau near 4 layers (rise before, flat-to-down after).
+    assert by_layer[4]["tflops"] > 1.2 * by_layer[1]["tflops"]
+    assert abs(by_layer[8]["tflops"]
+               - by_layer[4]["tflops"]) < 0.3 * by_layer[4]["tflops"]
+    # Memory grows linearly once the decoder stage dominates (slopes are
+    # per added layer because the sweep axis is non-uniform).
+    series = [(r["layers"], r["memory_mb"]) for r in rows
+              if r["memory_mb"] is not None and r["layers"] >= 2]
+    slopes = [(m1 - m0) / (l1 - l0)
+              for (l0, m0), (l1, m1) in zip(series, series[1:])]
+    assert max(slopes) / min(slopes) < 1.2

@@ -1,0 +1,47 @@
+"""Table I — WSE-2 PE allocation ratio across layer configurations.
+
+Paper: allocation climbs 33% -> 60% -> ~85% and saturates at 92-93% from
+36 layers on; an HS-768 GPT-2 stops compiling at 78 layers.
+"""
+
+import pytest
+
+from repro import TrainConfig, allocation_ratio, gpt2_model
+from repro.common.errors import CompilationError
+
+from paper_data import TABLE1_LAYERS, TABLE1_PE_PERCENT, fmt, print_comparison
+
+TRAIN = TrainConfig(batch_size=64, seq_len=1024)
+
+
+def measure_allocation(cerebras):
+    model = gpt2_model("small")
+    measured = []
+    for layers in TABLE1_LAYERS:
+        try:
+            report = cerebras.compile(model.with_layers(layers), TRAIN)
+        except CompilationError:
+            measured.append(None)
+        else:
+            measured.append(100.0 * allocation_ratio(report))
+    return measured
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_pe_allocation(benchmark, cerebras):
+    measured = benchmark.pedantic(
+        measure_allocation, args=(cerebras,), rounds=1, iterations=1)
+
+    rows = [["paper Pe(%)"] + [fmt(v, ".0f") for v in TABLE1_PE_PERCENT],
+            ["measured"] + [fmt(v, ".1f") for v in measured]]
+    print_comparison("Table I: PE allocation vs layers (HS=768)",
+                     ["series"] + [f"L{n}" for n in TABLE1_LAYERS], rows)
+
+    # Shape assertions (who saturates where, and the failure point).
+    assert measured[-1] is None, "78 layers must fail to compile"
+    assert all(v is not None for v in measured[:-1])
+    assert measured[0] == pytest.approx(33.0, abs=3.0)
+    assert measured[1] == pytest.approx(60.0, abs=4.0)
+    for value in measured[4:-1]:
+        assert 88.0 <= value <= 94.0
+    assert measured[:5] == sorted(measured[:5])

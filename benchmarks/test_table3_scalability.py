@@ -1,0 +1,140 @@
+"""Table III — scalability performance across all platforms.
+
+WSE-2 intra-chip data parallelism (+ weight streaming), IPU pipeline
+parallelism at 4/8/16 IPUs, RDU tensor parallelism at 2/4/8 chips, and
+the GPU reference configurations.
+"""
+
+import pytest
+
+from repro import TrainConfig, gpt2_model, llama2_model
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+from paper_data import (
+    TABLE3_GPU,
+    TABLE3_IPU,
+    TABLE3_RDU,
+    TABLE3_WSE,
+    print_comparison,
+)
+
+
+def measure_wse(cerebras):
+    train = TrainConfig(batch_size=256, seq_len=1024)
+    rows = {}
+    rows["DP0"] = cerebras.run(cerebras.compile(
+        gpt2_model("small"), train, n_replicas=1)).tokens_per_second
+    rows["DP2"] = cerebras.run(cerebras.compile(
+        gpt2_model("small"), train, n_replicas=2)).tokens_per_second
+    rows["DP4"] = cerebras.run(cerebras.compile(
+        gpt2_model("mini"), train, n_replicas=4)).tokens_per_second
+    rows["DP8"] = cerebras.run(cerebras.compile(
+        gpt2_model("tiny"), train, n_replicas=8)).tokens_per_second
+    rows["PP(stream)"] = cerebras.run(cerebras.compile(
+        gpt2_model("small"), train,
+        mode="weight_streaming")).tokens_per_second
+    return rows
+
+
+def measure_ipu(graphcore_pod):
+    train = TrainConfig(batch_size=128, seq_len=1024)
+    return {(n, layers): graphcore_pod.run(graphcore_pod.compile(
+        decoder_block_probe(768, layers), train,
+        n_ipus=n)).samples_per_second
+        for (n, layers) in TABLE3_IPU}
+
+
+def measure_rdu(sambanova):
+    train = TrainConfig(batch_size=8, seq_len=4096,
+                        precision=PrecisionPolicy.pure(Precision.BF16))
+    model = llama2_model("7b")
+    return {tp: sambanova.run(sambanova.compile(
+        model, train, mode="O1", tp=tp)).tokens_per_second
+        for tp in TABLE3_RDU}
+
+
+def measure_gpu(gpu):
+    train = TrainConfig(batch_size=64, seq_len=1024,
+                        precision=PrecisionPolicy.mixed(Precision.BF16))
+    model = gpt2_model("xlarge")
+    rows = {}
+    for (tp, pp, dp) in TABLE3_GPU:
+        t = train.with_batch_size(64 * dp)
+        micro = 128 if dp > 1 else None
+        run = gpu.run(gpu.compile(model, t, tp=tp, pp=pp, dp=dp,
+                                  micro_batches=micro))
+        rows[(tp, pp, dp)] = run.meta["per_gpu_flops"] / 1e12
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_wse_scaling(benchmark, cerebras):
+    rows = benchmark.pedantic(measure_wse, args=(cerebras,),
+                              rounds=1, iterations=1)
+    print_comparison(
+        "Table III (WSE-2): throughput, paper tokens/s in parentheses",
+        ["config", "model", "measured tok/s", "paper"],
+        [[label, TABLE3_WSE[label][0], f"{rows[label]:,.0f}",
+          f"{TABLE3_WSE[label][1]:,.0f}"] for label in rows])
+
+    # DP on the same model helps; streaming costs ~20%.
+    assert rows["DP2"] > 1.15 * rows["DP0"]
+    assert rows["PP(stream)"] == pytest.approx(0.8 * rows["DP0"], rel=0.08)
+    # Small models replicate further and run faster per token.
+    assert rows["DP8"] > rows["DP2"]
+    assert rows["DP4"] > rows["DP2"]
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_ipu_scaling(benchmark, graphcore_pod):
+    rows = benchmark.pedantic(measure_ipu, args=(graphcore_pod,),
+                              rounds=1, iterations=1)
+    print_comparison(
+        "Table III (IPU): pipeline throughput, paper figure in parentheses",
+        ["config", "measured samples/s", "paper"],
+        [[f"{n}PP {layers}L", f"{rows[(n, layers)]:.1f}",
+          f"{TABLE3_IPU[(n, layers)]:.1f}"]
+         for (n, layers) in sorted(rows)])
+
+    # Within each PP size, more layers per IPU means less throughput.
+    assert rows[(4, 6)] > rows[(4, 12)]
+    assert rows[(8, 18)] > rows[(8, 24)]
+    assert (rows[(16, 30)] > rows[(16, 36)] >= rows[(16, 42)]
+            > rows[(16, 48)])
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_rdu_scaling(benchmark, sambanova):
+    rows = benchmark.pedantic(measure_rdu, args=(sambanova,),
+                              rounds=1, iterations=1)
+    print_comparison(
+        "Table III (RDU, LLaMA-2 7B): paper tokens/s in parentheses",
+        ["TP", "measured tok/s", "paper"],
+        [[tp, f"{rows[tp]:.0f}", f"{TABLE3_RDU[tp]:.0f}"]
+         for tp in sorted(rows)])
+
+    # The cross-machine cliff and the plateau.
+    assert rows[4] < 0.75 * rows[2]
+    assert abs(rows[8] - rows[4]) < 0.15 * rows[4]
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_gpu_reference(benchmark, gpu):
+    rows = benchmark.pedantic(measure_gpu, args=(gpu,),
+                              rounds=1, iterations=1)
+    print_comparison(
+        "Table III (GPU reference): per-GPU TFLOP/s, paper in parentheses",
+        ["config", "measured", "paper"],
+        [[f"T{tp}P{pp}D{dp}", f"{rows[(tp, pp, dp)]:.1f}",
+          f"{TABLE3_GPU[(tp, pp, dp)]:.1f}"]
+         for (tp, pp, dp) in rows])
+
+    # Within a node, TP-heavy beats PP-heavy.
+    assert (rows[(8, 1, 1)] > rows[(4, 2, 1)] > rows[(2, 4, 1)]
+            > rows[(1, 8, 1)])
+    # Large accumulations keep big clusters competitive.
+    assert rows[(4, 4, 64)] > rows[(1, 8, 1)]
+    # Per-GPU MFU in the paper's band.
+    for value in rows.values():
+        assert 70.0 < value < 200.0

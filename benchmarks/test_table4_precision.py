@@ -1,0 +1,59 @@
+"""Table IV — mixed-precision throughput across platforms.
+
+Paper: the RDU is the most precision-sensitive (+34.3% from full mixed
+precision), the IPU next (+22.0%), and the WSE least (+10.7% from FP16
+to CB16).
+"""
+
+import pytest
+
+from repro import DeploymentOptimizer, TrainConfig, gpt2_model, llama2_model
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+from paper_data import TABLE4, print_comparison
+
+
+def measure_precision(cerebras, sambanova, graphcore):
+    wse = DeploymentOptimizer(cerebras).compare_precision(
+        gpt2_model("small"), TrainConfig(batch_size=128, seq_len=1024),
+        baseline=PrecisionPolicy.pure(Precision.FP16),
+        optimized=PrecisionPolicy.pure(Precision.CB16))
+    ipu = DeploymentOptimizer(graphcore).compare_precision(
+        decoder_block_probe(768, 4, vocab_size=50257),
+        TrainConfig(batch_size=16, seq_len=1024),
+        baseline=PrecisionPolicy.full(),
+        optimized=PrecisionPolicy.mixed(Precision.FP16),
+        n_ipus=2)
+    rdu = DeploymentOptimizer(sambanova).compare_precision(
+        llama2_model("7b"),
+        TrainConfig(batch_size=16, seq_len=4096,
+                    precision=PrecisionPolicy.pure(Precision.BF16)),
+        baseline=PrecisionPolicy.matmul_only(Precision.BF16),
+        optimized=PrecisionPolicy.mixed(Precision.BF16),
+        mode="O1", tp=2)
+    return {"WSE": wse, "IPU": ipu, "RDU": rdu}
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_precision(benchmark, cerebras, sambanova, graphcore):
+    results = benchmark.pedantic(
+        measure_precision, args=(cerebras, sambanova, graphcore),
+        rounds=1, iterations=1)
+
+    print_comparison(
+        "Table IV: precision gains (paper gain in parentheses)",
+        ["platform", "baseline", "optimized", "gain", "paper"],
+        [[name,
+          f"{cmp.baseline_tokens_per_second:,.0f} ({cmp.baseline_label})",
+          f"{cmp.optimized_tokens_per_second:,.0f} "
+          f"({cmp.optimized_label})",
+          f"{cmp.gain:+.1%}", f"+{TABLE4[name][2]:.1%}"]
+         for name, cmp in results.items()])
+
+    # The paper's sensitivity ordering: RDU > IPU > WSE.
+    assert results["RDU"].gain > results["IPU"].gain > results["WSE"].gain
+    # Per-platform bands around the paper's values.
+    assert results["WSE"].gain == pytest.approx(0.107, abs=0.04)
+    assert results["IPU"].gain == pytest.approx(0.22, abs=0.08)
+    assert results["RDU"].gain == pytest.approx(0.343, abs=0.10)

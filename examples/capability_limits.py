@@ -1,0 +1,83 @@
+"""Capability limits: how large a model each platform can actually run.
+
+Every platform in the paper hits a different wall: WSE-2's configuration
+memory kills compilation at 78 decoder layers (Table I), a single IPU
+pair runs out of In-Processor Memory at 10 layers (Fig. 9d), and the
+RDU compiles arbitrarily large graphs but needs tensor parallelism once
+DDR fills. This example maps those envelopes with the framework's
+failure-aware sweeps.
+
+Usage::
+
+    python examples/capability_limits.py
+"""
+
+from repro import (
+    CerebrasBackend,
+    CompilationError,
+    GraphcoreBackend,
+    Precision,
+    PrecisionPolicy,
+    SambaNovaBackend,
+    Tier1Profiler,
+    TrainConfig,
+    gpt2_model,
+    llama2_model,
+)
+from repro.core.report import BenchmarkReport
+
+
+def main() -> None:
+    report = BenchmarkReport(title="Platform capability envelopes")
+    fp16 = TrainConfig(batch_size=32, seq_len=1024)
+    bf16 = fp16.with_precision(PrecisionPolicy.pure(Precision.BF16))
+    model = gpt2_model("small")
+
+    rows = []
+    # WSE-2: whole-graph residency, killed by configuration memory.
+    wse = Tier1Profiler(CerebrasBackend())
+    wse_limit = wse.max_feasible(model, fp16, upper=128)
+    rows.append(["CS-2 (1 chip)", f"{wse_limit} layers",
+                 "configuration memory grows quadratically with kernels"])
+
+    # IPU: tile memory per stage.
+    for n_ipus in (2, 4, 8):
+        ipu = Tier1Profiler(GraphcoreBackend())
+        limit = ipu.max_feasible(model, fp16, upper=64, n_ipus=n_ipus)
+        rows.append([f"Bow-2000 ({n_ipus} IPUs)", f"{limit} layers",
+                     "In-Processor Memory per pipeline stage"])
+
+    # RDU: sectioning scales arbitrarily; DDR capacity is the wall.
+    rdu = SambaNovaBackend()
+    big = TrainConfig(batch_size=64, seq_len=4096,
+                      precision=PrecisionPolicy.mixed(Precision.BF16))
+    for name, cfg in (("llama2-7b", llama2_model("7b")),
+                      ("llama2-70b", llama2_model("70b"))):
+        needed = None
+        for tp in (1, 2, 4, 8):
+            try:
+                rdu.compile(cfg, big, mode="O1", tp=tp)
+            except CompilationError:
+                continue
+            needed = tp
+            break
+        rows.append([f"SN30 ({name})",
+                     f"TP >= {needed}" if needed else "does not fit",
+                     "DDR capacity per RDU; graph partitioning itself "
+                     "is unbounded"])
+
+    report.add_table("Largest feasible configuration per platform",
+                     ["platform", "envelope", "binding constraint"], rows)
+    report.add_insight(
+        "WSE-2 trades unbounded graphs for on-chip residency: beyond "
+        f"{wse_limit} hidden-768 layers the compiler cannot place the "
+        "model at all, and weight streaming becomes the only path.")
+    report.add_insight(
+        "The RDU's section partitioning makes model size a non-issue on "
+        "chip — capacity pressure moves to DDR and is relieved by "
+        "tensor parallelism.")
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

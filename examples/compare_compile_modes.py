@@ -1,0 +1,78 @@
+"""Case study: demystifying an opaque vendor compiler (SambaNova RDU).
+
+The paper's motivation is that "commodity dataflow AI accelerators often
+incorporate diverse vendor-specific designs ... rarely made public".
+This example uses DABench-LLM to characterize the SN30's three
+compilation modes (O0 operator, O1 module, O3 full-graph) on one
+workload, exposing section structure, resource allocation, load balance,
+DDR traffic, and throughput — and prints mode-selection guidance.
+
+Usage::
+
+    python examples/compare_compile_modes.py
+"""
+
+from repro import (
+    Precision,
+    PrecisionPolicy,
+    SambaNovaBackend,
+    TrainConfig,
+    allocation_ratio,
+    gpt2_model,
+    weighted_load_imbalance,
+)
+from repro.core.report import BenchmarkReport
+
+
+def main() -> None:
+    backend = SambaNovaBackend()
+    model = gpt2_model("small")
+    train = TrainConfig(batch_size=16, seq_len=1024,
+                        precision=PrecisionPolicy.pure(Precision.BF16))
+
+    report = BenchmarkReport(
+        title=f"RDU compilation modes on {model.name}")
+    rows = []
+    measured = {}
+    for mode in ("O0", "O1", "O3"):
+        compiled = backend.compile(model, train, mode=mode)
+        run = backend.run(compiled)
+        measured[mode] = run
+        invocations = sum(p.invocations for p in compiled.phases)
+        rows.append([
+            mode,
+            len(compiled.phases),
+            invocations,
+            f"{100 * allocation_ratio(compiled):.1f}%",
+            f"{100 * allocation_ratio(compiled, kind='memory'):.1f}%",
+            f"{weighted_load_imbalance(compiled):.3f}",
+            f"{run.global_traffic_bytes_per_step / 1e9:.1f} GB",
+            f"{run.achieved_flops / 1e12:.1f}",
+            f"{run.tokens_per_second:,.0f}",
+        ])
+    report.add_table(
+        "Per-mode characterization",
+        ["mode", "sections", "invocations/step", "PCU alloc", "PMU alloc",
+         "LI", "DDR/step", "TFLOP/s", "tokens/s"],
+        rows)
+
+    o0, o1, o3 = (measured[m] for m in ("O0", "O1", "O3"))
+    report.add_insight(
+        f"O0 runs every operator as its own section: "
+        f"{o1.tokens_per_second / o0.tokens_per_second:.1f}x slower than "
+        "O1 because the fabric fills and drains per operator and every "
+        "boundary spills to DDR.")
+    report.add_insight(
+        f"O3 packs whole decoders per section and reaches "
+        f"{o3.achieved_flops / 1e12:.1f} TFLOP/s — the highest allocation "
+        "— but its packed sections are the least balanced; operator-level "
+        "load balance is where the compiler should improve (paper Sec. "
+        "V-B).")
+    report.add_insight(
+        "Pick O3 for throughput on models that fit its sectioning; pick "
+        "O1 when balanced, predictable per-module behaviour matters.")
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Deployment planner: batch-size and precision guidance per platform.
+
+Implements the paper's Tier-2 deployment-optimization methodology
+(Sec. VI-B): sweep batch size and compare precision policies on every
+platform, then print recommendations matching the paper's Insight box —
+"use the largest possible batch size on RDU and IPU ... on WSE avoid
+batch sizes below 200 ... RDU and IPU benefit significantly from mixed
+precision, while WSE shows minimal sensitivity."
+
+Usage::
+
+    python examples/deployment_planner.py
+"""
+
+from repro import (
+    CerebrasBackend,
+    DeploymentOptimizer,
+    GraphcoreBackend,
+    Precision,
+    PrecisionPolicy,
+    SambaNovaBackend,
+    TrainConfig,
+    gpt2_model,
+)
+from repro.core.report import BenchmarkReport
+from repro.workloads import decoder_block_probe
+
+
+def batch_guidance() -> list[list[str]]:
+    rows = []
+    wse = DeploymentOptimizer(CerebrasBackend()).batch_sweep(
+        gpt2_model("small"), TrainConfig(batch_size=8, seq_len=1024),
+        [32, 64, 128, 256, 512])
+    rdu = DeploymentOptimizer(SambaNovaBackend()).batch_sweep(
+        gpt2_model("small"),
+        TrainConfig(batch_size=4, seq_len=1024,
+                    precision=PrecisionPolicy.pure(Precision.BF16)),
+        [4, 8, 16, 32], mode="O1")
+    ipu = DeploymentOptimizer(GraphcoreBackend()).batch_sweep(
+        decoder_block_probe(768, 4), TrainConfig(batch_size=8, seq_len=1024),
+        [8, 16, 32], n_ipus=2)
+    for name, sweep in (("WSE-2", wse), ("RDU", rdu), ("IPU", ipu)):
+        knee = sweep.saturation_batch
+        advice = ("maximize batch size" if sweep.near_linear
+                  else f"diminishing returns past batch ~{knee}")
+        rows.append([name, f"{sweep.scaling_exponent:.2f}",
+                     str(knee) if knee else "none in range", advice])
+    return rows
+
+
+def precision_guidance() -> list[list[str]]:
+    from repro import llama2_model
+    rows = []
+    comparisons = [
+        ("WSE-2", DeploymentOptimizer(CerebrasBackend()).compare_precision(
+            gpt2_model("small"), TrainConfig(batch_size=128, seq_len=1024),
+            baseline=PrecisionPolicy.pure(Precision.FP16),
+            optimized=PrecisionPolicy.pure(Precision.CB16))),
+        ("IPU", DeploymentOptimizer(GraphcoreBackend()).compare_precision(
+            decoder_block_probe(768, 4, vocab_size=50257),
+            TrainConfig(batch_size=16, seq_len=1024),
+            baseline=PrecisionPolicy.full(),
+            optimized=PrecisionPolicy.mixed(Precision.FP16), n_ipus=2)),
+        ("RDU", DeploymentOptimizer(SambaNovaBackend()).compare_precision(
+            llama2_model("7b"),
+            TrainConfig(batch_size=16, seq_len=4096,
+                        precision=PrecisionPolicy.pure(Precision.BF16)),
+            baseline=PrecisionPolicy.matmul_only(Precision.BF16),
+            optimized=PrecisionPolicy.mixed(Precision.BF16),
+            mode="O1", tp=2)),
+    ]
+    for name, cmp in comparisons:
+        rows.append([name, cmp.baseline_label, cmp.optimized_label,
+                     f"{cmp.gain:+.1%}",
+                     "switch" if cmp.gain > 0.15 else "optional"])
+    return rows
+
+
+def main() -> None:
+    report = BenchmarkReport(title="Deployment plan (Tier 2)")
+    report.add_table(
+        "Batch-size scaling",
+        ["platform", "scaling exponent", "saturation batch",
+         "recommendation"],
+        batch_guidance())
+    report.add_table(
+        "Precision options",
+        ["platform", "baseline", "optimized", "gain", "recommendation"],
+        precision_guidance())
+    report.add_insight(
+        "Use the largest batch that fits on RDU and IPU; on WSE-2, gains "
+        "flatten once the kernel pipeline is full, so batch beyond the "
+        "knee buys little.")
+    report.add_insight(
+        "RDU and IPU benefit substantially from full mixed precision; "
+        "WSE-2's CB16 gains are modest, so precision choice there is a "
+        "numerics decision, not a performance one.")
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

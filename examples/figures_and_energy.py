@@ -1,0 +1,105 @@
+"""Terminal figures and an energy extension study.
+
+Renders two of the paper's figures as ASCII charts — Fig. 9a (WSE-2
+TFLOPs vs layer count) and Fig. 12 (batch-size scaling across
+platforms) — and then goes beyond the paper with the energy model
+(tokens per joule per platform), the extension its related work
+(CARAML) motivates.
+
+Usage::
+
+    python examples/figures_and_energy.py
+"""
+
+from repro import (
+    CerebrasBackend,
+    GraphcoreBackend,
+    Precision,
+    PrecisionPolicy,
+    SambaNovaBackend,
+    TrainConfig,
+    gpt2_model,
+)
+from repro.common.errors import CompilationError
+from repro.core.energy import estimate_energy
+from repro.core.plots import ascii_bar_chart, ascii_line_chart
+from repro.core.report import render_table
+from repro.workloads import decoder_block_probe
+
+
+def fig9a_chart() -> str:
+    backend = CerebrasBackend()
+    train = TrainConfig(batch_size=256, seq_len=1024)
+    layers = [6, 12, 18, 24, 30, 36, 48, 60, 72]
+    tflops = []
+    for n in layers:
+        try:
+            run = backend.run(backend.compile(
+                gpt2_model("small").with_layers(n), train))
+            tflops.append(run.achieved_flops / 1e12)
+        except CompilationError:
+            tflops.append(None)
+    return ascii_line_chart(
+        layers, {"TFLOP/s": tflops}, width=60, height=12,
+        title="Fig. 9a (repro): WSE-2 achieved TFLOP/s vs decoder layers",
+        y_label="TF")
+
+
+def fig12_chart() -> str:
+    batches = [8, 16, 32, 64, 128, 256]
+    wse_backend = CerebrasBackend()
+    rdu_backend = SambaNovaBackend()
+    series = {"WSE-2": [], "RDU (O1)": []}
+    for batch in batches:
+        fp16 = TrainConfig(batch_size=batch, seq_len=1024)
+        bf16 = fp16.with_precision(PrecisionPolicy.pure(Precision.BF16))
+        wse = wse_backend.run(wse_backend.compile(gpt2_model("small"), fp16))
+        rdu = rdu_backend.run(rdu_backend.compile(gpt2_model("small"), bf16,
+                                                  mode="O1"))
+        series["WSE-2"].append(wse.tokens_per_second / 1e3)
+        series["RDU (O1)"].append(rdu.tokens_per_second / 1e3)
+    # Normalize each curve to its batch-8 point to compare shapes.
+    for name, values in series.items():
+        base = values[0]
+        series[name] = [v / base for v in values]
+    return ascii_line_chart(
+        batches, series, width=60, height=12,
+        title="Fig. 12 (repro): throughput vs batch, normalized to B=8",
+        y_label="x")
+
+
+def energy_study() -> str:
+    fp16 = TrainConfig(batch_size=32, seq_len=1024)
+    bf16 = fp16.with_precision(PrecisionPolicy.pure(Precision.BF16))
+    model = gpt2_model("small").with_layers(8)
+    runs = []
+    for backend, train, options in (
+            (CerebrasBackend(), fp16, {}),
+            (SambaNovaBackend(), bf16, {"mode": "O3"}),
+            (GraphcoreBackend(), fp16, {"n_ipus": 2})):
+        compiled = backend.compile(model, train, **options)
+        run = backend.run(compiled)
+        runs.append(estimate_energy(compiled, run))
+    table = render_table(
+        ["platform", "chips", "utilization", "power (kW)", "J/token"],
+        [[e.platform, e.n_chips, f"{e.utilization:.1%}",
+          f"{e.power_watts / 1e3:.2f}", f"{e.joules_per_token:.3f}"]
+         for e in runs],
+        title="Energy extension: training gpt2-small(8L)")
+    chart = ascii_bar_chart(
+        [e.platform for e in runs],
+        [e.tokens_per_joule for e in runs],
+        title="tokens per joule (higher is better)")
+    return table + "\n\n" + chart
+
+
+def main() -> None:
+    print(fig9a_chart())
+    print()
+    print(fig12_chart())
+    print()
+    print(energy_study())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""Inference benchmarking — the extension axis beyond the paper.
+
+The paper benchmarks *training*; the same framework benchmarks
+forward-only inference by flipping one flag. This study contrasts the
+two regimes on every platform: throughput, the memory walls that move,
+and how the Tier-1 metrics shift when there is no backward pass.
+
+Usage::
+
+    python examples/inference_study.py
+"""
+
+from repro import (
+    CerebrasBackend,
+    GraphcoreBackend,
+    Precision,
+    PrecisionPolicy,
+    SambaNovaBackend,
+    Tier1Profiler,
+    TrainConfig,
+    gpt2_model,
+    llama2_model,
+)
+from repro.core.report import BenchmarkReport
+
+
+def throughput_rows() -> list[list[str]]:
+    fp16 = TrainConfig(batch_size=32, seq_len=1024)
+    bf16 = fp16.with_precision(PrecisionPolicy.pure(Precision.BF16))
+    model = gpt2_model("small").with_layers(8)
+    rows = []
+    for backend, train, options in (
+            (CerebrasBackend(), fp16, {}),
+            (SambaNovaBackend(), bf16, {"mode": "O3"}),
+            (GraphcoreBackend(), fp16, {"n_ipus": 2})):
+        t = backend.run(backend.compile(model, train, **options))
+        i = backend.run(backend.compile(model, train.as_inference(),
+                                        **options))
+        rows.append([backend.name,
+                     f"{t.tokens_per_second:,.0f}",
+                     f"{i.tokens_per_second:,.0f}",
+                     f"{i.tokens_per_second / t.tokens_per_second:.2f}x"])
+    return rows
+
+
+def capability_rows() -> list[list[str]]:
+    fp16 = TrainConfig(batch_size=32, seq_len=1024)
+    rows = []
+    for backend, options, upper in (
+            (CerebrasBackend(), {}, 160),
+            (GraphcoreBackend(), {"n_ipus": 2}, 64)):
+        profiler = Tier1Profiler(backend)
+        t_limit = profiler.max_feasible(gpt2_model("small"), fp16,
+                                        upper=upper, **options)
+        i_limit = profiler.max_feasible(gpt2_model("small"),
+                                        fp16.as_inference(),
+                                        upper=upper, **options)
+        rows.append([backend.name, str(t_limit), str(i_limit)])
+    return rows
+
+
+def decode_rows() -> list[list[str]]:
+    from repro.core.decode import estimate_decode
+    from repro.hardware.specs import BOW_IPU, SN30_RDU, WSE2
+    bf16 = TrainConfig(batch_size=1, seq_len=1,
+                       precision=PrecisionPolicy.pure(Precision.BF16))
+    model = gpt2_model("small")
+    rows = []
+    for chip in (WSE2, SN30_RDU, BOW_IPU):
+        for batch in (1, 32):
+            try:
+                estimate = estimate_decode(chip, model, bf16, batch, 1024)
+            except Exception:
+                # KV cache outgrew the on-chip tier: spill to DDR.
+                estimate = estimate_decode(chip, model, bf16, batch, 1024,
+                                           weights_resident_on_chip=False)
+            placement = ("on-chip" if estimate.weights_on_chip
+                         else "via DDR")
+            rows.append([chip.name, batch,
+                         f"{estimate.tokens_per_second:,.0f}",
+                         estimate.bound,
+                         f"{estimate.kv_cache_bytes / 1e6:.0f} MB "
+                         f"({placement})"])
+    return rows
+
+
+def main() -> None:
+    report = BenchmarkReport(title="Training vs inference (extension)")
+    report.add_table(
+        "Throughput (gpt2-small, 8 layers)",
+        ["platform", "train tok/s", "infer tok/s", "speedup"],
+        throughput_rows())
+    report.add_table(
+        "Max hidden-768 layers that fit",
+        ["platform", "training", "inference"],
+        capability_rows())
+    report.add_table(
+        "Autoregressive decode roofline (context 1024)",
+        ["chip", "batch", "tokens/s bound", "bound", "KV cache"],
+        decode_rows())
+
+    rdu = SambaNovaBackend()
+    infer = TrainConfig(batch_size=8, seq_len=4096,
+                        precision=PrecisionPolicy.pure(Precision.BF16),
+                        training=False)
+    run = rdu.run(rdu.compile(llama2_model("7b"), infer, mode="O1"))
+    report.add_insight(
+        f"Without optimizer state, LLaMA-2 7B inference at 4k context "
+        f"runs on a single RDU at {run.tokens_per_second:,.0f} tokens/s — "
+        "training the same model needs tensor parallelism for DDR "
+        "capacity alone.")
+    report.add_insight(
+        "Sequential-section platforms capture nearly the full 3x FLOPs "
+        "reduction, but the WSE gains only ~1.5x: forward-only kernels "
+        "earn smaller scalability caps, so fewer PEs do the work.")
+    report.add_insight(
+        "The memory walls move differently too: the IPU's 10-layer "
+        "training limit (optimizer state + stashes) triples for "
+        "inference, while the WSE's limit barely moves — its wall is "
+        "configuration memory, which the backward pass does not own.")
+    report.add_insight(
+        "Decode inverts Fig. 10's classifications: weights stay in the "
+        "WSE's on-chip SRAM so single-token generation is compute-bound "
+        "there at batch 1, while the DDR-fed RDU and IPU are bandwidth-"
+        "bound until weight reads amortize over large batches.")
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: profile one LLM workload on a dataflow accelerator.
+
+Runs DABench-LLM Tier-1 against the simulated Cerebras CS-2, printing
+the standardized metrics the paper defines: resource allocation ratio,
+load imbalance, achieved TFLOPs / compute efficiency, memory breakdown,
+and the workload's roofline placement.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CerebrasBackend,
+    Tier1Profiler,
+    TrainConfig,
+    gpt2_model,
+)
+from repro.core.report import describe_tier1
+
+
+def main() -> None:
+    backend = CerebrasBackend()
+    profiler = Tier1Profiler(backend)
+
+    model = gpt2_model("small")
+    train = TrainConfig(batch_size=64, seq_len=1024)
+    print(f"Profiling {model.name} (B={train.batch_size}, "
+          f"S={train.seq_len}) on {backend.name}...\n")
+
+    result = profiler.profile(model, train)
+    print(describe_tier1(result))
+
+    print("\nPer-kernel allocation (first few kernels):")
+    for task in result.compiled.phases[0].tasks[:6]:
+        if task.role != "compute":
+            continue
+        print(f"  {task.name:<12} {task.compute_units:8.0f} PEs, "
+              f"{task.throughput:8.1f} samples/s achievable")
+
+    print("\nScalability envelope:")
+    limit = profiler.max_feasible(model, train, upper=96)
+    print(f"  largest {model.hidden_size}-hidden decoder stack that "
+          f"compiles: {limit} layers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Inter-chip scaling study: DP on WSE-2, TP on RDU, PP on IPU.
+
+Reproduces the paper's Tier-2 scalability analysis (Sec. VI-A): each
+platform scales by the strategy its architecture favours, and the
+framework reports throughput, scaling efficiency, and the overheads
+behind the curve (replica communication, cross-machine all-reduce,
+pipeline bottleneck stage).
+
+Usage::
+
+    python examples/scaling_study.py
+"""
+
+from repro import (
+    CerebrasBackend,
+    GraphcoreBackend,
+    Precision,
+    PrecisionPolicy,
+    SambaNovaBackend,
+    ScalabilityAnalyzer,
+    TrainConfig,
+    gpt2_model,
+    llama2_model,
+)
+from repro.core.report import BenchmarkReport
+from repro.hardware.specs import BOW_POD
+from repro.workloads import decoder_block_probe
+
+
+def wse_rows(report: BenchmarkReport) -> None:
+    analyzer = ScalabilityAnalyzer(CerebrasBackend())
+    train = TrainConfig(batch_size=256, seq_len=1024)
+    configs = [(f"DP{r}", {"n_replicas": r}) for r in (1, 2, 4, 8)]
+    points = analyzer.sweep(gpt2_model("tiny"), train, configs)
+    efficiency = analyzer.scaling_efficiency(
+        points, {f"DP{r}": r for r in (1, 2, 4, 8)})
+    report.add_table(
+        "WSE-2: intra-chip data parallelism (gpt2-tiny)",
+        ["config", "tokens/s", "per-replica efficiency", "comm share"],
+        [[p.label, f"{p.tokens_per_second:,.0f}",
+          f"{efficiency[p.label]:.2f}",
+          f"{p.communication_fraction:.1%}"] for p in points])
+
+
+def rdu_rows(report: BenchmarkReport) -> None:
+    analyzer = ScalabilityAnalyzer(SambaNovaBackend())
+    train = TrainConfig(batch_size=8, seq_len=4096,
+                        precision=PrecisionPolicy.pure(Precision.BF16))
+    configs = [(f"TP{t}", {"mode": "O1", "tp": t}) for t in (2, 4, 8)]
+    points = analyzer.sweep(llama2_model("7b"), train, configs)
+    report.add_table(
+        "RDU: tensor parallelism (LLaMA-2 7B)",
+        ["config", "tokens/s", "PCU alloc", "comm share"],
+        [[p.label, f"{p.tokens_per_second:,.0f}",
+          f"{p.compute_allocation:.1%}",
+          f"{p.communication_fraction:.1%}"] for p in points])
+    report.add_insight(
+        "TP2 stays inside one SN30 machine and communicates over "
+        "RDU-Connect; TP4 crosses machines and the all-reduce share "
+        "jumps — avoid cross-machine TP when single-machine DDR "
+        "suffices (paper Sec. VI-A3b).")
+
+
+def ipu_rows(report: BenchmarkReport) -> None:
+    backend = GraphcoreBackend(BOW_POD)
+    analyzer = ScalabilityAnalyzer(backend)
+    train = TrainConfig(batch_size=128, seq_len=1024)
+    rows = []
+    for n_ipus, layers in [(4, 6), (8, 18), (16, 30), (16, 48)]:
+        model = decoder_block_probe(768, layers)
+        points = analyzer.sweep(model, train, [(f"{n_ipus}PP",
+                                                {"n_ipus": n_ipus})])
+        point = points[0]
+        compiled = backend.compile(model, train, n_ipus=n_ipus)
+        run = backend.run(compiled)
+        rows.append([f"{n_ipus}PP / {layers}L",
+                     f"{run.samples_per_second:.1f}",
+                     run.meta["bottleneck_stage"],
+                     f"{point.compute_allocation:.1%}"])
+    report.add_table(
+        "IPU: pipeline parallelism (hidden-768 decoder blocks)",
+        ["config", "samples/s", "bottleneck stage", "tile alloc"],
+        rows)
+    report.add_insight(
+        "Throughput is set by the most heavily loaded IPU; deployment "
+        "should minimize the maximum per-IPU layer count (paper Sec. "
+        "VI-A3c).")
+
+
+def main() -> None:
+    report = BenchmarkReport(title="Inter-chip scalability (Tier 2)")
+    wse_rows(report)
+    rdu_rows(report)
+    ipu_rows(report)
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""DABench-LLM — standardized benchmarking of dataflow AI accelerators.
+
+A simulation-backed reproduction of *DABench-LLM: Standardized and
+In-Depth Benchmarking of Post-Moore Dataflow AI Accelerators for LLMs*
+(IISWC 2025). The package contains:
+
+* the DABench-LLM framework itself (:mod:`repro.core`): Tier-1 intra-chip
+  profiling (resource allocation, load imbalance, utilization efficiency,
+  rooflines) and Tier-2 inter-chip scalability / deployment optimization;
+* behavioural simulators of the three dataflow platforms the paper
+  evaluates — Cerebras WSE-2 (:mod:`repro.cerebras`), SambaNova SN30 RDU
+  (:mod:`repro.sambanova`), Graphcore Bow IPU (:mod:`repro.graphcore`) —
+  plus a Megatron-style GPU reference (:mod:`repro.gpu`);
+* the substrates they share: LLM cost models and graph builders
+  (:mod:`repro.models`), a computation-graph IR (:mod:`repro.graph`),
+  hardware spec presets (:mod:`repro.hardware`), and a discrete-event
+  simulation engine (:mod:`repro.sim`).
+
+Quickstart::
+
+    from repro import CerebrasBackend, Tier1Profiler, gpt2_model, TrainConfig
+
+    profiler = Tier1Profiler(CerebrasBackend())
+    result = profiler.profile(gpt2_model("small"), TrainConfig(batch_size=64))
+    print(result.compute_allocation, result.load_imbalance)
+"""
+
+from repro.cerebras import CerebrasBackend
+from repro.common.errors import (
+    CompilationError,
+    ConfigurationError,
+    OutOfMemoryError,
+    ReproError,
+)
+from repro.core import (
+    AcceleratorBackend,
+    BatchSweepResult,
+    BenchmarkReport,
+    DeploymentOptimizer,
+    PrecisionComparison,
+    RooflineModel,
+    ScalabilityAnalyzer,
+    Tier1Profiler,
+    Tier1Result,
+    allocation_ratio,
+    arithmetic_intensity,
+    load_imbalance,
+    weighted_load_imbalance,
+)
+from repro.gpu import GPUBackend
+from repro.graphcore import GraphcoreBackend
+from repro.hardware import (
+    BOW2000_SYSTEM,
+    BOW_POD,
+    CS2_SYSTEM,
+    GPU_CLUSTER,
+    SN30_SYSTEM,
+)
+from repro.models import (
+    ModelConfig,
+    Precision,
+    PrecisionPolicy,
+    TrainConfig,
+    TransformerCostModel,
+    gpt2_model,
+    llama2_model,
+)
+from repro.sambanova import SambaNovaBackend
+from repro.workloads import decoder_block_probe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "CompilationError",
+    "OutOfMemoryError",
+    # framework
+    "AcceleratorBackend",
+    "Tier1Profiler",
+    "Tier1Result",
+    "ScalabilityAnalyzer",
+    "DeploymentOptimizer",
+    "BatchSweepResult",
+    "PrecisionComparison",
+    "BenchmarkReport",
+    "RooflineModel",
+    "allocation_ratio",
+    "load_imbalance",
+    "weighted_load_imbalance",
+    "arithmetic_intensity",
+    # backends
+    "CerebrasBackend",
+    "SambaNovaBackend",
+    "GraphcoreBackend",
+    "GPUBackend",
+    # systems
+    "CS2_SYSTEM",
+    "SN30_SYSTEM",
+    "BOW2000_SYSTEM",
+    "BOW_POD",
+    "GPU_CLUSTER",
+    # models
+    "ModelConfig",
+    "TrainConfig",
+    "Precision",
+    "PrecisionPolicy",
+    "TransformerCostModel",
+    "gpt2_model",
+    "llama2_model",
+    "decoder_block_probe",
+]

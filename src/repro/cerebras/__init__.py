@@ -1,0 +1,32 @@
+"""Cerebras CS-2 / WSE-2 simulator.
+
+Models the execution strategy of paper Sec. III-A: the entire LLM is
+compiled as one computation graph at layer granularity, each layer
+becoming a kernel that receives a grant of processing elements (PEs);
+data then propagates through the kernels in a pipelined, data-driven
+fashion. The simulator reproduces the platform's observable behaviours:
+
+* elastic PE allocation with per-kernel scalability limits (Table I,
+  Fig. 6),
+* configuration-memory growth that eventually kills large models
+  (Fig. 9a, the 78-layer compile failure),
+* intra-chip data parallelism via wafer partitioning (Fig. 11a),
+* weight-streaming mode for models that exceed on-chip memory
+  (Table III's PP column).
+"""
+
+from repro.cerebras.backend import CerebrasBackend
+from repro.cerebras.compiler import WSECompiler
+from repro.cerebras.kernels import Kernel, extract_kernels
+from repro.cerebras.placement import Placement, WaferPlacer
+from repro.cerebras.runtime import WSERuntime
+
+__all__ = [
+    "Kernel",
+    "extract_kernels",
+    "WSECompiler",
+    "WaferPlacer",
+    "Placement",
+    "WSERuntime",
+    "CerebrasBackend",
+]

@@ -1,0 +1,33 @@
+"""The Cerebras backend: DABench's view of the CS-2 system."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
+from repro.cerebras.compiler import WSECompiler
+from repro.cerebras.runtime import WSERuntime
+from repro.hardware.specs import CS2_SYSTEM, SystemSpec
+from repro.models.config import ModelConfig, TrainConfig
+
+
+class CerebrasBackend(AcceleratorBackend):
+    """CS-2 adapter for the DABench framework.
+
+    ``compile`` options:
+
+    * ``n_replicas`` — intra-chip data-parallel replica count (DP mode).
+    * ``mode`` — ``"pipeline"`` (default) or ``"weight_streaming"``.
+    """
+
+    def __init__(self, system: SystemSpec = CS2_SYSTEM) -> None:
+        super().__init__(system)
+        self.compiler = WSECompiler(system)
+        self.runtime = WSERuntime(system)
+
+    def compile(self, model: ModelConfig, train: TrainConfig,
+                **options: Any) -> CompileReport:
+        return self.compiler.compile(model, train, **options)
+
+    def run(self, compiled: CompileReport) -> RunReport:
+        return self.runtime.run(compiled)

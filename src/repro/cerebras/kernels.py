@@ -1,0 +1,145 @@
+"""Kernel extraction: lowering a model into WSE-2 kernels.
+
+The Cerebras compiler maps each layer to a kernel (paper Sec. III-A).
+Training kernels fuse forward and backward work for the same weights —
+the weights never move, so gradient computation runs on the same PE
+region. We therefore extract, per decoder layer, an *attention* kernel
+and an *FFN* kernel (fwd+bwd FLOPs combined), plus model-level
+*embedding* and *head* kernels.
+
+Each kernel carries a **scalability cap**: the PE count beyond which
+extra PEs stop helping because inter-PE communication dominates
+("each kernel function has an optimal PE allocation threshold",
+Sec. V-A1). The cap follows an area/perimeter law — useful parallelism
+grows as work^(2/3) — with a per-kind constant calibrated against
+Table I's measured allocation ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import KB
+from repro.models.config import ModelConfig, TrainConfig
+from repro.models.costmodel import TransformerCostModel
+
+# Calibration constants (see module docstring). The two scales reproduce
+# Table I: with HS=768, one decoder layer caps at ~46k PEs and the LM-head
+# kernel at ~234k PEs, giving the paper's 33% (L=1) and 60% (L=6) points.
+CAP_SCALE_LAYER = 2.75e-3
+CAP_SCALE_HEAD = 6.1e-3
+CAP_EXPONENT = 2.0 / 3.0
+# Fraction of a PE's 48 KB SRAM usable for kernel weights (the rest holds
+# code, routing state, and buffers).
+WEIGHT_SRAM_FRACTION = 0.5
+PE_SRAM_BYTES = 48 * KB
+MIN_KERNEL_PES = 4
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One WSE-2 kernel: a layer-granularity unit of mapped work.
+
+    Attributes:
+        name: kernel identifier, e.g. ``attn[3]``.
+        kind: ``attention`` / ``ffn`` / ``embedding`` / ``head``.
+        layer_index: owning decoder layer, ``-1`` for model-level kernels.
+        flops_per_sample: fwd+bwd FLOPs per training sample.
+        weight_bytes: parameters resident in the kernel's PE region.
+        boundary_bytes: activation bytes the kernel passes downstream per
+            sample (drives transmission-PE needs and replica comms).
+    """
+
+    name: str
+    kind: str
+    layer_index: int
+    flops_per_sample: float
+    weight_bytes: float
+    boundary_bytes: float
+
+    @property
+    def cap_pes(self) -> float:
+        """Scalability limit: max useful PEs for this kernel."""
+        scale = CAP_SCALE_HEAD if self.kind == "head" else CAP_SCALE_LAYER
+        cap = scale * self.flops_per_sample ** CAP_EXPONENT
+        return max(cap, self.min_pes)
+
+    @property
+    def min_pes(self) -> float:
+        """Floor: PEs needed just to hold the kernel's weights in SRAM."""
+        weight_floor = self.weight_bytes / (WEIGHT_SRAM_FRACTION * PE_SRAM_BYTES)
+        return max(float(MIN_KERNEL_PES), weight_floor)
+
+
+def extract_kernels(model: ModelConfig, train: TrainConfig) -> list[Kernel]:
+    """Lower ``model`` into the kernel list the WSE compiler will place.
+
+    Returned in dataflow order: embedding, per-layer attention/FFN pairs,
+    head (final norm + LM head + loss). FLOPs are per-sample at the
+    configured sequence length — forward plus backward (3x forward) for
+    training configurations, forward only for inference.
+    """
+    cost = TransformerCostModel(model)
+    h = model.hidden_size
+    s = train.seq_len
+    wbytes = train.precision.weight_bytes_per_param
+    act = train.precision.activation_bytes_per_value
+    hidden_boundary = s * h * act  # one (S, H) tensor per sample
+    layer = cost.layer_params()
+
+    # Per-sample forward FLOPs of the layer sub-kernels.
+    attn_fwd = (
+        2.0 * (h * h + 2.0 * h * model.kv_hidden) * s   # QKV projection
+        + 2.0 * 2.0 * s * h * s * 0.5                    # causal attention
+        + 2.0 * h * h * s                                # output projection
+        + 5.0 * s * h                                    # layernorm
+    )
+    gate = 1.0 if model.uses_gated_ffn else 0.0
+    ffn_fwd = (
+        (2.0 + gate) * 2.0 * h * model.ffn_hidden * s    # up/gate/down
+        + 4.0 * s * model.ffn_hidden                     # activation
+        + 5.0 * s * h                                    # layernorm
+    )
+    embed_fwd = cost.embedding_forward_flops(train) / train.batch_size
+    head_fwd = (cost.lm_head_forward_flops(train) / train.batch_size
+                + 5.0 * s * h + 10.0 * s)
+
+    mult = train.backward_multiplier
+    norm_bytes = (2 * h if model.family == "gpt2" else h) * wbytes
+    kernels = [
+        Kernel(
+            name="embedding",
+            kind="embedding",
+            layer_index=-1,
+            flops_per_sample=mult * embed_fwd,
+            weight_bytes=cost.embedding_params() * wbytes,
+            boundary_bytes=hidden_boundary,
+        )
+    ]
+    for i in range(model.n_layers):
+        kernels.append(Kernel(
+            name=f"attn[{i}]",
+            kind="attention",
+            layer_index=i,
+            flops_per_sample=mult * attn_fwd,
+            weight_bytes=layer.attention * wbytes + norm_bytes,
+            boundary_bytes=hidden_boundary,
+        ))
+        kernels.append(Kernel(
+            name=f"ffn[{i}]",
+            kind="ffn",
+            layer_index=i,
+            flops_per_sample=mult * ffn_fwd,
+            weight_bytes=layer.ffn * wbytes + norm_bytes,
+            boundary_bytes=hidden_boundary,
+        ))
+    kernels.append(Kernel(
+        name="head",
+        kind="head",
+        layer_index=-1,
+        flops_per_sample=mult * head_fwd,
+        weight_bytes=(cost.lm_head_params() + cost.final_norm_params())
+        * wbytes,
+        boundary_bytes=hidden_boundary,
+    ))
+    return kernels

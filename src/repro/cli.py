@@ -1,0 +1,316 @@
+"""Command-line interface: run DABench-LLM from a shell.
+
+The paper's artifact drives its analysis with shell scripts plus an
+``ana.py``; this CLI is the equivalent for the simulation-backed
+reproduction::
+
+    python -m repro platforms
+    python -m repro tier1 --platform cerebras --model gpt2-small --batch 64
+    python -m repro sweep-layers --platform cerebras --model gpt2-small \
+        --layers 1 6 12 24 48 78
+    python -m repro batch-sweep --platform sambanova --model gpt2-small \
+        --batches 4 8 16 32 --option mode=O1
+    python -m repro scaling --platform sambanova --model llama2-7b \
+        --configs tp=2 tp=4 tp=8 --option mode=O1
+
+Platform-specific compile options are passed as repeated
+``--option key=value`` flags (and per-config in ``scaling``). Add
+``--json FILE`` to dump machine-readable results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.core.backend import AcceleratorBackend
+from repro.core.report import (
+    TIER1_HEADERS,
+    describe_tier1,
+    render_table,
+    tier1_summary_row,
+)
+from repro.core.serialize import (
+    batch_sweep_to_dict,
+    scaling_point_to_dict,
+    sweep_entry_to_dict,
+    tier1_to_dict,
+)
+from repro.core.tier1 import Tier1Profiler
+from repro.core.tier2 import DeploymentOptimizer, ScalabilityAnalyzer
+from repro.models.config import (
+    GPT2_PRESETS,
+    LLAMA2_PRESETS,
+    ModelConfig,
+    TrainConfig,
+    gpt2_model,
+    llama2_model,
+)
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+PLATFORMS = ("cerebras", "sambanova", "graphcore", "graphcore-pod", "gpu")
+
+
+def make_backend(name: str) -> AcceleratorBackend:
+    """Instantiate a backend by CLI platform name."""
+    if name == "cerebras":
+        from repro.cerebras import CerebrasBackend
+        return CerebrasBackend()
+    if name == "sambanova":
+        from repro.sambanova import SambaNovaBackend
+        return SambaNovaBackend()
+    if name == "graphcore":
+        from repro.graphcore import GraphcoreBackend
+        return GraphcoreBackend()
+    if name == "graphcore-pod":
+        from repro.graphcore import GraphcoreBackend
+        from repro.hardware.specs import BOW_POD
+        return GraphcoreBackend(BOW_POD)
+    if name == "gpu":
+        from repro.gpu import GPUBackend
+        return GPUBackend()
+    raise ConfigurationError(
+        f"unknown platform {name!r}; choose from {PLATFORMS}")
+
+
+def parse_model(spec: str) -> ModelConfig:
+    """Parse a model spec.
+
+    Accepted forms: ``gpt2-small``, ``llama2-7b``, ``gpt2-small:24``
+    (layer-count override), and ``probe:<hidden>x<layers>`` for
+    decoder-block probes.
+    """
+    if spec.startswith("probe:"):
+        dims = spec.split(":", 1)[1]
+        try:
+            hidden_str, layer_str = dims.split("x")
+            return decoder_block_probe(int(hidden_str), int(layer_str))
+        except ValueError:
+            raise ConfigurationError(
+                f"bad probe spec {spec!r}; expected probe:<hidden>x<layers>"
+            ) from None
+    layers = None
+    if ":" in spec:
+        spec, layer_str = spec.rsplit(":", 1)
+        layers = int(layer_str)
+    family, _sep, size = spec.partition("-")
+    if family == "gpt2" and size in GPT2_PRESETS:
+        model = gpt2_model(size)
+    elif family == "llama2" and size in LLAMA2_PRESETS:
+        model = llama2_model(size)
+    else:
+        raise ConfigurationError(
+            f"unknown model {spec!r}; use gpt2-<{'/'.join(GPT2_PRESETS)}>, "
+            f"llama2-<{'/'.join(LLAMA2_PRESETS)}>, or probe:<h>x<l>")
+    return model.with_layers(layers) if layers is not None else model
+
+
+def parse_precision(label: str) -> PrecisionPolicy:
+    """Parse a precision label: fp32/fp16/bf16/cb16, mixed-<fmt>,
+    matmul-<fmt>."""
+    if label == "full" or label == "fp32":
+        return PrecisionPolicy.full()
+    if label.startswith("mixed-"):
+        return PrecisionPolicy.mixed(Precision(label.split("-", 1)[1]))
+    if label.startswith("matmul-"):
+        return PrecisionPolicy.matmul_only(Precision(label.split("-", 1)[1]))
+    return PrecisionPolicy.pure(Precision(label))
+
+
+def parse_options(pairs: Sequence[str]) -> dict[str, Any]:
+    """Parse repeated ``key=value`` options with int coercion."""
+    options: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ConfigurationError(f"bad option {pair!r}; expected k=v")
+        key, value = pair.split("=", 1)
+        try:
+            options[key] = int(value)
+        except ValueError:
+            options[key] = value
+    return options
+
+
+def _train_from_args(args: argparse.Namespace) -> TrainConfig:
+    return TrainConfig(batch_size=args.batch, seq_len=args.seq_len,
+                       precision=parse_precision(args.precision),
+                       training=not getattr(args, "inference", False))
+
+
+def _emit(args: argparse.Namespace, payload: Any, text: str) -> None:
+    print(text)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\n[json written to {args.json}]")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_platforms(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in PLATFORMS:
+        backend = make_backend(name)
+        chip = backend.system.chip
+        rows.append([name, backend.system.name,
+                     f"{chip.compute_units} {chip.compute_unit_name}s",
+                     f"{chip.peak_flops / 1e12:.0f} TFLOP/s",
+                     backend.system.total_chips])
+    print(render_table(
+        ["platform", "system", "units/chip", "peak", "max chips"], rows,
+        title="Available platforms"))
+    return 0
+
+
+def cmd_tier1(args: argparse.Namespace) -> int:
+    backend = make_backend(args.platform)
+    profiler = Tier1Profiler(backend)
+    result = profiler.profile(parse_model(args.model),
+                              _train_from_args(args),
+                              **parse_options(args.option))
+    text = "\n".join([
+        render_table(TIER1_HEADERS, [tier1_summary_row(result)],
+                     title="Tier-1 profile"),
+        "",
+        describe_tier1(result),
+    ])
+    _emit(args, tier1_to_dict(result), text)
+    return 0
+
+
+def cmd_sweep_layers(args: argparse.Namespace) -> int:
+    backend = make_backend(args.platform)
+    profiler = Tier1Profiler(backend)
+    entries = profiler.sweep_layers(parse_model(args.model),
+                                    _train_from_args(args), args.layers,
+                                    **parse_options(args.option))
+    rows = []
+    for entry in entries:
+        if entry.failed:
+            rows.append([entry.value, "Fail", "-", "-", "-"])
+        else:
+            result = entry.result
+            rows.append([entry.value,
+                         f"{result.compute_allocation:.1%}",
+                         f"{result.load_imbalance:.3f}",
+                         f"{result.achieved_flops / 1e12:.1f}",
+                         f"{result.tokens_per_second:,.0f}"])
+    text = render_table(
+        ["layers", "allocation", "LI", "TFLOP/s", "tokens/s"], rows,
+        title=f"Layer sweep on {backend.name}")
+    _emit(args, [sweep_entry_to_dict(e) for e in entries], text)
+    return 0
+
+
+def cmd_batch_sweep(args: argparse.Namespace) -> int:
+    backend = make_backend(args.platform)
+    optimizer = DeploymentOptimizer(backend)
+    sweep = optimizer.batch_sweep(parse_model(args.model),
+                                  _train_from_args(args), args.batches,
+                                  **parse_options(args.option))
+    rows = [[b, f"{t:,.0f}" if t else sweep.errors.get(b, "Fail")]
+            for b, t in zip(sweep.batch_sizes, sweep.tokens_per_second)]
+    text = "\n".join([
+        render_table(["batch", "tokens/s"], rows,
+                     title=f"Batch sweep on {backend.name}"),
+        "",
+        f"scaling exponent: {sweep.scaling_exponent:.2f} "
+        f"({'near-linear' if sweep.near_linear else 'saturating'}); "
+        f"saturation batch: {sweep.saturation_batch}",
+    ])
+    _emit(args, batch_sweep_to_dict(sweep), text)
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    backend = make_backend(args.platform)
+    analyzer = ScalabilityAnalyzer(backend)
+    base = parse_options(args.option)
+    configs = []
+    for spec in args.configs:
+        options = dict(base)
+        options.update(parse_options(spec.split(",")))
+        configs.append((spec, options))
+    points = analyzer.sweep(parse_model(args.model),
+                            _train_from_args(args), configs)
+    rows = [[p.label,
+             "Fail" if p.failed else f"{p.tokens_per_second:,.0f}",
+             f"{p.compute_allocation:.1%}",
+             f"{p.communication_fraction:.1%}"] for p in points]
+    text = render_table(
+        ["config", "tokens/s", "alloc", "comm share"], rows,
+        title=f"Scaling sweep on {backend.name}")
+    _emit(args, [scaling_point_to_dict(p) for p in points], text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DABench-LLM benchmarking CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list simulated platforms")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--platform", required=True, choices=PLATFORMS)
+        p.add_argument("--model", required=True,
+                       help="gpt2-<size>[:layers], llama2-<size>[:layers], "
+                            "or probe:<hidden>x<layers>")
+        p.add_argument("--batch", type=int, default=16)
+        p.add_argument("--seq-len", type=int, default=1024)
+        p.add_argument("--precision", default="fp16",
+                       help="fp32/fp16/bf16/cb16, mixed-<fmt>, "
+                            "matmul-<fmt>")
+        p.add_argument("--option", action="append", default=[],
+                       metavar="K=V", help="backend compile option")
+        p.add_argument("--inference", action="store_true",
+                       help="benchmark forward-only inference instead of "
+                            "training steps")
+        p.add_argument("--json", help="also write results to this file")
+
+    tier1 = sub.add_parser("tier1", help="intra-chip Tier-1 profile")
+    common(tier1)
+
+    sweep = sub.add_parser("sweep-layers", help="Tier-1 layer sweep")
+    common(sweep)
+    sweep.add_argument("--layers", type=int, nargs="+", required=True)
+
+    batch = sub.add_parser("batch-sweep",
+                           help="Tier-2 batch deployment sweep")
+    common(batch)
+    batch.add_argument("--batches", type=int, nargs="+", required=True)
+
+    scaling = sub.add_parser("scaling", help="Tier-2 scalability sweep")
+    common(scaling)
+    scaling.add_argument("--configs", nargs="+", required=True,
+                         metavar="K=V[,K=V...]",
+                         help="one option bundle per configuration")
+    return parser
+
+
+COMMANDS = {
+    "platforms": cmd_platforms,
+    "tier1": cmd_tier1,
+    "sweep-layers": cmd_sweep_layers,
+    "batch-sweep": cmd_batch_sweep,
+    "scaling": cmd_scaling,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Shared utilities: error types, unit helpers, and small generic tools.
+
+Every other ``repro`` subpackage may depend on :mod:`repro.common`; it
+depends on nothing but the standard library.
+"""
+
+from repro.common.errors import (
+    CompilationError,
+    ConfigurationError,
+    OutOfMemoryError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    PB,
+    TB,
+    fmt_bytes,
+    fmt_count,
+    fmt_flops,
+    fmt_rate,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CompilationError",
+    "OutOfMemoryError",
+    "SimulationError",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_flops",
+    "fmt_rate",
+]

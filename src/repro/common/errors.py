@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause while
+still distinguishing compile-time, run-time, and configuration failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid model, training, or hardware configuration was supplied."""
+
+
+class CompilationError(ReproError):
+    """The (simulated) compiler could not map the workload onto the chip.
+
+    Mirrors real-world compile failures the paper reports, e.g. WSE-2
+    failing to place a 78-layer GPT-2 model (Table I) or the IPU running
+    out of tile memory at 10 decoder layers (Fig. 9d).
+    """
+
+
+class OutOfMemoryError(CompilationError):
+    """A memory capacity limit was exceeded during compilation or execution.
+
+    Attributes:
+        required_bytes: bytes the workload needed.
+        available_bytes: bytes the device could provide.
+    """
+
+    def __init__(self, message: str, *, required_bytes: float = 0.0,
+                 available_bytes: float = 0.0) -> None:
+        super().__init__(message)
+        self.required_bytes = float(required_bytes)
+        self.available_bytes = float(available_bytes)
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,74 @@
+"""Byte/FLOP unit constants and human-readable formatting helpers.
+
+The library stores every quantity in base SI units (bytes, FLOPs, seconds,
+bytes/second). These helpers exist so reports and examples never hand-roll
+unit math.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 ** 2
+GB: int = 1024 ** 3
+TB: int = 1024 ** 4
+PB: int = 1024 ** 5
+
+_BYTE_STEPS = [
+    (PB, "PB"),
+    (TB, "TB"),
+    (GB, "GB"),
+    (MB, "MB"),
+    (KB, "KB"),
+]
+
+_SI_STEPS = [
+    (1e15, "P"),
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "K"),
+]
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``40.0 GB``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for step, suffix in _BYTE_STEPS:
+        if n >= step:
+            return f"{sign}{n / step:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def fmt_count(n: float) -> str:
+    """Format a plain count with an SI suffix, e.g. ``850.0K`` PEs."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for step, suffix in _SI_STEPS:
+        if n >= step:
+            return f"{sign}{n / step:.1f}{suffix}"
+    return f"{sign}{n:.0f}"
+
+
+def fmt_flops(n: float) -> str:
+    """Format a FLOP/s figure, e.g. ``338.0 TFLOP/s``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for step, suffix in _SI_STEPS:
+        if n >= step:
+            return f"{sign}{n / step:.1f} {suffix}FLOP/s"
+    return f"{sign}{n:.0f} FLOP/s"
+
+
+def fmt_rate(n: float, unit: str = "tokens/s") -> str:
+    """Format a generic rate with an SI suffix, e.g. ``0.66M tokens/s``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for step, suffix in _SI_STEPS:
+        if n >= step:
+            return f"{sign}{n / step:.2f}{suffix} {unit}"
+    return f"{sign}{n:.1f} {unit}"

@@ -1,0 +1,104 @@
+"""DABench-LLM — the paper's primary contribution.
+
+A standardized two-tier benchmarking framework for dataflow AI
+accelerators running LLM training workloads (paper Sec. IV):
+
+* **Tier 1** (:mod:`repro.core.tier1`) — intra-chip profiling: resource
+  allocation ratio (Eq. 1/2), load imbalance (Eq. 3/4), resource
+  utilization efficiency, and roofline placement (Eq. 5).
+* **Tier 2** (:mod:`repro.core.tier2`) — inter-chip scalability (DP/TP/PP)
+  and deployment optimization (batch size, precision).
+
+Every accelerator is driven through the uniform
+:class:`~repro.core.backend.AcceleratorBackend` interface, so the
+framework code is platform-agnostic — the paper's "minimal vendor-specific
+adaptations" claim.
+"""
+
+from repro.core.backend import (
+    AcceleratorBackend,
+    CompileReport,
+    MemoryBreakdown,
+    PhaseProfile,
+    RunReport,
+    TaskProfile,
+)
+from repro.core.intensity import arithmetic_intensity
+from repro.core.metrics import (
+    allocation_ratio,
+    load_imbalance,
+    phase_allocation_ratio,
+    weighted_load_imbalance,
+)
+from repro.core.roofline import RooflineModel, RooflinePoint
+from repro.core.tier1 import Tier1Profiler, Tier1Result
+from repro.core.tier2 import (
+    BatchSweepResult,
+    DeploymentOptimizer,
+    PrecisionComparison,
+    ScalabilityAnalyzer,
+    ScalingPoint,
+)
+from repro.core.conformance import ConformanceReport, check_backend
+from repro.core.decode import (
+    DecodeEstimate,
+    batch_to_saturate,
+    estimate_decode,
+    kv_cache_bytes,
+)
+from repro.core.measurement import WeightedMeasurement, measure_weighted
+from repro.core.energy import EnergyEstimate, PowerSpec, estimate_energy
+from repro.core.insights import (
+    Bottleneck,
+    Insight,
+    diagnose,
+    diagnose_batch,
+    diagnose_scaling,
+    diagnose_sweep,
+)
+from repro.core.plots import ascii_bar_chart, ascii_line_chart
+from repro.core.report import BenchmarkReport, render_table
+
+__all__ = [
+    "check_backend",
+    "ConformanceReport",
+    "DecodeEstimate",
+    "estimate_decode",
+    "batch_to_saturate",
+    "kv_cache_bytes",
+    "WeightedMeasurement",
+    "measure_weighted",
+    "PowerSpec",
+    "EnergyEstimate",
+    "estimate_energy",
+    "Bottleneck",
+    "Insight",
+    "diagnose",
+    "diagnose_sweep",
+    "diagnose_scaling",
+    "diagnose_batch",
+    "ascii_line_chart",
+    "ascii_bar_chart",
+    "AcceleratorBackend",
+    "TaskProfile",
+    "PhaseProfile",
+    "MemoryBreakdown",
+    "CompileReport",
+    "RunReport",
+    "allocation_ratio",
+    "phase_allocation_ratio",
+    "load_imbalance",
+    "weighted_load_imbalance",
+    "arithmetic_intensity",
+    "RooflineModel",
+    "RooflinePoint",
+    "Tier1Profiler",
+    "Tier1Result",
+    "ScalabilityAnalyzer",
+    "ScalingPoint",
+    "DeploymentOptimizer",
+    "BatchSweepResult",
+    "PrecisionComparison",
+    "BenchmarkReport",
+    "render_table",
+]

@@ -1,0 +1,166 @@
+"""Backend conformance suite.
+
+The paper positions DABench-LLM as a framework for "existing and future
+dataflow AI accelerators": a new platform only needs an
+:class:`~repro.core.backend.AcceleratorBackend` adapter. This module
+verifies that an adapter honours the interface contract the framework's
+metrics rely on — run it when bringing up a new backend.
+
+Usage::
+
+    report = check_backend(MyBackend(), model, train, options={...})
+    assert report.passed, report.summary()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
+from repro.core.metrics import allocation_ratio, weighted_load_imbalance
+from repro.models.config import ModelConfig, TrainConfig
+
+
+@dataclass(frozen=True)
+class ConformanceIssue:
+    """One contract violation found during the check."""
+
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message}"
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a conformance run."""
+
+    backend: str
+    checks_run: list[str] = field(default_factory=list)
+    issues: list[ConformanceIssue] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        lines = [f"conformance of {self.backend}: "
+                 f"{len(self.checks_run)} checks, "
+                 f"{len(self.issues)} issue(s)"]
+        lines.extend(str(issue) for issue in self.issues)
+        return "\n".join(lines)
+
+
+class _Checker:
+    def __init__(self, backend: AcceleratorBackend) -> None:
+        self.backend = backend
+        self.report = ConformanceReport(backend=backend.name)
+
+    def check(self, name: str, condition: bool, message: str) -> None:
+        if name not in self.report.checks_run:
+            self.report.checks_run.append(name)
+        if not condition:
+            self.report.issues.append(
+                ConformanceIssue(check=name, message=message))
+
+
+def check_backend(backend: AcceleratorBackend, model: ModelConfig,
+                  train: TrainConfig,
+                  options: dict[str, Any] | None = None
+                  ) -> ConformanceReport:
+    """Run the full contract check against one workload."""
+    options = options or {}
+    checker = _Checker(backend)
+    compiled = backend.compile(model, train, **options)
+    _check_compile_report(checker, compiled, train)
+    run = backend.run(compiled)
+    _check_run_report(checker, compiled, run, train)
+    _check_determinism(checker, model, train, options, run)
+    return checker.report
+
+
+def _check_compile_report(checker: _Checker, compiled: CompileReport,
+                          train: TrainConfig) -> None:
+    c = checker.check
+    c("compile.platform", compiled.platform == checker.backend.name,
+      f"platform {compiled.platform!r} != backend {checker.backend.name!r}")
+    c("compile.phases", len(compiled.phases) > 0, "no phases reported")
+    c("compile.totals", compiled.total_compute_units > 0
+      and compiled.total_memory_units > 0,
+      "unit totals must be positive")
+    c("compile.chips", compiled.n_chips >= 1, "n_chips must be >= 1")
+    c("compile.train", compiled.train is train
+      or compiled.train == train, "train config not propagated")
+
+    for phase in compiled.phases:
+        c("compile.phase.runtime", phase.runtime >= 0,
+          f"phase {phase.name!r} has negative runtime")
+        c("compile.phase.units",
+          phase.compute_units <= compiled.total_compute_units + 1e-6,
+          f"phase {phase.name!r} allocates more compute units than exist")
+        c("compile.phase.memory_units",
+          phase.memory_units <= compiled.total_memory_units + 1e-6,
+          f"phase {phase.name!r} allocates more memory units than exist")
+        for task in phase.tasks:
+            c("compile.task.throughput", task.throughput >= 0,
+              f"task {task.name!r} has negative throughput")
+
+    memory = compiled.shared_memory
+    c("compile.memory.capacity", memory.capacity_bytes > 0,
+      "shared memory capacity must be positive")
+    c("compile.memory.fits", memory.total_bytes <= memory.capacity_bytes,
+      "compiled mapping oversubscribes shared memory "
+      f"({memory.total_bytes:.3g} > {memory.capacity_bytes:.3g} bytes)")
+
+    try:
+        ratio = allocation_ratio(compiled)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        c("metrics.allocation", False, f"allocation_ratio raised: {exc}")
+    else:
+        c("metrics.allocation", 0.0 < ratio <= 1.0,
+          f"allocation ratio {ratio} outside (0, 1]")
+    try:
+        li = weighted_load_imbalance(compiled)
+    except Exception as exc:  # noqa: BLE001
+        c("metrics.li", False, f"weighted_load_imbalance raised: {exc}")
+    else:
+        c("metrics.li", 0.0 < li <= 1.0 + 1e-9,
+          f"load imbalance {li} outside (0, 1]")
+
+
+def _check_run_report(checker: _Checker, compiled: CompileReport,
+                      run: RunReport, train: TrainConfig) -> None:
+    c = checker.check
+    c("run.platform", run.platform == compiled.platform,
+      "run platform differs from compile platform")
+    c("run.step_time", run.step_time > 0, "step time must be positive")
+    c("run.throughput", run.tokens_per_second > 0,
+      "throughput must be positive")
+    c("run.identity.tokens",
+      abs(run.tokens_per_second
+          - run.samples_per_second * train.seq_len)
+      <= 1e-6 * max(run.tokens_per_second, 1.0),
+      "tokens/s != samples/s * seq_len")
+    c("run.identity.samples",
+      abs(run.samples_per_second - train.batch_size / run.step_time)
+      <= 1e-6 * max(run.samples_per_second, 1.0),
+      "samples/s != batch / step_time")
+    peak = checker.backend.system.chip.peak_flops * max(compiled.n_chips, 1)
+    c("run.flops.bounded", 0 < run.achieved_flops <= peak,
+      f"achieved FLOPs {run.achieved_flops:.3g} outside (0, peak="
+      f"{peak:.3g}]")
+    c("run.phases", len(run.phases) > 0, "run reports no phases")
+
+
+def _check_determinism(checker: _Checker, model: ModelConfig,
+                       train: TrainConfig, options: dict[str, Any],
+                       first: RunReport) -> None:
+    second = checker.backend.run(
+        checker.backend.compile(model, train, **options))
+    checker.check(
+        "determinism",
+        first.tokens_per_second == second.tokens_per_second
+        and first.step_time == second.step_time,
+        "repeated compile+run produced different results")

@@ -1,0 +1,147 @@
+"""Autoregressive decode analysis (extension).
+
+Training and prefill stream thousands of tokens per pass; generation
+emits one token per sequence per step, so every step re-reads the full
+weight set plus the KV cache. That makes decode the sharpest
+memory-bandwidth stress a platform can see — and it inverts the paper's
+Fig. 10 story in an instructive way: the WSE-2 keeps weights in its
+20 PB/s on-chip SRAM and stays compute-bound even at batch 1, while the
+DDR-fed RDU and IPU are bandwidth-bound until very large batches.
+
+This is an analytic roofline treatment (no per-platform scheduling):
+the per-step time is bounded below by both the compute time and the
+weight+KV traffic time, and the bound that binds names the regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.hardware.specs import ChipSpec
+from repro.models.config import ModelConfig, TrainConfig
+from repro.models.costmodel import TransformerCostModel
+
+# Sustained fraction of peak for the skinny (GEMV-like) decode matmuls.
+DECODE_COMPUTE_EFFICIENCY = 0.30
+# Sustained fraction of peak memory bandwidth for streaming reads.
+DECODE_BANDWIDTH_EFFICIENCY = 0.80
+
+
+@dataclass(frozen=True)
+class DecodeEstimate:
+    """Roofline bounds for one decode step."""
+
+    platform: str
+    batch_size: int
+    context_len: int
+    tokens_per_second: float
+    bound: str  # "compute" or "memory"
+    compute_seconds: float
+    traffic_seconds: float
+    step_traffic_bytes: float
+    kv_cache_bytes: float
+    arithmetic_intensity: float
+    weights_on_chip: bool = False
+
+    @property
+    def per_sequence_latency(self) -> float:
+        """Seconds per generated token for one sequence."""
+        return self.batch_size / self.tokens_per_second
+
+
+def kv_cache_bytes(model: ModelConfig, train: TrainConfig,
+                   batch_size: int, context_len: int) -> float:
+    """Resident KV-cache bytes for a batch of contexts."""
+    per_token = (2.0 * model.n_layers * model.kv_hidden
+                 * train.precision.activation_bytes_per_value)
+    return per_token * batch_size * context_len
+
+
+def decode_step_flops(model: ModelConfig, train: TrainConfig,
+                      batch_size: int, context_len: int) -> float:
+    """FLOPs to emit one token for each of ``batch_size`` sequences."""
+    cost = TransformerCostModel(model)
+    weights_term = 2.0 * cost.total_params()
+    attention_term = (2.0 * 2.0 * model.n_layers * model.kv_hidden
+                      * context_len)
+    return batch_size * (weights_term + attention_term)
+
+
+def estimate_decode(chip: ChipSpec, model: ModelConfig, train: TrainConfig,
+                    batch_size: int, context_len: int,
+                    weights_resident_on_chip: bool | None = None
+                    ) -> DecodeEstimate:
+    """Roofline decode estimate for one chip.
+
+    ``weights_resident_on_chip`` controls whether weight reads hit the
+    shared (on-chip) tier or the global tier; by default it is inferred
+    from whether the weights fit the shared tier — true on the WSE-2,
+    false for DDR-backed platforms.
+    """
+    if batch_size <= 0 or context_len <= 0:
+        raise ConfigurationError(
+            "batch_size and context_len must be positive")
+    cost = TransformerCostModel(model)
+    weight_bytes = cost.weight_bytes(train)
+    if weights_resident_on_chip is None:
+        weights_resident_on_chip = (
+            weight_bytes <= 0.5 * chip.shared_memory.capacity_bytes)
+    bandwidth = (chip.shared_memory.bandwidth if weights_resident_on_chip
+                 else chip.global_memory.bandwidth)
+    bandwidth *= DECODE_BANDWIDTH_EFFICIENCY
+
+    kv_bytes = kv_cache_bytes(model, train, batch_size, context_len)
+    capacity = (chip.shared_memory.capacity_bytes
+                if weights_resident_on_chip
+                else chip.global_memory.capacity_bytes)
+    if weight_bytes + kv_bytes > capacity:
+        raise ConfigurationError(
+            f"weights + KV cache ({(weight_bytes + kv_bytes) / 1e9:.1f} "
+            f"GB) exceed {chip.name}'s "
+            f"{'on-chip' if weights_resident_on_chip else 'global'} "
+            f"capacity ({capacity / 1e9:.1f} GB)")
+
+    flops = decode_step_flops(model, train, batch_size, context_len)
+    # One step reads every weight once (batch-amortized) plus each
+    # sequence's KV cache, and appends one KV entry per layer.
+    traffic = weight_bytes + kv_bytes
+    peak = (chip.peak_flops * train.precision.compute.compute_scale / 2.0
+            * DECODE_COMPUTE_EFFICIENCY)
+    compute_seconds = flops / peak
+    traffic_seconds = traffic / bandwidth
+    step_seconds = max(compute_seconds, traffic_seconds)
+    return DecodeEstimate(
+        platform=chip.name,
+        batch_size=batch_size,
+        context_len=context_len,
+        tokens_per_second=batch_size / step_seconds,
+        bound="compute" if compute_seconds >= traffic_seconds else "memory",
+        compute_seconds=compute_seconds,
+        traffic_seconds=traffic_seconds,
+        step_traffic_bytes=traffic,
+        kv_cache_bytes=kv_bytes,
+        arithmetic_intensity=flops / traffic,
+        weights_on_chip=weights_resident_on_chip,
+    )
+
+
+def batch_to_saturate(chip: ChipSpec, model: ModelConfig,
+                      train: TrainConfig, context_len: int,
+                      upper: int = 4096) -> int | None:
+    """Smallest batch at which decode turns compute-bound.
+
+    ``None`` if no feasible batch up to ``upper`` flips the regime
+    (bandwidth-starved platforms at long contexts).
+    """
+    batch = 1
+    while batch <= upper:
+        try:
+            estimate = estimate_decode(chip, model, train, batch,
+                                       context_len)
+        except ConfigurationError:
+            return None
+        if estimate.bound == "compute":
+            return batch
+        batch *= 2
+    return None

@@ -1,0 +1,105 @@
+"""Energy and power modelling (extension).
+
+The paper's related work (CARAML, Sec. VII) evaluates performance *and
+power* on the same accelerators; the paper itself leaves power as future
+work. This module adds a first-order power model so Tier-2 deployment
+studies can also rank platforms by energy per token:
+
+``P = idle + (peak - idle) * utilization`` per chip, where utilization
+is the measured compute-time fraction scaled by the resource allocation
+ratio. System powers are board-level figures from public vendor
+materials; treat results as comparative, not metered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.core.backend import CompileReport, RunReport
+from repro.core.metrics import allocation_ratio
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Board-level power envelope of one chip/system unit.
+
+    Attributes:
+        name: platform label.
+        idle_watts: power at zero load (fans, fabric, SRAM retention).
+        peak_watts: power at full utilization.
+    """
+
+    name: str
+    idle_watts: float
+    peak_watts: float
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.peak_watts <= 0:
+            raise ConfigurationError("power figures must be positive")
+        if self.peak_watts < self.idle_watts:
+            raise ConfigurationError("peak power below idle power")
+
+    def power_at(self, utilization: float) -> float:
+        """Linear idle-to-peak power at a utilization in [0, 1]."""
+        utilization = min(max(utilization, 0.0), 1.0)
+        return self.idle_watts + (self.peak_watts
+                                  - self.idle_watts) * utilization
+
+
+# Public board/system power figures (per chip).
+POWER_SPECS: dict[str, PowerSpec] = {
+    "CS-2": PowerSpec("CS-2", idle_watts=9_000.0, peak_watts=23_000.0),
+    "SN30": PowerSpec("SN30", idle_watts=400.0, peak_watts=1_100.0),
+    "Bow-2000": PowerSpec("Bow-2000", idle_watts=250.0, peak_watts=375.0),
+    "Bow-Pod64": PowerSpec("Bow-Pod64", idle_watts=250.0,
+                           peak_watts=375.0),
+    "A100-cluster": PowerSpec("A100-cluster", idle_watts=90.0,
+                              peak_watts=400.0),
+}
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy accounting for one measured training step."""
+
+    platform: str
+    n_chips: int
+    utilization: float
+    power_watts: float
+    step_energy_joules: float
+    tokens_per_joule: float
+    joules_per_token: float
+
+
+def estimate_energy(compiled: CompileReport, run: RunReport,
+                    power: PowerSpec | None = None) -> EnergyEstimate:
+    """Estimate per-step energy from a compile+run pair.
+
+    Utilization combines the run's compute-time fraction with the
+    compile-time allocation ratio — idle PEs/PCUs/tiles still burn
+    leakage but not dynamic power.
+    """
+    if power is None:
+        try:
+            power = POWER_SPECS[compiled.platform]
+        except KeyError:
+            raise ConfigurationError(
+                f"no power spec for platform {compiled.platform!r}; "
+                "pass one explicitly") from None
+    compute_fraction = float(run.meta.get("compute_fraction", 1.0))
+    utilization = compute_fraction * allocation_ratio(compiled)
+    chips = max(compiled.n_chips, 1)
+    watts = power.power_at(utilization) * chips
+    energy = watts * run.step_time
+    train = compiled.train
+    tokens = train.batch_size * train.seq_len
+    return EnergyEstimate(
+        platform=compiled.platform,
+        n_chips=chips,
+        utilization=utilization,
+        power_watts=watts,
+        step_energy_joules=energy,
+        tokens_per_joule=tokens / energy if energy > 0 else 0.0,
+        joules_per_token=energy / tokens if tokens > 0 else 0.0,
+    )

@@ -1,0 +1,51 @@
+"""Arithmetic-intensity estimation for LLM training — paper Eq. 5.
+
+::
+
+    AI = 6 * P * B * S / (4 * P + activation memory)
+
+The numerator is total training FLOPs per step (6 FLOPs per parameter per
+token: 2x forward + 4x backward); the denominator is total memory traffic
+estimated as one 4-byte pass over the weights plus the activation
+footprint. This is a *footprint* estimate — the quantity the paper plots
+on its rooflines — not measured DDR traffic (backends report that
+separately via ``RunReport.global_traffic_bytes_per_step``).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.models.config import ModelConfig, TrainConfig
+from repro.models.costmodel import TransformerCostModel
+
+
+def arithmetic_intensity(model: ModelConfig, train: TrainConfig,
+                         activation_bytes: float | None = None) -> float:
+    """Eq. 5 arithmetic intensity in FLOPs/byte.
+
+    Args:
+        model: the model configuration (supplies P).
+        train: the training configuration (supplies B and S).
+        activation_bytes: override for the activation-memory term; when
+            omitted the cost model's estimate is used.
+    """
+    cost = TransformerCostModel(model)
+    params = float(cost.total_params())
+    if activation_bytes is None:
+        activation_bytes = cost.activation_bytes(train)
+    if activation_bytes < 0:
+        raise ConfigurationError("activation_bytes must be >= 0")
+    # 6 FLOPs/param/token for training; forward-only inference does 2.
+    flops_per_param = 2.0 * train.backward_multiplier
+    numerator = flops_per_param * params * train.batch_size * train.seq_len
+    denominator = 4.0 * params + activation_bytes
+    return numerator / denominator
+
+
+def intensity_sweep(model: ModelConfig, train: TrainConfig,
+                    layer_counts: list[int]) -> dict[int, float]:
+    """Eq. 5 across a layer-count sweep (the paper's probe axis)."""
+    return {
+        n: arithmetic_intensity(model.with_layers(n), train)
+        for n in layer_counts
+    }

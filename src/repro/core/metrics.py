@@ -1,0 +1,139 @@
+"""DABench-LLM standardized metrics — paper Equations 1-4.
+
+* :func:`allocation_ratio` — Eq. 1 (single phase) and Eq. 2 (runtime-
+  weighted average over sections).
+* :func:`load_imbalance` — Eq. 3, resource-weighted throughput disparity.
+* :func:`weighted_load_imbalance` — Eq. 4, runtime-weighted LI over
+  sections.
+
+All functions accept either raw sequences or the
+:class:`~repro.core.backend.CompileReport` structures backends emit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.core.backend import CompileReport, PhaseProfile, TaskProfile
+
+
+def phase_allocation_ratio(phase: PhaseProfile, total_units: float,
+                           kind: str = "compute") -> float:
+    """Eq. 1 for one phase: U = R_used / R_all."""
+    if total_units <= 0:
+        raise ConfigurationError("total_units must be positive")
+    return phase.units(kind) / total_units
+
+
+def allocation_ratio(phases: Sequence[PhaseProfile] | CompileReport,
+                     total_units: float | None = None,
+                     kind: str = "compute") -> float:
+    """Resource allocation ratio, Eq. 1 / Eq. 2.
+
+    With a single phase this is the plain ratio (Eq. 1). With several
+    phases (RDU sections) each phase's ratio is weighted by its runtime
+    L_i (Eq. 2)::
+
+        U = sum_i L_i * (R_i / R_all) / sum_i L_i
+
+    Args:
+        phases: phase profiles, or a :class:`CompileReport` (in which
+            case ``total_units`` defaults to the report's totals).
+        total_units: R_all; required when passing raw phases.
+        kind: ``"compute"`` (PEs/PCUs/tiles) or ``"memory"`` (PMUs).
+    """
+    if isinstance(phases, CompileReport):
+        report = phases
+        if total_units is None:
+            total_units = (report.total_compute_units if kind == "compute"
+                           else report.total_memory_units)
+        phases = report.phases
+    if total_units is None:
+        raise ConfigurationError(
+            "total_units is required when passing raw phases")
+    if total_units <= 0:
+        raise ConfigurationError("total_units must be positive")
+    phases = list(phases)
+    if not phases:
+        raise ConfigurationError("at least one phase is required")
+    if len(phases) == 1:
+        return phase_allocation_ratio(phases[0], total_units, kind)
+    total_runtime = sum(p.runtime * p.invocations for p in phases)
+    if total_runtime <= 0:
+        # Degenerate zero-runtime mapping: fall back to unweighted mean.
+        return sum(phase_allocation_ratio(p, total_units, kind)
+                   for p in phases) / len(phases)
+    weighted = sum(
+        p.runtime * p.invocations * phase_allocation_ratio(p, total_units, kind)
+        for p in phases
+    )
+    return weighted / total_runtime
+
+
+def load_imbalance(tasks: Iterable[TaskProfile]) -> float:
+    """Load imbalance LI, Eq. 3.
+
+    ::
+
+        LI = (1 / sum_i R_i) * sum_i (T_min / T_i) * R_i
+
+    where R_i is the resource grant of task i and T_i its achievable
+    throughput. LI -> 1 means balanced (every task as slow as the
+    bottleneck, so no resources idle); LI -> 0 means the bottleneck
+    starves much faster tasks.
+
+    Tasks with unknown (zero) throughput are skipped; only ``compute``
+    role tasks participate (transmission PEs have no throughput of their
+    own).
+    """
+    rated = [t for t in tasks
+             if t.role == "compute" and t.throughput > 0 and t.compute_units > 0]
+    if not rated:
+        raise ConfigurationError(
+            "load_imbalance requires at least one task with throughput "
+            "and a resource grant")
+    t_min = min(t.throughput for t in rated)
+    total_resources = sum(t.compute_units for t in rated)
+    weighted = sum((t_min / t.throughput) * t.compute_units for t in rated)
+    return weighted / total_resources
+
+
+def weighted_load_imbalance(
+        phases: Sequence[PhaseProfile] | CompileReport) -> float:
+    """Runtime-weighted LI over sections, Eq. 4.
+
+    ::
+
+        LI_total = sum_i L_i * LI_i / sum_i L_i
+
+    Phases whose tasks carry no throughput data are excluded from the
+    average (compile-time reports sometimes lack per-op estimates).
+    """
+    if isinstance(phases, CompileReport):
+        phases = phases.phases
+    phases = list(phases)
+    if not phases:
+        raise ConfigurationError("at least one phase is required")
+    contributions: list[tuple[float, float]] = []
+    for phase in phases:
+        try:
+            li = load_imbalance(phase.tasks)
+        except ConfigurationError:
+            continue
+        contributions.append((phase.runtime * phase.invocations, li))
+    if not contributions:
+        raise ConfigurationError("no phase carries throughput data")
+    total_weight = sum(weight for weight, _li in contributions)
+    if total_weight <= 0:
+        return sum(li for _w, li in contributions) / len(contributions)
+    return sum(weight * li for weight, li in contributions) / total_weight
+
+
+def compute_efficiency(achieved_flops: float, peak_flops: float) -> float:
+    """Achieved / peak FLOP rate — the paper's compute-efficiency figure."""
+    if peak_flops <= 0:
+        raise ConfigurationError("peak_flops must be positive")
+    if achieved_flops < 0:
+        raise ConfigurationError("achieved_flops must be >= 0")
+    return achieved_flops / peak_flops

@@ -1,0 +1,105 @@
+"""ASCII plotting for figure-style output in terminals and logs.
+
+The benchmark harness prints tables; these helpers render the same
+series as quick line/bar charts so the paper's figures can be eyeballed
+without a plotting stack (the repo is offline-friendly by design).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.common.errors import ConfigurationError
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_line_chart(x: Sequence[float],
+                     series: Mapping[str, Sequence[float]],
+                     width: int = 64, height: int = 16,
+                     title: str | None = None,
+                     y_label: str = "") -> str:
+    """Render one or more y-series over a shared x-axis.
+
+    Points are scattered onto a character grid; each series gets its own
+    marker and a legend line. Failed/None points are skipped.
+    """
+    if width < 8 or height < 4:
+        raise ConfigurationError("chart too small")
+    if not series:
+        raise ConfigurationError("no series to plot")
+    points = {
+        name: [(xi, yi) for xi, yi in zip(x, ys) if yi is not None]
+        for name, ys in series.items()
+    }
+    all_points = [p for pts in points.values() for p in pts]
+    if not all_points:
+        raise ConfigurationError("no data points to plot")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(xv: float, yv: float, marker: str) -> None:
+        col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for index, (name, pts) in enumerate(points.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for xv, yv in pts:
+            place(xv, yv, marker)
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(pad)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(pad)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        out.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * pad} +{'-' * width}"
+    out.append(axis)
+    x_line = (f"{' ' * pad}  {x_lo:<.4g}"
+              f"{' ' * max(1, width - 12)}{x_hi:>.4g}")
+    out.append(x_line)
+    out.append(f"{' ' * pad}  {'   '.join(legend)}")
+    return "\n".join(out)
+
+
+def ascii_bar_chart(labels: Sequence[str], values: Sequence[float],
+                    width: int = 48, title: str | None = None,
+                    unit: str = "") -> str:
+    """Render horizontal bars, one per label."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values differ in length")
+    if not labels:
+        raise ConfigurationError("nothing to plot")
+    peak = max(values)
+    if peak <= 0:
+        raise ConfigurationError("bar chart needs a positive maximum")
+    label_pad = max(len(str(label)) for label in labels)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / peak * width))
+        out.append(f"{str(label).rjust(label_pad)} |{bar} "
+                   f"{value:,.4g}{unit}")
+    return "\n".join(out)

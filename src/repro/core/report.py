@@ -1,0 +1,103 @@
+"""Textual benchmark reports: tables and insight summaries.
+
+The benchmark harness and examples use these helpers to print results in
+the same layout as the paper's tables, plus generated "Insight" lines
+mirroring the paper's per-platform guidance boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.units import fmt_flops, fmt_rate
+from repro.core.tier1 import Tier1Result
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an ASCII table with right-padded columns."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(value) for value in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(value.ljust(width)
+                          for value, width in zip(row, widths))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append("-+-".join("-" * width for width in widths))
+    out.extend(line(row) for row in cells[1:])
+    return "\n".join(out)
+
+
+@dataclass
+class BenchmarkReport:
+    """Accumulates titled tables and insight lines, renders as text."""
+
+    title: str
+    sections: list[str] = field(default_factory=list)
+
+    def add_table(self, title: str, headers: Sequence[str],
+                  rows: Sequence[Sequence[object]]) -> None:
+        self.sections.append(render_table(headers, rows, title=title))
+
+    def add_insight(self, text: str) -> None:
+        self.sections.append(f"Insight: {text}")
+
+    def add_text(self, text: str) -> None:
+        self.sections.append(text)
+
+    def render(self) -> str:
+        banner = "=" * max(len(self.title), 8)
+        return "\n\n".join([f"{banner}\n{self.title}\n{banner}",
+                            *self.sections])
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def tier1_summary_row(result: Tier1Result) -> list[str]:
+    """A standard summary row for one Tier-1 result."""
+    return [
+        result.platform,
+        result.model.name,
+        f"{result.compute_allocation * 100:.1f}%",
+        f"{result.load_imbalance:.3f}",
+        fmt_flops(result.achieved_flops),
+        f"{result.compute_efficiency * 100:.1f}%",
+        f"{result.intensity:.1f}",
+        result.roofline.bound,
+        fmt_rate(result.tokens_per_second),
+    ]
+
+
+TIER1_HEADERS = [
+    "platform", "model", "alloc", "LI", "achieved", "efficiency",
+    "AI (F/B)", "bound", "throughput",
+]
+
+
+def describe_tier1(result: Tier1Result) -> str:
+    """An English summary mirroring the paper's Insight style."""
+    lines = [
+        f"{result.platform} on {result.model.name}: "
+        f"{result.compute_allocation * 100:.1f}% of compute units "
+        f"allocated, load imbalance {result.load_imbalance:.2f}.",
+        f"Achieved {fmt_flops(result.achieved_flops)} "
+        f"({result.compute_efficiency * 100:.1f}% of peak); the workload "
+        f"is {result.roofline.bound}-bound at "
+        f"{result.intensity:.1f} FLOPs/byte.",
+    ]
+    shared = result.shared_memory
+    lines.append(
+        f"Shared-memory tier: {shared.utilization * 100:.1f}% used "
+        f"({shared.configuration_bytes / 1e9:.2f} GB configuration, "
+        f"{shared.training_bytes / 1e9:.2f} GB training)."
+    )
+    return "\n".join(lines)

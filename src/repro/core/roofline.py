@@ -1,0 +1,91 @@
+"""Roofline model against the global-memory tier (paper Sec. IV-B-3).
+
+The paper applies the roofline only at the global-memory level (shared-
+memory bandwidths are not public) and uses it to classify each platform:
+WSE-2's 20 PB/s on-chip tier keeps every LLM workload compute-bound,
+while the RDU's and IPU's DDR tiers leave them memory-bound (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.hardware.specs import ChipSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on a roofline.
+
+    Attributes:
+        label: workload identifier (e.g. ``L=24``).
+        intensity: arithmetic intensity, FLOPs/byte (Eq. 5).
+        achieved_flops: measured FLOP/s.
+        attainable_flops: the roof value at this intensity.
+        bound: ``"compute"`` or ``"memory"`` depending on which side of
+            the ridge the intensity falls.
+    """
+
+    label: str
+    intensity: float
+    achieved_flops: float
+    attainable_flops: float
+    bound: str
+
+    @property
+    def efficiency_vs_roof(self) -> float:
+        """Achieved as a fraction of the attainable roof."""
+        if self.attainable_flops <= 0:
+            return 0.0
+        return self.achieved_flops / self.attainable_flops
+
+
+class RooflineModel:
+    """A peak-FLOPs / memory-bandwidth roofline for one chip."""
+
+    def __init__(self, chip: ChipSpec,
+                 peak_flops: float | None = None,
+                 bandwidth: float | None = None) -> None:
+        self.chip = chip
+        self.peak_flops = peak_flops if peak_flops is not None else chip.peak_flops
+        self.bandwidth = (bandwidth if bandwidth is not None
+                          else chip.global_memory.bandwidth)
+        if self.peak_flops <= 0 or self.bandwidth <= 0:
+            raise ConfigurationError(
+                "roofline needs positive peak FLOPs and bandwidth")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the memory roof meets the compute roof."""
+        return self.peak_flops / self.bandwidth
+
+    def attainable(self, intensity: float) -> float:
+        """Roof value at ``intensity``: min(peak, AI * BW)."""
+        if intensity < 0:
+            raise ConfigurationError("intensity must be >= 0")
+        return min(self.peak_flops, intensity * self.bandwidth)
+
+    def bound_of(self, intensity: float) -> str:
+        """``"memory"`` left of the ridge, ``"compute"`` at or right of it."""
+        return "memory" if intensity < self.ridge_intensity else "compute"
+
+    def place(self, label: str, intensity: float,
+              achieved_flops: float) -> RooflinePoint:
+        """Locate one measured workload on the roofline."""
+        return RooflinePoint(
+            label=label,
+            intensity=intensity,
+            achieved_flops=achieved_flops,
+            attainable_flops=self.attainable(intensity),
+            bound=self.bound_of(intensity),
+        )
+
+    def series(self, points: list[tuple[str, float, float]]
+               ) -> list[RooflinePoint]:
+        """Place a list of ``(label, intensity, achieved_flops)`` triples."""
+        return [self.place(*point) for point in points]
+
+    def roof_curve(self, intensities: list[float]) -> list[float]:
+        """Roof values at the given intensities (for plotting/tables)."""
+        return [self.attainable(ai) for ai in intensities]

@@ -1,0 +1,176 @@
+"""JSON-friendly serialization of framework reports.
+
+The CLI and downstream analysis scripts consume benchmark output as
+JSON. These converters flatten the report dataclasses into plain dicts
+(no numpy types, no object graphs) and can round-trip the quantities the
+framework's metrics need.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.backend import (
+    CompileReport,
+    MemoryBreakdown,
+    PhaseProfile,
+    RunReport,
+    TaskProfile,
+)
+from repro.core.tier1 import SweepEntry, Tier1Result
+from repro.core.tier2 import (
+    BatchSweepResult,
+    PrecisionComparison,
+    ScalingPoint,
+)
+
+
+def task_to_dict(task: TaskProfile) -> dict[str, Any]:
+    """Flatten one task."""
+    return {
+        "name": task.name,
+        "compute_units": task.compute_units,
+        "memory_units": task.memory_units,
+        "role": task.role,
+        "throughput": task.throughput,
+        "flops": task.flops,
+        "meta": {k: v for k, v in task.meta.items()
+                 if isinstance(v, (str, int, float, bool, type(None)))},
+    }
+
+
+def phase_to_dict(phase: PhaseProfile) -> dict[str, Any]:
+    """Flatten one phase with its tasks."""
+    return {
+        "name": phase.name,
+        "runtime": phase.runtime,
+        "invocations": phase.invocations,
+        "compute_units": phase.compute_units,
+        "memory_units": phase.memory_units,
+        "tasks": [task_to_dict(t) for t in phase.tasks],
+    }
+
+
+def memory_to_dict(memory: MemoryBreakdown | None) -> dict[str, Any] | None:
+    """Flatten one memory breakdown."""
+    if memory is None:
+        return None
+    return {
+        "capacity_bytes": memory.capacity_bytes,
+        "configuration_bytes": memory.configuration_bytes,
+        "weight_bytes": memory.weight_bytes,
+        "activation_bytes": memory.activation_bytes,
+        "optimizer_bytes": memory.optimizer_bytes,
+        "total_bytes": memory.total_bytes,
+        "utilization": memory.utilization,
+    }
+
+
+def compile_report_to_dict(report: CompileReport) -> dict[str, Any]:
+    """Flatten a compiler report (meta is reduced to scalars)."""
+    return {
+        "platform": report.platform,
+        "model": report.model.name,
+        "hidden_size": report.model.hidden_size,
+        "n_layers": report.model.n_layers,
+        "batch_size": report.train.batch_size,
+        "seq_len": report.train.seq_len,
+        "precision": report.train.precision.label,
+        "n_chips": report.n_chips,
+        "total_compute_units": report.total_compute_units,
+        "total_memory_units": report.total_memory_units,
+        "phases": [phase_to_dict(p) for p in report.phases],
+        "shared_memory": memory_to_dict(report.shared_memory),
+        "global_memory": memory_to_dict(report.global_memory),
+        "meta": {k: v for k, v in report.meta.items()
+                 if isinstance(v, (str, int, float, bool, type(None)))},
+    }
+
+
+def run_report_to_dict(report: RunReport) -> dict[str, Any]:
+    """Flatten a run report (trace omitted; use trace export for that)."""
+    return {
+        "platform": report.platform,
+        "tokens_per_second": report.tokens_per_second,
+        "samples_per_second": report.samples_per_second,
+        "step_time": report.step_time,
+        "achieved_flops": report.achieved_flops,
+        "global_traffic_bytes_per_step":
+            report.global_traffic_bytes_per_step,
+        "meta": {k: v for k, v in report.meta.items()
+                 if isinstance(v, (str, int, float, bool, type(None)))},
+    }
+
+
+def tier1_to_dict(result: Tier1Result) -> dict[str, Any]:
+    """Flatten a Tier-1 result (reports nested)."""
+    return {
+        "platform": result.platform,
+        "model": result.model.name,
+        "compute_allocation": result.compute_allocation,
+        "memory_allocation": result.memory_allocation,
+        "load_imbalance": result.load_imbalance,
+        "achieved_flops": result.achieved_flops,
+        "compute_efficiency": result.compute_efficiency,
+        "arithmetic_intensity": result.intensity,
+        "bound": result.roofline.bound,
+        "tokens_per_second": result.tokens_per_second,
+        "compile": compile_report_to_dict(result.compiled),
+        "run": run_report_to_dict(result.run),
+    }
+
+
+def sweep_entry_to_dict(entry: SweepEntry) -> dict[str, Any]:
+    """Flatten one sweep cell (failures carry the error string)."""
+    return {
+        "value": entry.value,
+        "failed": entry.failed,
+        "error": entry.error,
+        "result": tier1_to_dict(entry.result) if entry.result else None,
+    }
+
+
+def scaling_point_to_dict(point: ScalingPoint) -> dict[str, Any]:
+    """Flatten one Tier-2 scaling point."""
+    return {
+        "label": point.label,
+        "options": point.options,
+        "failed": point.failed,
+        "error": point.error,
+        "tokens_per_second": point.tokens_per_second,
+        "achieved_flops": point.achieved_flops,
+        "compute_allocation": point.compute_allocation,
+        "memory_allocation": point.memory_allocation,
+        "communication_fraction": point.communication_fraction,
+    }
+
+
+def batch_sweep_to_dict(sweep: BatchSweepResult) -> dict[str, Any]:
+    """Flatten one batch sweep."""
+    return {
+        "platform": sweep.platform,
+        "batch_sizes": list(sweep.batch_sizes),
+        "tokens_per_second": list(sweep.tokens_per_second),
+        "saturation_batch": sweep.saturation_batch,
+        "scaling_exponent": sweep.scaling_exponent,
+        "near_linear": sweep.near_linear,
+        "errors": {str(k): v for k, v in sweep.errors.items()},
+    }
+
+
+def precision_to_dict(cmp: PrecisionComparison) -> dict[str, Any]:
+    """Flatten one precision comparison."""
+    return {
+        "platform": cmp.platform,
+        "baseline": cmp.baseline_label,
+        "optimized": cmp.optimized_label,
+        "baseline_tokens_per_second": cmp.baseline_tokens_per_second,
+        "optimized_tokens_per_second": cmp.optimized_tokens_per_second,
+        "gain": cmp.gain,
+    }
+
+
+def to_json(payload: Any, indent: int = 2) -> str:
+    """Serialize any of the flattened dicts (validates JSON-ability)."""
+    return json.dumps(payload, indent=indent, sort_keys=True)

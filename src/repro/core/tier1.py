@@ -1,0 +1,158 @@
+"""Tier 1 — intra-chip performance profiling (paper Sec. IV-B, V).
+
+For one (backend, model, train) triple the profiler produces every Tier-1
+metric the paper defines: resource allocation ratio (compute and memory
+pools), load imbalance, achieved TFLOPs and compute efficiency, memory
+breakdowns at both tiers, and the workload's roofline placement. Sweeps
+over layer count / hidden size reproduce the paper's probe methodology,
+recording compile failures instead of raising so that capability limits
+(Table I's "Fail") become data points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.common.errors import CompilationError
+from repro.core.backend import (
+    AcceleratorBackend,
+    CompileReport,
+    MemoryBreakdown,
+    RunReport,
+)
+from repro.core.intensity import arithmetic_intensity
+from repro.core.metrics import (
+    allocation_ratio,
+    compute_efficiency,
+    weighted_load_imbalance,
+)
+from repro.core.roofline import RooflineModel, RooflinePoint
+from repro.models.config import ModelConfig, TrainConfig
+
+
+@dataclass(frozen=True)
+class Tier1Result:
+    """All Tier-1 metrics for one workload on one platform."""
+
+    platform: str
+    model: ModelConfig
+    train: TrainConfig
+    compiled: CompileReport
+    run: RunReport
+    compute_allocation: float
+    memory_allocation: float
+    load_imbalance: float
+    achieved_flops: float
+    compute_efficiency: float
+    intensity: float
+    roofline: RooflinePoint
+    shared_memory: MemoryBreakdown
+    global_memory: MemoryBreakdown | None
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.run.tokens_per_second
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether the Eq.5 intensity falls left of the chip's ridge."""
+        return self.roofline.bound == "memory"
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One point of a Tier-1 sweep: a result or a recorded failure."""
+
+    value: int
+    result: Tier1Result | None
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.result is None
+
+
+class Tier1Profiler:
+    """Runs the Tier-1 methodology against any backend."""
+
+    def __init__(self, backend: AcceleratorBackend) -> None:
+        self.backend = backend
+        self.chip = backend.system.chip
+
+    def profile(self, model: ModelConfig, train: TrainConfig,
+                **options: Any) -> Tier1Result:
+        """Compile + run one workload and compute all Tier-1 metrics."""
+        compiled = self.backend.compile(model, train, **options)
+        run = self.backend.run(compiled)
+        li = weighted_load_imbalance(compiled)
+        intensity = arithmetic_intensity(model, train)
+        roofline = RooflineModel(self.chip).place(
+            model.name, intensity, run.achieved_flops)
+        n_chips = max(1, compiled.n_chips)
+        return Tier1Result(
+            platform=self.backend.name,
+            model=model,
+            train=train,
+            compiled=compiled,
+            run=run,
+            compute_allocation=allocation_ratio(compiled, kind="compute"),
+            memory_allocation=allocation_ratio(compiled, kind="memory"),
+            load_imbalance=li,
+            achieved_flops=run.achieved_flops,
+            compute_efficiency=compute_efficiency(
+                run.achieved_flops, self.chip.peak_flops * n_chips),
+            intensity=intensity,
+            roofline=roofline,
+            shared_memory=compiled.shared_memory,
+            global_memory=compiled.global_memory,
+            meta={"options": options},
+        )
+
+    # ------------------------------------------------------------------
+    # Sweeps — the paper's decoder-block probe methodology (Sec. IV-D(a))
+    # ------------------------------------------------------------------
+    def sweep_layers(self, model: ModelConfig, train: TrainConfig,
+                     layer_counts: Iterable[int],
+                     **options: Any) -> list[SweepEntry]:
+        """Vary decoder-layer count at fixed hidden size."""
+        return self._sweep(layer_counts, model.with_layers, train, options)
+
+    def sweep_hidden(self, model: ModelConfig, train: TrainConfig,
+                     hidden_sizes: Iterable[int],
+                     **options: Any) -> list[SweepEntry]:
+        """Vary hidden size at fixed layer count."""
+        return self._sweep(hidden_sizes, model.with_hidden, train, options)
+
+    def _sweep(self, values: Iterable[int],
+               make_model: Callable[[int], ModelConfig],
+               train: TrainConfig,
+               options: dict[str, Any]) -> list[SweepEntry]:
+        entries: list[SweepEntry] = []
+        for value in values:
+            try:
+                result = self.profile(make_model(value), train, **options)
+            except CompilationError as exc:
+                entries.append(SweepEntry(value=value, result=None,
+                                          error=str(exc)))
+            else:
+                entries.append(SweepEntry(value=value, result=result))
+        return entries
+
+    def max_feasible(self, model: ModelConfig, train: TrainConfig,
+                     upper: int = 256, **options: Any) -> int:
+        """Largest layer count that compiles (binary search).
+
+        0 means even a single layer fails.
+        """
+        lo, hi = 0, upper
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            try:
+                self.backend.compile(model.with_layers(mid), train, **options)
+            except CompilationError:
+                hi = mid - 1
+            else:
+                lo = mid
+        return lo

@@ -1,0 +1,221 @@
+"""Tier 2 — inter-chip scalability and deployment optimization (Sec. IV-C, VI).
+
+Two analyzers:
+
+* :class:`ScalabilityAnalyzer` sweeps parallelism configurations
+  (DP replicas on WSE, TP degree on RDU, PP layouts on IPU — each passed
+  through backend-specific compile options) and reports throughput plus
+  the communication/utilization detail behind Fig. 11.
+* :class:`DeploymentOptimizer` sweeps batch size and precision, the two
+  deployment factors the paper singles out (Fig. 12, Table IV), and
+  produces recommendations in the spirit of the paper's Insight boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.common.errors import CompilationError, ConfigurationError
+from repro.core.backend import AcceleratorBackend
+from repro.core.metrics import allocation_ratio
+from repro.models.config import ModelConfig, TrainConfig
+from repro.models.precision import PrecisionPolicy
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One parallel configuration's measured behaviour."""
+
+    label: str
+    options: dict[str, Any]
+    tokens_per_second: float
+    achieved_flops: float
+    compute_allocation: float
+    memory_allocation: float
+    compute_time_fraction: float
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of step time not spent computing."""
+        return max(0.0, 1.0 - self.compute_time_fraction)
+
+
+class ScalabilityAnalyzer:
+    """Runs a parallelism sweep against one backend."""
+
+    def __init__(self, backend: AcceleratorBackend) -> None:
+        self.backend = backend
+
+    def sweep(self, model: ModelConfig, train: TrainConfig,
+              configurations: Iterable[tuple[str, dict[str, Any]]]
+              ) -> list[ScalingPoint]:
+        """Measure each labelled option-dict configuration.
+
+        Failures are recorded as failed points, not raised: exceeding a
+        platform's scalability envelope is a result.
+        """
+        points: list[ScalingPoint] = []
+        for label, options in configurations:
+            try:
+                compiled = self.backend.compile(model, train, **options)
+                run = self.backend.run(compiled)
+            except CompilationError as exc:
+                points.append(ScalingPoint(
+                    label=label, options=dict(options),
+                    tokens_per_second=0.0, achieved_flops=0.0,
+                    compute_allocation=0.0, memory_allocation=0.0,
+                    compute_time_fraction=0.0, error=str(exc)))
+                continue
+            points.append(ScalingPoint(
+                label=label,
+                options=dict(options),
+                tokens_per_second=run.tokens_per_second,
+                achieved_flops=run.achieved_flops,
+                compute_allocation=allocation_ratio(compiled, kind="compute"),
+                memory_allocation=allocation_ratio(compiled, kind="memory"),
+                compute_time_fraction=float(
+                    run.meta.get("compute_fraction", 1.0)),
+            ))
+        return points
+
+    @staticmethod
+    def scaling_efficiency(points: list[ScalingPoint],
+                           parallelism_of: dict[str, int]) -> dict[str, float]:
+        """Throughput per unit of parallelism, normalized to the smallest.
+
+        ``parallelism_of`` maps point labels to their degree (replicas,
+        chips, pipeline stages). 1.0 means perfect linear scaling.
+        """
+        ok = [p for p in points if not p.failed and p.label in parallelism_of]
+        if not ok:
+            raise ConfigurationError("no successful points to normalize")
+        base = min(ok, key=lambda p: parallelism_of[p.label])
+        base_degree = parallelism_of[base.label]
+        base_rate = base.tokens_per_second / base_degree
+        return {
+            p.label: (p.tokens_per_second / parallelism_of[p.label])
+            / base_rate
+            for p in ok
+        }
+
+
+@dataclass(frozen=True)
+class BatchSweepResult:
+    """Throughput as a function of batch size (Fig. 12)."""
+
+    platform: str
+    batch_sizes: tuple[int, ...]
+    tokens_per_second: tuple[float, ...]
+    errors: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def saturation_batch(self) -> int | None:
+        """First batch size whose marginal gain per doubling drops
+        below 15% — the "recommend > 200 on WSE" knee. ``None`` when the
+        curve keeps scaling through the sweep (IPU/RDU behaviour)."""
+        series = [(b, t) for b, t in zip(self.batch_sizes,
+                                         self.tokens_per_second) if t > 0]
+        for (b0, t0), (_b1, t1) in zip(series, series[1:]):
+            if t0 <= 0:
+                continue
+            if (t1 - t0) / t0 < 0.15:
+                return b0
+        return None
+
+    @property
+    def scaling_exponent(self) -> float:
+        """Log-log slope of throughput vs batch over the sweep.
+
+        1.0 is perfectly linear scaling; 0.0 is fully saturated.
+        """
+        series = [(b, t) for b, t in zip(self.batch_sizes,
+                                         self.tokens_per_second) if t > 0]
+        if len(series) < 2:
+            return 0.0
+        import math
+        b0, t0 = series[0]
+        bn, tn = series[-1]
+        if bn == b0:
+            return 0.0
+        return math.log(tn / t0) / math.log(bn / b0)
+
+    @property
+    def near_linear(self) -> bool:
+        """Whether the scaling exponent stays above 0.6 (IPU/RDU in
+        Fig. 12), versus the saturating WSE curve (~0.2)."""
+        return self.scaling_exponent >= 0.6
+
+
+@dataclass(frozen=True)
+class PrecisionComparison:
+    """Throughput under two precision policies (Table IV)."""
+
+    platform: str
+    baseline_label: str
+    optimized_label: str
+    baseline_tokens_per_second: float
+    optimized_tokens_per_second: float
+
+    @property
+    def gain(self) -> float:
+        """Fractional throughput improvement of the optimized policy."""
+        if self.baseline_tokens_per_second <= 0:
+            return 0.0
+        return (self.optimized_tokens_per_second
+                / self.baseline_tokens_per_second - 1.0)
+
+
+class DeploymentOptimizer:
+    """Batch-size and precision deployment studies for one backend."""
+
+    def __init__(self, backend: AcceleratorBackend) -> None:
+        self.backend = backend
+
+    def batch_sweep(self, model: ModelConfig, train: TrainConfig,
+                    batch_sizes: Iterable[int],
+                    **options: Any) -> BatchSweepResult:
+        """Measure throughput across batch sizes (other knobs fixed)."""
+        sizes: list[int] = []
+        rates: list[float] = []
+        errors: dict[int, str] = {}
+        for batch in batch_sizes:
+            sizes.append(batch)
+            try:
+                compiled = self.backend.compile(
+                    model, train.with_batch_size(batch), **options)
+                run = self.backend.run(compiled)
+            except CompilationError as exc:
+                rates.append(0.0)
+                errors[batch] = str(exc)
+            else:
+                rates.append(run.tokens_per_second)
+        return BatchSweepResult(
+            platform=self.backend.name,
+            batch_sizes=tuple(sizes),
+            tokens_per_second=tuple(rates),
+            errors=errors,
+        )
+
+    def compare_precision(self, model: ModelConfig, train: TrainConfig,
+                          baseline: PrecisionPolicy,
+                          optimized: PrecisionPolicy,
+                          **options: Any) -> PrecisionComparison:
+        """Run the same workload under two precision policies."""
+        rates = []
+        for policy in (baseline, optimized):
+            compiled = self.backend.compile(
+                model, train.with_precision(policy), **options)
+            rates.append(self.backend.run(compiled).tokens_per_second)
+        return PrecisionComparison(
+            platform=self.backend.name,
+            baseline_label=baseline.label,
+            optimized_label=optimized.label,
+            baseline_tokens_per_second=rates[0],
+            optimized_tokens_per_second=rates[1],
+        )

@@ -1,0 +1,13 @@
+"""GPU cluster reference model.
+
+Table III includes NVIDIA GPU results "as reference baselines for
+comparison with specialized dataflow accelerators". This package provides
+a Megatron-LM-style analytic performance model for an A100 cluster under
+combined tensor / pipeline / data parallelism — a BSP, instruction-driven
+counterpoint to the three dataflow simulators.
+"""
+
+from repro.gpu.backend import GPUBackend
+from repro.gpu.simulator import GPUClusterModel, GPUStepBreakdown
+
+__all__ = ["GPUClusterModel", "GPUStepBreakdown", "GPUBackend"]

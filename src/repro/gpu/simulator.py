@@ -1,0 +1,176 @@
+"""Analytic Megatron-style performance model for GPU clusters.
+
+One training step under ``T``-way tensor, ``P``-way pipeline, and
+``D``-way data parallelism decomposes into:
+
+* per-GPU matmul time at a base model-FLOPs-utilization,
+* tensor-parallel all-reduces (4 per layer per micro-batch: forward and
+  backward of the attention and MLP blocks) over NVLink,
+* the pipeline bubble ``(P - 1) / (G + P - 1)`` for ``G`` in-flight
+  micro-batches,
+* a gradient all-reduce over InfiniBand, partially overlapped.
+
+This reproduces the Table III reference ordering: within one node,
+tensor parallelism beats pipeline parallelism (T8P1D1 > ... > T1P8D1),
+and large mixed configurations with deep gradient accumulation edge
+higher per-GPU throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.hardware.specs import GPU_CLUSTER, SystemSpec
+from repro.models.config import ModelConfig, TrainConfig
+from repro.models.costmodel import TransformerCostModel
+
+# Base model-FLOPs utilization of the matmul phases themselves.
+BASE_MFU = 0.62
+# Fraction of the DP gradient all-reduce hidden under backward compute.
+DP_OVERLAP = 0.6
+# Effective fraction of peak link bandwidth a collective achieves.
+COLLECTIVE_EFFICIENCY = 0.7
+# NVSwitch runs all-reduce full-duplex: effective busbw is ~2x the
+# per-direction link figure.
+NVSWITCH_DUPLEX = 2.0
+# Default gradient-accumulation depth when the caller does not pin one.
+DEFAULT_MICRO_BATCHES = 8
+
+
+@dataclass(frozen=True)
+class GPUStepBreakdown:
+    """Per-step time decomposition for one parallel configuration."""
+
+    compute_seconds: float
+    tp_comm_seconds: float
+    pp_bubble_seconds: float
+    dp_comm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.compute_seconds + self.tp_comm_seconds
+                + self.pp_bubble_seconds + self.dp_comm_seconds)
+
+    @property
+    def compute_fraction(self) -> float:
+        total = self.total_seconds
+        return self.compute_seconds / total if total > 0 else 0.0
+
+
+class GPUClusterModel:
+    """Performance model for (tp, pp, dp) configurations."""
+
+    def __init__(self, system: SystemSpec = GPU_CLUSTER) -> None:
+        self.system = system
+        self.chip = system.chip
+
+    def validate(self, tp: int, pp: int, dp: int) -> int:
+        """Check the configuration against the cluster; returns GPU count."""
+        if tp < 1 or pp < 1 or dp < 1:
+            raise ConfigurationError("tp, pp, dp must all be >= 1")
+        if tp > self.system.chips_per_node:
+            raise ConfigurationError(
+                f"tp={tp} exceeds the {self.system.chips_per_node} GPUs "
+                "of one node (TP needs NVLink)")
+        n_gpus = tp * pp * dp
+        if n_gpus > self.system.total_chips:
+            raise ConfigurationError(
+                f"{n_gpus} GPUs requested; cluster has "
+                f"{self.system.total_chips}")
+        return n_gpus
+
+    # ------------------------------------------------------------------
+    def step_breakdown(self, model: ModelConfig, train: TrainConfig,
+                       tp: int, pp: int, dp: int,
+                       micro_batches: int | None = None) -> GPUStepBreakdown:
+        """Time decomposition of one optimizer step."""
+        self.validate(tp, pp, dp)
+        cost = TransformerCostModel(model)
+        if micro_batches is None:
+            micro_batches = max(train.grad_accumulation,
+                                DEFAULT_MICRO_BATCHES)
+        self._check_memory(cost, model, train, tp, pp, dp, micro_batches)
+        act_bytes = train.precision.activation_bytes_per_value
+        scale = train.precision.compute.compute_scale / 2.0
+
+        # Compute: model FLOPs spread over all GPUs at base MFU.
+        flops = cost.step_flops(train) / dp  # per replica
+        peak = self.chip.peak_flops * scale * BASE_MFU
+        compute = flops / (tp * pp * peak)
+
+        # Tensor-parallel all-reduces: 4 per layer per micro-batch
+        # (attention + MLP, forward + backward), ring over NVLink. Each
+        # TP group only owns its pipeline stage's share of the layers.
+        tp_comm = 0.0
+        if tp > 1:
+            hidden = (train.batch_size / dp * train.seq_len
+                      * model.hidden_size * act_bytes)
+            layers_per_stage = model.n_layers / pp
+            volume = 4.0 * layers_per_stage * 2.0 * (tp - 1) / tp * hidden
+            bw = (self.system.intra_node_bandwidth
+                  * COLLECTIVE_EFFICIENCY * NVSWITCH_DUPLEX)
+            tp_comm = volume / bw
+
+        # Pipeline bubble: idle fraction of the schedule.
+        bubble = 0.0
+        if pp > 1:
+            bubble_fraction = (pp - 1) / (micro_batches + pp - 1)
+            busy = compute + tp_comm
+            bubble = busy * bubble_fraction / (1.0 - bubble_fraction)
+
+        # Data-parallel gradient all-reduce over the cluster fabric
+        # (inference replicas are independent: no gradient exchange).
+        dp_comm = 0.0
+        if dp > 1 and train.training:
+            grad_bytes = (cost.weight_bytes(train) / (tp * pp))
+            volume = 2.0 * (dp - 1) / dp * grad_bytes
+            bw = (self.system.inter_node_bandwidth
+                  * COLLECTIVE_EFFICIENCY)
+            dp_comm = (volume / bw) * (1.0 - DP_OVERLAP)
+
+        return GPUStepBreakdown(
+            compute_seconds=compute,
+            tp_comm_seconds=tp_comm,
+            pp_bubble_seconds=bubble,
+            dp_comm_seconds=dp_comm,
+        )
+
+    def tokens_per_second(self, model: ModelConfig, train: TrainConfig,
+                          tp: int, pp: int, dp: int,
+                          micro_batches: int | None = None) -> float:
+        """Cluster-wide training throughput."""
+        breakdown = self.step_breakdown(model, train, tp, pp, dp,
+                                        micro_batches)
+        return train.tokens_per_step / breakdown.total_seconds
+
+    def per_gpu_flops(self, model: ModelConfig, train: TrainConfig,
+                      tp: int, pp: int, dp: int,
+                      micro_batches: int | None = None) -> float:
+        """Achieved model FLOP/s per GPU — the Table III reference metric."""
+        breakdown = self.step_breakdown(model, train, tp, pp, dp,
+                                        micro_batches)
+        cost = TransformerCostModel(model)
+        total_flops = cost.step_flops(train)
+        return total_flops / breakdown.total_seconds / (tp * pp * dp)
+
+    # ------------------------------------------------------------------
+    def _check_memory(self, cost: TransformerCostModel, model: ModelConfig,
+                      train: TrainConfig, tp: int, pp: int, dp: int,
+                      micro_batches: int) -> None:
+        """Weights + optimizer state + working activations per GPU."""
+        state = (cost.weight_bytes(train) + cost.gradient_bytes(train)
+                 + cost.optimizer_state_bytes(train)) / (tp * pp)
+        micro_size = max(1, train.batch_size // (dp * micro_batches))
+        hidden = (micro_size * train.seq_len
+                  * model.hidden_size
+                  * train.precision.activation_bytes_per_value)
+        working = 8.0 * hidden * max(1, model.n_layers // pp)
+        capacity = self.chip.global_memory.capacity_bytes
+        if state + working > capacity:
+            raise OutOfMemoryError(
+                f"{model.name}: {(state + working) / 1e9:.0f} GB per GPU "
+                f"exceeds HBM ({capacity / 1e9:.0f} GB) at tp={tp}, pp={pp}",
+                required_bytes=state + working,
+                available_bytes=capacity,
+            )

@@ -1,0 +1,29 @@
+"""Computation-graph intermediate representation.
+
+Dataflow accelerators consume programs expressed as computation graphs in
+which nodes are operators and edges are data dependencies (paper Sec. III).
+This package provides that IR: an operator taxonomy sized with a cost model
+(:mod:`repro.graph.ops`), a validated DAG container
+(:mod:`repro.graph.graph`), and the partitioning primitives the platform
+compilers share (:mod:`repro.graph.partition`).
+"""
+
+from repro.graph.graph import ComputationGraph, Edge
+from repro.graph.ops import OpKind, Operator
+from repro.graph.partition import (
+    balanced_groups,
+    contiguous_chunks,
+    fuse_linear_chains,
+    group_cost,
+)
+
+__all__ = [
+    "OpKind",
+    "Operator",
+    "Edge",
+    "ComputationGraph",
+    "contiguous_chunks",
+    "balanced_groups",
+    "fuse_linear_chains",
+    "group_cost",
+]

@@ -1,0 +1,157 @@
+"""Partitioning primitives shared by the platform compilers.
+
+Three platforms, three partitioning styles (paper Sec. III):
+
+* SambaNova sections a topologically ordered op list into contiguous
+  chunks, optionally after fusing elementwise chains into modules
+  (:func:`contiguous_chunks`, :func:`fuse_linear_chains`).
+* Graphcore groups decoder layers onto IPUs while minimizing the
+  heaviest stage (:func:`balanced_groups`).
+* Cerebras places whole kernels, but its replica layout reuses
+  :func:`group_cost` for communication accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.common.errors import ConfigurationError
+from repro.graph.graph import ComputationGraph
+from repro.graph.ops import Operator
+
+T = TypeVar("T")
+
+
+def group_cost(items: Sequence[T], cost: Callable[[T], float]) -> float:
+    """Total cost of a group of items under a per-item cost function."""
+    return sum(cost(item) for item in items)
+
+
+def contiguous_chunks(items: Sequence[T], max_cost: float,
+                      cost: Callable[[T], float]) -> list[list[T]]:
+    """Greedily split ``items`` into contiguous chunks of bounded cost.
+
+    A chunk is closed as soon as adding the next item would exceed
+    ``max_cost``. Items individually larger than ``max_cost`` get a chunk
+    of their own (the RDU compiler then shards them separately).
+
+    Raises:
+        ConfigurationError: if ``max_cost`` is not positive.
+    """
+    if max_cost <= 0:
+        raise ConfigurationError(f"max_cost must be > 0, got {max_cost}")
+    chunks: list[list[T]] = []
+    current: list[T] = []
+    current_cost = 0.0
+    for item in items:
+        item_cost = cost(item)
+        if current and current_cost + item_cost > max_cost:
+            chunks.append(current)
+            current = []
+            current_cost = 0.0
+        current.append(item)
+        current_cost += item_cost
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def balanced_groups(items: Sequence[T], n_groups: int,
+                    cost: Callable[[T], float]) -> list[list[T]]:
+    """Split ``items`` into ``n_groups`` contiguous groups minimizing the max group cost.
+
+    Contiguity is required because pipeline stages must respect layer
+    order. Uses binary search over the bottleneck cost with a greedy
+    feasibility check — optimal for the contiguous-partition problem.
+
+    Empty trailing groups are returned as empty lists when there are fewer
+    items than groups.
+    """
+    if n_groups <= 0:
+        raise ConfigurationError(f"n_groups must be > 0, got {n_groups}")
+    items = list(items)
+    if not items:
+        return [[] for _ in range(n_groups)]
+    costs = [max(cost(item), 0.0) for item in items]
+
+    def feasible(bound: float) -> bool:
+        groups_used = 1
+        acc = 0.0
+        for c in costs:
+            if c > bound:
+                return False
+            if acc + c > bound:
+                groups_used += 1
+                acc = c
+            else:
+                acc += c
+        return groups_used <= n_groups
+
+    lo = max(costs)
+    hi = sum(costs)
+    # Binary search on a continuous bound; 60 iterations is far below
+    # float precision for any realistic cost scale.
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    bound = hi
+
+    groups: list[list[T]] = []
+    current: list[T] = []
+    acc = 0.0
+    remaining_groups = n_groups
+    for item, c in zip(items, costs):
+        must_close = current and acc + c > bound
+        # Also close early if the tail could not otherwise fit in the
+        # remaining groups (keeps the greedy packing feasible).
+        if must_close and remaining_groups > 1:
+            groups.append(current)
+            current = []
+            acc = 0.0
+            remaining_groups -= 1
+        current.append(item)
+        acc += c
+    groups.append(current)
+    while len(groups) < n_groups:
+        groups.append([])
+    return groups
+
+
+def fuse_linear_chains(graph: ComputationGraph) -> list[list[Operator]]:
+    """Group operators into fusion modules along linear chains.
+
+    Models SambaNova's O1 operator-fusion strategy (paper Sec. III-B): a
+    matmul operator absorbs the elementwise/normalization operators that
+    immediately follow it in a straight line (out-degree 1, in-degree 1).
+    Returns the modules in topological order; every operator appears in
+    exactly one module.
+    """
+    order = graph.topological_order()
+    assigned: set[str] = set()
+    modules: list[list[Operator]] = []
+    for op in order:
+        if op.name in assigned:
+            continue
+        module = [op]
+        assigned.add(op.name)
+        # Walk forward along a linear chain absorbing fusable ops.
+        cursor = op
+        while True:
+            succs = graph.successors(cursor.name)
+            if len(succs) != 1:
+                break
+            nxt = succs[0]
+            if nxt.name in assigned:
+                break
+            if graph.in_degree(nxt.name) != 1:
+                break
+            if not nxt.kind.is_elementwise:
+                break
+            module.append(nxt)
+            assigned.add(nxt.name)
+            cursor = nxt
+        modules.append(module)
+    return modules

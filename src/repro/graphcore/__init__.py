@@ -1,0 +1,26 @@
+"""Graphcore Bow-2000 IPU simulator.
+
+Models the execution strategy of paper Sec. III-C: the computation graph
+is partitioned by layers and mapped onto different IPUs as a pipeline.
+The embedding layer takes a dedicated IPU; decoder layers are grouped
+over the remaining IPUs (at large IPU counts the LM head is sharded over
+its own IPUs, Graphcore-style). Training therefore needs at least two
+IPUs.
+
+The simulator reproduces the platform behaviours the paper reports:
+tile-memory capacity failures at ~10 decoder layers for hidden size 768
+(Fig. 9d), TFLOPs that plateau once a stage's layers saturate its tiles,
+bottleneck-stage-limited pipeline throughput (Fig. 11c, Table III), and
+near-linear batch-size scaling (Fig. 12).
+"""
+
+from repro.graphcore.backend import GraphcoreBackend
+from repro.graphcore.compiler import IPUCompiler, StagePlan
+from repro.graphcore.pipeline import PipelineExecutor
+
+__all__ = [
+    "IPUCompiler",
+    "StagePlan",
+    "PipelineExecutor",
+    "GraphcoreBackend",
+]

@@ -1,0 +1,34 @@
+"""The Graphcore backend: DABench's view of Bow-2000 / Bow-Pod systems."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
+from repro.graphcore.compiler import IPUCompiler
+from repro.graphcore.pipeline import PipelineExecutor
+from repro.hardware.specs import BOW2000_SYSTEM, SystemSpec
+from repro.models.config import ModelConfig, TrainConfig
+
+
+class GraphcoreBackend(AcceleratorBackend):
+    """Bow-2000 adapter for the DABench framework.
+
+    ``compile`` options:
+
+    * ``n_ipus`` — pipeline size (>= 2; embedding gets its own IPU).
+    * ``layers_per_ipu`` — explicit decoder distribution (Fig. 11c).
+    * ``micro_batches`` — in-flight micro-batches.
+    """
+
+    def __init__(self, system: SystemSpec = BOW2000_SYSTEM) -> None:
+        super().__init__(system)
+        self.compiler = IPUCompiler(system)
+        self.executor = PipelineExecutor(system)
+
+    def compile(self, model: ModelConfig, train: TrainConfig,
+                **options: Any) -> CompileReport:
+        return self.compiler.compile(model, train, **options)
+
+    def run(self, compiled: CompileReport) -> RunReport:
+        return self.executor.run(compiled)

@@ -1,0 +1,40 @@
+"""Hardware specification presets.
+
+Dataclasses describing chips and multi-chip systems, populated with the
+vendor numbers the paper tabulates in Sec. II (WSE-2, SN30 RDU, Bow-2000
+IPU) plus an A100 preset for the GPU reference columns of Table III.
+"""
+
+from repro.hardware.specs import (
+    A100_GPU,
+    BOW_IPU,
+    BOW_POD,
+    BOW2000_SYSTEM,
+    CS2_SYSTEM,
+    CS3_SYSTEM,
+    ChipSpec,
+    GPU_CLUSTER,
+    MemoryLevel,
+    SN30_RDU,
+    SN30_SYSTEM,
+    SystemSpec,
+    WSE2,
+    WSE3,
+)
+
+__all__ = [
+    "MemoryLevel",
+    "ChipSpec",
+    "SystemSpec",
+    "WSE2",
+    "WSE3",
+    "CS2_SYSTEM",
+    "CS3_SYSTEM",
+    "SN30_RDU",
+    "SN30_SYSTEM",
+    "BOW_IPU",
+    "BOW2000_SYSTEM",
+    "BOW_POD",
+    "A100_GPU",
+    "GPU_CLUSTER",
+]

@@ -1,0 +1,339 @@
+"""Chip and system specification dataclasses plus vendor presets.
+
+All preset numbers come from the paper's Sec. II hardware descriptions and
+the cited vendor datasheets. Two deliberate calibration notes:
+
+* ``WSE2.peak_flops`` is set to the *achievable-accounting* peak implied by
+  the paper's Sec. V-C2 statement that 327-338 TFLOP/s corresponds to
+  ~20% compute efficiency (i.e. ~1.7 PFLOP/s), not the marketing peak.
+* ``BOW_IPU`` uses the Bow generation's real 624 KB/tile In-Processor
+  Memory (~900 MB/IPU). The paper's prose says "64KB" per tile, which is
+  the per-thread figure of the older Colossus description; 64 KB/tile
+  cannot reproduce the paper's own result that a 10-layer hidden-768
+  model exhausts IPU memory (Fig. 9d), while 624 KB/tile does.
+
+Roofline classification note: evaluated literally, the paper's Eq. 5
+yields arithmetic intensities in the hundreds of FLOPs/byte for these
+workloads (its numerator and activation term both scale with batch, so
+AI saturates near 6P/activation-bytes-per-token). With the bandwidths
+below, the Fig. 10 *classification* still reproduces exactly — WSE-2
+workloads land right of its (tiny) ridge and are compute-bound, while
+RDU and IPU workloads land left of their DDR ridges and are
+memory-bound — even though the absolute AI values differ from the
+paper's reported 8.9-42 range (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, KB, MB, TB
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One tier of a chip's memory hierarchy.
+
+    Attributes:
+        name: tier label (e.g. ``on-chip SRAM``, ``DDR``).
+        capacity_bytes: total capacity.
+        bandwidth: aggregate bandwidth in bytes/second.
+    """
+
+    name: str
+    capacity_bytes: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"memory level {self.name!r}: capacity and bandwidth must "
+                "be positive"
+            )
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """A single accelerator chip.
+
+    Attributes:
+        name / vendor: identification.
+        compute_units: number of allocatable compute units.
+        compute_unit_name: what the vendor calls them (PE, PCU, tile, SM).
+        memory_units: number of allocatable memory units (equals
+            ``compute_units`` for architectures with fused compute+memory
+            units such as WSE-2 PEs and IPU tiles; differs on the RDU
+            where PCUs and PMUs are separate pools).
+        memory_unit_name: vendor name for memory units.
+        peak_flops: peak half-precision FLOP/s used for efficiency math.
+        shared_memory: the on-chip tier (GPU "shared memory" analogue).
+        global_memory: the off-chip tier, or the on-chip tier again for
+            WSE-2 which serves both roles (paper Sec. V-C2).
+        fabric_bandwidth: on-chip interconnect bytes/s.
+    """
+
+    name: str
+    vendor: str
+    compute_units: int
+    compute_unit_name: str
+    memory_units: int
+    memory_unit_name: str
+    peak_flops: float
+    shared_memory: MemoryLevel
+    global_memory: MemoryLevel
+    fabric_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.compute_units <= 0 or self.memory_units <= 0:
+            raise ConfigurationError(
+                f"chip {self.name!r}: unit counts must be positive")
+        if self.peak_flops <= 0 or self.fabric_bandwidth <= 0:
+            raise ConfigurationError(
+                f"chip {self.name!r}: rates must be positive")
+
+    @property
+    def flops_per_compute_unit(self) -> float:
+        """Peak FLOP/s contributed by one compute unit."""
+        return self.peak_flops / self.compute_units
+
+    @property
+    def shared_memory_per_unit(self) -> float:
+        """On-chip bytes local to one memory unit."""
+        return self.shared_memory.capacity_bytes / self.memory_units
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge point vs global memory, FLOPs/byte."""
+        return self.peak_flops / self.global_memory.bandwidth
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A deployable system built from one chip type.
+
+    Attributes:
+        name: system label.
+        chip: the chip spec.
+        chips_per_node: chips in one chassis/machine.
+        max_nodes: nodes available in the testbed configuration.
+        intra_node_bandwidth: chip-to-chip bytes/s within a node.
+        inter_node_bandwidth: node-to-node bytes/s.
+        host_link_bandwidth: host-to-device streaming bytes/s per node
+            (PCIe or appliance link) — the input-pipeline ceiling for
+            pipeline-parallel IPU runs (Sec. VI-A3c).
+    """
+
+    name: str
+    chip: ChipSpec
+    chips_per_node: int = 1
+    max_nodes: int = 1
+    intra_node_bandwidth: float = 100.0 * GB
+    inter_node_bandwidth: float = 25.0 * GB
+    host_link_bandwidth: float = 32.0 * GB
+    extra: dict[str, float] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.chips_per_node <= 0 or self.max_nodes <= 0:
+            raise ConfigurationError(
+                f"system {self.name!r}: chip/node counts must be positive")
+
+    @property
+    def total_chips(self) -> int:
+        """Maximum chips across the whole system."""
+        return self.chips_per_node * self.max_nodes
+
+    def nodes_for_chips(self, n_chips: int) -> int:
+        """Nodes needed to host ``n_chips`` chips."""
+        if n_chips <= 0:
+            raise ConfigurationError("n_chips must be positive")
+        if n_chips > self.total_chips:
+            raise ConfigurationError(
+                f"{self.name} has only {self.total_chips} chips; "
+                f"{n_chips} requested"
+            )
+        return -(-n_chips // self.chips_per_node)
+
+
+# ----------------------------------------------------------------------
+# Cerebras CS-2 / WSE-2 (paper Sec. II-B1)
+# ----------------------------------------------------------------------
+_WSE2_ONCHIP = MemoryLevel(
+    name="on-chip SRAM",
+    capacity_bytes=40.0 * GB,          # 40 GB across 850k PEs
+    bandwidth=20.0 * 1e15,             # 20 PB/s aggregate
+)
+
+WSE2 = ChipSpec(
+    name="WSE-2",
+    vendor="Cerebras",
+    compute_units=850_000,
+    compute_unit_name="PE",
+    memory_units=850_000,
+    memory_unit_name="PE",
+    peak_flops=1.7e15,                 # ~20% efficiency at 338 TFLOP/s
+    shared_memory=_WSE2_ONCHIP,
+    global_memory=_WSE2_ONCHIP,        # unified on-chip global tier
+    fabric_bandwidth=220.0 * 1e15,     # Swarm fabric, 220 PB/s
+)
+
+CS2_SYSTEM = SystemSpec(
+    name="CS-2",
+    chip=WSE2,
+    chips_per_node=1,
+    max_nodes=1,
+    intra_node_bandwidth=WSE2.fabric_bandwidth,
+    inter_node_bandwidth=1.2 * TB,     # SwarmX appliance links
+    host_link_bandwidth=150.0 * GB,    # MemoryX weight-streaming feed
+)
+
+# ----------------------------------------------------------------------
+# Cerebras CS-3 / WSE-3 (the paper's Sec. II-B1 notes the CS-3 "adds
+# external memory modules to the WSE-2 architecture"; chip-level details
+# are not public, so the WSE-3 preset scales the WSE-2 numbers by the
+# published generation-over-generation ratios and attaches a MemoryX
+# external tier through a faster appliance link).
+# ----------------------------------------------------------------------
+_WSE3_ONCHIP = MemoryLevel(
+    name="on-chip SRAM",
+    capacity_bytes=44.0 * GB,
+    bandwidth=21.0 * 1e15,
+)
+
+WSE3 = ChipSpec(
+    name="WSE-3",
+    vendor="Cerebras",
+    compute_units=900_000,
+    compute_unit_name="PE",
+    memory_units=900_000,
+    memory_unit_name="PE",
+    peak_flops=2.0e15,
+    shared_memory=_WSE3_ONCHIP,
+    global_memory=_WSE3_ONCHIP,
+    fabric_bandwidth=230.0 * 1e15,
+)
+
+CS3_SYSTEM = SystemSpec(
+    name="CS-3",
+    chip=WSE3,
+    chips_per_node=1,
+    max_nodes=1,
+    intra_node_bandwidth=WSE3.fabric_bandwidth,
+    inter_node_bandwidth=1.2 * TB,
+    host_link_bandwidth=300.0 * GB,    # upgraded MemoryX feed
+)
+
+# ----------------------------------------------------------------------
+# SambaNova SN30 RDU (paper Sec. II-B2)
+# ----------------------------------------------------------------------
+SN30_RDU = ChipSpec(
+    name="SN30-RDU",
+    vendor="SambaNova",
+    compute_units=640,                 # 4 tiles x 160 PCUs
+    compute_unit_name="PCU",
+    memory_units=640,                  # 4 tiles x 160 PMUs
+    memory_unit_name="PMU",
+    peak_flops=278.0e12,               # 18.2% efficiency at 50.6 TFLOP/s
+    shared_memory=MemoryLevel(
+        name="PMU scratchpads",
+        capacity_bytes=640 * 512 * KB,  # ~320 MB of PMU capacity
+        bandwidth=150.0 * TB,
+    ),
+    global_memory=MemoryLevel(
+        name="DDR",
+        capacity_bytes=512.0 * GB,
+        bandwidth=0.2 * TB,            # the paper's "only 0.2 TB/s"
+    ),
+    fabric_bandwidth=3.0 * TB,
+)
+
+SN30_SYSTEM = SystemSpec(
+    name="SN30",
+    chip=SN30_RDU,
+    chips_per_node=2,                  # two RDUs per DataScale SN30
+    max_nodes=4,                       # sn30-r[1-4] racks
+    intra_node_bandwidth=400.0 * GB,   # RDU-Connect inside a machine
+    # Effective cross-machine bandwidth: the shared rack fabric delivers
+    # only a few GB/s to a tensor-parallel all-reduce, which is what makes
+    # cross-machine TP the dominant bottleneck in the paper (Sec. VI-A3b).
+    inter_node_bandwidth=3.0 * GB,
+    host_link_bandwidth=32.0 * GB,     # PCIe Gen4 x16
+)
+
+# ----------------------------------------------------------------------
+# Graphcore Bow-2000 IPU (paper Sec. II-B3)
+# ----------------------------------------------------------------------
+BOW_IPU = ChipSpec(
+    name="Bow-IPU",
+    vendor="Graphcore",
+    compute_units=1472,                # tiles
+    compute_unit_name="tile",
+    memory_units=1472,
+    memory_unit_name="tile",
+    peak_flops=350.0e12,               # Bow IPU FP16 peak
+    shared_memory=MemoryLevel(
+        name="In-Processor Memory",
+        capacity_bytes=1472 * 624 * KB,  # ~900 MB/IPU (see module note)
+        bandwidth=65.0 * TB,
+    ),
+    global_memory=MemoryLevel(
+        name="Streaming DDR",
+        capacity_bytes=256.0 * GB / 4,  # 256 GB shared by 4 IPUs
+        bandwidth=0.35 * TB,            # Gateway DDR streaming bandwidth
+    ),
+    fabric_bandwidth=8.0 * TB,          # IPU-Exchange
+)
+
+BOW2000_SYSTEM = SystemSpec(
+    name="Bow-2000",
+    chip=BOW_IPU,
+    chips_per_node=4,                  # 4 IPUs behind one Gateway
+    max_nodes=4,                       # up to 16 IPUs in our experiments
+    intra_node_bandwidth=320.0 * GB,   # IPU-Link within a chassis
+    inter_node_bandwidth=100.0 * GB,   # Gateway links
+    host_link_bandwidth=64.0 * GB,     # PCIe host streaming per chassis
+)
+
+BOW_POD = SystemSpec(
+    name="Bow-Pod64",
+    chip=BOW_IPU,
+    chips_per_node=4,
+    max_nodes=16,
+    intra_node_bandwidth=320.0 * GB,
+    inter_node_bandwidth=100.0 * GB,
+    host_link_bandwidth=64.0 * GB,
+)
+
+# ----------------------------------------------------------------------
+# GPU reference (A100-class, Table III right-hand columns)
+# ----------------------------------------------------------------------
+A100_GPU = ChipSpec(
+    name="A100",
+    vendor="NVIDIA",
+    compute_units=108,                 # SMs
+    compute_unit_name="SM",
+    memory_units=108,
+    memory_unit_name="SM",
+    peak_flops=312.0e12,               # BF16 tensor-core peak
+    shared_memory=MemoryLevel(
+        name="SRAM",
+        capacity_bytes=108 * 192 * KB,
+        bandwidth=19.0 * TB,
+    ),
+    global_memory=MemoryLevel(
+        name="HBM2e",
+        capacity_bytes=80.0 * GB,
+        bandwidth=2.0 * TB,
+    ),
+    fabric_bandwidth=600.0 * GB,       # NVLink
+)
+
+GPU_CLUSTER = SystemSpec(
+    name="A100-cluster",
+    chip=A100_GPU,
+    chips_per_node=8,
+    max_nodes=128,
+    intra_node_bandwidth=600.0 * GB,   # NVLink/NVSwitch
+    inter_node_bandwidth=25.0 * GB,    # 200 Gb/s InfiniBand
+    host_link_bandwidth=64.0 * GB,
+)

@@ -1,0 +1,241 @@
+"""Model and training configuration dataclasses with paper presets.
+
+The paper sweeps decoder-block workloads from two canonical families
+(Sec. II-A): GPT-2 (learned positions, GELU, LayerNorm, 4x FFN) and
+LLaMA-2 (RoPE, SwiGLU, RMSNorm, optional grouped-query attention). The
+presets below are the exact configurations the evaluation uses — GPT
+mini/tiny/small (hidden 256/512/768), GPT xlarge for the GPU reference,
+and LLaMA-2 7B for the RDU tensor-parallel study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigurationError
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+def _round_to_multiple(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A decoder-only transformer configuration.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``gpt2-small``).
+        family: ``"gpt2"`` or ``"llama2"`` — selects norm/activation/FFN
+            conventions in the cost model and graph builder.
+        hidden_size: model width H.
+        n_layers: decoder-layer count L.
+        n_heads: attention head count.
+        n_kv_heads: key/value head count (grouped-query attention when
+            smaller than ``n_heads``; LLaMA-2 70B style).
+        vocab_size: vocabulary size V.
+        max_seq_len: maximum context length S.
+        ffn_hidden: FFN inner width; defaults to 4H (GPT-2) or the
+            LLaMA-2 SwiGLU sizing (2/3 * 4H rounded to 256).
+        tie_embeddings: whether the LM head shares the embedding matrix.
+    """
+
+    name: str
+    family: str
+    hidden_size: int
+    n_layers: int
+    n_heads: int
+    n_kv_heads: int = 0
+    vocab_size: int = 50257
+    max_seq_len: int = 1024
+    ffn_hidden: int = 0
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.family not in ("gpt2", "llama2"):
+            raise ConfigurationError(f"unknown model family: {self.family!r}")
+        for label in ("hidden_size", "n_layers", "n_heads", "vocab_size",
+                      "max_seq_len"):
+            if getattr(self, label) <= 0:
+                raise ConfigurationError(f"{label} must be > 0")
+        object.__setattr__(
+            self, "n_kv_heads", self.n_kv_heads or self.n_heads)
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ConfigurationError(
+                f"n_heads ({self.n_heads}) must be divisible by "
+                f"n_kv_heads ({self.n_kv_heads})"
+            )
+        if self.hidden_size % self.n_heads != 0:
+            raise ConfigurationError(
+                f"hidden_size ({self.hidden_size}) must be divisible by "
+                f"n_heads ({self.n_heads})"
+            )
+        if not self.ffn_hidden:
+            if self.family == "llama2":
+                inner = _round_to_multiple(int(8 * self.hidden_size / 3), 256)
+            else:
+                inner = 4 * self.hidden_size
+            object.__setattr__(self, "ffn_hidden", inner)
+
+    # ------------------------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension H / n_heads."""
+        return self.hidden_size // self.n_heads
+
+    @property
+    def kv_hidden(self) -> int:
+        """Combined key/value projection width (shrinks under GQA)."""
+        return self.n_kv_heads * self.head_dim
+
+    @property
+    def uses_gated_ffn(self) -> bool:
+        """LLaMA-2's SwiGLU uses an extra gate projection."""
+        return self.family == "llama2"
+
+    @property
+    def uses_learned_positions(self) -> bool:
+        """GPT-2 stores learned absolute position embeddings."""
+        return self.family == "gpt2"
+
+    # ------------------------------------------------------------------
+    # Sweep helpers (the paper's layer-count / hidden-size probes)
+    # ------------------------------------------------------------------
+    def with_layers(self, n_layers: int) -> "ModelConfig":
+        """Copy with a different decoder-layer count."""
+        return replace(self, n_layers=n_layers,
+                       name=f"{self.name}-L{n_layers}")
+
+    def with_hidden(self, hidden_size: int,
+                    n_heads: int | None = None) -> "ModelConfig":
+        """Copy with a different hidden size (heads rescaled to keep
+        head_dim = 64 unless overridden)."""
+        if n_heads is None:
+            n_heads = max(1, hidden_size // 64)
+            while hidden_size % n_heads != 0:
+                n_heads -= 1
+        kv = min(self.n_kv_heads, n_heads)
+        while n_heads % kv != 0:
+            kv -= 1
+        return replace(self, hidden_size=hidden_size, n_heads=n_heads,
+                       n_kv_heads=kv, ffn_hidden=0,
+                       name=f"{self.name}-H{hidden_size}")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """One run configuration (the paper's "training configuration"
+    information category, Sec. IV-D(b)).
+
+    Attributes:
+        batch_size: global batch size B (samples per step).
+        seq_len: input sequence length S.
+        precision: numeric policy; defaults to pure FP16.
+        grad_accumulation: micro-batches accumulated per weight update —
+            also the number of in-flight micro-batches for pipeline
+            backends.
+        training: ``True`` for training steps (forward + backward +
+            optimizer, the paper's focus); ``False`` for forward-only
+            inference benchmarking — an extension beyond the paper that
+            drops gradients, optimizer state, and activation stashes.
+    """
+
+    batch_size: int = 8
+    seq_len: int = 1024
+    precision: PrecisionPolicy = field(
+        default_factory=lambda: PrecisionPolicy.pure(Precision.FP16))
+    grad_accumulation: int = 1
+    training: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be > 0")
+        if self.seq_len <= 0:
+            raise ConfigurationError("seq_len must be > 0")
+        if self.grad_accumulation <= 0:
+            raise ConfigurationError("grad_accumulation must be > 0")
+
+    @property
+    def tokens_per_step(self) -> int:
+        """Tokens processed per optimizer step."""
+        return self.batch_size * self.seq_len
+
+    @property
+    def micro_batch_size(self) -> int:
+        """Samples per micro-batch under gradient accumulation."""
+        return max(1, self.batch_size // self.grad_accumulation)
+
+    @property
+    def backward_multiplier(self) -> float:
+        """FLOPs multiplier over the forward pass: 3x when training
+        (fwd + 2x bwd), 1x for inference."""
+        return 3.0 if self.training else 1.0
+
+    def with_batch_size(self, batch_size: int) -> "TrainConfig":
+        """Copy with a different global batch size."""
+        return replace(self, batch_size=batch_size)
+
+    def with_precision(self, precision: PrecisionPolicy) -> "TrainConfig":
+        """Copy with a different precision policy."""
+        return replace(self, precision=precision)
+
+    def as_inference(self) -> "TrainConfig":
+        """Copy configured for forward-only inference."""
+        return replace(self, training=False, grad_accumulation=1)
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+GPT2_PRESETS: dict[str, ModelConfig] = {
+    # The paper's intra-chip unit: hidden 768 decoder blocks (Sec. IV-D).
+    "mini": ModelConfig("gpt2-mini", "gpt2", hidden_size=256, n_layers=4,
+                        n_heads=4),
+    "tiny": ModelConfig("gpt2-tiny", "gpt2", hidden_size=512, n_layers=6,
+                        n_heads=8),
+    "small": ModelConfig("gpt2-small", "gpt2", hidden_size=768, n_layers=12,
+                         n_heads=12),
+    "medium": ModelConfig("gpt2-medium", "gpt2", hidden_size=1024,
+                          n_layers=24, n_heads=16),
+    "large": ModelConfig("gpt2-large", "gpt2", hidden_size=1280, n_layers=36,
+                         n_heads=20),
+    "xlarge": ModelConfig("gpt2-xlarge", "gpt2", hidden_size=1600,
+                          n_layers=48, n_heads=25),
+}
+
+LLAMA2_PRESETS: dict[str, ModelConfig] = {
+    "7b": ModelConfig("llama2-7b", "llama2", hidden_size=4096, n_layers=32,
+                      n_heads=32, vocab_size=32000, max_seq_len=4096,
+                      ffn_hidden=11008, tie_embeddings=False),
+    "13b": ModelConfig("llama2-13b", "llama2", hidden_size=5120, n_layers=40,
+                       n_heads=40, vocab_size=32000, max_seq_len=4096,
+                       ffn_hidden=13824, tie_embeddings=False),
+    "70b": ModelConfig("llama2-70b", "llama2", hidden_size=8192, n_layers=80,
+                       n_heads=64, n_kv_heads=8, vocab_size=32000,
+                       max_seq_len=4096, ffn_hidden=28672,
+                       tie_embeddings=False),
+}
+
+
+def gpt2_model(size: str = "small") -> ModelConfig:
+    """Look up a GPT-2 preset (``mini``/``tiny``/``small``/``medium``/
+    ``large``/``xlarge``)."""
+    try:
+        return GPT2_PRESETS[size]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown GPT-2 preset {size!r}; choose from "
+            f"{sorted(GPT2_PRESETS)}"
+        ) from None
+
+
+def llama2_model(size: str = "7b") -> ModelConfig:
+    """Look up a LLaMA-2 preset (``7b``/``13b``/``70b``)."""
+    try:
+        return LLAMA2_PRESETS[size]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown LLaMA-2 preset {size!r}; choose from "
+            f"{sorted(LLAMA2_PRESETS)}"
+        ) from None

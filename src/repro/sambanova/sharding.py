@@ -1,0 +1,94 @@
+"""Matrix sharding for operators that exceed one section's resources.
+
+When a weight matrix outgrows the PMU capacity a section can stage, the
+compiler splits it into shards and groups shards into extra sections —
+the O1-mode behaviour of the paper's Table II(b), where the LM head at
+hidden sizes 3072-8192 splits into 9-30 shards across 2-3 sections with
+per-section PCU/PMU counts that track shard geometry rather than hidden
+size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB
+
+# A shard's weights must stage within this PMU budget (calibrated so the
+# LM head first shards at hidden sizes in the low thousands, as in
+# Table II(b)).
+SHARD_WEIGHT_BYTES = 28.0 * MB
+# PCU budget available to the shards grouped into one section.
+SHARD_SECTION_PCU_BUDGET = 520.0
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How a large operator splits into shards and sections.
+
+    Attributes:
+        n_shards: total weight shards.
+        n_sections: sections the shards are grouped into.
+        shards_per_section: shards resident per section (last section may
+            hold fewer).
+        pcus_per_section / pmus_per_section: per-section resource use.
+        shard_weight_bytes: bytes of weights per shard.
+    """
+
+    n_shards: int
+    n_sections: int
+    shards_per_section: int
+    pcus_per_section: float
+    pmus_per_section: float
+    shard_weight_bytes: float
+
+    @property
+    def sharded(self) -> bool:
+        return self.n_shards > 1
+
+
+def shard_pcu_demand(shard_weight_bytes: float,
+                     pcu_per_weight_root: float) -> float:
+    """PCU demand of one shard (same sub-linear law as unsharded ops)."""
+    elements = max(shard_weight_bytes / 2.0, 1.0)
+    return pcu_per_weight_root * elements ** 0.3
+
+
+def plan_shards(weight_bytes: float, pmu_bytes_per_unit: float,
+                pcu_per_weight_root: float) -> ShardPlan:
+    """Split an operator whose weights exceed :data:`SHARD_WEIGHT_BYTES`.
+
+    Shards are sized to the PMU staging budget; as many shards as the PCU
+    budget allows share one section, and sections are added until all
+    shards are covered.
+    """
+    if weight_bytes < 0:
+        raise ConfigurationError("weight_bytes must be >= 0")
+    if pmu_bytes_per_unit <= 0:
+        raise ConfigurationError("pmu_bytes_per_unit must be positive")
+    if weight_bytes <= SHARD_WEIGHT_BYTES:
+        pcus = shard_pcu_demand(weight_bytes, pcu_per_weight_root)
+        pmus = weight_bytes / pmu_bytes_per_unit
+        return ShardPlan(
+            n_shards=1, n_sections=1, shards_per_section=1,
+            pcus_per_section=pcus, pmus_per_section=pmus,
+            shard_weight_bytes=weight_bytes)
+
+    n_shards = math.ceil(weight_bytes / SHARD_WEIGHT_BYTES)
+    shard_bytes = weight_bytes / n_shards
+    pcus_per_shard = shard_pcu_demand(shard_bytes, pcu_per_weight_root)
+    shards_per_section = max(
+        1, int(SHARD_SECTION_PCU_BUDGET // max(pcus_per_shard, 1.0)))
+    shards_per_section = min(shards_per_section, n_shards)
+    n_sections = math.ceil(n_shards / shards_per_section)
+    pmus_per_shard = shard_bytes / pmu_bytes_per_unit
+    return ShardPlan(
+        n_shards=n_shards,
+        n_sections=n_sections,
+        shards_per_section=shards_per_section,
+        pcus_per_section=pcus_per_shard * shards_per_section,
+        pmus_per_section=pmus_per_shard * shards_per_section,
+        shard_weight_bytes=shard_bytes,
+    )

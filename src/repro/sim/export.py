@@ -1,0 +1,67 @@
+"""Trace export to the Chrome tracing format.
+
+Executions produced by the platform runtimes can be inspected visually in
+``chrome://tracing`` / Perfetto: each task becomes a timeline row, each
+record a complete event. Useful for eyeballing pipeline fill/drain on
+the IPU or section sequencing on the RDU.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.sim.trace import Trace
+
+# Chrome traces use microseconds; simulation time is seconds.
+_SECONDS_TO_US = 1e6
+
+
+def to_chrome_trace(trace: Trace, process_name: str = "simulation"
+                    ) -> dict[str, Any]:
+    """Convert a trace to a Chrome-tracing JSON object.
+
+    Tasks map to thread ids (one row per task); categories become the
+    Chrome ``cat`` field so compute/transfer/comm can be filtered.
+    """
+    tids: dict[str, int] = {}
+    events: list[dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for record in trace:
+        if record.task not in tids:
+            tid = len(tids)
+            tids[record.task] = tid
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": record.task},
+            })
+        events.append({
+            "name": f"{record.task}#{record.item}",
+            "cat": record.category,
+            "ph": "X",
+            "pid": 0,
+            "tid": tids[record.task],
+            "ts": record.start * _SECONDS_TO_US,
+            "dur": record.duration * _SECONDS_TO_US,
+            "args": {"item": record.item, **{
+                k: v for k, v in record.meta.items()
+                if isinstance(v, (str, int, float, bool))}},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Trace, path: str | Path,
+                       process_name: str = "simulation") -> Path:
+    """Write the Chrome-tracing JSON to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(trace, process_name)))
+    return path

@@ -1,0 +1,120 @@
+"""Execution traces: what ran where, and for how long.
+
+Platform runtimes append :class:`TraceRecord` rows as work completes; the
+framework's Tier-1 profiler then derives busy time, per-task throughput,
+and utilization from the trace — the "runtime information" category of
+paper Sec. IV-D(b).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One completed unit of work.
+
+    Attributes:
+        start / end: simulation timestamps (seconds).
+        task: logical task name (kernel, section, or pipeline stage).
+        category: coarse grouping (``compute``, ``transfer``, ``host``).
+        item: which work item (micro-batch index, section invocation).
+        meta: free-form annotations (flops, bytes, device).
+    """
+
+    start: float
+    end: float
+    task: str
+    category: str = "compute"
+    item: int = 0
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """An append-only list of trace records with aggregate queries."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def add(self, record: TraceRecord) -> None:
+        if record.end < record.start:
+            raise ValueError(
+                f"trace record for {record.task!r} ends before it starts")
+        self._records.append(record)
+
+    def record(self, start: float, end: float, task: str,
+               category: str = "compute", item: int = 0,
+               **meta: Any) -> TraceRecord:
+        """Convenience constructor + append."""
+        rec = TraceRecord(start=start, end=end, task=task,
+                          category=category, item=item, meta=meta)
+        self.add(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return list(self._records)
+
+    @property
+    def makespan(self) -> float:
+        """End of the last record minus start of the first."""
+        if not self._records:
+            return 0.0
+        return (max(r.end for r in self._records)
+                - min(r.start for r in self._records))
+
+    def busy_time_by_task(self) -> dict[str, float]:
+        """Summed record durations per task (overlap not collapsed)."""
+        totals: dict[str, float] = defaultdict(float)
+        for rec in self._records:
+            totals[rec.task] += rec.duration
+        return dict(totals)
+
+    def busy_time_by_category(self) -> dict[str, float]:
+        """Summed record durations per category."""
+        totals: dict[str, float] = defaultdict(float)
+        for rec in self._records:
+            totals[rec.category] += rec.duration
+        return dict(totals)
+
+    def items_by_task(self) -> dict[str, int]:
+        """Completed item count per task."""
+        counts: dict[str, int] = defaultdict(int)
+        for rec in self._records:
+            counts[rec.task] += 1
+        return dict(counts)
+
+    def task_throughput(self, task: str) -> float:
+        """Items per second completed by ``task`` over its active span."""
+        recs = [r for r in self._records if r.task == task]
+        if not recs:
+            return 0.0
+        span = max(r.end for r in recs) - min(r.start for r in recs)
+        if span <= 0:
+            return float("inf")
+        return len(recs) / span
+
+    def filter(self, category: str | None = None,
+               task: str | None = None) -> "Trace":
+        """A new trace containing only matching records."""
+        out = Trace()
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if task is not None and rec.task != task:
+                continue
+            out.add(rec)
+        return out

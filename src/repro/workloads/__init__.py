@@ -1,0 +1,24 @@
+"""Workload generators and sweep descriptors.
+
+Implements the paper's decoder-block probe methodology (Sec. IV-D(a)):
+"full-scale LLMs are impractical on a single chip, so we adopt a
+decoder-block approach; by fixing hidden size or layer count, we probe
+compute, memory, and communication limits."
+"""
+
+from repro.workloads.probes import (
+    decoder_block_probe,
+    paper_layer_sweep,
+    paper_rdu_hidden_sweep_o0_o3,
+    paper_rdu_hidden_sweep_o1,
+)
+from repro.workloads.sweeps import SweepSpec, run_grid
+
+__all__ = [
+    "decoder_block_probe",
+    "paper_layer_sweep",
+    "paper_rdu_hidden_sweep_o0_o3",
+    "paper_rdu_hidden_sweep_o1",
+    "SweepSpec",
+    "run_grid",
+]

@@ -1,0 +1,68 @@
+"""Decoder-block probe models and the paper's sweep axes.
+
+A *probe model* is a decoder stack with a deliberately small vocabulary:
+the evaluation unit the paper uses when the question is about decoder
+scaling rather than the LM head (e.g. the IPU pipeline studies, where a
+50k-vocab head would dwarf every decoder stage). Tier-1 experiments that
+depend on the full head (WSE-2's Table I, where the head kernel is the
+large fixed allocation) use the regular GPT-2 presets instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.errors import ConfigurationError
+from repro.models.config import ModelConfig, gpt2_model, llama2_model
+
+PROBE_VOCAB = 2048
+
+# The paper's published sweep axes.
+PAPER_WSE_LAYERS = [1, 6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72, 78]
+PAPER_RDU_HS_O0_O3 = [480, 768, 1024, 1280, 1600]
+PAPER_RDU_HS_O1 = [3072, 4096, 5120, 6686, 8192]
+PAPER_IPU_PP_CONFIGS = [
+    (4, 6), (4, 12), (8, 18), (8, 24),
+    (16, 30), (16, 36), (16, 42), (16, 48),
+]
+
+
+def decoder_block_probe(hidden_size: int, n_layers: int,
+                        family: str = "gpt2",
+                        vocab_size: int = PROBE_VOCAB) -> ModelConfig:
+    """A decoder-block stack with a probe-sized vocabulary.
+
+    Args:
+        hidden_size: model width (heads sized for head_dim 64).
+        n_layers: decoder layers.
+        family: ``"gpt2"`` or ``"llama2"`` conventions.
+        vocab_size: small by default so the LM head does not dominate.
+    """
+    if family == "gpt2":
+        base = gpt2_model("small")
+    elif family == "llama2":
+        base = llama2_model("7b")
+    else:
+        raise ConfigurationError(f"unknown probe family: {family!r}")
+    probe = base.with_hidden(hidden_size).with_layers(n_layers)
+    return replace(probe, vocab_size=vocab_size,
+                   name=f"probe-{family}-h{hidden_size}-l{n_layers}")
+
+
+def paper_layer_sweep(hidden_size: int = 768,
+                      family: str = "gpt2") -> list[ModelConfig]:
+    """The Table I layer axis as probe configs at fixed hidden size."""
+    return [decoder_block_probe(hidden_size, layers, family)
+            for layers in PAPER_WSE_LAYERS]
+
+
+def paper_rdu_hidden_sweep_o0_o3(n_layers: int = 8) -> list[ModelConfig]:
+    """Fig. 7(b)'s small-hidden axis (GPT-2 blocks, O0/O3 modes)."""
+    return [decoder_block_probe(hs, n_layers, "gpt2")
+            for hs in PAPER_RDU_HS_O0_O3]
+
+
+def paper_rdu_hidden_sweep_o1(n_layers: int = 4) -> list[ModelConfig]:
+    """Fig. 7(b)'s large-hidden axis (LLaMA-2 blocks, O1 mode)."""
+    return [decoder_block_probe(hs, n_layers, "llama2", vocab_size=32000)
+            for hs in PAPER_RDU_HS_O1]

@@ -1,0 +1,71 @@
+"""Generic sweep execution: run a grid of workloads against a backend.
+
+The benchmark harness uses :func:`run_grid` to regenerate the paper's
+tables: each cell compiles + runs one configuration and failures are
+recorded rather than raised (a "Fail" cell is a result — Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import CompilationError
+from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
+from repro.models.config import ModelConfig, TrainConfig
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One sweep cell: a labelled (model, train, options) triple."""
+
+    label: str
+    model: ModelConfig
+    train: TrainConfig
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """The outcome of one cell."""
+
+    spec: SweepSpec
+    compiled: CompileReport | None
+    run: RunReport | None
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+def run_grid(backend: AcceleratorBackend,
+             specs: list[SweepSpec],
+             measure: bool = True,
+             on_cell: Callable[[SweepCell], None] | None = None
+             ) -> list[SweepCell]:
+    """Compile (and optionally run) every spec; failures become cells.
+
+    Args:
+        backend: the accelerator to drive.
+        specs: the grid.
+        measure: when ``False`` only compile (compile-time metrics are
+            enough for most Tier-1 tables, matching the paper's
+            "most metrics are from compile time" note).
+        on_cell: optional progress callback.
+    """
+    cells: list[SweepCell] = []
+    for spec in specs:
+        try:
+            compiled = backend.compile(spec.model, spec.train,
+                                       **spec.options)
+            run = backend.run(compiled) if measure else None
+        except CompilationError as exc:
+            cell = SweepCell(spec=spec, compiled=None, run=None,
+                             error=str(exc))
+        else:
+            cell = SweepCell(spec=spec, compiled=compiled, run=run)
+        cells.append(cell)
+        if on_cell is not None:
+            on_cell(cell)
+    return cells

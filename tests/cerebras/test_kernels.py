@@ -1,0 +1,83 @@
+"""WSE-2 kernel extraction."""
+
+import pytest
+
+from repro.cerebras.kernels import Kernel, extract_kernels
+from repro.models.config import TrainConfig, gpt2_model, llama2_model
+
+
+@pytest.fixture()
+def train():
+    return TrainConfig(batch_size=8, seq_len=1024)
+
+
+class TestExtraction:
+    def test_kernel_count(self, train):
+        kernels = extract_kernels(gpt2_model("small").with_layers(6), train)
+        # embedding + 2 per layer + head.
+        assert len(kernels) == 2 + 2 * 6
+
+    def test_dataflow_order(self, train):
+        kernels = extract_kernels(gpt2_model("small").with_layers(2), train)
+        names = [k.name for k in kernels]
+        assert names[0] == "embedding"
+        assert names[-1] == "head"
+        assert names.index("attn[0]") < names.index("ffn[0]") \
+            < names.index("attn[1]")
+
+    def test_layer_indices(self, train):
+        kernels = extract_kernels(gpt2_model("small").with_layers(3), train)
+        attn1 = next(k for k in kernels if k.name == "attn[1]")
+        assert attn1.layer_index == 1
+        head = next(k for k in kernels if k.kind == "head")
+        assert head.layer_index == -1
+
+    def test_llama_gate_included_in_ffn_flops(self, train):
+        gpt = extract_kernels(
+            gpt2_model("small").with_layers(1), train)
+        llama = extract_kernels(
+            llama2_model("7b").with_hidden(768).with_layers(1), train)
+        ffn_gpt = next(k for k in gpt if k.kind == "ffn")
+        ffn_llama = next(k for k in llama if k.kind == "ffn")
+        # SwiGLU's extra gate projection shows up as more FLOPs per byte
+        # of hidden width.
+        assert ffn_llama.flops_per_sample != ffn_gpt.flops_per_sample
+
+
+class TestCaps:
+    def test_calibrated_table1_anchors(self, train):
+        """The caps that make Table I's 33% / 60% points."""
+        kernels = extract_kernels(gpt2_model("small").with_layers(1), train)
+        head = next(k for k in kernels if k.kind == "head")
+        attn = next(k for k in kernels if k.kind == "attention")
+        ffn = next(k for k in kernels if k.kind == "ffn")
+        assert head.cap_pes == pytest.approx(234e3, rel=0.05)
+        assert attn.cap_pes + ffn.cap_pes == pytest.approx(46e3, rel=0.08)
+
+    def test_cap_grows_sublinearly_with_work(self, train):
+        small = extract_kernels(gpt2_model("small"), train)
+        big = extract_kernels(gpt2_model("small").with_hidden(1536), train)
+        f_small = next(k for k in small if k.kind == "ffn")
+        f_big = next(k for k in big if k.kind == "ffn")
+        flops_ratio = f_big.flops_per_sample / f_small.flops_per_sample
+        cap_ratio = f_big.cap_pes / f_small.cap_pes
+        assert 1.0 < cap_ratio < flops_ratio
+
+    def test_weight_floor(self):
+        kernel = Kernel(name="x", kind="embedding", layer_index=-1,
+                        flops_per_sample=10.0, weight_bytes=48 * 1024 * 100,
+                        boundary_bytes=1.0)
+        # 100 PE-SRAMs of weights at 50% usable: floor is 200 PEs.
+        assert kernel.min_pes == pytest.approx(200.0)
+        assert kernel.cap_pes >= kernel.min_pes
+
+    def test_min_pes_floor_of_four(self):
+        kernel = Kernel(name="x", kind="attention", layer_index=0,
+                        flops_per_sample=1.0, weight_bytes=0.0,
+                        boundary_bytes=1.0)
+        assert kernel.min_pes == 4.0
+
+    def test_boundary_bytes_are_hidden_state(self, train):
+        kernels = extract_kernels(gpt2_model("small"), train)
+        expected = 1024 * 768 * 2  # (S, H) fp16 per sample
+        assert kernels[0].boundary_bytes == pytest.approx(expected)

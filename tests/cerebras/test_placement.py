@@ -1,0 +1,139 @@
+"""Wafer placement: strips, shelves, fragmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.cerebras.placement import Placement, PlacedRect, WaferPlacer
+
+
+class TestRectShape:
+    def test_near_square(self):
+        w, h = WaferPlacer.rect_shape(100.0, max_width=1000)
+        assert w * h >= 100
+        assert abs(w - h) <= 1
+
+    def test_clamped_to_grid(self):
+        w, _h = WaferPlacer.rect_shape(10_000.0, max_width=50)
+        assert w <= 50
+
+    def test_minimum_one(self):
+        assert WaferPlacer.rect_shape(0.5, max_width=10) == (1, 1)
+
+
+class TestStripPlacement:
+    def test_fits_and_covers_demand(self):
+        placer = WaferPlacer(100, 100, strategy="strips")
+        placement = placer.place([("a", 500.0), ("b", 250.0)])
+        assert placement.fits
+        assert placement.rect("a").pes >= 500
+        assert placement.rect("b").pes >= 250
+
+    def test_strips_are_full_height(self):
+        placer = WaferPlacer(100, 100, strategy="strips")
+        placement = placer.place([("a", 500.0)])
+        assert placement.rect("a").height == 100
+
+    def test_overflow_detected(self):
+        placer = WaferPlacer(10, 10, strategy="strips")
+        placement = placer.place([("a", 60.0), ("b", 60.0)])
+        assert not placement.fits
+
+    def test_rounding_waste_is_bounded(self):
+        placer = WaferPlacer(1000, 100, strategy="strips")
+        demands = [(f"k{i}", 150.0) for i in range(20)]
+        placement = placer.place(demands)
+        # Each strip wastes at most one column (100 PEs).
+        assert placement.placed_pes <= sum(p for _n, p in demands) + 20 * 100
+
+    def test_negative_demand_rejected(self):
+        placer = WaferPlacer(10, 10)
+        with pytest.raises(ConfigurationError):
+            placer.place([("a", -1.0)])
+
+
+class TestShelfPlacement:
+    def test_single_rect(self):
+        placer = WaferPlacer(100, 100, strategy="shelves")
+        placement = placer.place([("a", 400.0)])
+        assert placement.fits
+        assert placement.placed_pes >= 400
+
+    def test_shelves_decrease_in_height(self):
+        placer = WaferPlacer(100, 100, strategy="shelves")
+        placement = placer.place([("a", 100.0), ("b", 2500.0),
+                                  ("c", 400.0)])
+        heights = [r.height for r in placement.rects]
+        assert heights == sorted(heights, reverse=True)
+
+    def test_overflow_detected(self):
+        placer = WaferPlacer(10, 10, strategy="shelves")
+        placement = placer.place([("a", 64.0), ("b", 64.0)])
+        assert not placement.fits
+
+
+class TestPackingEfficiency:
+    def test_one_when_fits(self):
+        placer = WaferPlacer(100, 100)
+        assert placer.packing_efficiency([("a", 100.0)]) == 1.0
+
+    def test_less_than_one_when_overfull(self):
+        placer = WaferPlacer(100, 100)
+        eff = placer.packing_efficiency([("a", 8000.0), ("b", 8000.0)])
+        assert 0.0 < eff < 1.0
+        scaled = [("a", 8000.0 * eff), ("b", 8000.0 * eff)]
+        assert placer.place(scaled).fits
+
+    def test_strips_pack_tighter_than_shelves(self):
+        # The ablation claim: slicing placement beats naive shelves on a
+        # nearly-full wafer.
+        demands = [(f"k{i}", 900.0 + 37 * (i % 5)) for i in range(10)]
+        strips = WaferPlacer(100, 100, strategy="strips")
+        shelves = WaferPlacer(100, 100, strategy="shelves")
+        assert (strips.packing_efficiency(demands)
+                >= shelves.packing_efficiency(demands))
+
+
+class TestDistances:
+    def test_centroid(self):
+        rect = PlacedRect(name="a", x=0, y=0, width=10, height=10)
+        assert rect.centroid == (5.0, 5.0)
+
+    def test_distance_between_adjacent_strips(self):
+        placer = WaferPlacer(100, 100, strategy="strips")
+        placement = placer.place([("a", 1000.0), ("b", 1000.0)])
+        assert placement.distance("a", "b") == pytest.approx(10.0)
+
+    def test_chain_wire_length(self):
+        placer = WaferPlacer(100, 100, strategy="strips")
+        placement = placer.place([("a", 500.0), ("b", 500.0),
+                                  ("c", 500.0)])
+        total = placement.chain_wire_length(["a", "b", "c"])
+        assert total == pytest.approx(placement.distance("a", "b")
+                                      + placement.distance("b", "c"))
+
+    def test_unknown_rect(self):
+        placement = Placement(grid_width=10, grid_height=10)
+        with pytest.raises(KeyError):
+            placement.rect("missing")
+
+
+@settings(max_examples=40)
+@given(st.lists(st.floats(min_value=1.0, max_value=2000.0),
+                min_size=1, max_size=20),
+       st.sampled_from(["strips", "shelves"]))
+def test_placement_invariants(demands, strategy):
+    """Placed rectangles never overlap and stay within the grid."""
+    placer = WaferPlacer(120, 80, strategy=strategy)
+    placement = placer.place([(f"k{i}", p) for i, p in enumerate(demands)])
+    for rect in placement.rects:
+        assert 0 <= rect.x < 120
+        assert 0 <= rect.y < 80
+        assert rect.y + rect.height <= 80
+    if placement.fits:
+        for i, a in enumerate(placement.rects):
+            for b in placement.rects[i + 1:]:
+                overlap_x = (a.x < b.x + b.width) and (b.x < a.x + a.width)
+                overlap_y = (a.y < b.y + b.height) and (b.y < a.y + a.height)
+                assert not (overlap_x and overlap_y), f"{a} overlaps {b}"

@@ -1,0 +1,46 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.common.errors import (
+    CompilationError,
+    ConfigurationError,
+    OutOfMemoryError,
+    ReproError,
+    SimulationError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc_type in (ConfigurationError, CompilationError,
+                     OutOfMemoryError, SimulationError):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    # Callers using plain ValueError handling still catch config mistakes.
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_oom_is_compilation_error():
+    # Sweeps that record compile failures also record OOMs.
+    assert issubclass(OutOfMemoryError, CompilationError)
+
+
+def test_oom_carries_sizes():
+    err = OutOfMemoryError("too big", required_bytes=100.0,
+                           available_bytes=40.0)
+    assert err.required_bytes == 100.0
+    assert err.available_bytes == 40.0
+    assert "too big" in str(err)
+
+
+def test_oom_defaults_zero():
+    err = OutOfMemoryError("x")
+    assert err.required_bytes == 0.0
+    assert err.available_bytes == 0.0
+
+
+def test_catching_repro_error_catches_oom():
+    with pytest.raises(ReproError):
+        raise OutOfMemoryError("boom")

@@ -1,0 +1,83 @@
+"""Unit-formatting helpers."""
+
+import pytest
+
+from repro.common.units import GB, KB, MB, PB, TB, fmt_bytes, fmt_count, fmt_flops, fmt_rate
+
+
+class TestConstants:
+    def test_binary_ladder(self):
+        assert KB == 1024
+        assert MB == KB * 1024
+        assert GB == MB * 1024
+        assert TB == GB * 1024
+        assert PB == TB * 1024
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert fmt_bytes(48 * KB) == "48.00 KB"
+
+    def test_gigabytes(self):
+        assert fmt_bytes(40 * GB) == "40.00 GB"
+
+    def test_petabytes(self):
+        assert fmt_bytes(2.5 * PB) == "2.50 PB"
+
+    def test_negative(self):
+        assert fmt_bytes(-3 * MB) == "-3.00 MB"
+
+    def test_zero(self):
+        assert fmt_bytes(0) == "0 B"
+
+    def test_boundary_exact_mb(self):
+        assert fmt_bytes(MB) == "1.00 MB"
+
+
+class TestFmtCount:
+    def test_plain(self):
+        assert fmt_count(42) == "42"
+
+    def test_thousands(self):
+        assert fmt_count(850_000) == "850.0K"
+
+    def test_millions(self):
+        assert fmt_count(124e6) == "124.0M"
+
+    def test_negative(self):
+        assert fmt_count(-1500) == "-1.5K"
+
+
+class TestFmtFlops:
+    def test_teraflops(self):
+        assert fmt_flops(338e12) == "338.0 TFLOP/s"
+
+    def test_petaflops(self):
+        assert fmt_flops(1.7e15) == "1.7 PFLOP/s"
+
+    def test_small(self):
+        assert fmt_flops(10) == "10 FLOP/s"
+
+
+class TestFmtRate:
+    def test_kilo(self):
+        assert fmt_rate(660_000) == "660.00K tokens/s"
+
+    def test_mega(self):
+        assert fmt_rate(3_600_000) == "3.60M tokens/s"
+
+    def test_custom_unit(self):
+        assert fmt_rate(1540, "samples/s") == "1.54K samples/s"
+
+    def test_sub_kilo(self):
+        assert fmt_rate(918) == "918.0 tokens/s"
+
+
+@pytest.mark.parametrize("value", [1.0, 999.0, 1e3, 1e6, 1e9, 1e12, 1e15])
+def test_fmt_count_monotone_suffixes(value):
+    # Every magnitude renders without error and round-trips its sign.
+    assert not fmt_count(value).startswith("-")
+    assert fmt_count(-value).startswith("-")

@@ -1,0 +1,100 @@
+"""Report dataclass contracts (TaskProfile, PhaseProfile, breakdowns)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.backend import (
+    MemoryBreakdown,
+    PhaseProfile,
+    RunReport,
+    TaskProfile,
+)
+
+
+class TestTaskProfile:
+    def test_negative_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskProfile(name="t", compute_units=-1.0)
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskProfile(name="t", compute_units=1.0, role="magic")
+
+    def test_defaults(self):
+        t = TaskProfile(name="t", compute_units=1.0)
+        assert t.memory_units == 0.0
+        assert t.role == "compute"
+
+
+class TestPhaseProfile:
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseProfile(name="p", runtime=-1.0, tasks=())
+
+    def test_zero_invocations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseProfile(name="p", runtime=1.0, tasks=(), invocations=0)
+
+    def test_unit_sums(self):
+        p = PhaseProfile(name="p", runtime=1.0, tasks=(
+            TaskProfile(name="a", compute_units=2.0, memory_units=1.0),
+            TaskProfile(name="b", compute_units=3.0, memory_units=4.0),
+        ))
+        assert p.compute_units == 5.0
+        assert p.memory_units == 5.0
+        assert p.units("compute") == 5.0
+        assert p.units("memory") == 5.0
+
+    def test_unknown_unit_kind(self):
+        p = PhaseProfile(name="p", runtime=1.0, tasks=())
+        with pytest.raises(ConfigurationError):
+            p.units("pe")
+
+
+class TestMemoryBreakdown:
+    def test_training_and_total(self):
+        m = MemoryBreakdown(capacity_bytes=100.0, configuration_bytes=10.0,
+                            weight_bytes=20.0, activation_bytes=30.0,
+                            optimizer_bytes=5.0)
+        assert m.training_bytes == 55.0
+        assert m.total_bytes == 65.0
+        assert m.utilization == pytest.approx(0.65)
+        assert m.headroom_bytes == pytest.approx(35.0)
+
+    def test_oversubscription_negative_headroom(self):
+        m = MemoryBreakdown(capacity_bytes=10.0, weight_bytes=20.0)
+        assert m.headroom_bytes < 0
+        assert m.utilization > 1.0
+
+
+class TestRunReportDerived:
+    def test_effective_intensity(self):
+        report = RunReport(platform="x", tokens_per_second=1.0,
+                           samples_per_second=1.0, step_time=2.0,
+                           achieved_flops=100.0, phases=(),
+                           global_traffic_bytes_per_step=50.0)
+        # 100 FLOP/s * 2 s / 50 B = 4 FLOPs/byte.
+        assert report.effective_intensity == pytest.approx(4.0)
+
+    def test_effective_intensity_no_traffic(self):
+        report = RunReport(platform="x", tokens_per_second=1.0,
+                           samples_per_second=1.0, step_time=2.0,
+                           achieved_flops=100.0, phases=())
+        assert report.effective_intensity == float("inf")
+
+
+class TestCompileReportLookups:
+    def test_phase_lookup(self, cerebras, gpt2_small, train_fp16):
+        report = cerebras.compile(gpt2_small, train_fp16)
+        assert report.phase("graph").name == "graph"
+        with pytest.raises(KeyError):
+            report.phase("missing")
+
+    def test_tasks_flatten(self, sambanova, gpt2_small, train_bf16):
+        report = sambanova.compile(gpt2_small, train_bf16, mode="O1")
+        assert len(report.tasks) == sum(len(p.tasks) for p in report.phases)
+
+    def test_compile_and_run_convenience(self, cerebras, gpt2_mini,
+                                         train_fp16):
+        compiled, run = cerebras.compile_and_run(gpt2_mini, train_fp16)
+        assert compiled.platform == run.platform

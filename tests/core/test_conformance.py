@@ -1,0 +1,102 @@
+"""Backend conformance suite."""
+
+import pytest
+
+from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
+from repro.core.conformance import ConformanceReport, check_backend
+from repro.models.config import TrainConfig, gpt2_model
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+@pytest.fixture()
+def model():
+    return gpt2_model("small").with_layers(4)
+
+
+@pytest.fixture()
+def fp16():
+    return TrainConfig(batch_size=16, seq_len=1024)
+
+
+class TestShippedBackendsConform:
+    def test_cerebras(self, cerebras, model, fp16):
+        report = check_backend(cerebras, model, fp16)
+        assert report.passed, report.summary()
+
+    def test_sambanova(self, sambanova, model, fp16):
+        bf16 = fp16.with_precision(PrecisionPolicy.pure(Precision.BF16))
+        for mode in ("O0", "O1", "O3"):
+            report = check_backend(sambanova, model, bf16,
+                                   options={"mode": mode})
+            assert report.passed, report.summary()
+
+    def test_graphcore(self, graphcore, model, fp16):
+        report = check_backend(graphcore, model, fp16,
+                               options={"n_ipus": 2})
+        assert report.passed, report.summary()
+
+    def test_gpu(self, gpu, model, fp16):
+        report = check_backend(gpu, model, fp16, options={"tp": 4})
+        assert report.passed, report.summary()
+
+    def test_checks_actually_ran(self, cerebras, model, fp16):
+        report = check_backend(cerebras, model, fp16)
+        assert "determinism" in report.checks_run
+        assert "run.flops.bounded" in report.checks_run
+        assert len(report.checks_run) >= 15
+
+
+class _BrokenBackend(AcceleratorBackend):
+    """A deliberately non-conformant backend for negative testing."""
+
+    def __init__(self, base, breakage: str) -> None:
+        super().__init__(base.system)
+        self._base = base
+        self._breakage = breakage
+        self._flip = False
+
+    def compile(self, model, train, **options) -> CompileReport:
+        return self._base.compile(model, train, **options)
+
+    def run(self, compiled) -> RunReport:
+        import dataclasses
+        run = self._base.run(compiled)
+        if self._breakage == "tokens":
+            return dataclasses.replace(
+                run, tokens_per_second=run.tokens_per_second * 2)
+        if self._breakage == "flops":
+            return dataclasses.replace(
+                run, achieved_flops=self.system.chip.peak_flops * 10)
+        if self._breakage == "nondeterministic":
+            self._flip = not self._flip
+            if self._flip:
+                return run
+            return dataclasses.replace(
+                run, tokens_per_second=run.tokens_per_second + 1.0)
+        return run
+
+
+class TestViolationsDetected:
+    @pytest.mark.parametrize("breakage,check", [
+        ("tokens", "run.identity.tokens"),
+        ("flops", "run.flops.bounded"),
+        ("nondeterministic", "determinism"),
+    ])
+    def test_detects(self, cerebras, model, fp16, breakage, check):
+        broken = _BrokenBackend(cerebras, breakage)
+        report = check_backend(broken, model, fp16)
+        assert not report.passed
+        assert any(issue.check == check for issue in report.issues), \
+            report.summary()
+
+    def test_summary_mentions_issue(self, cerebras, model, fp16):
+        broken = _BrokenBackend(cerebras, "flops")
+        report = check_backend(broken, model, fp16)
+        assert "run.flops.bounded" in report.summary()
+
+
+class TestReportObject:
+    def test_passed_when_no_issues(self):
+        report = ConformanceReport(backend="x")
+        assert report.passed
+        assert "0 issue" in report.summary()

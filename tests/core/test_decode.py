@@ -1,0 +1,101 @@
+"""Autoregressive decode analysis."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.decode import (
+    batch_to_saturate,
+    decode_step_flops,
+    estimate_decode,
+    kv_cache_bytes,
+)
+from repro.hardware.specs import BOW_IPU, SN30_RDU, WSE2
+from repro.models.config import TrainConfig, gpt2_model, llama2_model
+from repro.models.costmodel import TransformerCostModel
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+@pytest.fixture()
+def bf16():
+    return TrainConfig(batch_size=1, seq_len=1,
+                       precision=PrecisionPolicy.pure(Precision.BF16))
+
+
+class TestCosts:
+    def test_kv_cache_scales(self, bf16):
+        model = llama2_model("7b")
+        base = kv_cache_bytes(model, bf16, 1, 1024)
+        assert kv_cache_bytes(model, bf16, 4, 1024) == pytest.approx(
+            4 * base)
+        assert kv_cache_bytes(model, bf16, 1, 2048) == pytest.approx(
+            2 * base)
+
+    def test_gqa_shrinks_cache(self, bf16):
+        full = kv_cache_bytes(llama2_model("7b"), bf16, 1, 1024)
+        # 70B has 8 kv heads of 128 dims = 1024 kv_hidden vs 4096 at 7B,
+        # but 80 layers vs 32: ratio = (80 * 1024) / (32 * 4096).
+        gqa = kv_cache_bytes(llama2_model("70b"), bf16, 1, 1024)
+        assert gqa / full == pytest.approx((80 * 1024) / (32 * 4096))
+
+    def test_step_flops_near_2p(self, bf16):
+        model = gpt2_model("small")
+        params = TransformerCostModel(model).total_params()
+        flops = decode_step_flops(model, bf16, batch_size=1, context_len=1)
+        assert flops == pytest.approx(2 * params, rel=0.05)
+
+
+class TestRegimes:
+    def test_wse_compute_bound_at_batch_one(self, bf16):
+        estimate = estimate_decode(WSE2, gpt2_model("small"), bf16, 1, 1024)
+        assert estimate.bound == "compute"
+
+    def test_ddr_platforms_memory_bound_at_batch_one(self, bf16):
+        for chip in (SN30_RDU, BOW_IPU):
+            estimate = estimate_decode(chip, gpt2_model("small"), bf16,
+                                       1, 1024)
+            assert estimate.bound == "memory", chip.name
+
+    def test_batch_amortizes_weight_reads(self, bf16):
+        model = gpt2_model("small")
+        one = estimate_decode(SN30_RDU, model, bf16, 1, 256)
+        many = estimate_decode(SN30_RDU, model, bf16, 64, 256)
+        # Sublinear of 64x because the KV-cache reads grow with batch,
+        # but far above linear-in-nothing: weight reads amortize.
+        assert many.tokens_per_second > 15 * one.tokens_per_second
+
+    def test_long_context_kv_dominates(self, bf16):
+        model = llama2_model("7b")
+        short = estimate_decode(SN30_RDU, model, bf16, 32, 128)
+        long = estimate_decode(SN30_RDU, model, bf16, 32, 4096)
+        assert long.kv_cache_bytes > 10 * short.kv_cache_bytes
+        assert long.tokens_per_second < short.tokens_per_second
+
+    def test_saturation_batch_orders_platforms(self, bf16):
+        model = gpt2_model("small")
+        wse = batch_to_saturate(WSE2, model, bf16, context_len=512)
+        rdu = batch_to_saturate(SN30_RDU, model, bf16, context_len=512)
+        assert wse == 1  # on-chip weights: compute-bound immediately
+        assert rdu is None or rdu > 8
+
+    def test_capacity_enforced(self, bf16):
+        with pytest.raises(ConfigurationError):
+            estimate_decode(BOW_IPU, llama2_model("70b"), bf16, 1, 1024)
+
+    def test_invalid_inputs(self, bf16):
+        with pytest.raises(ConfigurationError):
+            estimate_decode(WSE2, gpt2_model("small"), bf16, 0, 128)
+
+
+class TestLatency:
+    def test_per_sequence_latency(self, bf16):
+        estimate = estimate_decode(SN30_RDU, gpt2_model("small"), bf16,
+                                   8, 512)
+        assert estimate.per_sequence_latency == pytest.approx(
+            8 / estimate.tokens_per_second)
+
+    def test_intensity_rises_with_batch(self, bf16):
+        model = gpt2_model("small")
+        ai = [estimate_decode(SN30_RDU, model, bf16, b,
+                              256).arithmetic_intensity
+              for b in (1, 8, 64)]
+        assert ai == sorted(ai)

@@ -1,0 +1,88 @@
+"""Energy/power extension."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.energy import (
+    POWER_SPECS,
+    PowerSpec,
+    estimate_energy,
+)
+from repro.models.config import TrainConfig, gpt2_model
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+class TestPowerSpec:
+    def test_linear_interpolation(self):
+        spec = PowerSpec("x", idle_watts=100.0, peak_watts=300.0)
+        assert spec.power_at(0.0) == 100.0
+        assert spec.power_at(0.5) == 200.0
+        assert spec.power_at(1.0) == 300.0
+
+    def test_utilization_clamped(self):
+        spec = PowerSpec("x", idle_watts=100.0, peak_watts=300.0)
+        assert spec.power_at(-1.0) == 100.0
+        assert spec.power_at(2.0) == 300.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec("x", idle_watts=-1.0, peak_watts=10.0)
+        with pytest.raises(ConfigurationError):
+            PowerSpec("x", idle_watts=100.0, peak_watts=50.0)
+
+    def test_all_platforms_have_specs(self):
+        for name in ("CS-2", "SN30", "Bow-2000", "A100-cluster"):
+            assert name in POWER_SPECS
+
+
+class TestEstimate:
+    @pytest.fixture()
+    def pair(self, cerebras):
+        compiled = cerebras.compile(gpt2_model("small"),
+                                    TrainConfig(batch_size=32,
+                                                seq_len=1024))
+        return compiled, cerebras.run(compiled)
+
+    def test_basic_accounting(self, pair):
+        compiled, run = pair
+        estimate = estimate_energy(compiled, run)
+        assert estimate.platform == "CS-2"
+        assert estimate.power_watts > POWER_SPECS["CS-2"].idle_watts
+        assert estimate.step_energy_joules == pytest.approx(
+            estimate.power_watts * run.step_time)
+        assert estimate.tokens_per_joule * estimate.joules_per_token == \
+            pytest.approx(1.0)
+
+    def test_unknown_platform_needs_explicit_spec(self, pair):
+        import dataclasses
+        compiled, run = pair
+        odd = dataclasses.replace(compiled, platform="Mystery-9000")
+        with pytest.raises(ConfigurationError):
+            estimate_energy(odd, run)
+        estimate = estimate_energy(
+            odd, run, power=PowerSpec("Mystery", 10.0, 20.0))
+        assert estimate.power_watts <= 20.0
+
+    def test_multi_chip_scales_power(self, sambanova):
+        bf16 = TrainConfig(batch_size=16, seq_len=1024,
+                           precision=PrecisionPolicy.pure(Precision.BF16))
+        model = gpt2_model("small")
+        one = sambanova.compile(model, bf16, mode="O1", tp=1)
+        two = sambanova.compile(model, bf16, mode="O1", tp=2)
+        e1 = estimate_energy(one, sambanova.run(one))
+        e2 = estimate_energy(two, sambanova.run(two))
+        assert e2.n_chips == 2
+        # Two chips at lower utilization each: more watts in total.
+        assert e2.power_watts > e1.power_watts * 1.2
+
+    def test_idle_heavy_platform_penalized_at_low_utilization(self,
+                                                              sambanova):
+        """O0's low utilization wastes proportionally more energy."""
+        bf16 = TrainConfig(batch_size=16, seq_len=1024,
+                           precision=PrecisionPolicy.pure(Precision.BF16))
+        model = gpt2_model("small")
+        o0 = sambanova.compile(model, bf16, mode="O0")
+        o3 = sambanova.compile(model, bf16, mode="O3")
+        e0 = estimate_energy(o0, sambanova.run(o0))
+        e3 = estimate_energy(o3, sambanova.run(o3))
+        assert e0.joules_per_token > 2.0 * e3.joules_per_token

@@ -1,0 +1,126 @@
+"""Automated insight generation."""
+
+import pytest
+
+from repro.core.insights import (
+    Bottleneck,
+    diagnose,
+    diagnose_batch,
+    diagnose_scaling,
+    diagnose_sweep,
+)
+from repro.core.tier1 import Tier1Profiler
+from repro.core.tier2 import DeploymentOptimizer, ScalabilityAnalyzer
+from repro.models.config import TrainConfig, gpt2_model, llama2_model
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+class TestDiagnoseTier1:
+    def test_rdu_flags_allocation(self, sambanova):
+        bf16 = TrainConfig(batch_size=16, seq_len=1024,
+                           precision=PrecisionPolicy.pure(Precision.BF16))
+        result = Tier1Profiler(sambanova).profile(
+            gpt2_model("small"), bf16, mode="O0")
+        kinds = {i.bottleneck for i in diagnose(result)}
+        assert Bottleneck.ALLOCATION in kinds
+
+    def test_rdu_o3_flags_balance(self, sambanova):
+        bf16 = TrainConfig(batch_size=16, seq_len=1024,
+                           precision=PrecisionPolicy.pure(Precision.BF16))
+        result = Tier1Profiler(sambanova).profile(
+            gpt2_model("small").with_layers(24), bf16, mode="O3")
+        kinds = {i.bottleneck for i in diagnose(result)}
+        assert Bottleneck.LOAD_BALANCE in kinds
+
+    def test_wse_large_model_flags_memory(self, cerebras):
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        result = Tier1Profiler(cerebras).profile(
+            gpt2_model("small").with_layers(66), train)
+        kinds = {i.bottleneck for i in diagnose(result)}
+        assert Bottleneck.MEMORY_CAPACITY in kinds
+
+    def test_ipu_flags_bandwidth(self, graphcore):
+        train = TrainConfig(batch_size=32, seq_len=1024)
+        result = Tier1Profiler(graphcore).profile(
+            gpt2_model("small").with_layers(4), train, n_ipus=2)
+        kinds = {i.bottleneck for i in diagnose(result)}
+        assert Bottleneck.MEMORY_BANDWIDTH in kinds
+
+    def test_sorted_by_severity(self, sambanova):
+        bf16 = TrainConfig(batch_size=16, seq_len=1024,
+                           precision=PrecisionPolicy.pure(Precision.BF16))
+        result = Tier1Profiler(sambanova).profile(
+            gpt2_model("small"), bf16, mode="O0")
+        severities = [i.severity for i in diagnose(result)]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_insight_renders(self, cerebras):
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        result = Tier1Profiler(cerebras).profile(
+            gpt2_model("small").with_layers(24), train)
+        for insight in diagnose(result):
+            text = str(insight)
+            assert "->" in text and "severity" in text
+
+
+class TestDiagnoseSweep:
+    def test_capability_envelope_detected(self, cerebras):
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        entries = Tier1Profiler(cerebras).sweep_layers(
+            gpt2_model("small"), train, [36, 72, 78])
+        insights = diagnose_sweep(entries)
+        assert any("72 and 78" in i.finding for i in insights)
+
+    def test_efficiency_decay_detected(self, cerebras):
+        train = TrainConfig(batch_size=256, seq_len=1024)
+        entries = Tier1Profiler(cerebras).sweep_layers(
+            gpt2_model("small"), train, [12, 24, 36, 66])
+        insights = diagnose_sweep(entries)
+        assert any("peaks at sweep value" in i.finding for i in insights)
+
+    def test_quiet_on_clean_sweep(self, cerebras):
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        entries = Tier1Profiler(cerebras).sweep_layers(
+            gpt2_model("small"), train, [6, 12])
+        assert diagnose_sweep(entries) == []
+
+
+class TestDiagnoseScaling:
+    def test_tp_cliff_named(self, sambanova):
+        train = TrainConfig(batch_size=8, seq_len=4096,
+                            precision=PrecisionPolicy.pure(Precision.BF16))
+        points = ScalabilityAnalyzer(sambanova).sweep(
+            llama2_model("7b"), train,
+            [("TP2", {"mode": "O1", "tp": 2}),
+             ("TP4", {"mode": "O1", "tp": 4})])
+        insights = diagnose_scaling(points, {"TP2": 2, "TP4": 4})
+        assert len(insights) == 1
+        assert insights[0].bottleneck is Bottleneck.COMMUNICATION
+        assert "stop scaling at TP2" in insights[0].recommendation
+
+    def test_healthy_scaling_quiet(self, cerebras):
+        train = TrainConfig(batch_size=256, seq_len=1024)
+        points = ScalabilityAnalyzer(cerebras).sweep(
+            gpt2_model("tiny"), train,
+            [("DP1", {"n_replicas": 1}), ("DP2", {"n_replicas": 2})])
+        assert diagnose_scaling(points, {"DP1": 1, "DP2": 2}) == []
+
+
+class TestDiagnoseBatch:
+    def test_wse_recommendation(self, cerebras):
+        sweep = DeploymentOptimizer(cerebras).batch_sweep(
+            gpt2_model("small"), TrainConfig(batch_size=8, seq_len=1024),
+            [32, 64, 128, 256])
+        insight = diagnose_batch(sweep)
+        assert "saturates" in insight.finding
+        assert str(sweep.saturation_batch) in insight.recommendation
+
+    def test_rdu_recommendation(self, sambanova):
+        sweep = DeploymentOptimizer(sambanova).batch_sweep(
+            gpt2_model("small"),
+            TrainConfig(batch_size=4, seq_len=1024,
+                        precision=PrecisionPolicy.pure(Precision.BF16)),
+            [4, 8, 16, 32], mode="O1")
+        insight = diagnose_batch(sweep)
+        assert insight.bottleneck is Bottleneck.BALANCED
+        assert "largest batch" in insight.recommendation

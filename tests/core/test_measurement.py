@@ -1,0 +1,67 @@
+"""Variance-weighted measurement aggregation (Sec. IV-D(c))."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.measurement import measure_weighted
+from repro.models.config import TrainConfig, gpt2_model
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+class TestMeasureWeighted:
+    def test_requires_batches(self, cerebras):
+        with pytest.raises(ConfigurationError):
+            measure_weighted(cerebras, gpt2_model("small"),
+                             TrainConfig(batch_size=8, seq_len=512), [])
+
+    def test_aggregates_within_point_range(self, cerebras):
+        result = measure_weighted(
+            cerebras, gpt2_model("small"),
+            TrainConfig(batch_size=8, seq_len=1024), [32, 64, 128, 256])
+        rates = [p.tokens_per_second for p in result.points]
+        assert min(rates) <= result.tokens_per_second <= max(rates)
+        assert 0 < result.allocation <= 1
+        assert 0 < result.load_imbalance <= 1
+
+    def test_weights_favor_stable_region(self, cerebras):
+        """On the saturating WSE curve, large batches (flat region near
+        the median per-token time) outweigh the steep small-batch ramp.
+        """
+        result = measure_weighted(
+            cerebras, gpt2_model("small"),
+            TrainConfig(batch_size=8, seq_len=1024), [16, 64, 256, 512])
+        assert result.weights[512] > result.weights[16]
+
+    def test_wse_more_batch_sensitive_than_rdu(self, cerebras, sambanova):
+        wse = measure_weighted(
+            cerebras, gpt2_model("small"),
+            TrainConfig(batch_size=8, seq_len=1024), [32, 128, 512])
+        rdu = measure_weighted(
+            sambanova, gpt2_model("small"),
+            TrainConfig(batch_size=8, seq_len=1024,
+                        precision=PrecisionPolicy.pure(Precision.BF16)),
+            [8, 16, 32], mode="O3")
+        # The paper's reason for weighting: CS-2 is the sensitive system.
+        assert wse.batch_sensitivity > 0.1
+        assert wse.batch_sensitivity != rdu.batch_sensitivity
+
+    def test_failed_batches_skipped(self, graphcore):
+        result = measure_weighted(
+            graphcore, gpt2_model("small").with_layers(6),
+            TrainConfig(batch_size=8, seq_len=1024), [16, 8192],
+            n_ipus=2)
+        assert len(result.points) == 1
+
+    def test_all_failed_raises(self, graphcore):
+        with pytest.raises(ConfigurationError):
+            measure_weighted(
+                graphcore, gpt2_model("small").with_layers(32),
+                TrainConfig(batch_size=8, seq_len=1024), [16], n_ipus=2)
+
+    def test_single_point_sensitivity_zero(self, cerebras):
+        result = measure_weighted(
+            cerebras, gpt2_model("mini"),
+            TrainConfig(batch_size=8, seq_len=512), [64])
+        assert result.batch_sensitivity == 0.0
+        assert result.tokens_per_second == \
+            result.points[0].tokens_per_second

@@ -1,0 +1,193 @@
+"""Equations 1-4: allocation ratio and load imbalance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.backend import PhaseProfile, TaskProfile
+from repro.core.metrics import (
+    allocation_ratio,
+    compute_efficiency,
+    load_imbalance,
+    phase_allocation_ratio,
+    weighted_load_imbalance,
+)
+
+
+def task(name="t", compute=100.0, memory=50.0, throughput=10.0,
+         role="compute"):
+    return TaskProfile(name=name, compute_units=compute,
+                       memory_units=memory, role=role,
+                       throughput=throughput)
+
+
+def phase(name="p", runtime=1.0, tasks=(), invocations=1):
+    return PhaseProfile(name=name, runtime=runtime, tasks=tuple(tasks),
+                        invocations=invocations)
+
+
+class TestAllocationRatio:
+    def test_eq1_single_phase(self):
+        p = phase(tasks=[task(compute=300.0), task(name="u", compute=100.0)])
+        assert allocation_ratio([p], total_units=1000.0) == pytest.approx(0.4)
+
+    def test_eq2_time_weighted(self):
+        # Section A: 60% for 3s; section B: 20% for 1s -> 50%.
+        a = phase("a", runtime=3.0, tasks=[task(compute=600.0)])
+        b = phase("b", runtime=1.0, tasks=[task(compute=200.0)])
+        assert allocation_ratio([a, b], total_units=1000.0) == \
+            pytest.approx(0.5)
+
+    def test_invocations_multiply_weights(self):
+        a = phase("a", runtime=1.0, tasks=[task(compute=600.0)],
+                  invocations=3)
+        b = phase("b", runtime=1.0, tasks=[task(compute=200.0)])
+        assert allocation_ratio([a, b], total_units=1000.0) == \
+            pytest.approx(0.5)
+
+    def test_memory_kind_uses_memory_units(self):
+        p = phase(tasks=[task(memory=250.0)])
+        assert allocation_ratio([p], total_units=1000.0,
+                                kind="memory") == pytest.approx(0.25)
+
+    def test_requires_total_units_for_raw_phases(self):
+        with pytest.raises(ConfigurationError):
+            allocation_ratio([phase(tasks=[task()])])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            allocation_ratio([], total_units=10.0)
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ConfigurationError):
+            allocation_ratio([phase(tasks=[task()])], total_units=0.0)
+
+    def test_zero_runtime_falls_back_to_mean(self):
+        a = phase("a", runtime=0.0, tasks=[task(compute=600.0)])
+        b = phase("b", runtime=0.0, tasks=[task(compute=200.0)])
+        assert allocation_ratio([a, b], total_units=1000.0) == \
+            pytest.approx(0.4)
+
+    def test_phase_allocation_ratio_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            phase_allocation_ratio(phase(tasks=[task()]), 100.0,
+                                   kind="quantum")
+
+
+class TestLoadImbalance:
+    def test_perfectly_balanced_is_one(self):
+        tasks = [task(name=f"t{i}", throughput=5.0) for i in range(4)]
+        assert load_imbalance(tasks) == pytest.approx(1.0)
+
+    def test_eq3_weighting(self):
+        # Slow task (T=1) with 100 units, fast (T=4) with 300 units:
+        # LI = (100*1 + 300*0.25) / 400 = 0.4375.
+        tasks = [task(name="slow", compute=100.0, throughput=1.0),
+                 task(name="fast", compute=300.0, throughput=4.0)]
+        assert load_imbalance(tasks) == pytest.approx(0.4375)
+
+    def test_faster_outliers_lower_li(self):
+        balanced = [task(name="a", throughput=1.0),
+                    task(name="b", throughput=1.0)]
+        skewed = [task(name="a", throughput=1.0),
+                  task(name="b", throughput=10.0)]
+        assert load_imbalance(skewed) < load_imbalance(balanced)
+
+    def test_transmission_tasks_excluded(self):
+        tasks = [task(throughput=1.0),
+                 task(name="tx", role="transmission", throughput=0.0)]
+        assert load_imbalance(tasks) == pytest.approx(1.0)
+
+    def test_zero_throughput_tasks_skipped(self):
+        tasks = [task(name="a", throughput=2.0),
+                 task(name="b", throughput=0.0)]
+        assert load_imbalance(tasks) == pytest.approx(1.0)
+
+    def test_no_rated_tasks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_imbalance([task(throughput=0.0)])
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=1.0, max_value=1e4),   # resources
+        st.floats(min_value=0.1, max_value=1e3)),  # throughput
+        min_size=1, max_size=20))
+    def test_li_bounded_zero_one(self, raw):
+        tasks = [task(name=f"t{i}", compute=r, throughput=tp)
+                 for i, (r, tp) in enumerate(raw)]
+        li = load_imbalance(tasks)
+        assert 0.0 < li <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=100.0),
+           st.integers(min_value=1, max_value=10))
+    def test_li_scale_invariant(self, scale, n):
+        tasks = [task(name=f"t{i}", compute=10.0 * (i + 1),
+                      throughput=float(i + 1)) for i in range(n)]
+        scaled = [task(name=t.name, compute=t.compute_units,
+                       throughput=t.throughput * scale) for t in tasks]
+        assert load_imbalance(scaled) == pytest.approx(
+            load_imbalance(tasks))
+
+
+class TestWeightedLoadImbalance:
+    def test_eq4_runtime_weighting(self):
+        balanced = phase("a", runtime=3.0, tasks=[
+            task(name="x", throughput=1.0), task(name="y", throughput=1.0)])
+        skewed = phase("b", runtime=1.0, tasks=[
+            task(name="x", throughput=1.0, compute=100.0),
+            task(name="y", throughput=2.0, compute=100.0)])
+        li = weighted_load_imbalance([balanced, skewed])
+        assert li == pytest.approx((3.0 * 1.0 + 1.0 * 0.75) / 4.0)
+
+    def test_unrated_phases_excluded(self):
+        rated = phase("a", runtime=1.0, tasks=[task(throughput=1.0)])
+        unrated = phase("b", runtime=9.0, tasks=[task(throughput=0.0)])
+        assert weighted_load_imbalance([rated, unrated]) == pytest.approx(1.0)
+
+    def test_all_unrated_rejected(self):
+        unrated = phase("b", runtime=1.0, tasks=[task(throughput=0.0)])
+        with pytest.raises(ConfigurationError):
+            weighted_load_imbalance([unrated])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_load_imbalance([])
+
+
+class TestComputeEfficiency:
+    def test_ratio(self):
+        assert compute_efficiency(50.0, 200.0) == pytest.approx(0.25)
+
+    def test_bad_peak(self):
+        with pytest.raises(ConfigurationError):
+            compute_efficiency(1.0, 0.0)
+
+    def test_negative_achieved(self):
+        with pytest.raises(ConfigurationError):
+            compute_efficiency(-1.0, 1.0)
+
+
+class TestLoadImbalanceStructure:
+    """Structural properties of Eq. 3 worth guarding."""
+
+    def test_merging_equal_throughput_tasks_is_invariant(self):
+        # Two tasks with identical throughput behave like one task with
+        # their combined resources — LI cannot be gamed by reporting
+        # granularity alone when rates match.
+        split = [task(name="a", compute=100.0, throughput=2.0),
+                 task(name="b", compute=300.0, throughput=2.0),
+                 task(name="c", compute=50.0, throughput=1.0)]
+        merged = [task(name="ab", compute=400.0, throughput=2.0),
+                  task(name="c", compute=50.0, throughput=1.0)]
+        assert load_imbalance(split) == pytest.approx(
+            load_imbalance(merged))
+
+    def test_adding_bottleneck_speed_resources_raises_li(self):
+        base = [task(name="slow", compute=100.0, throughput=1.0),
+                task(name="fast", compute=100.0, throughput=4.0)]
+        more_slow = base + [task(name="slow2", compute=200.0,
+                                 throughput=1.0)]
+        assert load_imbalance(more_slow) > load_imbalance(base)
+
+    def test_single_task_is_perfectly_balanced(self):
+        assert load_imbalance([task()]) == pytest.approx(1.0)

@@ -1,0 +1,78 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.plots import ascii_bar_chart, ascii_line_chart
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_line_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0],
+                                             "b": [3.0, 2.0, 1.0]})
+        assert "* a" in chart
+        assert "o b" in chart
+        # At least the non-overlapping points plus the legend marker
+        # (the shared midpoint is overdrawn by the later series).
+        assert chart.count("*") >= 3
+        assert chart.count("o") >= 4
+
+    def test_title_and_labels(self):
+        chart = ascii_line_chart([0, 10], {"s": [0.0, 5.0]},
+                                 title="T", y_label="yy")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert any("yy" in line for line in lines)
+        assert "5" in lines[1]  # top y tick
+
+    def test_none_points_skipped(self):
+        chart = ascii_line_chart([1, 2, 3], {"s": [1.0, None, 3.0]})
+        assert chart  # renders without error
+
+    def test_constant_series(self):
+        chart = ascii_line_chart([1, 2], {"s": [5.0, 5.0]})
+        assert "5" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([1], {})
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([1], {"s": [None]})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([1], {"s": [1.0]}, width=2, height=2)
+
+    def test_dimensions(self):
+        chart = ascii_line_chart([1, 2], {"s": [1.0, 2.0]},
+                                 width=30, height=8)
+        plot_rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_rows) == 8
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_unit_suffix(self):
+        chart = ascii_bar_chart(["x"], [3.0], unit=" J")
+        assert "3 J" in chart
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart([], [])
+
+    def test_nonpositive_peak(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart(["a"], [0.0])
+
+    def test_title(self):
+        chart = ascii_bar_chart(["a"], [1.0], title="My bars")
+        assert chart.splitlines()[0] == "My bars"

@@ -1,0 +1,60 @@
+"""Report rendering."""
+
+from repro.core.report import (
+    TIER1_HEADERS,
+    BenchmarkReport,
+    describe_tier1,
+    render_table,
+    tier1_summary_row,
+)
+from repro.core.tier1 import Tier1Profiler
+from repro.models.config import TrainConfig, gpt2_model
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows share the same width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="Table I")
+        assert text.startswith("Table I")
+
+    def test_non_string_cells(self):
+        text = render_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestBenchmarkReport:
+    def test_render_sections_in_order(self):
+        report = BenchmarkReport(title="T")
+        report.add_table("tbl", ["h"], [["v"]])
+        report.add_insight("something useful")
+        report.add_text("closing")
+        rendered = report.render()
+        assert rendered.index("tbl") < rendered.index("Insight:") \
+            < rendered.index("closing")
+
+    def test_title_banner(self):
+        rendered = BenchmarkReport(title="My Title").render()
+        assert "My Title" in rendered
+        assert "=" * len("My Title") in rendered
+
+
+class TestTier1Rendering:
+    def test_summary_row_matches_headers(self, cerebras):
+        result = Tier1Profiler(cerebras).profile(
+            gpt2_model("small"), TrainConfig(batch_size=32, seq_len=1024))
+        row = tier1_summary_row(result)
+        assert len(row) == len(TIER1_HEADERS)
+        assert row[0] == "CS-2"
+
+    def test_describe_mentions_bound(self, cerebras):
+        result = Tier1Profiler(cerebras).profile(
+            gpt2_model("small"), TrainConfig(batch_size=32, seq_len=1024))
+        text = describe_tier1(result)
+        assert "compute-bound" in text
+        assert "%" in text

@@ -1,0 +1,103 @@
+"""Roofline model and Eq. 5 intensity helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.intensity import arithmetic_intensity, intensity_sweep
+from repro.core.roofline import RooflineModel
+from repro.hardware.specs import BOW_IPU, SN30_RDU, WSE2
+from repro.models.config import TrainConfig, gpt2_model
+
+
+class TestRooflineMechanics:
+    def test_ridge(self):
+        model = RooflineModel(WSE2, peak_flops=100.0, bandwidth=10.0)
+        assert model.ridge_intensity == pytest.approx(10.0)
+
+    def test_attainable_memory_side(self):
+        model = RooflineModel(WSE2, peak_flops=100.0, bandwidth=10.0)
+        assert model.attainable(2.0) == pytest.approx(20.0)
+
+    def test_attainable_compute_side(self):
+        model = RooflineModel(WSE2, peak_flops=100.0, bandwidth=10.0)
+        assert model.attainable(50.0) == pytest.approx(100.0)
+
+    def test_bound_classification(self):
+        model = RooflineModel(WSE2, peak_flops=100.0, bandwidth=10.0)
+        assert model.bound_of(5.0) == "memory"
+        assert model.bound_of(10.0) == "compute"
+
+    def test_negative_intensity_rejected(self):
+        model = RooflineModel(WSE2)
+        with pytest.raises(ConfigurationError):
+            model.attainable(-1.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RooflineModel(WSE2, peak_flops=0.0)
+
+    def test_place_and_efficiency(self):
+        model = RooflineModel(WSE2, peak_flops=100.0, bandwidth=10.0)
+        point = model.place("w", intensity=2.0, achieved_flops=10.0)
+        assert point.attainable_flops == pytest.approx(20.0)
+        assert point.efficiency_vs_roof == pytest.approx(0.5)
+        assert point.bound == "memory"
+
+    def test_series(self):
+        model = RooflineModel(WSE2, peak_flops=100.0, bandwidth=10.0)
+        points = model.series([("a", 1.0, 5.0), ("b", 100.0, 50.0)])
+        assert [p.bound for p in points] == ["memory", "compute"]
+
+    def test_roof_curve_monotone(self):
+        model = RooflineModel(WSE2, peak_flops=100.0, bandwidth=10.0)
+        curve = model.roof_curve([1.0, 5.0, 10.0, 100.0])
+        assert curve == sorted(curve)
+        assert curve[-1] == 100.0
+
+
+class TestPaperClassification:
+    """Fig. 10: WSE compute-bound, RDU and IPU memory-bound."""
+
+    @pytest.fixture()
+    def intensity(self):
+        return arithmetic_intensity(gpt2_model("small"),
+                                    TrainConfig(batch_size=16, seq_len=1024))
+
+    def test_wse_compute_bound(self, intensity):
+        assert RooflineModel(WSE2).bound_of(intensity) == "compute"
+
+    def test_rdu_memory_bound(self, intensity):
+        assert RooflineModel(SN30_RDU).bound_of(intensity) == "memory"
+
+    def test_ipu_memory_bound(self, intensity):
+        assert RooflineModel(BOW_IPU).bound_of(intensity) == "memory"
+
+
+class TestIntensityHelpers:
+    def test_negative_activation_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            arithmetic_intensity(gpt2_model("small"),
+                                 TrainConfig(batch_size=1, seq_len=128),
+                                 activation_bytes=-1.0)
+
+    def test_activation_override_used(self):
+        model = gpt2_model("small")
+        train = TrainConfig(batch_size=1, seq_len=128)
+        ai_small = arithmetic_intensity(model, train, activation_bytes=0.0)
+        ai_big = arithmetic_intensity(model, train, activation_bytes=1e12)
+        assert ai_small > ai_big
+
+    def test_sweep_keys(self):
+        sweep = intensity_sweep(gpt2_model("small"),
+                                TrainConfig(batch_size=2, seq_len=256),
+                                [1, 2, 4])
+        assert sorted(sweep) == [1, 2, 4]
+        assert all(v > 0 for v in sweep.values())
+
+    @given(st.integers(min_value=1, max_value=128))
+    def test_intensity_positive(self, batch):
+        ai = arithmetic_intensity(gpt2_model("mini"),
+                                  TrainConfig(batch_size=batch, seq_len=256))
+        assert ai > 0

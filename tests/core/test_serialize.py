@@ -1,0 +1,95 @@
+"""JSON serialization of framework reports."""
+
+import json
+
+import pytest
+
+from repro.core.serialize import (
+    batch_sweep_to_dict,
+    compile_report_to_dict,
+    memory_to_dict,
+    precision_to_dict,
+    run_report_to_dict,
+    scaling_point_to_dict,
+    sweep_entry_to_dict,
+    tier1_to_dict,
+    to_json,
+)
+from repro.core.tier1 import Tier1Profiler
+from repro.core.tier2 import DeploymentOptimizer, ScalabilityAnalyzer
+from repro.models.config import TrainConfig, gpt2_model
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+@pytest.fixture(scope="module")
+def tier1_result(cerebras):
+    return Tier1Profiler(cerebras).profile(
+        gpt2_model("small"), TrainConfig(batch_size=32, seq_len=1024))
+
+
+class TestCompileRunSerialization:
+    def test_compile_round_trips_json(self, tier1_result):
+        payload = compile_report_to_dict(tier1_result.compiled)
+        text = to_json(payload)
+        back = json.loads(text)
+        assert back["platform"] == "CS-2"
+        assert back["model"] == "gpt2-small"
+        assert back["phases"][0]["tasks"]
+
+    def test_run_round_trips_json(self, tier1_result):
+        back = json.loads(to_json(run_report_to_dict(tier1_result.run)))
+        assert back["tokens_per_second"] > 0
+        assert "trace" not in back
+
+    def test_meta_reduced_to_scalars(self, tier1_result):
+        payload = compile_report_to_dict(tier1_result.compiled)
+        for value in payload["meta"].values():
+            assert isinstance(value, (str, int, float, bool, type(None)))
+
+    def test_memory_none(self):
+        assert memory_to_dict(None) is None
+
+
+class TestTier1Serialization:
+    def test_fields(self, tier1_result):
+        payload = tier1_to_dict(tier1_result)
+        json.loads(to_json(payload))
+        assert payload["bound"] == "compute"
+        assert 0 < payload["compute_allocation"] <= 1
+
+    def test_sweep_entry_failure(self, cerebras):
+        entries = Tier1Profiler(cerebras).sweep_layers(
+            gpt2_model("small"), TrainConfig(batch_size=32, seq_len=1024),
+            [90])
+        payload = sweep_entry_to_dict(entries[0])
+        json.loads(to_json(payload))
+        assert payload["failed"]
+        assert payload["result"] is None
+
+
+class TestTier2Serialization:
+    def test_scaling_point(self, cerebras):
+        points = ScalabilityAnalyzer(cerebras).sweep(
+            gpt2_model("mini"), TrainConfig(batch_size=64, seq_len=512),
+            [("DP2", {"n_replicas": 2})])
+        payload = scaling_point_to_dict(points[0])
+        json.loads(to_json(payload))
+        assert payload["label"] == "DP2"
+        assert payload["options"] == {"n_replicas": 2}
+
+    def test_batch_sweep(self, cerebras):
+        sweep = DeploymentOptimizer(cerebras).batch_sweep(
+            gpt2_model("mini"), TrainConfig(batch_size=8, seq_len=512),
+            [8, 16])
+        payload = batch_sweep_to_dict(sweep)
+        json.loads(to_json(payload))
+        assert payload["batch_sizes"] == [8, 16]
+
+    def test_precision(self, cerebras):
+        cmp = DeploymentOptimizer(cerebras).compare_precision(
+            gpt2_model("mini"), TrainConfig(batch_size=32, seq_len=512),
+            baseline=PrecisionPolicy.pure(Precision.FP16),
+            optimized=PrecisionPolicy.pure(Precision.CB16))
+        payload = precision_to_dict(cmp)
+        json.loads(to_json(payload))
+        assert payload["gain"] > 0

@@ -1,0 +1,80 @@
+"""Tier-1 profiler against all backends."""
+
+import pytest
+
+from repro.core.tier1 import Tier1Profiler
+from repro.models.config import TrainConfig, gpt2_model
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+
+class TestProfile:
+    def test_cerebras_profile_fields(self, cerebras, gpt2_small,
+                                     train_fp16):
+        result = Tier1Profiler(cerebras).profile(gpt2_small, train_fp16)
+        assert 0 < result.compute_allocation <= 1.0
+        assert 0 < result.memory_allocation <= 1.0
+        assert 0 < result.load_imbalance <= 1.0
+        assert result.achieved_flops > 0
+        assert 0 < result.compute_efficiency < 1.0
+        assert result.roofline.bound == "compute"
+        assert not result.memory_bound
+        assert result.tokens_per_second > 0
+
+    def test_sambanova_profile(self, sambanova, gpt2_small, train_bf16):
+        result = Tier1Profiler(sambanova).profile(gpt2_small, train_bf16,
+                                                  mode="O3")
+        assert result.memory_bound
+        assert result.compute_allocation < 0.62
+
+    def test_graphcore_profile(self, graphcore, train_fp16):
+        model = gpt2_model("small").with_layers(4)
+        result = Tier1Profiler(graphcore).profile(model, train_fp16,
+                                                  n_ipus=2)
+        assert result.memory_bound
+        assert result.platform == "Bow-2000"
+
+    def test_efficiency_uses_all_chips(self, sambanova, gpt2_small,
+                                       train_bf16):
+        p = Tier1Profiler(sambanova)
+        r1 = p.profile(gpt2_small, train_bf16, mode="O1", tp=1)
+        r2 = p.profile(gpt2_small, train_bf16, mode="O1", tp=2)
+        # Per-chip normalization: doubling chips should not double
+        # reported efficiency.
+        assert r2.compute_efficiency < r1.compute_efficiency * 1.5
+
+    def test_options_recorded(self, sambanova, gpt2_small, train_bf16):
+        result = Tier1Profiler(sambanova).profile(gpt2_small, train_bf16,
+                                                  mode="O0")
+        assert result.meta["options"]["mode"] == "O0"
+
+
+class TestSweeps:
+    def test_layer_sweep_records_failures(self, cerebras, gpt2_small,
+                                          train_fp16):
+        entries = Tier1Profiler(cerebras).sweep_layers(
+            gpt2_small, train_fp16, [12, 78])
+        assert not entries[0].failed
+        assert entries[1].failed
+        assert "GB" in entries[1].error
+
+    def test_hidden_sweep(self, sambanova, train_bf16):
+        probe = decoder_block_probe(768, 4)
+        entries = Tier1Profiler(sambanova).sweep_hidden(
+            probe, train_bf16, [480, 768], mode="O3")
+        assert all(not e.failed for e in entries)
+        assert entries[0].result.model.hidden_size == 480
+
+    def test_max_feasible_matches_compiler(self, graphcore, train_fp16):
+        profiler = Tier1Profiler(graphcore)
+        limit = profiler.max_feasible(gpt2_model("small"), train_fp16,
+                                      upper=32, n_ipus=2)
+        assert limit == 9  # Fig. 9d: fails at 10
+
+    def test_max_feasible_zero_when_nothing_fits(self, graphcore):
+        profiler = Tier1Profiler(graphcore)
+        huge = TrainConfig(batch_size=512, seq_len=4096,
+                           precision=PrecisionPolicy.mixed(Precision.FP16))
+        from repro.models.config import gpt2_model as g
+        limit = profiler.max_feasible(g("xlarge"), huge, upper=4, n_ipus=2)
+        assert limit == 0

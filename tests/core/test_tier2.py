@@ -1,0 +1,120 @@
+"""Tier-2 analyzers: scalability sweeps and deployment optimization."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.tier2 import (
+    BatchSweepResult,
+    DeploymentOptimizer,
+    ScalabilityAnalyzer,
+)
+from repro.models.config import TrainConfig, gpt2_model
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+
+class TestScalabilityAnalyzer:
+    def test_wse_dp_sweep(self, cerebras):
+        train = TrainConfig(batch_size=256, seq_len=1024)
+        points = ScalabilityAnalyzer(cerebras).sweep(
+            gpt2_model("small"), train,
+            [("DP1", {"n_replicas": 1}), ("DP2", {"n_replicas": 2})])
+        assert all(not p.failed for p in points)
+        assert points[1].tokens_per_second > points[0].tokens_per_second
+
+    def test_failures_become_points(self, cerebras):
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        points = ScalabilityAnalyzer(cerebras).sweep(
+            gpt2_model("small").with_layers(78), train,
+            [("base", {})])
+        assert points[0].failed
+        assert points[0].tokens_per_second == 0.0
+
+    def test_scaling_efficiency_normalization(self, cerebras):
+        train = TrainConfig(batch_size=256, seq_len=1024)
+        analyzer = ScalabilityAnalyzer(cerebras)
+        points = analyzer.sweep(
+            gpt2_model("mini"), train,
+            [("DP1", {"n_replicas": 1}), ("DP4", {"n_replicas": 4})])
+        eff = analyzer.scaling_efficiency(points, {"DP1": 1, "DP4": 4})
+        assert eff["DP1"] == pytest.approx(1.0)
+        assert 0.1 < eff["DP4"] < 1.5
+
+    def test_scaling_efficiency_needs_points(self, cerebras):
+        analyzer = ScalabilityAnalyzer(cerebras)
+        with pytest.raises(ConfigurationError):
+            analyzer.scaling_efficiency([], {})
+
+    def test_rdu_tp_sweep_records_allocation(self, sambanova, llama7b):
+        train = TrainConfig(batch_size=8, seq_len=4096,
+                            precision=PrecisionPolicy.pure(Precision.BF16))
+        points = ScalabilityAnalyzer(sambanova).sweep(
+            llama7b, train, [("TP2", {"mode": "O1", "tp": 2}),
+                             ("TP4", {"mode": "O1", "tp": 4})])
+        assert points[0].compute_allocation > points[1].compute_allocation
+        assert points[1].communication_fraction > \
+            points[0].communication_fraction
+
+
+class TestBatchSweep:
+    def test_wse_saturation_detected(self, cerebras):
+        optimizer = DeploymentOptimizer(cerebras)
+        result = optimizer.batch_sweep(
+            gpt2_model("small"), TrainConfig(batch_size=8, seq_len=1024),
+            [32, 64, 128, 256, 512])
+        assert result.saturation_batch is not None
+        assert 64 <= result.saturation_batch <= 256
+        assert not result.near_linear
+
+    def test_rdu_near_linear(self, sambanova):
+        optimizer = DeploymentOptimizer(sambanova)
+        result = optimizer.batch_sweep(
+            gpt2_model("small"),
+            TrainConfig(batch_size=4, seq_len=1024,
+                        precision=PrecisionPolicy.pure(Precision.BF16)),
+            [4, 8, 16, 32], mode="O1")
+        assert result.near_linear
+
+    def test_failed_batches_recorded(self, graphcore):
+        optimizer = DeploymentOptimizer(graphcore)
+        result = optimizer.batch_sweep(
+            gpt2_model("small").with_layers(8),
+            TrainConfig(batch_size=8, seq_len=1024),
+            [16, 4096], n_ipus=2)
+        assert result.tokens_per_second[0] > 0
+        assert result.tokens_per_second[1] == 0.0
+        assert 4096 in result.errors
+
+    def test_saturation_none_for_short_series(self):
+        result = BatchSweepResult(platform="x", batch_sizes=(4,),
+                                  tokens_per_second=(1.0,))
+        assert result.saturation_batch is None
+        assert not result.near_linear
+
+
+class TestPrecisionComparison:
+    def test_wse_cb16_gain(self, cerebras):
+        optimizer = DeploymentOptimizer(cerebras)
+        cmp = optimizer.compare_precision(
+            gpt2_model("small"), TrainConfig(batch_size=128, seq_len=1024),
+            baseline=PrecisionPolicy.pure(Precision.FP16),
+            optimized=PrecisionPolicy.pure(Precision.CB16))
+        assert 0.05 < cmp.gain < 0.15  # paper: +10.7%
+
+    def test_gain_zero_when_baseline_zero(self):
+        from repro.core.tier2 import PrecisionComparison
+        cmp = PrecisionComparison(
+            platform="x", baseline_label="a", optimized_label="b",
+            baseline_tokens_per_second=0.0,
+            optimized_tokens_per_second=10.0)
+        assert cmp.gain == 0.0
+
+    def test_labels_propagated(self, cerebras):
+        optimizer = DeploymentOptimizer(cerebras)
+        cmp = optimizer.compare_precision(
+            decoder_block_probe(256, 2),
+            TrainConfig(batch_size=32, seq_len=256),
+            baseline=PrecisionPolicy.pure(Precision.FP16),
+            optimized=PrecisionPolicy.pure(Precision.CB16))
+        assert cmp.baseline_label == "fp16"
+        assert cmp.optimized_label == "cb16"

@@ -1,0 +1,130 @@
+"""GPU cluster reference model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.gpu.backend import GPUBackend
+from repro.gpu.simulator import GPUClusterModel
+from repro.models.config import TrainConfig, gpt2_model, llama2_model
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+@pytest.fixture(scope="module")
+def model_():
+    return GPUClusterModel()
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return GPUBackend()
+
+
+@pytest.fixture(scope="module")
+def xlarge():
+    return gpt2_model("xlarge")
+
+
+@pytest.fixture(scope="module")
+def train():
+    return TrainConfig(batch_size=64, seq_len=1024,
+                       precision=PrecisionPolicy.mixed(Precision.BF16))
+
+
+class TestValidation:
+    def test_tp_limited_to_node(self, model_):
+        with pytest.raises(ConfigurationError):
+            model_.validate(tp=16, pp=1, dp=1)
+
+    def test_cluster_size_limit(self, model_):
+        with pytest.raises(ConfigurationError):
+            model_.validate(tp=8, pp=16, dp=64)  # 8192 GPUs
+
+    def test_nonpositive_degrees(self, model_):
+        with pytest.raises(ConfigurationError):
+            model_.validate(tp=0, pp=1, dp=1)
+
+    def test_gpu_count(self, model_):
+        assert model_.validate(tp=8, pp=2, dp=4) == 64
+
+
+class TestTableIIIOrdering:
+    """Within one node, TP beats PP (Table III GPU columns)."""
+
+    @pytest.fixture(scope="class")
+    def per_gpu(self, model_, xlarge, train):
+        return {
+            (tp, pp): model_.per_gpu_flops(xlarge, train, tp, pp, 1)
+            for tp, pp in [(8, 1), (4, 2), (2, 4), (1, 8)]
+        }
+
+    def test_ordering(self, per_gpu):
+        assert (per_gpu[(8, 1)] > per_gpu[(4, 2)]
+                > per_gpu[(2, 4)] > per_gpu[(1, 8)])
+
+    def test_mfu_band(self, per_gpu):
+        # Paper reference: 120-165 TFLOP/s per A100 (~40-55% MFU).
+        for value in per_gpu.values():
+            assert 90e12 < value < 200e12
+
+    def test_large_mixed_configs_competitive(self, model_, xlarge, train):
+        big = model_.per_gpu_flops(
+            xlarge, train.with_batch_size(64 * 64), 4, 4, 64,
+            micro_batches=128)
+        small = model_.per_gpu_flops(xlarge, train, 1, 8, 1)
+        assert big > small
+
+
+class TestBreakdown:
+    def test_components_nonnegative(self, model_, xlarge, train):
+        b = model_.step_breakdown(xlarge, train, 4, 2, 1)
+        assert b.compute_seconds > 0
+        assert b.tp_comm_seconds > 0
+        assert b.pp_bubble_seconds > 0
+        assert b.dp_comm_seconds == 0.0
+
+    def test_no_tp_comm_without_tp(self, model_, xlarge, train):
+        b = model_.step_breakdown(xlarge, train, 1, 8, 1)
+        assert b.tp_comm_seconds == 0.0
+
+    def test_dp_comm_appears_with_dp(self, model_, xlarge, train):
+        b = model_.step_breakdown(xlarge, train.with_batch_size(128),
+                                  8, 1, 2)
+        assert b.dp_comm_seconds > 0
+
+    def test_more_micros_shrink_bubble(self, model_, xlarge, train):
+        b8 = model_.step_breakdown(xlarge, train, 1, 8, 1, micro_batches=8)
+        b64 = model_.step_breakdown(xlarge, train, 1, 8, 1,
+                                    micro_batches=64)
+        assert b64.pp_bubble_seconds < b8.pp_bubble_seconds
+
+    def test_compute_fraction_bounded(self, model_, xlarge, train):
+        b = model_.step_breakdown(xlarge, train, 8, 1, 1)
+        assert 0 < b.compute_fraction <= 1.0
+
+
+class TestMemory:
+    def test_7b_needs_parallelism(self, model_):
+        train = TrainConfig(batch_size=32, seq_len=4096,
+                            precision=PrecisionPolicy.mixed(Precision.BF16))
+        with pytest.raises(OutOfMemoryError):
+            model_.step_breakdown(llama2_model("7b"), train, 1, 1, 1)
+        model_.step_breakdown(llama2_model("7b"), train, 8, 1, 1)
+
+
+class TestBackendAdapter:
+    def test_run_reports_per_gpu_flops(self, backend, xlarge, train):
+        compiled = backend.compile(xlarge, train, tp=8)
+        run = backend.run(compiled)
+        assert run.meta["per_gpu_flops"] == pytest.approx(
+            run.achieved_flops / 8)
+
+    def test_throughput_scales_with_dp(self, backend, xlarge, train):
+        r1 = backend.run(backend.compile(xlarge, train, tp=8))
+        r4 = backend.run(backend.compile(
+            xlarge, train.with_batch_size(256), tp=8, dp=4))
+        assert r4.tokens_per_second > 3.0 * r1.tokens_per_second
+
+    def test_compile_report_shape(self, backend, xlarge, train):
+        report = backend.compile(xlarge, train, tp=4, pp=2)
+        assert report.n_chips == 8
+        assert report.phases[0].name == "step"

@@ -1,0 +1,148 @@
+"""Partitioning primitives: chunking, balancing, fusion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.graph.graph import ComputationGraph
+from repro.graph.ops import OpKind, Operator
+from repro.graph.partition import (
+    balanced_groups,
+    contiguous_chunks,
+    fuse_linear_chains,
+    group_cost,
+)
+
+identity = float
+
+
+class TestGroupCost:
+    def test_sum(self):
+        assert group_cost([1, 2, 3], identity) == 6.0
+
+    def test_empty(self):
+        assert group_cost([], identity) == 0.0
+
+
+class TestContiguousChunks:
+    def test_respects_bound(self):
+        chunks = contiguous_chunks([3, 3, 3, 3], max_cost=6.0,
+                                   cost=identity)
+        assert chunks == [[3, 3], [3, 3]]
+
+    def test_oversized_item_gets_own_chunk(self):
+        chunks = contiguous_chunks([10, 1, 1], max_cost=5.0, cost=identity)
+        assert chunks[0] == [10]
+
+    def test_preserves_order(self):
+        chunks = contiguous_chunks(list(range(10)), max_cost=7.0,
+                                   cost=identity)
+        flat = [x for chunk in chunks for x in chunk]
+        assert flat == list(range(10))
+
+    def test_empty_input(self):
+        assert contiguous_chunks([], max_cost=1.0, cost=identity) == []
+
+    def test_invalid_bound(self):
+        with pytest.raises(ConfigurationError):
+            contiguous_chunks([1], max_cost=0.0, cost=identity)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=5.0), max_size=30),
+           st.floats(min_value=5.0, max_value=20.0))
+    def test_every_chunk_within_bound_unless_singleton(self, items, bound):
+        for chunk in contiguous_chunks(items, max_cost=bound, cost=identity):
+            if len(chunk) > 1:
+                assert sum(chunk) <= bound + 1e-9
+
+
+class TestBalancedGroups:
+    def test_even_split(self):
+        groups = balanced_groups([1] * 8, 4, identity)
+        assert [len(g) for g in groups] == [2, 2, 2, 2]
+
+    def test_fewer_items_than_groups(self):
+        groups = balanced_groups([1, 1], 4, identity)
+        assert sum(len(g) for g in groups) == 2
+        assert len(groups) == 4
+
+    def test_empty_items(self):
+        assert balanced_groups([], 3, identity) == [[], [], []]
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ConfigurationError):
+            balanced_groups([1], 0, identity)
+
+    def test_minimizes_bottleneck(self):
+        # 12 unit layers over 5 groups: optimum bottleneck is 3.
+        groups = balanced_groups([1] * 12, 5, identity)
+        assert max(sum(g) for g in groups) == 3
+
+    def test_heterogeneous_costs(self):
+        groups = balanced_groups([5, 1, 1, 1, 1, 1], 2, identity)
+        assert max(sum(g) for g in groups) == 5
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0),
+                    min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=8))
+    def test_partition_properties(self, items, n_groups):
+        groups = balanced_groups(items, n_groups, identity)
+        # Exactly n groups; contiguous; complete.
+        assert len(groups) == n_groups
+        flat = [x for g in groups for x in g]
+        assert flat == items
+        # Bottleneck is no worse than the trivial upper bound.
+        if items:
+            bottleneck = max((sum(g) for g in groups if g), default=0.0)
+            assert bottleneck <= sum(items)
+            assert bottleneck >= max(items) - 1e-9
+
+
+class TestFuseLinearChains:
+    def build(self, kinds):
+        g = ComputationGraph()
+        names = []
+        for i, kind in enumerate(kinds):
+            name = f"op{i}"
+            g.add_op(Operator(name=name, kind=kind, flops=1.0,
+                              output_bytes=1.0))
+            names.append(name)
+        g.chain(names)
+        return g
+
+    def test_matmul_absorbs_trailing_elementwise(self):
+        g = self.build([OpKind.FFN_UP, OpKind.FFN_ACT, OpKind.FFN_DOWN])
+        modules = fuse_linear_chains(g)
+        assert [len(m) for m in modules] == [2, 1]
+        assert modules[0][1].kind is OpKind.FFN_ACT
+
+    def test_matmul_does_not_absorb_matmul(self):
+        g = self.build([OpKind.FFN_UP, OpKind.FFN_DOWN])
+        modules = fuse_linear_chains(g)
+        assert [len(m) for m in modules] == [1, 1]
+
+    def test_every_op_in_exactly_one_module(self):
+        g = self.build([OpKind.LAYERNORM, OpKind.QKV_PROJ, OpKind.ATTENTION,
+                        OpKind.ATTN_OUT_PROJ, OpKind.RESIDUAL_ADD,
+                        OpKind.FFN_UP, OpKind.FFN_ACT, OpKind.FFN_DOWN,
+                        OpKind.RESIDUAL_ADD])
+        modules = fuse_linear_chains(g)
+        names = [op.name for m in modules for op in m]
+        assert sorted(names) == sorted(o.name for o in g)
+
+    def test_branching_blocks_fusion(self):
+        # res has two consumers: no absorption across the branch point.
+        g = ComputationGraph()
+        g.add_op(Operator("mm", OpKind.FFN_UP, flops=1.0, output_bytes=1.0))
+        g.add_op(Operator("e1", OpKind.FFN_ACT, flops=1.0, output_bytes=1.0))
+        g.add_op(Operator("e2", OpKind.RESIDUAL_ADD, flops=1.0,
+                          output_bytes=1.0))
+        g.add_edge("mm", "e1")
+        g.add_edge("mm", "e2")
+        modules = fuse_linear_chains(g)
+        assert [len(m) for m in modules] == [1, 1, 1]
+
+    def test_modules_in_topological_order(self):
+        g = self.build([OpKind.QKV_PROJ, OpKind.LAYERNORM, OpKind.FFN_UP])
+        modules = fuse_linear_chains(g)
+        assert modules[0][0].name == "op0"

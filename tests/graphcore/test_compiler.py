@@ -1,0 +1,135 @@
+"""IPU pipeline compiler: layout, tiles, memory limits."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.graphcore.compiler import IPUCompiler
+from repro.hardware.specs import BOW_POD
+from repro.models.config import TrainConfig, gpt2_model
+from repro.workloads import decoder_block_probe
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return IPUCompiler()
+
+
+@pytest.fixture(scope="module")
+def pod_compiler():
+    return IPUCompiler(BOW_POD)
+
+
+@pytest.fixture(scope="module")
+def train():
+    return TrainConfig(batch_size=32, seq_len=1024)
+
+
+@pytest.fixture(scope="module")
+def small():
+    return gpt2_model("small")
+
+
+class TestLayout:
+    def test_needs_two_ipus(self, compiler, small, train):
+        with pytest.raises(ConfigurationError):
+            compiler.compile(small, train, n_ipus=1)
+
+    def test_embedding_gets_ipu_zero(self, compiler, small, train):
+        report = compiler.compile(small.with_layers(4), train, n_ipus=2)
+        stages = report.meta["stages"]
+        assert stages[0].ipu_index == 0
+        assert stages[0].n_layers == 0
+
+    def test_small_pipelines_share_embed_and_head(self, compiler, small,
+                                                  train):
+        report = compiler.compile(small.with_layers(4), train, n_ipus=2)
+        assert report.meta["stages"][0].name == "embed+head"
+
+    def test_large_pipelines_shard_the_head(self, pod_compiler, train):
+        model = decoder_block_probe(768, 30)
+        report = pod_compiler.compile(model, train, n_ipus=16)
+        names = [s.name for s in report.meta["stages"]]
+        assert "embed" in names
+        assert sum(1 for n in names if n.startswith("head.shard")) == 4
+
+    def test_balanced_default_distribution(self, pod_compiler, train):
+        model = decoder_block_probe(768, 12)
+        report = pod_compiler.compile(model, train, n_ipus=8)
+        layers = report.meta["layers_per_ipu"]
+        assert sum(layers) == 12
+        # Throughput depends only on the most-loaded IPU, so the default
+        # layout must achieve the optimal bottleneck: ceil(12 / 5) = 3.
+        assert max(layers) == 3
+
+    def test_explicit_distribution_validated(self, compiler, small, train):
+        with pytest.raises(ConfigurationError):
+            compiler.compile(small.with_layers(4), train, n_ipus=2,
+                             layers_per_ipu=[2, 2])  # too many entries
+        with pytest.raises(ConfigurationError):
+            compiler.compile(small.with_layers(4), train, n_ipus=2,
+                             layers_per_ipu=[3])  # wrong sum
+
+    def test_too_many_ipus_rejected(self, compiler, small, train):
+        with pytest.raises(ConfigurationError):
+            compiler.compile(small, train, n_ipus=32)  # Bow-2000 has 16
+
+
+class TestTileAllocation:
+    def test_single_layer_underuses_tiles(self, compiler, train):
+        """Fig. 9d: small stages engage a fraction of the 1,472 tiles."""
+        report = compiler.compile(decoder_block_probe(768, 1), train,
+                                  n_ipus=2)
+        decoder = [s for s in report.meta["stages"] if s.n_layers == 1][0]
+        assert decoder.tiles_used < 0.5 * 1472
+
+    def test_four_layers_saturate(self, compiler, train):
+        report = compiler.compile(decoder_block_probe(768, 4), train,
+                                  n_ipus=2)
+        decoder = [s for s in report.meta["stages"] if s.n_layers == 4][0]
+        assert decoder.tiles_used == pytest.approx(1472, rel=0.01)
+
+
+class TestMemoryModel:
+    def test_paper_failure_at_ten_layers(self, compiler, small, train):
+        """Fig. 9d: execution fails at 10 layers (~70M params)."""
+        compiler.compile(small.with_layers(9), train, n_ipus=2)
+        with pytest.raises(OutOfMemoryError):
+            compiler.compile(small.with_layers(10), train, n_ipus=2)
+
+    def test_max_layers_helper(self, compiler, small, train):
+        assert compiler.max_layers(small, train, n_ipus=2) == 9
+
+    def test_memory_grows_linearly_with_layers(self, compiler, small,
+                                               train):
+        """Fig. 9d: memory usage increases linearly with layer count."""
+        mems = [compiler.compile(small.with_layers(n), train,
+                                 n_ipus=2).shared_memory.total_bytes
+                for n in (2, 4, 6, 8)]
+        deltas = [b - a for a, b in zip(mems, mems[1:])]
+        assert max(deltas) / min(deltas) < 1.2
+
+    def test_more_ipus_unlock_more_layers(self, pod_compiler, small, train):
+        assert pod_compiler.max_layers(small, train, n_ipus=8) > 9
+
+    def test_micro_batches_affect_stash_not_failure_much(self, compiler,
+                                                         small, train):
+        r8 = compiler.compile(small.with_layers(6), train, n_ipus=2,
+                              micro_batches=8)
+        r32 = compiler.compile(small.with_layers(6), train, n_ipus=2,
+                               micro_batches=32)
+        # 1F1B bounds the stash by pipeline depth, not accumulation count.
+        assert (r32.shared_memory.activation_bytes
+                <= r8.shared_memory.activation_bytes * 1.01)
+
+
+class TestReportShape:
+    def test_totals_scale_with_ipus(self, pod_compiler, train):
+        model = decoder_block_probe(768, 12)
+        report = pod_compiler.compile(model, train, n_ipus=8)
+        assert report.total_compute_units == 8 * 1472
+        assert report.n_chips == 8
+
+    def test_stage_throughputs_recorded(self, compiler, small, train):
+        report = compiler.compile(small.with_layers(4), train, n_ipus=2)
+        for task in report.phases[0].tasks:
+            assert task.throughput > 0

@@ -1,0 +1,104 @@
+"""IPU memory-model internals: serialization, sharding, clamps."""
+
+import pytest
+
+from repro.graphcore.compiler import IPUCompiler, VOCAB_SERIALIZATION
+from repro.hardware.specs import BOW_POD
+from repro.models.config import TrainConfig, gpt2_model
+from repro.workloads import decoder_block_probe
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return IPUCompiler()
+
+
+@pytest.fixture(scope="module")
+def pod():
+    return IPUCompiler(BOW_POD)
+
+
+@pytest.fixture(scope="module")
+def train():
+    return TrainConfig(batch_size=32, seq_len=1024)
+
+
+class TestVocabSerialization:
+    def test_embed_stage_state_serialized(self, compiler, train):
+        """The embed+head stage holds only 1/N of the vocab-table state."""
+        model = gpt2_model("small").with_layers(2)
+        report = compiler.compile(model, train, n_ipus=2)
+        embed = report.meta["stages"][0]
+        from repro.models.costmodel import TransformerCostModel
+        cost = TransformerCostModel(model)
+        full_state = ((cost.embedding_params() + cost.final_norm_params())
+                      * (train.precision.weight_bytes_per_param * 2
+                         + train.precision.state_bytes_per_param))
+        assert embed.weight_bytes == pytest.approx(
+            full_state / VOCAB_SERIALIZATION)
+
+    def test_decoder_stage_not_serialized(self, compiler, train):
+        model = gpt2_model("small").with_layers(2)
+        report = compiler.compile(model, train, n_ipus=2)
+        decoder = next(s for s in report.meta["stages"] if s.n_layers == 2)
+        from repro.models.costmodel import TransformerCostModel
+        cost = TransformerCostModel(model)
+        full_state = (2 * cost.layer_params().total
+                      * (train.precision.weight_bytes_per_param * 2
+                         + train.precision.state_bytes_per_param))
+        assert decoder.weight_bytes == pytest.approx(full_state)
+
+
+class TestHeadSharding:
+    def test_shards_split_state_and_flops(self, pod, train):
+        model = decoder_block_probe(768, 30, vocab_size=50257)
+        report = pod.compile(model, train, n_ipus=16)
+        shards = [s for s in report.meta["stages"]
+                  if s.name.startswith("head.shard")]
+        assert len(shards) == 4
+        flops = {s.flops_per_micro for s in shards}
+        assert len(flops) == 1  # equal split
+
+    def test_stage_count_matches_layout(self, pod, train):
+        model = decoder_block_probe(768, 30)
+        report = pod.compile(model, train, n_ipus=16)
+        # 1 embed + one stage per non-empty decoder IPU + 4 head shards.
+        occupied = sum(1 for c in report.meta["layers_per_ipu"] if c > 0)
+        assert len(report.meta["stages"]) == 1 + occupied + 4
+
+
+class TestMicroBatchClamp:
+    def test_never_more_micros_than_samples(self, compiler):
+        tiny = TrainConfig(batch_size=3, seq_len=256)
+        report = compiler.compile(decoder_block_probe(256, 2), tiny,
+                                  n_ipus=2)
+        assert report.meta["micro_batches"] <= 3
+
+    def test_explicit_micro_batches_respected(self, compiler, train):
+        report = compiler.compile(decoder_block_probe(768, 4), train,
+                                  n_ipus=2, micro_batches=16)
+        assert report.meta["micro_batches"] == 16
+        assert report.meta["micro_size"] == 2
+
+    def test_grad_accumulation_drives_default(self, compiler):
+        train = TrainConfig(batch_size=32, seq_len=1024,
+                            grad_accumulation=16)
+        report = compiler.compile(decoder_block_probe(768, 4), train,
+                                  n_ipus=2)
+        assert report.meta["micro_batches"] == 16
+
+
+class TestStashScaling:
+    def test_stash_grows_with_micro_size(self, compiler):
+        model = decoder_block_probe(768, 4)
+        small = compiler.compile(model,
+                                 TrainConfig(batch_size=16, seq_len=1024),
+                                 n_ipus=2)
+        big = compiler.compile(model,
+                               TrainConfig(batch_size=64, seq_len=1024),
+                               n_ipus=2)
+
+        def stash(report):
+            return max(s.stash_bytes for s in report.meta["stages"])
+
+        assert stash(big) > 2 * stash(small)

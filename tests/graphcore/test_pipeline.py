@@ -1,0 +1,114 @@
+"""IPU pipeline execution: bottleneck law, distributions, precision."""
+
+import pytest
+
+from repro.graphcore.backend import GraphcoreBackend
+from repro.hardware.specs import BOW_POD
+from repro.models.config import TrainConfig
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return GraphcoreBackend()
+
+
+@pytest.fixture(scope="module")
+def pod():
+    return GraphcoreBackend(BOW_POD)
+
+
+@pytest.fixture(scope="module")
+def train():
+    return TrainConfig(batch_size=64, seq_len=1024)
+
+
+class TestExecution:
+    def test_all_micros_complete(self, backend, train):
+        model = decoder_block_probe(768, 4)
+        compiled = backend.compile(model, train, n_ipus=2)
+        run = backend.run(compiled)
+        micros = compiled.meta["micro_batches"]
+        counts = run.trace.items_by_task()
+        for stage in compiled.meta["stages"]:
+            # fwd + bwd per micro-batch.
+            assert counts[stage.name] == 2 * micros
+
+    def test_throughput_identities(self, backend, train):
+        model = decoder_block_probe(768, 4)
+        run = backend.run(backend.compile(model, train, n_ipus=2))
+        assert run.tokens_per_second == pytest.approx(
+            run.samples_per_second * train.seq_len)
+
+    def test_step_bounded_by_bottleneck(self, backend, train):
+        model = decoder_block_probe(768, 4)
+        compiled = backend.compile(model, train, n_ipus=2)
+        run = backend.run(compiled)
+        stages = compiled.meta["stages"]
+        micros = compiled.meta["micro_batches"]
+        bottleneck = max(s.compute_seconds for s in stages)
+        # fwd (1x) + bwd (2x) of the bottleneck, times the micro count,
+        # is a lower bound on the schedule.
+        assert run.step_time >= 3.0 * bottleneck * micros * 0.99
+
+
+class TestBottleneckLaw:
+    def test_throughput_tracks_max_loaded_ipu(self, pod, train):
+        """Fig. 11c: the most heavily loaded IPU sets throughput."""
+        model = decoder_block_probe(768, 12)
+        rates = {}
+        for dist in ([3, 3, 3, 3, 0], [6, 2, 2, 2, 0], [4, 4, 2, 2, 0]):
+            run = pod.run(pod.compile(model, train, n_ipus=8,
+                                      layers_per_ipu=dist))
+            rates[max(dist)] = run.samples_per_second
+        assert rates[3] > rates[4] > rates[6]
+
+    def test_inverse_layer_proportionality(self, pod):
+        """Sec. VI-A3c: throughput ~ 1 / max layers per IPU."""
+        train = TrainConfig(batch_size=128, seq_len=1024)
+        r2 = pod.run(pod.compile(decoder_block_probe(768, 22), train,
+                                 n_ipus=16)).samples_per_second
+        r4 = pod.run(pod.compile(decoder_block_probe(768, 44), train,
+                                 n_ipus=16)).samples_per_second
+        assert r2 / r4 == pytest.approx(2.0, rel=0.3)
+
+    def test_bottleneck_stage_reported(self, pod, train):
+        model = decoder_block_probe(768, 12)
+        run = pod.run(pod.compile(model, train, n_ipus=8,
+                                  layers_per_ipu=[6, 2, 2, 2, 0]))
+        assert run.meta["bottleneck_stage"] == "decoders[1]"
+
+
+class TestDeployment:
+    def test_near_linear_batch_scaling(self, backend):
+        """Fig. 12: IPU throughput scales near-linearly with batch."""
+        model = decoder_block_probe(768, 4)
+
+        def rate(batch):
+            t = TrainConfig(batch_size=batch, seq_len=1024)
+            return backend.run(
+                backend.compile(model, t, n_ipus=2)).tokens_per_second
+
+        assert rate(16) / rate(8) > 1.4
+        assert rate(32) / rate(8) > 1.6
+
+    def test_mixed_precision_gain_about_25pct(self, backend):
+        """Table IV: IPU full -> mixed gains ~22%."""
+        model = decoder_block_probe(768, 4, vocab_size=50257)
+        t = TrainConfig(batch_size=16, seq_len=1024)
+        full = backend.run(backend.compile(
+            model, t.with_precision(PrecisionPolicy.full()), n_ipus=2))
+        mixed = backend.run(backend.compile(
+            model, t.with_precision(PrecisionPolicy.mixed(Precision.FP16)),
+            n_ipus=2))
+        gain = mixed.tokens_per_second / full.tokens_per_second - 1.0
+        assert 0.15 < gain < 0.40
+
+    def test_tflops_in_paper_band(self, backend):
+        """Fig. 9d / 10c: 91-143 TFLOP/s at useful configurations."""
+        from repro.models.config import gpt2_model
+        t = TrainConfig(batch_size=32, seq_len=1024)
+        run = backend.run(backend.compile(gpt2_model("small").with_layers(8),
+                                          t, n_ipus=2))
+        assert 80e12 < run.achieved_flops < 200e12

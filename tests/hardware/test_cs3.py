@@ -1,0 +1,69 @@
+"""CS-3 preset and its behaviour as a drop-in Cerebras system."""
+
+import pytest
+
+from repro import CerebrasBackend, TrainConfig, gpt2_model
+from repro.core.metrics import allocation_ratio
+from repro.hardware.specs import CS2_SYSTEM, CS3_SYSTEM, WSE2, WSE3
+
+
+class TestSpec:
+    def test_generation_scaling(self):
+        assert WSE3.compute_units > WSE2.compute_units
+        assert WSE3.peak_flops > WSE2.peak_flops
+        assert (WSE3.shared_memory.capacity_bytes
+                > WSE2.shared_memory.capacity_bytes)
+
+    def test_faster_streaming_feed(self):
+        assert (CS3_SYSTEM.host_link_bandwidth
+                > CS2_SYSTEM.host_link_bandwidth)
+
+
+class TestDropIn:
+    """The framework's generality claim extends to a future chip: the
+    same compiler/runtime drive the CS-3 spec without code changes."""
+
+    @pytest.fixture(scope="class")
+    def cs3(self):
+        return CerebrasBackend(CS3_SYSTEM)
+
+    def test_compiles_and_runs(self, cs3):
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        compiled, run = cs3.compile_and_run(gpt2_model("small"), train)
+        assert compiled.platform == "CS-3"
+        assert run.tokens_per_second > 0
+
+    def test_bigger_wafer_fits_more_layers(self, cs3):
+        from repro.core.tier1 import Tier1Profiler
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        cs2_limit = Tier1Profiler(CerebrasBackend()).max_feasible(
+            gpt2_model("small"), train, upper=96)
+        cs3_limit = Tier1Profiler(cs3).max_feasible(
+            gpt2_model("small"), train, upper=96)
+        assert cs3_limit > cs2_limit
+
+    def test_faster_at_saturation(self, cs3):
+        train = TrainConfig(batch_size=256, seq_len=1024)
+        model = gpt2_model("small").with_layers(24)
+        cs2_run = CerebrasBackend().run(
+            CerebrasBackend().compile(model, train))
+        cs3_run = cs3.run(cs3.compile(model, train))
+        assert cs3_run.achieved_flops > cs2_run.achieved_flops
+
+    def test_allocation_curve_shape_preserved(self, cs3):
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        small = allocation_ratio(cs3.compile(
+            gpt2_model("small").with_layers(1), train))
+        saturated = allocation_ratio(cs3.compile(
+            gpt2_model("small").with_layers(36), train))
+        assert small < 0.5
+        assert saturated > 0.85
+
+    def test_cheaper_weight_streaming(self, cs3):
+        """The CS-3's faster MemoryX feed narrows the streaming gap."""
+        train = TrainConfig(batch_size=128, seq_len=1024)
+        model = gpt2_model("small")
+        pipe = cs3.run(cs3.compile(model, train))
+        stream = cs3.run(cs3.compile(model, train,
+                                     mode="weight_streaming"))
+        assert stream.tokens_per_second >= 0.75 * pipe.tokens_per_second

@@ -1,0 +1,128 @@
+"""Hardware spec presets — the paper's Sec. II numbers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, TB
+from repro.hardware.specs import (
+    A100_GPU,
+    BOW2000_SYSTEM,
+    BOW_IPU,
+    BOW_POD,
+    ChipSpec,
+    CS2_SYSTEM,
+    GPU_CLUSTER,
+    MemoryLevel,
+    SN30_RDU,
+    SN30_SYSTEM,
+    SystemSpec,
+    WSE2,
+)
+
+
+class TestPaperNumbers:
+    def test_wse2_pe_count(self):
+        assert WSE2.compute_units == 850_000
+
+    def test_wse2_memory(self):
+        assert WSE2.shared_memory.capacity_bytes == 40 * GB
+        assert WSE2.shared_memory.bandwidth == 20e15  # 20 PB/s
+
+    def test_wse2_fabric(self):
+        assert WSE2.fabric_bandwidth == 220e15  # 220 PB/s
+
+    def test_wse2_unified_global_tier(self):
+        # "WSE using on-chip memory as both shared and global memory".
+        assert WSE2.global_memory is WSE2.shared_memory
+
+    def test_rdu_unit_counts(self):
+        # 4 tiles x 160 PCUs and 160 PMUs.
+        assert SN30_RDU.compute_units == 640
+        assert SN30_RDU.memory_units == 640
+        assert SN30_RDU.compute_unit_name == "PCU"
+        assert SN30_RDU.memory_unit_name == "PMU"
+
+    def test_rdu_ddr_bandwidth(self):
+        # The paper's "only 0.2 TB/s".
+        assert SN30_RDU.global_memory.bandwidth == pytest.approx(0.2 * TB)
+
+    def test_ipu_tiles(self):
+        assert BOW_IPU.compute_units == 1472
+
+    def test_ipu_exchange(self):
+        assert BOW_IPU.fabric_bandwidth == 8 * TB
+
+    def test_sn30_two_rdus_per_machine(self):
+        assert SN30_SYSTEM.chips_per_node == 2
+
+    def test_bow2000_four_ipus(self):
+        assert BOW2000_SYSTEM.chips_per_node == 4
+
+
+class TestDerivedQuantities:
+    def test_flops_per_pe(self):
+        assert WSE2.flops_per_compute_unit == pytest.approx(
+            WSE2.peak_flops / 850_000)
+
+    def test_pe_local_sram_48kb(self):
+        assert WSE2.shared_memory_per_unit == pytest.approx(
+            40 * GB / 850_000)
+
+    def test_ridge_intensities_order(self):
+        # WSE's on-chip tier puts its ridge far left; DDR platforms far
+        # right — the Fig. 10 classification.
+        assert WSE2.ridge_intensity < 1.0
+        assert SN30_RDU.ridge_intensity > 100.0
+        assert BOW_IPU.ridge_intensity > 42.0
+
+    def test_efficiency_anchors(self):
+        # Peak figures are chosen so the paper's reported efficiencies
+        # land at the reported TFLOPs (Sec. V-C2).
+        assert 330e12 / WSE2.peak_flops == pytest.approx(0.20, abs=0.03)
+        assert 50.6e12 / SN30_RDU.peak_flops == pytest.approx(0.182, abs=0.01)
+        assert 143e12 / BOW_IPU.peak_flops == pytest.approx(0.41, abs=0.01)
+
+
+class TestValidation:
+    def test_memory_level_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLevel("x", capacity_bytes=0, bandwidth=1.0)
+
+    def test_chip_rejects_zero_units(self):
+        with pytest.raises(ConfigurationError):
+            ChipSpec(name="x", vendor="v", compute_units=0,
+                     compute_unit_name="u", memory_units=1,
+                     memory_unit_name="u", peak_flops=1.0,
+                     shared_memory=WSE2.shared_memory,
+                     global_memory=WSE2.global_memory,
+                     fabric_bandwidth=1.0)
+
+    def test_system_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            SystemSpec(name="x", chip=WSE2, chips_per_node=1, max_nodes=0)
+
+
+class TestSystemHelpers:
+    def test_total_chips(self):
+        assert BOW_POD.total_chips == 64
+        assert SN30_SYSTEM.total_chips == 8
+
+    def test_nodes_for_chips(self):
+        assert SN30_SYSTEM.nodes_for_chips(2) == 1
+        assert SN30_SYSTEM.nodes_for_chips(3) == 2
+        assert SN30_SYSTEM.nodes_for_chips(8) == 4
+
+    def test_nodes_for_chips_overflow(self):
+        with pytest.raises(ConfigurationError):
+            SN30_SYSTEM.nodes_for_chips(9)
+
+    def test_nodes_for_chips_invalid(self):
+        with pytest.raises(ConfigurationError):
+            CS2_SYSTEM.nodes_for_chips(0)
+
+    def test_gpu_cluster_size(self):
+        assert GPU_CLUSTER.chips_per_node == 8
+        assert GPU_CLUSTER.total_chips >= 1024
+
+    def test_a100_peak(self):
+        assert A100_GPU.peak_flops == pytest.approx(312e12)

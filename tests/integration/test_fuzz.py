@@ -1,0 +1,111 @@
+"""Property-based fuzzing of the platform compilers.
+
+For arbitrary (model, training) configurations within sane bounds, every
+backend must either produce a well-formed report or raise a
+:class:`~repro.common.errors.CompilationError` — never a stray
+exception — and all framework metrics must stay in range. This is the
+robustness contract a benchmarking framework needs to sweep unknown
+hardware/workload combinations unattended.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CompilationError
+from repro.core.metrics import allocation_ratio, weighted_load_imbalance
+from repro.models.config import TrainConfig
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.workloads import decoder_block_probe
+
+POLICIES = [
+    PrecisionPolicy.pure(Precision.FP16),
+    PrecisionPolicy.pure(Precision.BF16),
+    PrecisionPolicy.mixed(Precision.FP16),
+    PrecisionPolicy.full(),
+]
+
+model_configs = st.builds(
+    decoder_block_probe,
+    hidden_size=st.sampled_from([128, 256, 512, 768, 1024, 2048]),
+    n_layers=st.integers(min_value=1, max_value=48),
+)
+
+train_configs = st.builds(
+    TrainConfig,
+    batch_size=st.sampled_from([1, 2, 8, 32, 128]),
+    seq_len=st.sampled_from([128, 512, 1024, 2048]),
+    precision=st.sampled_from(POLICIES),
+)
+
+FUZZ_SETTINGS = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+def _check_reports(backend, model, train, **options):
+    try:
+        compiled = backend.compile(model, train, **options)
+    except CompilationError:
+        return  # a clean refusal is a valid outcome
+    assert 0.0 < allocation_ratio(compiled) <= 1.0
+    assert 0.0 < weighted_load_imbalance(compiled) <= 1.0 + 1e-9
+    run = backend.run(compiled)
+    assert run.step_time > 0
+    assert run.tokens_per_second > 0
+    peak = backend.system.chip.peak_flops * max(compiled.n_chips, 1)
+    assert 0.0 < run.achieved_flops <= peak * (1 + 1e-9)
+
+
+@FUZZ_SETTINGS
+@given(model=model_configs, train=train_configs)
+def test_fuzz_cerebras(cerebras, model, train):
+    _check_reports(cerebras, model, train)
+
+
+@FUZZ_SETTINGS
+@given(model=model_configs, train=train_configs,
+       mode=st.sampled_from(["O0", "O1", "O3"]))
+def test_fuzz_sambanova(sambanova, model, train, mode):
+    _check_reports(sambanova, model, train, mode=mode)
+
+
+@FUZZ_SETTINGS
+@given(model=model_configs, train=train_configs,
+       n_ipus=st.sampled_from([2, 4, 8]))
+def test_fuzz_graphcore(graphcore, model, train, n_ipus):
+    _check_reports(graphcore, model, train, n_ipus=n_ipus)
+
+
+@FUZZ_SETTINGS
+@given(model=model_configs, train=train_configs,
+       tp=st.sampled_from([1, 2, 4, 8]),
+       pp=st.sampled_from([1, 2, 4]))
+def test_fuzz_gpu(gpu, model, train, tp, pp):
+    _check_reports(gpu, model, train, tp=tp, pp=pp)
+
+
+@FUZZ_SETTINGS
+@given(model=model_configs, train=train_configs,
+       replicas=st.sampled_from([1, 2, 4]))
+def test_fuzz_cerebras_replicas(cerebras, model, train, replicas):
+    if train.batch_size < replicas:
+        return
+    _check_reports(cerebras, model, train, n_replicas=replicas)
+
+
+@pytest.mark.parametrize("mode", ["pipeline", "weight_streaming"])
+def test_wse_streams_models_too_big_to_reside(cerebras, mode):
+    """Sec. VI-A3a: weight streaming unlocks models beyond on-chip
+    residency — and pipeline mode refuses them."""
+    from repro.models.config import llama2_model
+    model = llama2_model("7b")
+    train = TrainConfig(batch_size=16, seq_len=2048,
+                        precision=PrecisionPolicy.pure(Precision.FP16))
+    if mode == "pipeline":
+        with pytest.raises(CompilationError):
+            cerebras.compile(model, train, mode=mode)
+    else:
+        compiled = cerebras.compile(model, train, mode=mode)
+        run = cerebras.run(compiled)
+        assert run.tokens_per_second > 0

@@ -1,0 +1,129 @@
+"""Forward-only inference benchmarking (extension beyond the paper).
+
+The same backends that model training steps also benchmark inference:
+no gradients, no optimizer state, no activation stashes, forward FLOPs
+only. These tests pin the structural consequences on every platform.
+"""
+
+import pytest
+
+from repro import TrainConfig, gpt2_model, llama2_model
+from repro.models.costmodel import TransformerCostModel
+from repro.models.graph_builder import build_training_graph
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+@pytest.fixture()
+def train():
+    return TrainConfig(batch_size=32, seq_len=1024)
+
+
+@pytest.fixture()
+def infer(train):
+    return train.as_inference()
+
+
+class TestCostModel:
+    def test_flops_one_third(self, train, infer):
+        cost = TransformerCostModel(gpt2_model("small"))
+        assert cost.step_flops(infer) == pytest.approx(
+            cost.step_flops(train) / 3.0)
+
+    def test_no_training_state(self, infer):
+        cost = TransformerCostModel(gpt2_model("small"))
+        assert cost.gradient_bytes(infer) == 0.0
+        assert cost.optimizer_state_bytes(infer) == 0.0
+
+    def test_transient_activations_only(self, train, infer):
+        cost = TransformerCostModel(gpt2_model("small"))
+        # Logits dominate the inference working set, so the ratio is
+        # bounded by the vocab term rather than approaching zero.
+        assert cost.activation_bytes(infer) < 0.15 * cost.activation_bytes(
+            train)
+
+
+class TestGraph:
+    def test_no_backward_ops(self, infer):
+        graph = build_training_graph(gpt2_model("small").with_layers(2),
+                                     infer)
+        assert not any(op.backward for op in graph)
+        assert "optimizer" not in graph
+        assert [op.name for op in graph.sinks()] == ["loss"]
+
+
+class TestCerebrasInference:
+    def test_faster_than_training(self, cerebras, train, infer):
+        model = gpt2_model("small")
+        t = cerebras.run(cerebras.compile(model, train))
+        i = cerebras.run(cerebras.compile(model, infer))
+        # Forward-only kernels also get smaller scalability caps
+        # (caps ~ flops^(2/3)), so the speedup is < 3x.
+        assert 1.3 * t.tokens_per_second < i.tokens_per_second \
+            < 3.0 * t.tokens_per_second
+
+    def test_fits_bigger_models(self, cerebras, train, infer):
+        """Without optimizer state and stashes, deeper stacks compile."""
+        from repro.core.tier1 import Tier1Profiler
+        profiler = Tier1Profiler(cerebras)
+        train_limit = profiler.max_feasible(gpt2_model("small"), train,
+                                            upper=128)
+        infer_limit = profiler.max_feasible(gpt2_model("small"), infer,
+                                            upper=128)
+        assert infer_limit > train_limit
+
+    def test_allocation_anchors_shift(self, cerebras, infer):
+        """Forward-only kernels are smaller, so the under-subscribed
+        regime extends further (caps scale with flops^(2/3))."""
+        from repro.core.metrics import allocation_ratio
+        r_train = allocation_ratio(cerebras.compile(
+            gpt2_model("small").with_layers(6),
+            TrainConfig(batch_size=32, seq_len=1024)))
+        r_infer = allocation_ratio(cerebras.compile(
+            gpt2_model("small").with_layers(6), infer))
+        assert r_infer < r_train
+
+
+class TestSambaNovaInference:
+    def test_fewer_sections(self, sambanova, infer):
+        bf16_train = TrainConfig(
+            batch_size=32, seq_len=1024,
+            precision=PrecisionPolicy.pure(Precision.BF16))
+        bf16_infer = bf16_train.as_inference()
+        model = gpt2_model("small")
+        t = sambanova.compile(model, bf16_train, mode="O1")
+        i = sambanova.compile(model, bf16_infer, mode="O1")
+        assert len(i.phases) < len(t.phases)
+
+    def test_7b_inference_fits_one_rdu_at_long_context(self, sambanova):
+        infer = TrainConfig(batch_size=8, seq_len=4096,
+                            precision=PrecisionPolicy.pure(Precision.BF16),
+                            training=False)
+        compiled = sambanova.compile(llama2_model("7b"), infer, mode="O1")
+        run = sambanova.run(compiled)
+        assert run.tokens_per_second > 0
+        assert compiled.global_memory.optimizer_bytes == 0.0
+
+
+class TestGraphcoreInference:
+    def test_no_backward_records(self, graphcore, infer):
+        model = gpt2_model("small").with_layers(4)
+        run = graphcore.run(graphcore.compile(model, infer, n_ipus=2))
+        assert not run.trace.filter(category="backward").records
+
+    def test_memory_wall_moves(self, graphcore, train, infer):
+        """Fig. 9d's 10-layer limit is a *training* limit; inference
+        fits far deeper stacks in the same 900 MB."""
+        from repro.core.tier1 import Tier1Profiler
+        profiler = Tier1Profiler(graphcore)
+        assert profiler.max_feasible(gpt2_model("small"), train,
+                                     upper=64, n_ipus=2) == 9
+        assert profiler.max_feasible(gpt2_model("small"), infer,
+                                     upper=64, n_ipus=2) >= 20
+
+
+class TestGPUInference:
+    def test_no_dp_comm(self, gpu, infer):
+        model = gpt2_model("xlarge")
+        compiled = gpu.compile(model, infer.with_batch_size(128),
+                               tp=8, dp=2)
+        assert compiled.meta["breakdown"].dp_comm_seconds == 0.0

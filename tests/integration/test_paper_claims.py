@@ -1,0 +1,190 @@
+"""End-to-end assertions of the paper's headline findings.
+
+Each test reproduces one "Insight" box or headline number from the
+evaluation (Sections V and VI) through the public API only.
+"""
+
+import pytest
+
+from repro import (
+    CerebrasBackend,
+    GraphcoreBackend,
+    OutOfMemoryError,
+    Precision,
+    PrecisionPolicy,
+    SambaNovaBackend,
+    Tier1Profiler,
+    TrainConfig,
+    allocation_ratio,
+    gpt2_model,
+    llama2_model,
+    weighted_load_imbalance,
+)
+from repro.core.tier2 import DeploymentOptimizer
+from repro.workloads import decoder_block_probe
+
+
+class TestSectionVA_Allocation:
+    def test_wse_insight(self, cerebras):
+        """'WSE-2 achieves a high on-chip resource allocation ratio
+        (92-93%) ... supporting up to 72 decoder layers.'"""
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        model = gpt2_model("small")
+        saturated = cerebras.compile(model.with_layers(48), train)
+        assert allocation_ratio(saturated) == pytest.approx(0.925,
+                                                            abs=0.025)
+        profiler = Tier1Profiler(cerebras)
+        assert 66 <= profiler.max_feasible(model, train, upper=96) <= 77
+
+    def test_rdu_insight(self, sambanova):
+        """'complex partitioning strategies limit resource allocation
+        below 60%' with O3 highest and O0 lowest."""
+        train = TrainConfig(batch_size=16, seq_len=1024,
+                            precision=PrecisionPolicy.pure(Precision.BF16))
+        model = gpt2_model("small")
+        ratios = {}
+        for mode in ("O0", "O1", "O3"):
+            report = sambanova.compile(model, train, mode=mode)
+            ratios[mode] = allocation_ratio(report)
+            assert ratios[mode] < 0.62
+        assert ratios["O3"] == max(ratios.values())
+        assert ratios["O0"] == min(ratios.values())
+
+
+class TestSectionVB_LoadBalance:
+    def test_wse_balances_better_than_rdu_o3(self, cerebras, sambanova):
+        """Fig. 8: WSE kernel-level LI near 1; RDU O3 well below."""
+        train16 = TrainConfig(batch_size=16, seq_len=1024,
+                              precision=PrecisionPolicy.pure(Precision.BF16))
+        train64 = TrainConfig(batch_size=64, seq_len=1024)
+        model = gpt2_model("small")
+        wse = weighted_load_imbalance(cerebras.compile(model, train64))
+        rdu = weighted_load_imbalance(
+            sambanova.compile(model, train16, mode="O3"))
+        assert wse > 0.9
+        assert rdu < wse
+
+
+class TestSectionVC_Memory:
+    def test_wse_tflops_rise_then_collapse(self, cerebras):
+        """Fig. 9a: TFLOPs climb to a plateau (18-36 layers) then fall."""
+        train = TrainConfig(batch_size=256, seq_len=1024)
+        model = gpt2_model("small")
+        curve = {n: cerebras.run(cerebras.compile(model.with_layers(n),
+                                                  train)).achieved_flops
+                 for n in (6, 24, 66)}
+        assert curve[24] > curve[6]
+        assert curve[66] < 0.8 * curve[24]
+
+    def test_wse_peak_tflops_band(self, cerebras):
+        """Sec. V-C2: peak 327-338 TFLOP/s at ~20% efficiency."""
+        train = TrainConfig(batch_size=256, seq_len=1024)
+        run = cerebras.run(cerebras.compile(
+            gpt2_model("small").with_layers(30), train))
+        assert 300e12 < run.achieved_flops < 450e12
+
+    def test_ipu_fails_at_ten_layers(self, graphcore):
+        """Fig. 9d: IPU execution fails around 70M parameters."""
+        train = TrainConfig(batch_size=32, seq_len=1024)
+        model = gpt2_model("small")
+        graphcore.compile(model.with_layers(9), train, n_ipus=2)
+        with pytest.raises(OutOfMemoryError):
+            graphcore.compile(model.with_layers(10), train, n_ipus=2)
+
+    def test_rdu_peak_tflops_band(self, sambanova):
+        """Fig. 9c / Sec. V-C2: RDU throughput 35-50 TFLOP/s range."""
+        train = TrainConfig(batch_size=32, seq_len=2048,
+                            precision=PrecisionPolicy.pure(Precision.BF16))
+        model = llama2_model("7b").with_hidden(5120).with_layers(4)
+        run = sambanova.run(sambanova.compile(model, train, mode="O1"))
+        assert 30e12 < run.achieved_flops < 70e12
+
+
+class TestSectionVC2_Roofline:
+    def test_three_way_classification(self, cerebras, sambanova, graphcore):
+        """Fig. 10: only WSE is compute-bound."""
+        fp16 = TrainConfig(batch_size=32, seq_len=1024)
+        bf16 = fp16.with_precision(PrecisionPolicy.pure(Precision.BF16))
+        model = gpt2_model("small").with_layers(8)
+        wse = Tier1Profiler(cerebras).profile(model, fp16)
+        rdu = Tier1Profiler(sambanova).profile(model, bf16, mode="O3")
+        ipu = Tier1Profiler(graphcore).profile(model, fp16, n_ipus=2)
+        assert wse.roofline.bound == "compute"
+        assert rdu.roofline.bound == "memory"
+        assert ipu.roofline.bound == "memory"
+
+
+class TestSectionVIA_Scalability:
+    def test_rdu_tp_cliff_and_plateau(self, sambanova):
+        """Table III: 1540 -> 945 -> 918 (intra-machine cheap,
+        cross-machine expensive, further scaling flat)."""
+        train = TrainConfig(batch_size=8, seq_len=4096,
+                            precision=PrecisionPolicy.pure(Precision.BF16))
+        model = llama2_model("7b")
+        rates = {tp: sambanova.run(
+            sambanova.compile(model, train, mode="O1", tp=tp)
+        ).tokens_per_second for tp in (2, 4, 8)}
+        assert rates[4] < 0.75 * rates[2]
+        assert abs(rates[8] - rates[4]) < 0.15 * rates[4]
+
+    def test_wse_weight_streaming_overhead(self, cerebras):
+        """Table III: streaming costs ~20% (0.66M -> 0.53M)."""
+        train = TrainConfig(batch_size=128, seq_len=1024)
+        model = gpt2_model("small")
+        pipe = cerebras.run(cerebras.compile(model, train))
+        stream = cerebras.run(cerebras.compile(model, train,
+                                               mode="weight_streaming"))
+        ratio = stream.tokens_per_second / pipe.tokens_per_second
+        assert 0.75 < ratio < 0.85
+
+    def test_ipu_bottleneck_stage_rule(self, graphcore):
+        """Fig. 11c insight: minimize the most-loaded IPU."""
+        from repro.hardware.specs import BOW_POD
+        pod = GraphcoreBackend(BOW_POD)
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        model = decoder_block_probe(768, 12)
+        balanced = pod.run(pod.compile(model, train, n_ipus=8,
+                                       layers_per_ipu=[3, 3, 3, 3, 0]))
+        skewed = pod.run(pod.compile(model, train, n_ipus=8,
+                                     layers_per_ipu=[6, 2, 2, 2, 0]))
+        assert balanced.samples_per_second > 1.2 * skewed.samples_per_second
+
+
+class TestSectionVIB_Deployment:
+    def test_batch_size_recommendations(self, cerebras, sambanova):
+        """Fig. 12 insight: maximize batch on RDU; >200 unnecessary on
+        WSE."""
+        wse = DeploymentOptimizer(cerebras).batch_sweep(
+            gpt2_model("small"), TrainConfig(batch_size=8, seq_len=1024),
+            [32, 64, 128, 256, 512])
+        rdu = DeploymentOptimizer(sambanova).batch_sweep(
+            gpt2_model("small"),
+            TrainConfig(batch_size=4, seq_len=1024,
+                        precision=PrecisionPolicy.pure(Precision.BF16)),
+            [4, 8, 16, 32], mode="O1")
+        assert not wse.near_linear
+        assert rdu.near_linear
+
+    def test_precision_sensitivity_ordering(self, cerebras, sambanova,
+                                            graphcore):
+        """Table IV: RDU most sensitive (+34%), IPU next (+22%),
+        WSE least (+10.7%)."""
+        wse = DeploymentOptimizer(cerebras).compare_precision(
+            gpt2_model("small"), TrainConfig(batch_size=128, seq_len=1024),
+            baseline=PrecisionPolicy.pure(Precision.FP16),
+            optimized=PrecisionPolicy.pure(Precision.CB16))
+        ipu = DeploymentOptimizer(graphcore).compare_precision(
+            decoder_block_probe(768, 4, vocab_size=50257),
+            TrainConfig(batch_size=16, seq_len=1024),
+            baseline=PrecisionPolicy.full(),
+            optimized=PrecisionPolicy.mixed(Precision.FP16),
+            n_ipus=2)
+        rdu = DeploymentOptimizer(sambanova).compare_precision(
+            llama2_model("7b"),
+            TrainConfig(batch_size=16, seq_len=4096,
+                        precision=PrecisionPolicy.pure(Precision.BF16)),
+            baseline=PrecisionPolicy.matmul_only(Precision.BF16),
+            optimized=PrecisionPolicy.mixed(Precision.BF16),
+            mode="O1", tp=2)
+        assert rdu.gain > ipu.gain > wse.gain
+        assert wse.gain == pytest.approx(0.107, abs=0.04)

@@ -1,0 +1,137 @@
+"""Model/training configuration and the paper's presets."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.config import (
+    GPT2_PRESETS,
+    LLAMA2_PRESETS,
+    ModelConfig,
+    TrainConfig,
+    gpt2_model,
+    llama2_model,
+)
+
+
+class TestModelConfigValidation:
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig("x", "bert", hidden_size=768, n_layers=12,
+                        n_heads=12)
+
+    def test_nonpositive_dims(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig("x", "gpt2", hidden_size=0, n_layers=12, n_heads=12)
+
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig("x", "gpt2", hidden_size=100, n_layers=1, n_heads=7)
+
+    def test_kv_heads_must_divide_heads(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig("x", "llama2", hidden_size=768, n_layers=1,
+                        n_heads=12, n_kv_heads=5)
+
+    def test_kv_heads_default_to_heads(self):
+        m = ModelConfig("x", "gpt2", hidden_size=768, n_layers=1,
+                        n_heads=12)
+        assert m.n_kv_heads == 12
+
+
+class TestFamilies:
+    def test_gpt2_ffn_is_4x(self):
+        m = gpt2_model("small")
+        assert m.ffn_hidden == 4 * m.hidden_size
+
+    def test_llama_ffn_swiglu_sizing(self):
+        m = llama2_model("7b")
+        assert m.ffn_hidden == 11008
+
+    def test_llama_uses_gated_ffn(self):
+        assert llama2_model("7b").uses_gated_ffn
+        assert not gpt2_model("small").uses_gated_ffn
+
+    def test_gpt2_learned_positions(self):
+        assert gpt2_model("small").uses_learned_positions
+        assert not llama2_model("7b").uses_learned_positions
+
+    def test_gqa_on_70b(self):
+        m = llama2_model("70b")
+        assert m.n_kv_heads == 8
+        assert m.kv_hidden == 8 * m.head_dim
+
+
+class TestPresets:
+    def test_paper_hidden_sizes(self):
+        # Sec. IV-D: "GPT mini, tiny, and small (hidden 256, 512, 768)".
+        assert gpt2_model("mini").hidden_size == 256
+        assert gpt2_model("tiny").hidden_size == 512
+        assert gpt2_model("small").hidden_size == 768
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            gpt2_model("gigantic")
+        with pytest.raises(ConfigurationError):
+            llama2_model("3b")
+
+    def test_all_presets_construct(self):
+        for preset in list(GPT2_PRESETS.values()) + list(
+                LLAMA2_PRESETS.values()):
+            assert preset.head_dim > 0
+
+
+class TestSweepHelpers:
+    def test_with_layers(self):
+        m = gpt2_model("small").with_layers(36)
+        assert m.n_layers == 36
+        assert m.hidden_size == 768
+
+    def test_with_hidden_rescales_heads(self):
+        m = gpt2_model("small").with_hidden(1024)
+        assert m.hidden_size == 1024
+        assert m.hidden_size % m.n_heads == 0
+        assert m.head_dim == 64
+
+    def test_with_hidden_rebuilds_ffn(self):
+        m = gpt2_model("small").with_hidden(1600)
+        assert m.ffn_hidden == 4 * 1600
+
+    def test_with_hidden_odd_size(self):
+        m = gpt2_model("small").with_hidden(6686)
+        assert m.hidden_size % m.n_heads == 0
+
+
+class TestTrainConfig:
+    def test_tokens_per_step(self):
+        t = TrainConfig(batch_size=16, seq_len=512)
+        assert t.tokens_per_step == 8192
+
+    def test_micro_batch(self):
+        t = TrainConfig(batch_size=16, grad_accumulation=4)
+        assert t.micro_batch_size == 4
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(batch_size=0)
+
+    def test_invalid_seq(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(seq_len=-1)
+
+    def test_with_batch_size_copies(self):
+        t = TrainConfig(batch_size=8)
+        t2 = t.with_batch_size(64)
+        assert t.batch_size == 8 and t2.batch_size == 64
+        assert t2.seq_len == t.seq_len
+
+
+class TestLlamaPresetsSanity:
+    def test_13b_parameter_count(self):
+        from repro.models.costmodel import TransformerCostModel
+        cost = TransformerCostModel(llama2_model("13b"))
+        assert abs(cost.total_params() - 13e9) / 13e9 < 0.03
+
+    def test_70b_parameter_count(self):
+        from repro.models.costmodel import TransformerCostModel
+        cost = TransformerCostModel(llama2_model("70b"))
+        assert abs(cost.total_params() - 69e9) / 69e9 < 0.03

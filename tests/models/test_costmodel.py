@@ -1,0 +1,142 @@
+"""Parameter / FLOPs / memory cost model, including Eq. 5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.config import TrainConfig, gpt2_model, llama2_model
+from repro.models.costmodel import TransformerCostModel
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+@pytest.fixture()
+def gpt2_cost():
+    return TransformerCostModel(gpt2_model("small"))
+
+
+@pytest.fixture()
+def train():
+    return TrainConfig(batch_size=8, seq_len=1024)
+
+
+class TestParameterCounts:
+    def test_gpt2_small_is_124m(self, gpt2_cost):
+        # The canonical GPT-2 small figure (tied embeddings).
+        assert gpt2_cost.total_params() == pytest.approx(124e6, rel=0.02)
+
+    def test_llama_7b_is_7b(self):
+        cost = TransformerCostModel(llama2_model("7b"))
+        assert cost.total_params() == pytest.approx(6.7e9, rel=0.03)
+
+    def test_gpt2_layer_is_12h2ish(self, gpt2_cost):
+        h = 768
+        layer = gpt2_cost.layer_params()
+        assert layer.total == pytest.approx(12 * h * h, rel=0.01)
+
+    def test_tied_head_has_no_params(self, gpt2_cost):
+        assert gpt2_cost.lm_head_params() == 0
+
+    def test_untied_head_params(self):
+        cost = TransformerCostModel(llama2_model("7b"))
+        assert cost.lm_head_params() == 32000 * 4096
+
+    def test_decoder_params_scale_linearly(self):
+        base = gpt2_model("small")
+        p12 = TransformerCostModel(base.with_layers(12)).decoder_params()
+        p24 = TransformerCostModel(base.with_layers(24)).decoder_params()
+        assert p24 == 2 * p12
+
+    def test_gqa_shrinks_attention(self):
+        full = TransformerCostModel(llama2_model("70b"))
+        attn = full.layer_params().attention
+        h = 8192
+        # Q + O are h*h each; K,V are h*kv_hidden = h*1024 each.
+        assert attn == 2 * h * h + 2 * h * 1024
+
+
+class TestFlops:
+    def test_flops_per_token_near_6p(self, gpt2_cost, train):
+        # The classic 6*P rule the paper's Eq. 5 numerator uses.
+        per_token = gpt2_cost.flops_per_token(train)
+        assert per_token == pytest.approx(
+            6 * gpt2_cost.total_params(), rel=0.35)
+
+    def test_backward_is_twice_forward(self, gpt2_cost, train):
+        assert gpt2_cost.layer_backward_flops(train) == pytest.approx(
+            2 * gpt2_cost.layer_forward_flops(train))
+
+    def test_step_flops_scale_with_batch(self, gpt2_cost, train):
+        double = train.with_batch_size(16)
+        assert gpt2_cost.step_flops(double) == pytest.approx(
+            2 * gpt2_cost.step_flops(train))
+
+    def test_step_flops_positive(self, gpt2_cost, train):
+        assert gpt2_cost.step_flops(train) > 0
+
+
+class TestMemory:
+    def test_fp16_weight_bytes(self, gpt2_cost, train):
+        assert gpt2_cost.weight_bytes(train) == pytest.approx(
+            gpt2_cost.total_params() * 2)
+
+    def test_mixed_optimizer_state_is_largest(self, gpt2_cost):
+        mixed = TrainConfig(batch_size=8, seq_len=1024,
+                            precision=PrecisionPolicy.mixed(Precision.FP16))
+        assert (gpt2_cost.optimizer_state_bytes(mixed)
+                > gpt2_cost.weight_bytes(mixed))
+
+    def test_activation_bytes_scale_with_batch(self, gpt2_cost, train):
+        double = train.with_batch_size(16)
+        assert gpt2_cost.activation_bytes(double) == pytest.approx(
+            2 * gpt2_cost.activation_bytes(train))
+
+    def test_training_memory_is_sum(self, gpt2_cost, train):
+        total = gpt2_cost.training_memory_bytes(train)
+        parts = (gpt2_cost.weight_bytes(train)
+                 + gpt2_cost.gradient_bytes(train)
+                 + gpt2_cost.optimizer_state_bytes(train)
+                 + gpt2_cost.activation_bytes(train))
+        assert total == pytest.approx(parts)
+
+
+class TestArithmeticIntensity:
+    def test_eq5_formula(self, gpt2_cost, train):
+        p = gpt2_cost.total_params()
+        expected = (6 * p * train.batch_size * train.seq_len
+                    / (4 * p + gpt2_cost.activation_bytes(train)))
+        assert gpt2_cost.arithmetic_intensity(train) == pytest.approx(
+            expected)
+
+    def test_intensity_grows_with_batch_initially(self, gpt2_cost):
+        # At small batch the weight term dominates the denominator, so
+        # AI rises with B (the paper's 8.9-28 range across configs).
+        t1 = TrainConfig(batch_size=1, seq_len=1024)
+        t4 = TrainConfig(batch_size=4, seq_len=1024)
+        assert (gpt2_cost.arithmetic_intensity(t4)
+                > gpt2_cost.arithmetic_intensity(t1))
+
+    def test_saturates_at_per_token_ratio(self, gpt2_cost):
+        # As B grows both numerator and activation term scale with B, so
+        # AI approaches 6P / (activation bytes per token) — several
+        # hundred FLOPs/byte for GPT-2 small (see hardware.specs note on
+        # why this differs from the paper's reported 8.9-28 range).
+        small = gpt2_cost.arithmetic_intensity(
+            TrainConfig(batch_size=4, seq_len=1024))
+        big = gpt2_cost.arithmetic_intensity(
+            TrainConfig(batch_size=256, seq_len=1024))
+        assert big / small < 1.2  # already near saturation
+        assert 100.0 < big < 2000.0
+
+
+@settings(max_examples=30)
+@given(layers=st.integers(min_value=1, max_value=96),
+       batch=st.integers(min_value=1, max_value=64))
+def test_costs_monotone_in_scale(layers, batch):
+    """Params, FLOPs, and memory all grow with model/batch size."""
+    train = TrainConfig(batch_size=batch, seq_len=256)
+    small = TransformerCostModel(gpt2_model("small").with_layers(layers))
+    big = TransformerCostModel(gpt2_model("small").with_layers(layers + 1))
+    assert big.total_params() > small.total_params()
+    assert big.step_flops(train) > small.step_flops(train)
+    assert big.activation_bytes(train) > small.activation_bytes(train)
+    assert small.arithmetic_intensity(train) > 0

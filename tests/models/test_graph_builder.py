@@ -1,0 +1,95 @@
+"""Training-graph lowering."""
+
+import pytest
+
+from repro.graph.ops import OpKind
+from repro.models.config import TrainConfig, gpt2_model, llama2_model
+from repro.models.costmodel import TransformerCostModel
+from repro.models.graph_builder import build_training_graph
+
+
+@pytest.fixture()
+def train():
+    return TrainConfig(batch_size=4, seq_len=512)
+
+
+@pytest.fixture()
+def graph(train):
+    return build_training_graph(gpt2_model("small").with_layers(2), train)
+
+
+class TestStructure:
+    def test_validates(self, graph):
+        graph.validate()
+
+    def test_single_source_is_embedding(self, graph):
+        sources = graph.sources()
+        assert [op.name for op in sources] == ["embedding"]
+
+    def test_single_sink_is_optimizer(self, graph):
+        assert [op.name for op in graph.sinks()] == ["optimizer"]
+
+    def test_has_forward_and_backward_twins(self, graph):
+        assert "layer0.qkv" in graph
+        assert "layer0.qkv.bwd" in graph
+
+    def test_loss_has_no_backward_twin(self, graph):
+        assert "loss.bwd" not in graph
+
+    def test_layer_count(self, train):
+        g1 = build_training_graph(gpt2_model("small").with_layers(1), train)
+        g4 = build_training_graph(gpt2_model("small").with_layers(4), train)
+        assert len(g4.layer_indices()) == 4
+        assert len(g1.layer_indices()) == 1
+
+    def test_residual_skip_edges_exist(self, graph):
+        preds = [op.name for op in graph.predecessors("layer0.res1")]
+        # attention output plus the block input skip.
+        assert len(preds) == 2
+
+    def test_backward_ordering_reverse(self, graph):
+        order = [op.name for op in graph.topological_order()]
+        assert order.index("layer1.qkv.bwd") < order.index("layer0.qkv.bwd")
+        assert order.index("loss") < order.index("lm_head.bwd")
+
+
+class TestFamilies:
+    def test_llama_has_gate(self, train):
+        g = build_training_graph(llama2_model("7b").with_layers(1), train)
+        assert "layer0.ffn_gate" in g
+        assert g.op("layer0.ffn_gate").kind is OpKind.FFN_GATE
+
+    def test_gpt2_has_no_gate(self, graph):
+        assert "layer0.ffn_gate" not in graph
+
+
+class TestCostConsistency:
+    def test_weight_bytes_match_cost_model(self, train):
+        model = gpt2_model("small").with_layers(3)
+        g = build_training_graph(model, train)
+        cost = TransformerCostModel(model)
+        forward_weights = sum(op.weight_bytes for op in g
+                              if not op.backward
+                              and op.kind is not OpKind.OPTIMIZER)
+        assert forward_weights == pytest.approx(
+            cost.weight_bytes(train), rel=0.01)
+
+    def test_total_flops_match_step_flops(self, train):
+        model = gpt2_model("small").with_layers(3)
+        g = build_training_graph(model, train)
+        cost = TransformerCostModel(model)
+        graph_flops = sum(op.flops for op in g
+                          if op.kind is not OpKind.OPTIMIZER)
+        assert graph_flops == pytest.approx(cost.step_flops(train), rel=0.1)
+
+    def test_attention_scores_are_internal(self, graph):
+        attn = graph.op("layer0.attn")
+        assert attn.attrs["internal_bytes"] > 0
+        # Boundary output is just the (B, S, H) context tensor.
+        hidden = 4 * 512 * 768 * 2
+        assert attn.output_bytes == pytest.approx(hidden)
+
+    def test_matmul_dims_recorded(self, graph):
+        qkv = graph.op("layer0.qkv")
+        assert qkv.attrs["k"] == 768
+        assert qkv.attrs["n"] == 3 * 768

@@ -1,0 +1,72 @@
+"""Precision formats and policies (Table IV's configuration axis)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.precision import Precision, PrecisionPolicy
+
+
+class TestPrecision:
+    @pytest.mark.parametrize("fmt,width", [
+        (Precision.FP32, 4), (Precision.TF32, 4), (Precision.FP16, 2),
+        (Precision.BF16, 2), (Precision.CB16, 2), (Precision.FP8, 1),
+    ])
+    def test_widths(self, fmt, width):
+        assert fmt.bytes_per_value == width
+
+    def test_half_width_doubles_throughput(self):
+        assert Precision.FP16.compute_scale == 2.0 * Precision.FP32.compute_scale
+
+    def test_cb16_beats_fp16(self):
+        # The source of WSE's modest Table IV gain.
+        assert Precision.CB16.compute_scale > Precision.FP16.compute_scale
+
+
+class TestPolicyConstruction:
+    def test_narrow_master_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrecisionPolicy(Precision.FP32, Precision.FP16, "bad")
+
+    def test_narrow_activation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrecisionPolicy(Precision.FP32, Precision.FP32, "bad",
+                            activation=Precision.FP16)
+
+    def test_full(self):
+        policy = PrecisionPolicy.full()
+        assert policy.compute is Precision.FP32
+        assert not policy.is_mixed
+
+    def test_mixed(self):
+        policy = PrecisionPolicy.mixed(Precision.BF16)
+        assert policy.is_mixed
+        assert policy.master is Precision.FP32
+
+    def test_pure(self):
+        policy = PrecisionPolicy.pure(Precision.CB16)
+        assert not policy.is_mixed
+        assert policy.label == "cb16"
+
+    def test_matmul_only(self):
+        policy = PrecisionPolicy.matmul_only(Precision.BF16)
+        assert policy.needs_activation_casts
+        assert policy.activation_bytes_per_value == 4.0
+
+
+class TestPolicyByteAccounting:
+    def test_pure_fp16_state(self):
+        policy = PrecisionPolicy.pure(Precision.FP16)
+        assert policy.weight_bytes_per_param == 2.0
+        assert policy.state_bytes_per_param == 4.0  # two Adam moments
+
+    def test_mixed_state_includes_masters(self):
+        policy = PrecisionPolicy.mixed(Precision.FP16)
+        assert policy.state_bytes_per_param == 12.0  # fp32 master + moments
+
+    def test_activation_defaults_to_compute(self):
+        policy = PrecisionPolicy.mixed(Precision.FP16)
+        assert policy.activation_bytes_per_value == 2.0
+        assert not policy.needs_activation_casts
+
+    def test_full_has_no_casts(self):
+        assert not PrecisionPolicy.full().needs_activation_casts

@@ -1,0 +1,188 @@
+"""RDU compiler: modes, allocation, partitioning accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.core.metrics import allocation_ratio, weighted_load_imbalance
+from repro.models.config import TrainConfig, gpt2_model, llama2_model
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.sambanova.compiler import (
+    RDUCompiler,
+    SECTION_PCU_BUDGET,
+    SECTION_PMU_BUDGET,
+)
+from repro.workloads import decoder_block_probe
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return RDUCompiler()
+
+
+@pytest.fixture(scope="module")
+def train():
+    return TrainConfig(batch_size=16, seq_len=1024,
+                       precision=PrecisionPolicy.pure(Precision.BF16))
+
+
+@pytest.fixture(scope="module")
+def small():
+    return gpt2_model("small")
+
+
+class TestModeStructure:
+    def test_o0_one_op_per_section(self, compiler, small, train):
+        report = compiler.compile(small, train, mode="O0")
+        for phase in report.phases:
+            assert len(phase.tasks) == 1
+
+    def test_o1_has_fused_modules(self, compiler, small, train):
+        report = compiler.compile(small, train, mode="O1")
+        multi = [p for p in report.phases if len(p.tasks) > 1]
+        assert multi, "O1 must fuse at least some operators"
+
+    def test_o1_fewer_sections_than_o0(self, compiler, small, train):
+        o0 = compiler.compile(small, train, mode="O0")
+        o1 = compiler.compile(small, train, mode="O1")
+        assert len(o1.phases) < len(o0.phases)
+
+    def test_o0_o1_sections_invoked_per_layer(self, compiler, small, train):
+        report = compiler.compile(small.with_layers(7), train, mode="O1")
+        layer_phases = [p for p in report.phases
+                        if p.invocations == 7]
+        assert layer_phases, "decoder sections must run once per layer"
+
+    def test_o3_sections_respect_budget(self, compiler, small, train):
+        report = compiler.compile(small, train, mode="O3")
+        for phase in report.phases:
+            if len(phase.tasks) > 1:  # packed sections
+                assert phase.compute_units <= SECTION_PCU_BUDGET + 1e-6
+                assert phase.memory_units <= SECTION_PMU_BUDGET + 1e-6
+
+    def test_o3_all_sections_run_once(self, compiler, small, train):
+        report = compiler.compile(small, train, mode="O3")
+        assert all(p.invocations == 1 for p in report.phases)
+
+    def test_unknown_mode_rejected(self, compiler, small, train):
+        with pytest.raises(ConfigurationError):
+            compiler.compile(small, train, mode="O2")
+
+
+class TestAllocation:
+    def test_never_exceeds_60pct(self, compiler, small, train):
+        """The paper's headline RDU finding (Fig. 7)."""
+        for mode in ("O0", "O1", "O3"):
+            for layers in (4, 12, 24):
+                report = compiler.compile(small.with_layers(layers), train,
+                                          mode=mode)
+                assert allocation_ratio(report) < 0.62
+
+    def test_mode_ordering_o3_highest_o0_lowest(self, compiler, small,
+                                                train):
+        ratios = {mode: allocation_ratio(
+            compiler.compile(small, train, mode=mode))
+            for mode in ("O0", "O1", "O3")}
+        assert ratios["O3"] > ratios["O1"] > ratios["O0"]
+
+    def test_o3_rises_then_stabilizes_with_layers(self, compiler, small,
+                                                  train):
+        ratios = [allocation_ratio(
+            compiler.compile(small.with_layers(n), train, mode="O3"))
+            for n in (4, 8, 16, 32)]
+        assert ratios[1] > ratios[0]
+        assert abs(ratios[3] - ratios[2]) < 0.05
+
+    def test_o0_allocation_rises_with_hidden(self, compiler, train):
+        ratios = [allocation_ratio(compiler.compile(
+            decoder_block_probe(hs, 8), train, mode="O0"))
+            for hs in (480, 1024, 1600)]
+        assert ratios == sorted(ratios)
+
+
+class TestLoadImbalance:
+    def test_o1_beats_o3(self, compiler, small, train):
+        """Fig. 8: fusion balances better than O3's packing."""
+        o1 = weighted_load_imbalance(compiler.compile(small, train,
+                                                      mode="O1"))
+        o3 = weighted_load_imbalance(compiler.compile(small, train,
+                                                      mode="O3"))
+        assert o1 > o3
+
+    def test_o3_li_degrades_with_layers(self, compiler, small, train):
+        li4 = weighted_load_imbalance(
+            compiler.compile(small.with_layers(4), train, mode="O3"))
+        li32 = weighted_load_imbalance(
+            compiler.compile(small.with_layers(32), train, mode="O3"))
+        assert li32 < li4
+
+    def test_o1_o3_gap_holds_across_hidden(self, compiler, train):
+        # Fig. 8b's dominant feature: O1's fusion stays far better
+        # balanced than O3 at every hidden size. (The paper's mild
+        # rising-with-HS trend is a noted deviation; see EXPERIMENTS.md.)
+        for hs in (480, 1024, 1600):
+            probe = decoder_block_probe(hs, 8)
+            o1 = weighted_load_imbalance(
+                compiler.compile(probe, train, mode="O1"))
+            o3 = weighted_load_imbalance(
+                compiler.compile(probe, train, mode="O3"))
+            assert o1 > o3 + 0.15
+
+
+class TestSharding:
+    def test_lm_head_sharded_at_large_hidden(self, compiler, train):
+        model = llama2_model("7b").with_hidden(5120).with_layers(4)
+        report = compiler.compile(model, train, mode="O1")
+        shard_phases = [p for p in report.phases if ".S" in p.name]
+        assert len(shard_phases) >= 2
+
+    def test_small_hidden_head_unsharded(self, compiler, train):
+        model = decoder_block_probe(768, 4)  # probe vocab: tiny head
+        report = compiler.compile(model, train, mode="O1")
+        assert not [p for p in report.phases if "lm_head.S" in p.name]
+
+    def test_partition_summary_ratios(self, compiler, small, train):
+        report = compiler.compile(small.with_layers(8), train, mode="O3")
+        summary = compiler.partition_summary(report)
+        # Table II(a): backward needs more sections per decoder than
+        # forward.
+        assert summary["backward_ratio"] > summary["forward_ratio"]
+        assert summary["forward_sections"] >= 1
+
+
+class TestTensorParallel:
+    def test_tp_bounds(self, compiler, small, train):
+        with pytest.raises(ConfigurationError):
+            compiler.compile(small, train, tp=0)
+        with pytest.raises(ConfigurationError):
+            compiler.compile(small, train, tp=16)
+
+    def test_tp_adds_comm_sections(self, compiler, small, train):
+        report = compiler.compile(small, train, tp=2)
+        assert any(p.name == "allreduce" for p in report.phases)
+
+    def test_tp_shrinks_per_chip_demands(self, compiler, small, train):
+        r1 = compiler.compile(small, train, tp=1)
+        r4 = compiler.compile(small, train, tp=4)
+        assert (allocation_ratio(r4, kind="compute")
+                < allocation_ratio(r1, kind="compute"))
+
+    def test_ddr_capacity_enforced(self, compiler, train):
+        huge = llama2_model("70b")
+        big_batch = TrainConfig(
+            batch_size=64, seq_len=4096,
+            precision=PrecisionPolicy.mixed(Precision.BF16))
+        with pytest.raises(OutOfMemoryError):
+            compiler.compile(huge, big_batch, tp=1)
+        # Tensor parallelism divides the state and fits.
+        compiler.compile(huge, big_batch, tp=8)
+
+
+class TestPrecisionEffects:
+    def test_cast_penalty_applied(self, compiler, small):
+        pure = compiler.compile(small, TrainConfig(
+            batch_size=16, seq_len=1024,
+            precision=PrecisionPolicy.mixed(Precision.BF16)))
+        casty = compiler.compile(small, TrainConfig(
+            batch_size=16, seq_len=1024,
+            precision=PrecisionPolicy.matmul_only(Precision.BF16)))
+        assert casty.meta["pcu_rate"] < pure.meta["pcu_rate"]

@@ -1,0 +1,144 @@
+"""RDU runtime: sequential sections, mode performance, TP cliff."""
+
+import pytest
+
+from repro.models.config import TrainConfig, gpt2_model, llama2_model
+from repro.models.precision import Precision, PrecisionPolicy
+from repro.sambanova.backend import SambaNovaBackend
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return SambaNovaBackend()
+
+
+@pytest.fixture(scope="module")
+def train():
+    return TrainConfig(batch_size=16, seq_len=1024,
+                       precision=PrecisionPolicy.pure(Precision.BF16))
+
+
+@pytest.fixture(scope="module")
+def small():
+    return gpt2_model("small")
+
+
+class TestSequentialExecution:
+    def test_step_time_is_sum_of_invocations(self, backend, small, train):
+        compiled = backend.compile(small, train, mode="O1")
+        run = backend.run(compiled)
+        expected = sum(p.runtime * p.invocations for p in compiled.phases)
+        assert run.step_time == pytest.approx(expected, rel=1e-6)
+
+    def test_trace_covers_every_invocation(self, backend, small, train):
+        compiled = backend.compile(small, train, mode="O1")
+        run = backend.run(compiled)
+        expected = sum(p.invocations for p in compiled.phases)
+        assert len(run.trace) == expected
+
+    def test_no_overlap_between_sections(self, backend, small, train):
+        run = backend.run(backend.compile(small, train, mode="O1"))
+        records = sorted(run.trace.records, key=lambda r: r.start)
+        for a, b in zip(records, records[1:]):
+            assert b.start >= a.end - 1e-12
+
+
+class TestModePerformance:
+    def test_o0_severely_limited(self, backend, small, train):
+        """Fig. 9b: operator mode delivers a fraction of O1/O3."""
+        rates = {mode: backend.run(
+            backend.compile(small, train, mode=mode)).achieved_flops
+            for mode in ("O0", "O1", "O3")}
+        assert rates["O0"] < 0.5 * rates["O1"]
+        assert rates["O0"] < 0.3 * rates["O3"]
+
+    def test_tflops_grow_with_layers_o3(self, backend, train):
+        """Fig. 9b: O3 TFLOPs increase with depth, growth slows.
+
+        Uses the decoder-block probe (Sec. IV-D methodology) so the
+        fixed embedding/loss/optimizer sections are what amortizes.
+        """
+        from repro.workloads import decoder_block_probe
+        tf = [backend.run(backend.compile(decoder_block_probe(768, n),
+                                          train, mode="O3")).achieved_flops
+              for n in (4, 8, 16, 32)]
+        assert tf[0] < tf[1] < tf[2] < tf[3]
+        assert (tf[3] / tf[2]) < (tf[1] / tf[0])
+
+    def test_tflops_grow_with_hidden_o1(self, backend, train):
+        """Fig. 9c: O1 TFLOPs rise with hidden size."""
+        big = TrainConfig(batch_size=32, seq_len=2048,
+                          precision=PrecisionPolicy.pure(Precision.BF16))
+        base = llama2_model("7b")
+        tf = [backend.run(backend.compile(
+            base.with_hidden(hs).with_layers(4), big,
+            mode="O1")).achieved_flops for hs in (3072, 5120, 8192)]
+        assert tf[0] < tf[1] < tf[2]
+
+    def test_near_linear_batch_scaling(self, backend, small, train):
+        """Fig. 12: small-batch RDU throughput is overhead-dominated."""
+        def rate(batch):
+            t = train.with_batch_size(batch)
+            return backend.run(backend.compile(small, t,
+                                               mode="O1")).tokens_per_second
+
+        assert rate(8) / rate(4) > 1.5
+        assert rate(16) / rate(8) > 1.4
+
+
+class TestTensorParallelCliff:
+    @pytest.fixture(scope="class")
+    def tp_runs(self, backend):
+        train = TrainConfig(batch_size=8, seq_len=4096,
+                            precision=PrecisionPolicy.pure(Precision.BF16))
+        model = llama2_model("7b")
+        return {tp: backend.run(backend.compile(model, train, mode="O1",
+                                                tp=tp))
+                for tp in (2, 4, 8)}
+
+    def test_cross_machine_drop(self, tp_runs):
+        """Table III: TP2 -> TP4 loses ~40%."""
+        ratio = tp_runs[4].tokens_per_second / tp_runs[2].tokens_per_second
+        assert 0.45 < ratio < 0.75
+
+    def test_further_scaling_flat(self, tp_runs):
+        """Table III: TP4 -> TP8 changes little (945 vs 918)."""
+        ratio = tp_runs[8].tokens_per_second / tp_runs[4].tokens_per_second
+        assert 0.85 < ratio < 1.15
+
+    def test_intra_machine_comm_negligible(self, tp_runs):
+        assert tp_runs[2].meta["comm_time"] < 0.05 * tp_runs[2].step_time
+
+    def test_cross_machine_comm_dominant(self, tp_runs):
+        assert tp_runs[4].meta["comm_time"] > 0.3 * tp_runs[4].step_time
+
+
+class TestPrecisionStudy:
+    def test_mixed_beats_matmul_only(self, backend):
+        """Table IV: +34.3% from full mixed precision on 7B."""
+        model = llama2_model("7b")
+        base_train = TrainConfig(
+            batch_size=16, seq_len=4096,
+            precision=PrecisionPolicy.matmul_only(Precision.BF16))
+        mixed_train = base_train.with_precision(
+            PrecisionPolicy.mixed(Precision.BF16))
+        base = backend.run(backend.compile(model, base_train, mode="O1",
+                                           tp=2))
+        mixed = backend.run(backend.compile(model, mixed_train, mode="O1",
+                                            tp=2))
+        gain = mixed.tokens_per_second / base.tokens_per_second - 1.0
+        assert 0.2 < gain < 0.5
+
+
+class TestReportContents:
+    def test_traffic_accounts_all_sections(self, backend, small, train):
+        compiled = backend.compile(small, train, mode="O0")
+        run = backend.run(compiled)
+        assert run.global_traffic_bytes_per_step > 0
+
+    def test_timings_partition_step(self, backend, small, train):
+        run = backend.run(backend.compile(small, train, mode="O3"))
+        total = (run.meta["ddr_time"] + run.meta["switch_time"]
+                 + run.meta["comm_time"]
+                 + run.meta["compute_fraction"] * run.step_time)
+        assert total == pytest.approx(run.step_time, rel=0.02)

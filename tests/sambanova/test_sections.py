@@ -1,0 +1,61 @@
+"""Section and OpDemand dataclasses."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sambanova.sections import OpDemand, Section
+
+
+def demand(name="op", pcus=100.0, pmus=50.0, flops=1e9,
+           weight_bytes=1e6, io_bytes=2e6, **kw):
+    return OpDemand(name=name, kind="ffn_up", flops=flops, pcus=pcus,
+                    pmus=pmus, weight_bytes=weight_bytes,
+                    io_bytes=io_bytes, **kw)
+
+
+class TestOpDemand:
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            demand(pcus=-1.0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            demand(flops=-1.0)
+
+
+class TestSection:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Section(name="s", ops=[])
+
+    def test_zero_invocations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Section(name="s", ops=[demand()], invocations=0)
+
+    def test_resource_sums(self):
+        section = Section(name="s", ops=[demand(pcus=100, pmus=40),
+                                         demand(name="b", pcus=50, pmus=10)])
+        assert section.pcus == 150.0
+        assert section.pmus == 50.0
+
+    def test_flops_and_weights_sum(self):
+        section = Section(name="s", ops=[demand(), demand(name="b")])
+        assert section.flops == 2e9
+        assert section.weight_bytes == 2e6
+
+    def test_boundary_is_edge_ops_only(self):
+        """Fusion's point: interior op traffic never touches DDR."""
+        ops = [demand(name="first", io_bytes=10.0),
+               demand(name="mid", io_bytes=1000.0),
+               demand(name="last", io_bytes=20.0)]
+        section = Section(name="s", ops=ops)
+        assert section.boundary_bytes == pytest.approx(5.0 + 10.0)
+
+    def test_single_op_boundary_is_full_io(self):
+        section = Section(name="s", ops=[demand(io_bytes=10.0)])
+        assert section.boundary_bytes == pytest.approx(10.0)
+
+    def test_ddr_bytes(self):
+        section = Section(name="s", ops=[demand(io_bytes=10.0,
+                                                weight_bytes=5.0)])
+        assert section.ddr_bytes == pytest.approx(15.0)

@@ -1,0 +1,79 @@
+"""Matrix sharding (Table II(b))."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KB, MB
+from repro.sambanova.sharding import (
+    SHARD_WEIGHT_BYTES,
+    ShardPlan,
+    plan_shards,
+    shard_pcu_demand,
+)
+
+PMU_BYTES = 512 * KB
+ROOT = 1.33
+
+
+class TestPlanShards:
+    def test_small_matrix_unsharded(self):
+        plan = plan_shards(10 * MB, PMU_BYTES, ROOT)
+        assert not plan.sharded
+        assert plan.n_sections == 1
+
+    def test_large_matrix_sharded(self):
+        plan = plan_shards(200 * MB, PMU_BYTES, ROOT)
+        assert plan.sharded
+        assert plan.n_shards == 8  # ceil(200 / 28)
+
+    def test_shard_fits_budget(self):
+        plan = plan_shards(500 * MB, PMU_BYTES, ROOT)
+        assert plan.shard_weight_bytes <= SHARD_WEIGHT_BYTES
+
+    def test_sections_cover_all_shards(self):
+        plan = plan_shards(900 * MB, PMU_BYTES, ROOT)
+        assert plan.n_sections * plan.shards_per_section >= plan.n_shards
+
+    def test_shards_grow_with_size(self):
+        p1 = plan_shards(100 * MB, PMU_BYTES, ROOT)
+        p2 = plan_shards(400 * MB, PMU_BYTES, ROOT)
+        assert p2.n_shards > p1.n_shards
+
+    def test_per_section_pcus_track_shards_not_size(self):
+        """Table II(b): PCU per section correlates with shard geometry."""
+        p1 = plan_shards(300 * MB, PMU_BYTES, ROOT)
+        p2 = plan_shards(600 * MB, PMU_BYTES, ROOT)
+        # Same shard size budget -> near-identical per-section PCUs.
+        assert p2.pcus_per_section == pytest.approx(
+            p1.pcus_per_section, rel=0.15)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(-1.0, PMU_BYTES, ROOT)
+
+    def test_bad_pmu_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(1.0, 0.0, ROOT)
+
+
+class TestShardPcuDemand:
+    def test_sublinear(self):
+        small = shard_pcu_demand(10 * MB, ROOT)
+        big = shard_pcu_demand(80 * MB, ROOT)
+        assert big / small < 8.0
+        assert big > small
+
+
+@given(st.floats(min_value=1.0, max_value=4e9))
+def test_plan_invariants(weight_bytes):
+    plan = plan_shards(weight_bytes, PMU_BYTES, ROOT)
+    assert plan.n_shards >= 1
+    assert plan.n_sections >= 1
+    assert plan.shards_per_section >= 1
+    assert plan.shards_per_section <= plan.n_shards
+    assert plan.shard_weight_bytes * plan.n_shards == pytest.approx(
+        weight_bytes, rel=1e-6)
+    # Equality only when the plan is a single unsharded section.
+    assert ShardPlan.sharded.fget(plan) == (plan.n_shards > 1)

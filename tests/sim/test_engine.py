@@ -1,0 +1,170 @@
+"""Discrete-event simulator core."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Resource, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "late")
+        sim.schedule(1.0, log.append, "early")
+        sim.schedule(2.0, log.append, "middle")
+        sim.run()
+        assert log == ["early", "middle", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, log.append, i)
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(10.0, log.append, "b")
+        sim.run(until=5.0)
+        assert log == ["a"]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, second)
+
+        def second():
+            log.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_runaway_loop_detected(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_final_time_is_last_event(self):
+        sim = Simulator()
+        sim.schedule(4.5, lambda: None)
+        assert sim.run() == 4.5
+
+
+class TestResource:
+    def test_capacity_validated(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        granted = []
+        res.request(granted.append, 1)
+        res.request(granted.append, 2)
+        res.request(granted.append, 3)
+        sim.run()
+        assert granted == [1, 2]
+        assert res.queue_length == 1
+
+    def test_release_wakes_fifo(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def hold(tag, duration):
+            order.append(tag)
+            sim.schedule(duration, res.release)
+
+        res.request(hold, "a", 1.0)
+        res.request(hold, "b", 1.0)
+        res.request(hold, "c", 1.0)
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_release_without_request_rejected(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_utilization_tracks_busy_time(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def work():
+            sim.schedule(2.0, res.release)
+
+        res.request(work)
+        sim.run()
+        assert res.busy_time == pytest.approx(2.0)
+        assert res.utilization(4.0) == pytest.approx(0.5)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=10.0),
+                min_size=1, max_size=50))
+def test_pipeline_makespan_formula(service_times):
+    """A single-stage queue serving N jobs takes sum(t) seconds."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def job(duration):
+        sim.schedule(duration, res.release)
+
+    for duration in service_times:
+        res.request(job, duration)
+    total = sim.run()
+    assert total == pytest.approx(sum(service_times), rel=1e-9)
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.integers(min_value=1, max_value=20))
+def test_determinism(n_events, seed_unused):
+    """Identical schedules produce identical traces."""
+
+    def run_once():
+        sim = Simulator()
+        log = []
+        for i in range(n_events):
+            sim.schedule(float(i % 3), log.append, i)
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

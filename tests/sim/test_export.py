@@ -1,0 +1,79 @@
+"""Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.sim.export import to_chrome_trace, write_chrome_trace
+from repro.sim.trace import Trace
+
+
+@pytest.fixture()
+def trace():
+    t = Trace()
+    t.record(0.0, 0.5, "attn", category="compute", item=0, flops=123)
+    t.record(0.5, 1.5, "ffn", category="compute", item=0)
+    t.record(1.5, 2.0, "attn", category="compute", item=1)
+    return t
+
+
+class TestChromeFormat:
+    def test_has_trace_events(self, trace):
+        payload = to_chrome_trace(trace)
+        assert "traceEvents" in payload
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 3
+
+    def test_microsecond_conversion(self, trace):
+        events = [e for e in to_chrome_trace(trace)["traceEvents"]
+                  if e["ph"] == "X"]
+        first = events[0]
+        assert first["ts"] == 0.0
+        assert first["dur"] == pytest.approx(0.5e6)
+
+    def test_tasks_get_distinct_threads(self, trace):
+        events = [e for e in to_chrome_trace(trace)["traceEvents"]
+                  if e["ph"] == "X"]
+        tids = {e["name"].split("#")[0]: e["tid"] for e in events}
+        assert tids["attn"] != tids["ffn"]
+
+    def test_thread_name_metadata(self, trace):
+        metas = [e for e in to_chrome_trace(trace)["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        names = {m["args"]["name"] for m in metas}
+        assert names == {"attn", "ffn"}
+
+    def test_meta_propagated(self, trace):
+        events = [e for e in to_chrome_trace(trace)["traceEvents"]
+                  if e["ph"] == "X"]
+        assert events[0]["args"]["flops"] == 123
+
+    def test_process_name(self, trace):
+        payload = to_chrome_trace(trace, process_name="wse-run")
+        meta = payload["traceEvents"][0]
+        assert meta["args"]["name"] == "wse-run"
+
+
+class TestWrite:
+    def test_writes_valid_json(self, trace, tmp_path):
+        path = write_chrome_trace(trace, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_empty_trace(self, tmp_path):
+        path = write_chrome_trace(Trace(), tmp_path / "empty.json")
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == 1  # just process meta
+
+
+class TestEndToEnd:
+    def test_wse_run_trace_exports(self, tmp_path):
+        from repro import CerebrasBackend, TrainConfig, gpt2_model
+        backend = CerebrasBackend()
+        run = backend.run(backend.compile(
+            gpt2_model("mini"), TrainConfig(batch_size=8, seq_len=256)))
+        path = write_chrome_trace(run.trace, tmp_path / "wse.json")
+        payload = json.loads(path.read_text())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        # Each kernel processed 8 samples.
+        assert len(complete) == 8 * len(run.phases[0].tasks) / 2

@@ -1,0 +1,81 @@
+"""Validate the DES against tandem-queue theory.
+
+The WSE runtime's pipeline is a tandem queue with bounded WIP; queueing
+theory gives closed forms for its makespan in special cases. The DES
+must agree — this is the cross-check that the simulation engine, not
+just the calibration, is sound.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cerebras.runtime import WSERuntime
+from repro.sim.trace import Trace
+
+
+def simulate(service_times, depth, batch):
+    runtime = WSERuntime()
+    order = [f"s{i}" for i in range(len(service_times))]
+    services = dict(zip(order, service_times))
+    trace = Trace()
+    makespan = runtime._simulate_pipeline(order, services, depth, batch,
+                                          trace)
+    return makespan, trace
+
+
+class TestClosedForms:
+    def test_unbounded_wip_formula(self):
+        """With depth >= batch, makespan = sum(t) + (B-1) * t_max."""
+        services = [0.5, 2.0, 1.0]
+        batch = 7
+        makespan, _trace = simulate(services, depth=batch, batch=batch)
+        assert makespan == pytest.approx(sum(services) + (batch - 1) * 2.0)
+
+    def test_wip_one_serializes(self):
+        """Depth 1: samples pass one at a time; makespan = B * sum(t)."""
+        services = [0.5, 2.0, 1.0]
+        batch = 5
+        makespan, _trace = simulate(services, depth=1, batch=batch)
+        assert makespan == pytest.approx(batch * sum(services))
+
+    def test_single_stage(self):
+        makespan, _trace = simulate([1.5], depth=4, batch=6)
+        assert makespan == pytest.approx(9.0)
+
+    def test_uniform_stages(self):
+        """n equal stages: makespan = (n + B - 1) * t."""
+        makespan, _trace = simulate([1.0] * 5, depth=100, batch=10)
+        assert makespan == pytest.approx((5 + 10 - 1) * 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(services=st.lists(st.floats(min_value=0.01, max_value=3.0),
+                         min_size=1, max_size=8),
+       depth=st.integers(min_value=1, max_value=12),
+       batch=st.integers(min_value=1, max_value=12))
+def test_bounds_and_conservation(services, depth, batch):
+    makespan, trace = simulate(services, depth, batch)
+    total = sum(services)
+    t_max = max(services)
+    # Lower bounds: critical path of one sample, bottleneck serialization,
+    # and WIP-limited rate.
+    assert makespan >= total - 1e-9
+    assert makespan >= batch * t_max - 1e-9
+    assert makespan >= batch * total / max(depth, 1) / 2 - 1e-9
+    # Upper bound: full serialization.
+    assert makespan <= batch * total + 1e-9
+    # Conservation: every stage served every sample exactly once.
+    counts = trace.items_by_task()
+    assert all(count == batch for count in counts.values())
+    assert len(counts) == len(services)
+
+
+@settings(max_examples=20, deadline=None)
+@given(services=st.lists(st.floats(min_value=0.05, max_value=2.0),
+                         min_size=2, max_size=6),
+       batch=st.integers(min_value=4, max_value=16))
+def test_deeper_wip_never_slower(services, batch):
+    shallow, _t1 = simulate(services, depth=1, batch=batch)
+    deep, _t2 = simulate(services, depth=batch, batch=batch)
+    assert deep <= shallow + 1e-9

@@ -1,0 +1,83 @@
+"""Execution traces."""
+
+import pytest
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+@pytest.fixture()
+def trace():
+    t = Trace()
+    t.record(0.0, 1.0, "attn", item=0)
+    t.record(1.0, 2.0, "attn", item=1)
+    t.record(0.5, 3.0, "ffn", category="compute", item=0)
+    t.record(3.0, 3.5, "dma", category="transfer", item=0)
+    return t
+
+
+class TestRecord:
+    def test_duration(self):
+        rec = TraceRecord(start=1.0, end=3.5, task="x")
+        assert rec.duration == 2.5
+
+    def test_reversed_interval_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError):
+            trace.add(TraceRecord(start=2.0, end=1.0, task="x"))
+
+    def test_record_convenience_stores_meta(self):
+        trace = Trace()
+        rec = trace.record(0.0, 1.0, "k", flops=42)
+        assert rec.meta["flops"] == 42
+
+
+class TestAggregates:
+    def test_len_and_iter(self, trace):
+        assert len(trace) == 4
+        assert len(list(trace)) == 4
+
+    def test_makespan(self, trace):
+        assert trace.makespan == 3.5
+
+    def test_makespan_empty(self):
+        assert Trace().makespan == 0.0
+
+    def test_busy_time_by_task(self, trace):
+        busy = trace.busy_time_by_task()
+        assert busy["attn"] == pytest.approx(2.0)
+        assert busy["ffn"] == pytest.approx(2.5)
+
+    def test_busy_time_by_category(self, trace):
+        by_cat = trace.busy_time_by_category()
+        assert by_cat["transfer"] == pytest.approx(0.5)
+
+    def test_items_by_task(self, trace):
+        assert trace.items_by_task()["attn"] == 2
+
+    def test_task_throughput(self, trace):
+        # attn: 2 items over a [0, 2] span.
+        assert trace.task_throughput("attn") == pytest.approx(1.0)
+
+    def test_task_throughput_unknown(self, trace):
+        assert trace.task_throughput("nope") == 0.0
+
+    def test_task_throughput_zero_span(self):
+        t = Trace()
+        t.record(1.0, 1.0, "instant")
+        assert t.task_throughput("instant") == float("inf")
+
+
+class TestFilter:
+    def test_by_category(self, trace):
+        assert len(trace.filter(category="transfer")) == 1
+
+    def test_by_task(self, trace):
+        assert len(trace.filter(task="attn")) == 2
+
+    def test_by_both(self, trace):
+        assert len(trace.filter(category="compute", task="ffn")) == 1
+
+    def test_filter_returns_new_trace(self, trace):
+        filtered = trace.filter(task="attn")
+        filtered.record(10.0, 11.0, "extra")
+        assert len(trace) == 4

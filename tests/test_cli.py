@@ -1,0 +1,110 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    main,
+    make_backend,
+    parse_model,
+    parse_options,
+    parse_precision,
+)
+from repro.common.errors import ConfigurationError
+from repro.models.precision import Precision
+
+
+class TestParsers:
+    def test_parse_model_preset(self):
+        assert parse_model("gpt2-small").hidden_size == 768
+        assert parse_model("llama2-7b").n_layers == 32
+
+    def test_parse_model_layer_override(self):
+        assert parse_model("gpt2-small:24").n_layers == 24
+
+    def test_parse_model_probe(self):
+        probe = parse_model("probe:512x6")
+        assert probe.hidden_size == 512
+        assert probe.n_layers == 6
+        assert probe.vocab_size == 2048
+
+    def test_parse_model_errors(self):
+        with pytest.raises(ConfigurationError):
+            parse_model("bert-base")
+        with pytest.raises(ConfigurationError):
+            parse_model("probe:banana")
+
+    def test_parse_precision(self):
+        assert parse_precision("bf16").compute is Precision.BF16
+        assert parse_precision("mixed-fp16").is_mixed
+        assert parse_precision("matmul-bf16").needs_activation_casts
+        assert parse_precision("full").compute is Precision.FP32
+
+    def test_parse_options(self):
+        assert parse_options(["mode=O1", "tp=2"]) == {"mode": "O1",
+                                                      "tp": 2}
+        with pytest.raises(ConfigurationError):
+            parse_options(["oops"])
+
+    def test_make_backend_names(self):
+        for name in ("cerebras", "sambanova", "graphcore",
+                     "graphcore-pod", "gpu"):
+            assert make_backend(name).system is not None
+        with pytest.raises(ConfigurationError):
+            make_backend("tpu")
+
+
+class TestCommands:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "cerebras" in out and "sambanova" in out
+
+    def test_tier1_text_and_json(self, capsys, tmp_path):
+        out_file = tmp_path / "tier1.json"
+        code = main(["tier1", "--platform", "cerebras",
+                     "--model", "gpt2-small:4", "--batch", "16",
+                     "--json", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Tier-1 profile" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["platform"] == "CS-2"
+
+    def test_sweep_layers_records_fail(self, capsys):
+        code = main(["sweep-layers", "--platform", "cerebras",
+                     "--model", "gpt2-small", "--batch", "32",
+                     "--layers", "4", "90"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fail" in out
+
+    def test_batch_sweep(self, capsys):
+        code = main(["batch-sweep", "--platform", "sambanova",
+                     "--model", "gpt2-small:4", "--precision", "bf16",
+                     "--batches", "4", "8", "--option", "mode=O1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scaling exponent" in out
+
+    def test_scaling(self, capsys):
+        code = main(["scaling", "--platform", "sambanova",
+                     "--model", "gpt2-small:4", "--precision", "bf16",
+                     "--option", "mode=O1",
+                     "--configs", "tp=1", "tp=2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tp=2" in out
+
+    def test_graphcore_options(self, capsys):
+        code = main(["tier1", "--platform", "graphcore",
+                     "--model", "probe:768x4", "--batch", "16",
+                     "--option", "n_ipus=2"])
+        assert code == 0
+
+    def test_config_error_exit_code(self, capsys):
+        code = main(["tier1", "--platform", "cerebras",
+                     "--model", "nonexistent-model"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,77 @@
+"""Smoke tests: every shipped example runs end-to-end.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the library evolves. Each main() must complete and print the
+sections its docstring promises.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def run_example(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "Profiling gpt2-small" in out
+    assert "compute-bound" in out
+    assert "largest 768-hidden decoder stack" in out
+
+
+def test_compare_compile_modes(capsys):
+    out = run_example("compare_compile_modes", capsys)
+    for mode in ("O0", "O1", "O3"):
+        assert mode in out
+    assert "Insight:" in out
+
+
+def test_deployment_planner(capsys):
+    out = run_example("deployment_planner", capsys)
+    assert "Batch-size scaling" in out
+    assert "Precision options" in out
+    assert "WSE-2" in out and "RDU" in out and "IPU" in out
+
+
+def test_scaling_study(capsys):
+    out = run_example("scaling_study", capsys)
+    assert "intra-chip data parallelism" in out
+    assert "tensor parallelism" in out
+    assert "pipeline parallelism" in out
+    assert "bottleneck" in out
+
+
+def test_capability_limits(capsys):
+    out = run_example("capability_limits", capsys)
+    assert "CS-2 (1 chip)" in out
+    assert "TP >=" in out
+    assert "configuration memory" in out
+
+
+def test_figures_and_energy(capsys):
+    out = run_example("figures_and_energy", capsys)
+    assert "Fig. 9a (repro)" in out
+    assert "Fig. 12 (repro)" in out
+    assert "tokens per joule" in out
+
+
+def test_inference_study(capsys):
+    out = run_example("inference_study", capsys)
+    assert "Training vs inference" in out
+    assert "decode roofline" in out
+    assert "speedup" in out

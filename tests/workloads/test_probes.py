@@ -1,0 +1,57 @@
+"""Probe models and sweep axes."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.probes import (
+    PAPER_RDU_HS_O1,
+    PAPER_WSE_LAYERS,
+    decoder_block_probe,
+    paper_layer_sweep,
+    paper_rdu_hidden_sweep_o0_o3,
+    paper_rdu_hidden_sweep_o1,
+)
+
+
+class TestDecoderBlockProbe:
+    def test_small_vocab_by_default(self):
+        probe = decoder_block_probe(768, 4)
+        assert probe.vocab_size == 2048
+
+    def test_dimensions(self):
+        probe = decoder_block_probe(1024, 6)
+        assert probe.hidden_size == 1024
+        assert probe.n_layers == 6
+        assert probe.head_dim == 64
+
+    def test_llama_family(self):
+        probe = decoder_block_probe(4096, 2, family="llama2")
+        assert probe.uses_gated_ffn
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError):
+            decoder_block_probe(768, 2, family="mamba")
+
+    def test_probe_name_descriptive(self):
+        probe = decoder_block_probe(768, 4)
+        assert "h768" in probe.name and "l4" in probe.name
+
+
+class TestPaperAxes:
+    def test_table1_axis(self):
+        assert PAPER_WSE_LAYERS[0] == 1
+        assert PAPER_WSE_LAYERS[-1] == 78
+        models = paper_layer_sweep()
+        assert len(models) == len(PAPER_WSE_LAYERS)
+        assert all(m.hidden_size == 768 for m in models)
+
+    def test_rdu_small_axis(self):
+        models = paper_rdu_hidden_sweep_o0_o3()
+        assert [m.hidden_size for m in models] == [480, 768, 1024, 1280,
+                                                   1600]
+
+    def test_rdu_large_axis_uses_llama(self):
+        models = paper_rdu_hidden_sweep_o1()
+        assert [m.hidden_size for m in models] == PAPER_RDU_HS_O1
+        assert all(m.uses_gated_ffn for m in models)
+        assert all(m.vocab_size == 32000 for m in models)

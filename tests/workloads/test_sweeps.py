@@ -1,0 +1,42 @@
+"""Grid sweep execution."""
+
+from repro.models.config import TrainConfig, gpt2_model
+from repro.workloads.sweeps import SweepSpec, run_grid
+
+
+def specs_for(layers):
+    train = TrainConfig(batch_size=16, seq_len=512)
+    return [SweepSpec(label=f"L{n}",
+                      model=gpt2_model("small").with_layers(n),
+                      train=train) for n in layers]
+
+
+class TestRunGrid:
+    def test_success_cells(self, cerebras):
+        cells = run_grid(cerebras, specs_for([2, 4]))
+        assert all(not c.failed for c in cells)
+        assert all(c.run is not None for c in cells)
+
+    def test_compile_only(self, cerebras):
+        cells = run_grid(cerebras, specs_for([2]), measure=False)
+        assert cells[0].compiled is not None
+        assert cells[0].run is None
+
+    def test_failures_recorded_not_raised(self, cerebras):
+        cells = run_grid(cerebras, specs_for([2, 90]))
+        assert not cells[0].failed
+        assert cells[1].failed
+        assert cells[1].error
+
+    def test_progress_callback(self, cerebras):
+        seen = []
+        run_grid(cerebras, specs_for([2, 4]), measure=False,
+                 on_cell=seen.append)
+        assert [c.spec.label for c in seen] == ["L2", "L4"]
+
+    def test_options_forwarded(self, sambanova):
+        train = TrainConfig(batch_size=8, seq_len=512)
+        spec = SweepSpec(label="o0", model=gpt2_model("small"), train=train,
+                         options={"mode": "O0"})
+        cells = run_grid(sambanova, [spec], measure=False)
+        assert cells[0].compiled.meta["mode"] == "O0"
