@@ -14,7 +14,10 @@ In-Depth Benchmarking of Post-Moore Dataflow AI Accelerators for LLMs*
 * the substrates they share: LLM cost models and graph builders
   (:mod:`repro.models`), a computation-graph IR (:mod:`repro.graph`),
   hardware spec presets (:mod:`repro.hardware`), and a discrete-event
-  simulation engine (:mod:`repro.sim`).
+  simulation engine (:mod:`repro.sim`);
+* a resilience layer (:mod:`repro.resilience`) that keeps long sweep
+  campaigns alive: seeded fault injection, retry with backoff, per-cell
+  deadlines, circuit breaking, and JSONL checkpoint/resume.
 
 Quickstart::
 
@@ -65,6 +68,14 @@ from repro.models import (
     gpt2_model,
     llama2_model,
 )
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjectingBackend,
+    FaultPlan,
+    ResilientExecutor,
+    RetryPolicy,
+    SweepJournal,
+)
 from repro.sambanova import SambaNovaBackend
 from repro.workloads import decoder_block_probe
 
@@ -111,4 +122,11 @@ __all__ = [
     "gpt2_model",
     "llama2_model",
     "decoder_block_probe",
+    # resilience
+    "ResilientExecutor",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultInjectingBackend",
+    "SweepJournal",
 ]

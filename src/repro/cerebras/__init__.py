@@ -15,7 +15,11 @@ fashion. The simulator reproduces the platform's observable behaviours:
   (Table III's PP column).
 """
 
-from repro.cerebras.backend import CerebrasBackend
+from repro.cerebras.backend import (
+    CerebrasBackend,
+    FabricFaultError,
+    PlacementFlakeError,
+)
 from repro.cerebras.compiler import WSECompiler
 from repro.cerebras.kernels import Kernel, extract_kernels
 from repro.cerebras.placement import Placement, WaferPlacer
@@ -29,4 +33,6 @@ __all__ = [
     "Placement",
     "WSERuntime",
     "CerebrasBackend",
+    "FabricFaultError",
+    "PlacementFlakeError",
 ]

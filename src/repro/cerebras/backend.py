@@ -4,11 +4,24 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.common.errors import TransientError
 from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
 from repro.cerebras.compiler import WSECompiler
 from repro.cerebras.runtime import WSERuntime
 from repro.hardware.specs import CS2_SYSTEM, SystemSpec
 from repro.models.config import ModelConfig, TrainConfig
+
+
+class FabricFaultError(TransientError):
+    """A wafer fabric/PE fault: a link or PE misbehaved mid-execution.
+
+    The WSE carries spare PE rows precisely because single-PE faults are
+    expected and recoverable; a re-run after remapping succeeds.
+    """
+
+
+class PlacementFlakeError(TransientError):
+    """The placement service failed non-deterministically during compile."""
 
 
 class CerebrasBackend(AcceleratorBackend):
@@ -19,6 +32,9 @@ class CerebrasBackend(AcceleratorBackend):
     * ``n_replicas`` — intra-chip data-parallel replica count (DP mode).
     * ``mode`` — ``"pipeline"`` (default) or ``"weight_streaming"``.
     """
+
+    transient_errors = (TransientError, FabricFaultError,
+                        PlacementFlakeError)
 
     def __init__(self, system: SystemSpec = CS2_SYSTEM) -> None:
         super().__init__(system)

@@ -12,10 +12,20 @@ reproduction::
         --batches 4 8 16 32 --option mode=O1
     python -m repro scaling --platform sambanova --model llama2-7b \
         --configs tp=2 tp=4 tp=8 --option mode=O1
+    python -m repro grid --platform cerebras --model gpt2-small \
+        --layers 2 6 12 --batches 16 64 --resume sweep.jsonl \
+        --max-retries 2 --cell-timeout 120
 
 Platform-specific compile options are passed as repeated
 ``--option key=value`` flags (and per-config in ``scaling``). Add
 ``--json FILE`` to dump machine-readable results.
+
+The sweep commands (``grid``, ``batch-sweep``, ``scaling``) accept
+resilience flags: ``--max-retries`` / ``--cell-timeout`` for retry and
+deadline control, ``--resume JOURNAL`` to checkpoint cells to a JSONL
+journal and skip already-finished ones on a re-run (``--journal`` to
+checkpoint without skipping), and ``--inject-faults RATE`` /
+``--fault-seed`` to chaos-test a campaign with seeded transient faults.
 """
 
 from __future__ import annotations
@@ -36,11 +46,18 @@ from repro.core.report import (
 from repro.core.serialize import (
     batch_sweep_to_dict,
     scaling_point_to_dict,
+    sweep_cell_to_dict,
     sweep_entry_to_dict,
     tier1_to_dict,
 )
 from repro.core.tier1 import Tier1Profiler
 from repro.core.tier2 import DeploymentOptimizer, ScalabilityAnalyzer
+from repro.resilience import (
+    FaultInjectingBackend,
+    FaultPlan,
+    ResilientExecutor,
+    RetryPolicy,
+)
 from repro.models.config import (
     GPT2_PRESETS,
     LLAMA2_PRESETS,
@@ -51,6 +68,7 @@ from repro.models.config import (
 )
 from repro.models.precision import Precision, PrecisionPolicy
 from repro.workloads import decoder_block_probe
+from repro.workloads.sweeps import SweepSpec, run_grid
 
 PLATFORMS = ("cerebras", "sambanova", "graphcore", "graphcore-pod", "gpu")
 
@@ -149,6 +167,35 @@ def _emit(args: argparse.Namespace, payload: Any, text: str) -> None:
         print(f"\n[json written to {args.json}]")
 
 
+def _resilience_from_args(args: argparse.Namespace,
+                          backend: AcceleratorBackend
+                          ) -> tuple[AcceleratorBackend,
+                                     ResilientExecutor | None,
+                                     str | None, bool]:
+    """Build (backend, executor, journal path, resume) from CLI flags."""
+    if args.inject_faults:
+        if not 0.0 < args.inject_faults <= 1.0:
+            raise ConfigurationError(
+                "--inject-faults rate must be in (0, 1]: "
+                f"{args.inject_faults}")
+        plan = FaultPlan.chaos(args.inject_faults, seed=args.fault_seed,
+                               platform=args.platform)
+        backend = FaultInjectingBackend(backend, plan)
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        raise ConfigurationError(
+            f"--cell-timeout must be positive: {args.cell_timeout}")
+    if args.max_retries < 0:
+        raise ConfigurationError(
+            f"--max-retries must be >= 0: {args.max_retries}")
+    executor = None
+    if args.max_retries or args.cell_timeout:
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=args.max_retries),
+            cell_timeout=args.cell_timeout)
+    journal = args.resume or args.journal
+    return backend, executor, journal, bool(args.resume)
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -208,10 +255,12 @@ def cmd_sweep_layers(args: argparse.Namespace) -> int:
 
 
 def cmd_batch_sweep(args: argparse.Namespace) -> int:
-    backend = make_backend(args.platform)
-    optimizer = DeploymentOptimizer(backend)
+    backend, executor, journal, resume = _resilience_from_args(
+        args, make_backend(args.platform))
+    optimizer = DeploymentOptimizer(backend, executor=executor)
     sweep = optimizer.batch_sweep(parse_model(args.model),
                                   _train_from_args(args), args.batches,
+                                  journal=journal, resume=resume,
                                   **parse_options(args.option))
     rows = [[b, f"{t:,.0f}" if t else sweep.errors.get(b, "Fail")]
             for b, t in zip(sweep.batch_sizes, sweep.tokens_per_second)]
@@ -228,8 +277,9 @@ def cmd_batch_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_scaling(args: argparse.Namespace) -> int:
-    backend = make_backend(args.platform)
-    analyzer = ScalabilityAnalyzer(backend)
+    backend, executor, journal, resume = _resilience_from_args(
+        args, make_backend(args.platform))
+    analyzer = ScalabilityAnalyzer(backend, executor=executor)
     base = parse_options(args.option)
     configs = []
     for spec in args.configs:
@@ -237,7 +287,8 @@ def cmd_scaling(args: argparse.Namespace) -> int:
         options.update(parse_options(spec.split(",")))
         configs.append((spec, options))
     points = analyzer.sweep(parse_model(args.model),
-                            _train_from_args(args), configs)
+                            _train_from_args(args), configs,
+                            journal=journal, resume=resume)
     rows = [[p.label,
              "Fail" if p.failed else f"{p.tokens_per_second:,.0f}",
              f"{p.compute_allocation:.1%}",
@@ -246,6 +297,46 @@ def cmd_scaling(args: argparse.Namespace) -> int:
         ["config", "tokens/s", "alloc", "comm share"], rows,
         title=f"Scaling sweep on {backend.name}")
     _emit(args, [scaling_point_to_dict(p) for p in points], text)
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    backend, executor, journal, resume = _resilience_from_args(
+        args, make_backend(args.platform))
+    model = parse_model(args.model)
+    train = _train_from_args(args)
+    options = parse_options(args.option)
+    specs = [
+        SweepSpec(label=f"L{layers}/b{batch}",
+                  model=model.with_layers(layers),
+                  train=train.with_batch_size(batch),
+                  options=options)
+        for layers in args.layers
+        for batch in args.batches
+    ]
+    cells = run_grid(backend, specs, measure=not args.compile_only,
+                     executor=executor, journal=journal, resume=resume,
+                     retry_failed=args.retry_failed)
+    rows = []
+    for cell in cells:
+        if cell.failed:
+            status = f"Fail ({cell.failure.type})" if cell.failure \
+                else "Fail"
+            rate = "-"
+        else:
+            status = "ok"
+            if cell.run is not None:
+                rate = f"{cell.run.tokens_per_second:,.0f}"
+            elif cell.summary:
+                rate = f"{cell.summary.get('tokens_per_second', 0):,.0f}"
+            else:
+                rate = "-"
+        rows.append([cell.spec.label, status, cell.attempts,
+                     "yes" if cell.resumed else "no", rate])
+    text = render_table(
+        ["cell", "status", "attempts", "resumed", "tokens/s"], rows,
+        title=f"Grid sweep on {backend.name}")
+    _emit(args, [sweep_cell_to_dict(c) for c in cells], text)
     return 0
 
 
@@ -274,6 +365,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "training steps")
         p.add_argument("--json", help="also write results to this file")
 
+    def resilience(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group("resilience")
+        group.add_argument("--max-retries", type=int, default=0,
+                           help="retries per cell for transient faults")
+        group.add_argument("--cell-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-cell deadline; hung cells are cut "
+                                "off and recorded")
+        group.add_argument("--resume", metavar="JOURNAL", default=None,
+                           help="checkpoint cells to this JSONL journal "
+                                "and skip already-finished ones")
+        group.add_argument("--journal", metavar="JOURNAL", default=None,
+                           help="checkpoint cells without skipping "
+                                "(fresh run)")
+        group.add_argument("--retry-failed", action="store_true",
+                           help="with --resume, re-execute journaled "
+                                "failures too")
+        group.add_argument("--inject-faults", type=float, default=0.0,
+                           metavar="RATE",
+                           help="chaos-test: inject seeded transient "
+                                "faults at this rate per backend call")
+        group.add_argument("--fault-seed", type=int, default=0,
+                           help="seed for --inject-faults")
+
     tier1 = sub.add_parser("tier1", help="intra-chip Tier-1 profile")
     common(tier1)
 
@@ -284,13 +399,24 @@ def build_parser() -> argparse.ArgumentParser:
     batch = sub.add_parser("batch-sweep",
                            help="Tier-2 batch deployment sweep")
     common(batch)
+    resilience(batch)
     batch.add_argument("--batches", type=int, nargs="+", required=True)
 
     scaling = sub.add_parser("scaling", help="Tier-2 scalability sweep")
     common(scaling)
+    resilience(scaling)
     scaling.add_argument("--configs", nargs="+", required=True,
                          metavar="K=V[,K=V...]",
                          help="one option bundle per configuration")
+
+    grid = sub.add_parser(
+        "grid", help="layer x batch grid with checkpoint/resume")
+    common(grid)
+    resilience(grid)
+    grid.add_argument("--layers", type=int, nargs="+", required=True)
+    grid.add_argument("--batches", type=int, nargs="+", required=True)
+    grid.add_argument("--compile-only", action="store_true",
+                      help="skip the run phase (compile-time metrics)")
     return parser
 
 
@@ -300,6 +426,7 @@ COMMANDS = {
     "sweep-layers": cmd_sweep_layers,
     "batch-sweep": cmd_batch_sweep,
     "scaling": cmd_scaling,
+    "grid": cmd_grid,
 }
 
 

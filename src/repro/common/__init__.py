@@ -5,11 +5,17 @@ depends on nothing but the standard library.
 """
 
 from repro.common.errors import (
+    CircuitOpenError,
     CompilationError,
     ConfigurationError,
+    DeadlineExceededError,
+    DeviceFaultError,
+    ErrorRecord,
     OutOfMemoryError,
     ReproError,
     SimulationError,
+    TransientError,
+    is_infrastructure_fault,
 )
 from repro.common.units import (
     GB,
@@ -29,6 +35,12 @@ __all__ = [
     "CompilationError",
     "OutOfMemoryError",
     "SimulationError",
+    "TransientError",
+    "DeviceFaultError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "ErrorRecord",
+    "is_infrastructure_fault",
     "KB",
     "MB",
     "GB",

@@ -3,9 +3,26 @@
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything the library may raise with a single ``except`` clause while
 still distinguishing compile-time, run-time, and configuration failures.
+
+Two orthogonal axes matter to the sweep harness:
+
+* *capability* failures (:class:`CompilationError`, its
+  :class:`OutOfMemoryError` subclass) are results — the paper records
+  them as "Fail" cells (Table I, Fig. 9d) and retrying cannot help;
+* *infrastructure* failures (:class:`TransientError`,
+  :class:`DeviceFaultError`, :class:`DeadlineExceededError`) come from
+  the platform itself, and the resilience layer
+  (:mod:`repro.resilience`) retries, deadlines, or circuit-breaks them.
+
+:class:`ErrorRecord` is the structured form both kinds take inside sweep
+cells and the resume journal, preserving attributes such as
+``OutOfMemoryError.required_bytes`` that ``str(exc)`` would flatten away.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
 
 
 class ReproError(Exception):
@@ -42,3 +59,122 @@ class OutOfMemoryError(CompilationError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class TransientError(ReproError):
+    """A fault that may not recur: retrying the same cell can succeed.
+
+    Platform adapters subclass this for their own flavours (WSE fabric
+    glitches, RDU section stalls, compiler flakes) and declare them in
+    :attr:`~repro.core.backend.AcceleratorBackend.transient_errors`.
+    """
+
+
+class DeviceFaultError(ReproError):
+    """A permanent platform fault: the device (or a component) is broken.
+
+    Unlike a :class:`CompilationError` this says nothing about the
+    workload — the same cell would succeed on healthy hardware — but
+    retrying on the same device is pointless.
+
+    Attributes:
+        component: the failed component (``"fabric"``, ``"pcie"``, ...).
+    """
+
+    def __init__(self, message: str, *, component: str = "device") -> None:
+        super().__init__(message)
+        self.component = component
+
+
+class DeadlineExceededError(ReproError):
+    """A cell ran past its per-cell deadline and was cut off.
+
+    Attributes:
+        elapsed: seconds the attempt actually took.
+        deadline: the configured per-cell budget in seconds.
+    """
+
+    def __init__(self, message: str, *, elapsed: float = 0.0,
+                 deadline: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed = float(elapsed)
+        self.deadline = float(deadline)
+
+
+class CircuitOpenError(ReproError):
+    """The per-backend circuit breaker is open: calls fail fast.
+
+    Attributes:
+        backend: name of the backend whose breaker tripped.
+        retry_after: seconds until the breaker half-opens.
+    """
+
+    def __init__(self, message: str, *, backend: str = "",
+                 retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.retry_after = float(retry_after)
+
+
+def is_infrastructure_fault(exc: BaseException) -> bool:
+    """Whether ``exc`` is a platform fault rather than a capability result.
+
+    Capability failures (``CompilationError`` / ``OutOfMemoryError``) are
+    legitimate benchmark outcomes; infrastructure faults are noise the
+    resilience layer should absorb (and count toward circuit breakers).
+    """
+    return isinstance(exc, (TransientError, DeviceFaultError,
+                            DeadlineExceededError, CircuitOpenError))
+
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """A structured, JSON-able snapshot of one failure.
+
+    Carries the exception type name, message, the harness phase that
+    raised (``"compile"`` or ``"run"``), and every public scalar
+    attribute of the exception — so an ``OutOfMemoryError`` keeps its
+    ``required_bytes`` / ``available_bytes`` all the way into reports
+    and the resume journal.
+    """
+
+    type: str
+    message: str
+    phase: str = "compile"
+    transient: bool = False
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, phase: str = "compile",
+                       transient: bool | None = None) -> "ErrorRecord":
+        """Capture ``exc`` (public scalar attributes included)."""
+        attrs = {
+            name: value
+            for name, value in vars(exc).items()
+            if not name.startswith("_") and isinstance(value, _SCALAR)
+        }
+        if transient is None:
+            transient = isinstance(exc, TransientError)
+        return cls(type=type(exc).__name__, message=str(exc), phase=phase,
+                   transient=transient, attrs=attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten for JSON serialization."""
+        return {"type": self.type, "message": self.message,
+                "phase": self.phase, "transient": self.transient,
+                "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ErrorRecord":
+        """Rebuild from a journal/JSON dict."""
+        return cls(type=str(payload.get("type", "ReproError")),
+                   message=str(payload.get("message", "")),
+                   phase=str(payload.get("phase", "compile")),
+                   transient=bool(payload.get("transient", False)),
+                   attrs=dict(payload.get("attrs", {})))
+
+    def __str__(self) -> str:
+        return f"{self.type}: {self.message}"

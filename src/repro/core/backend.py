@@ -24,7 +24,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, TransientError
 from repro.hardware.specs import SystemSpec
 from repro.models.config import ModelConfig, TrainConfig
 from repro.sim.trace import Trace
@@ -211,7 +211,15 @@ class AcceleratorBackend(abc.ABC):
     :class:`~repro.common.errors.CompilationError` (or its
     ``OutOfMemoryError`` subclass) when the workload cannot be mapped —
     real failures the paper records (Table I "Fail", Fig. 9d).
+
+    ``transient_errors`` is each platform's declaration of which of its
+    failures are worth retrying (fabric glitches, section stalls, queue
+    flakes); the resilience layer consults it through
+    :meth:`is_transient`. Capability failures must never appear here.
     """
+
+    #: Exception types this platform considers retryable.
+    transient_errors: tuple[type[BaseException], ...] = (TransientError,)
 
     def __init__(self, system: SystemSpec) -> None:
         self.system = system
@@ -220,6 +228,10 @@ class AcceleratorBackend(abc.ABC):
     def name(self) -> str:
         """Backend display name."""
         return self.system.name
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is a retryable fault on this platform."""
+        return isinstance(exc, self.transient_errors)
 
     @abc.abstractmethod
     def compile(self, model: ModelConfig, train: TrainConfig,

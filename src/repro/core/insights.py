@@ -97,12 +97,14 @@ def diagnose(result: Tier1Result) -> list[Insight]:
 
     if result.memory_bound:
         roof_gap = result.roofline.efficiency_vs_roof
+        headroom = (result.roofline.attainable_flops
+                    / max(result.achieved_flops, 1.0))
         insights.append(Insight(
             bottleneck=Bottleneck.MEMORY_BANDWIDTH,
             severity=1.0 - min(roof_gap, 1.0),
-            finding=(f"workload sits left of the ridge "
+            finding=("workload sits left of the ridge "
                      f"({result.intensity:.0f} FLOPs/B vs ridge "
-                     f"{result.roofline.attainable_flops / max(result.achieved_flops, 1.0):.1f}x "
+                     f"{headroom:.1f}x "
                      "headroom to the roof)"),
             recommendation=(
                 "raise arithmetic intensity (bigger batch/hidden size) or "
@@ -189,7 +191,7 @@ def diagnose_scaling(points: list[ScalingPoint],
                 severity=min(1.0, 1.0 - gain / degree_ratio),
                 finding=(f"scaling {previous.label} -> {current.label} "
                          f"loses throughput ({gain:.2f}x) while comm "
-                         f"share rises to "
+                         "share rises to "
                          f"{current.communication_fraction:.0%}"),
                 recommendation=(
                     f"stop scaling at {previous.label}; the added "

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.common.errors import ErrorRecord
 from repro.core.backend import (
     CompileReport,
     MemoryBreakdown,
@@ -24,6 +25,12 @@ from repro.core.tier2 import (
     PrecisionComparison,
     ScalingPoint,
 )
+
+
+def error_record_to_dict(record: ErrorRecord | None
+                         ) -> dict[str, Any] | None:
+    """Flatten one structured failure (``None`` passes through)."""
+    return record.to_dict() if record is not None else None
 
 
 def task_to_dict(task: TaskProfile) -> dict[str, Any]:
@@ -122,12 +129,29 @@ def tier1_to_dict(result: Tier1Result) -> dict[str, Any]:
 
 
 def sweep_entry_to_dict(entry: SweepEntry) -> dict[str, Any]:
-    """Flatten one sweep cell (failures carry the error string)."""
+    """Flatten one sweep cell (failures carry the structured record)."""
     return {
         "value": entry.value,
         "failed": entry.failed,
         "error": entry.error,
+        "failure": error_record_to_dict(entry.failure),
         "result": tier1_to_dict(entry.result) if entry.result else None,
+    }
+
+
+def sweep_cell_to_dict(cell: Any) -> dict[str, Any]:
+    """Flatten one :class:`~repro.workloads.sweeps.SweepCell`."""
+    return {
+        "label": cell.spec.label,
+        "failed": cell.failed,
+        "error": cell.error,
+        "failure": error_record_to_dict(cell.failure),
+        "attempts": cell.attempts,
+        "resumed": cell.resumed,
+        "summary": cell.summary,
+        "compile": (compile_report_to_dict(cell.compiled)
+                    if cell.compiled else None),
+        "run": run_report_to_dict(cell.run) if cell.run else None,
     }
 
 
@@ -138,6 +162,9 @@ def scaling_point_to_dict(point: ScalingPoint) -> dict[str, Any]:
         "options": point.options,
         "failed": point.failed,
         "error": point.error,
+        "failure": error_record_to_dict(point.failure),
+        "attempts": point.attempts,
+        "resumed": point.resumed,
         "tokens_per_second": point.tokens_per_second,
         "achieved_flops": point.achieved_flops,
         "compute_allocation": point.compute_allocation,
@@ -156,6 +183,8 @@ def batch_sweep_to_dict(sweep: BatchSweepResult) -> dict[str, Any]:
         "scaling_exponent": sweep.scaling_exponent,
         "near_linear": sweep.near_linear,
         "errors": {str(k): v for k, v in sweep.errors.items()},
+        "failures": {str(k): error_record_to_dict(v)
+                     for k, v in sweep.failures.items()},
     }
 
 

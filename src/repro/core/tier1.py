@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
-from repro.common.errors import CompilationError
+from repro.common.errors import CompilationError, ErrorRecord, ReproError
 from repro.core.backend import (
     AcceleratorBackend,
     CompileReport,
@@ -63,11 +63,16 @@ class Tier1Result:
 
 @dataclass(frozen=True)
 class SweepEntry:
-    """One point of a Tier-1 sweep: a result or a recorded failure."""
+    """One point of a Tier-1 sweep: a result or a recorded failure.
+
+    ``failure`` preserves the structured error (type, phase, attributes
+    like ``required_bytes``) that the plain ``error`` string flattens.
+    """
 
     value: int
     result: Tier1Result | None
     error: str | None = None
+    failure: ErrorRecord | None = None
 
     @property
     def failed(self) -> bool:
@@ -85,6 +90,13 @@ class Tier1Profiler:
                 **options: Any) -> Tier1Result:
         """Compile + run one workload and compute all Tier-1 metrics."""
         compiled = self.backend.compile(model, train, **options)
+        return self.profile_compiled(model, train, compiled, options)
+
+    def profile_compiled(self, model: ModelConfig, train: TrainConfig,
+                         compiled: CompileReport,
+                         options: dict[str, Any] | None = None
+                         ) -> Tier1Result:
+        """Run an already-compiled workload and compute the metrics."""
         run = self.backend.run(compiled)
         li = weighted_load_imbalance(compiled)
         intensity = arithmetic_intensity(model, train)
@@ -107,7 +119,7 @@ class Tier1Profiler:
             roofline=roofline,
             shared_memory=compiled.shared_memory,
             global_memory=compiled.global_memory,
-            meta={"options": options},
+            meta={"options": options or {}},
         )
 
     # ------------------------------------------------------------------
@@ -131,11 +143,17 @@ class Tier1Profiler:
                options: dict[str, Any]) -> list[SweepEntry]:
         entries: list[SweepEntry] = []
         for value in values:
+            model = make_model(value)
+            phase = "compile"
             try:
-                result = self.profile(make_model(value), train, **options)
-            except CompilationError as exc:
+                compiled = self.backend.compile(model, train, **options)
+                phase = "run"
+                result = self.profile_compiled(model, train, compiled,
+                                               options)
+            except ReproError as exc:
+                record = ErrorRecord.from_exception(exc, phase=phase)
                 entries.append(SweepEntry(value=value, result=None,
-                                          error=str(exc)))
+                                          error=str(exc), failure=record))
             else:
                 entries.append(SweepEntry(value=value, result=result))
         return entries

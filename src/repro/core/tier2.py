@@ -13,19 +13,38 @@ Two analyzers:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.common.errors import CompilationError, ConfigurationError
+from repro.common.errors import ConfigurationError, ErrorRecord
 from repro.core.backend import AcceleratorBackend
 from repro.core.metrics import allocation_ratio
 from repro.models.config import ModelConfig, TrainConfig
 from repro.models.precision import PrecisionPolicy
+from repro.resilience.executor import CellOutcome, ResilientExecutor
+from repro.resilience.journal import JournalEntry, SweepJournal
+from repro.resilience.retry import RetryPolicy
+
+
+def _no_retry_executor() -> ResilientExecutor:
+    return ResilientExecutor(retry=RetryPolicy(max_retries=0, jitter=0.0))
+
+
+def _normalize_journal(journal: SweepJournal | str | os.PathLike[str] | None
+                       ) -> SweepJournal | None:
+    if journal is None or isinstance(journal, SweepJournal):
+        return journal
+    return SweepJournal(journal)
 
 
 @dataclass(frozen=True)
 class ScalingPoint:
-    """One parallel configuration's measured behaviour."""
+    """One parallel configuration's measured behaviour.
+
+    ``failure`` keeps the structured error record behind the flattened
+    ``error`` string; ``resumed`` points were restored from a journal.
+    """
 
     label: str
     options: dict[str, Any]
@@ -35,6 +54,9 @@ class ScalingPoint:
     memory_allocation: float
     compute_time_fraction: float
     error: str | None = None
+    failure: ErrorRecord | None = None
+    attempts: int = 1
+    resumed: bool = False
 
     @property
     def failed(self) -> bool:
@@ -49,40 +71,95 @@ class ScalingPoint:
 class ScalabilityAnalyzer:
     """Runs a parallelism sweep against one backend."""
 
-    def __init__(self, backend: AcceleratorBackend) -> None:
+    def __init__(self, backend: AcceleratorBackend,
+                 executor: ResilientExecutor | None = None) -> None:
         self.backend = backend
+        self.executor = executor if executor is not None \
+            else _no_retry_executor()
 
     def sweep(self, model: ModelConfig, train: TrainConfig,
-              configurations: Iterable[tuple[str, dict[str, Any]]]
-              ) -> list[ScalingPoint]:
+              configurations: Iterable[tuple[str, dict[str, Any]]],
+              *,
+              journal: SweepJournal | str | os.PathLike[str] | None = None,
+              resume: bool = False) -> list[ScalingPoint]:
         """Measure each labelled option-dict configuration.
 
-        Failures are recorded as failed points, not raised: exceeding a
-        platform's scalability envelope is a result.
+        Failures (any :class:`~repro.common.errors.ReproError`, from
+        either phase) are recorded as failed points, not raised:
+        exceeding a platform's scalability envelope is a result. With a
+        ``journal``, finished points checkpoint as they complete and
+        ``resume=True`` skips them on a re-run.
         """
+        journal = _normalize_journal(journal)
+        journaled: dict[str, JournalEntry] = {}
+        if resume and journal is not None:
+            journaled = journal.load()
         points: list[ScalingPoint] = []
         for label, options in configurations:
-            try:
-                compiled = self.backend.compile(model, train, **options)
-                run = self.backend.run(compiled)
-            except CompilationError as exc:
-                points.append(ScalingPoint(
-                    label=label, options=dict(options),
-                    tokens_per_second=0.0, achieved_flops=0.0,
-                    compute_allocation=0.0, memory_allocation=0.0,
-                    compute_time_fraction=0.0, error=str(exc)))
+            entry = journaled.get(label)
+            if entry is not None and entry.finished:
+                points.append(self._point_from_journal(label, options, entry))
                 continue
-            points.append(ScalingPoint(
-                label=label,
-                options=dict(options),
-                tokens_per_second=run.tokens_per_second,
-                achieved_flops=run.achieved_flops,
-                compute_allocation=allocation_ratio(compiled, kind="compute"),
-                memory_allocation=allocation_ratio(compiled, kind="memory"),
-                compute_time_fraction=float(
-                    run.meta.get("compute_fraction", 1.0)),
-            ))
+            outcome = self.executor.execute(
+                label,
+                lambda options=options: self.backend.compile(
+                    model, train, **options),
+                lambda compiled: self.backend.run(compiled),
+                is_transient=self.backend.is_transient,
+            )
+            point = self._point_from_outcome(label, options, outcome)
+            if journal is not None:
+                extra = None
+                if outcome.ok:
+                    extra = {
+                        "compute_allocation": point.compute_allocation,
+                        "memory_allocation": point.memory_allocation,
+                        "compute_time_fraction":
+                            point.compute_time_fraction,
+                    }
+                journal.record(outcome.journal_entry(extra))
+            points.append(point)
         return points
+
+    @staticmethod
+    def _point_from_outcome(label: str, options: dict[str, Any],
+                            outcome: CellOutcome) -> ScalingPoint:
+        if not outcome.ok:
+            return ScalingPoint(
+                label=label, options=dict(options),
+                tokens_per_second=0.0, achieved_flops=0.0,
+                compute_allocation=0.0, memory_allocation=0.0,
+                compute_time_fraction=0.0, error=str(outcome.error),
+                failure=outcome.error, attempts=max(1, outcome.attempts))
+        compiled, run = outcome.compiled, outcome.run
+        return ScalingPoint(
+            label=label,
+            options=dict(options),
+            tokens_per_second=run.tokens_per_second,
+            achieved_flops=run.achieved_flops,
+            compute_allocation=allocation_ratio(compiled, kind="compute"),
+            memory_allocation=allocation_ratio(compiled, kind="memory"),
+            compute_time_fraction=float(
+                run.meta.get("compute_fraction", 1.0)),
+            attempts=outcome.attempts,
+        )
+
+    @staticmethod
+    def _point_from_journal(label: str, options: dict[str, Any],
+                            entry: JournalEntry) -> ScalingPoint:
+        summary = entry.summary or {}
+        return ScalingPoint(
+            label=label, options=dict(options),
+            tokens_per_second=float(summary.get("tokens_per_second", 0.0)),
+            achieved_flops=float(summary.get("achieved_flops", 0.0)),
+            compute_allocation=float(
+                summary.get("compute_allocation", 0.0)),
+            memory_allocation=float(
+                summary.get("memory_allocation", 0.0)),
+            compute_time_fraction=float(
+                summary.get("compute_time_fraction", 0.0)),
+            error=str(entry.error) if entry.error else None,
+            failure=entry.error, attempts=entry.attempts, resumed=True)
 
     @staticmethod
     def scaling_efficiency(points: list[ScalingPoint],
@@ -113,6 +190,7 @@ class BatchSweepResult:
     batch_sizes: tuple[int, ...]
     tokens_per_second: tuple[float, ...]
     errors: dict[int, str] = field(default_factory=dict)
+    failures: dict[int, ErrorRecord] = field(default_factory=dict)
 
     @property
     def saturation_batch(self) -> int | None:
@@ -174,32 +252,65 @@ class PrecisionComparison:
 class DeploymentOptimizer:
     """Batch-size and precision deployment studies for one backend."""
 
-    def __init__(self, backend: AcceleratorBackend) -> None:
+    def __init__(self, backend: AcceleratorBackend,
+                 executor: ResilientExecutor | None = None) -> None:
         self.backend = backend
+        self.executor = executor if executor is not None \
+            else _no_retry_executor()
 
     def batch_sweep(self, model: ModelConfig, train: TrainConfig,
                     batch_sizes: Iterable[int],
+                    journal: SweepJournal | str | os.PathLike[str] | None
+                    = None,
+                    resume: bool = False,
                     **options: Any) -> BatchSweepResult:
-        """Measure throughput across batch sizes (other knobs fixed)."""
+        """Measure throughput across batch sizes (other knobs fixed).
+
+        Any :class:`~repro.common.errors.ReproError` becomes a failed
+        point with a structured record in ``failures``. With a
+        ``journal``, points checkpoint as they finish (keyed
+        ``batch=<n>``) and ``resume=True`` skips finished ones.
+        """
+        journal = _normalize_journal(journal)
+        journaled: dict[str, JournalEntry] = {}
+        if resume and journal is not None:
+            journaled = journal.load()
         sizes: list[int] = []
         rates: list[float] = []
         errors: dict[int, str] = {}
+        failures: dict[int, ErrorRecord] = {}
         for batch in batch_sizes:
             sizes.append(batch)
-            try:
-                compiled = self.backend.compile(
-                    model, train.with_batch_size(batch), **options)
-                run = self.backend.run(compiled)
-            except CompilationError as exc:
-                rates.append(0.0)
-                errors[batch] = str(exc)
+            key = f"batch={batch}"
+            entry = journaled.get(key)
+            if entry is not None and entry.finished:
+                summary = entry.summary or {}
+                rates.append(float(summary.get("tokens_per_second", 0.0)))
+                if entry.error is not None:
+                    errors[batch] = str(entry.error)
+                    failures[batch] = entry.error
+                continue
+            outcome = self.executor.execute(
+                key,
+                lambda batch=batch: self.backend.compile(
+                    model, train.with_batch_size(batch), **options),
+                lambda compiled: self.backend.run(compiled),
+                is_transient=self.backend.is_transient,
+            )
+            if journal is not None:
+                journal.record(outcome.journal_entry())
+            if outcome.ok:
+                rates.append(outcome.run.tokens_per_second)
             else:
-                rates.append(run.tokens_per_second)
+                rates.append(0.0)
+                errors[batch] = str(outcome.error)
+                failures[batch] = outcome.error
         return BatchSweepResult(
             platform=self.backend.name,
             batch_sizes=tuple(sizes),
             tokens_per_second=tuple(rates),
             errors=errors,
+            failures=failures,
         )
 
     def compare_precision(self, model: ModelConfig, train: TrainConfig,

@@ -7,7 +7,8 @@ combined tensor / pipeline / data parallelism — a BSP, instruction-driven
 counterpoint to the three dataflow simulators.
 """
 
-from repro.gpu.backend import GPUBackend
+from repro.gpu.backend import EccRetryError, GPUBackend, NcclTimeoutError
 from repro.gpu.simulator import GPUClusterModel, GPUStepBreakdown
 
-__all__ = ["GPUClusterModel", "GPUStepBreakdown", "GPUBackend"]
+__all__ = ["GPUClusterModel", "GPUStepBreakdown", "GPUBackend",
+           "NcclTimeoutError", "EccRetryError"]

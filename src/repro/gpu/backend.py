@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.common.errors import TransientError
 from repro.core.backend import (
     AcceleratorBackend,
     CompileReport,
@@ -18,6 +19,14 @@ from repro.models.config import ModelConfig, TrainConfig
 from repro.models.costmodel import TransformerCostModel
 
 
+class NcclTimeoutError(TransientError):
+    """A collective timed out (straggler or flaky NIC); re-runs recover."""
+
+
+class EccRetryError(TransientError):
+    """A corrected ECC memory event forced a step replay."""
+
+
 class GPUBackend(AcceleratorBackend):
     """A100-cluster adapter for the DABench framework.
 
@@ -26,6 +35,8 @@ class GPUBackend(AcceleratorBackend):
     configuration validation plus the analytic plan — there is no
     dataflow mapping step.
     """
+
+    transient_errors = (TransientError, NcclTimeoutError, EccRetryError)
 
     def __init__(self, system: SystemSpec = GPU_CLUSTER) -> None:
         super().__init__(system)

@@ -58,7 +58,8 @@ def contiguous_chunks(items: Sequence[T], max_cost: float,
 
 def balanced_groups(items: Sequence[T], n_groups: int,
                     cost: Callable[[T], float]) -> list[list[T]]:
-    """Split ``items`` into ``n_groups`` contiguous groups minimizing the max group cost.
+    """Split ``items`` into ``n_groups`` contiguous groups, minimizing
+    the max group cost.
 
     Contiguity is required because pipeline stages must respect layer
     order. Uses binary search over the bottleneck cost with a greedy

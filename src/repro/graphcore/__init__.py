@@ -14,7 +14,11 @@ bottleneck-stage-limited pipeline throughput (Fig. 11c, Table III), and
 near-linear batch-size scaling (Fig. 12).
 """
 
-from repro.graphcore.backend import GraphcoreBackend
+from repro.graphcore.backend import (
+    GraphcoreBackend,
+    HostLinkError,
+    TileOutOfMemoryError,
+)
 from repro.graphcore.compiler import IPUCompiler, StagePlan
 from repro.graphcore.pipeline import PipelineExecutor
 
@@ -23,4 +27,6 @@ __all__ = [
     "StagePlan",
     "PipelineExecutor",
     "GraphcoreBackend",
+    "HostLinkError",
+    "TileOutOfMemoryError",
 ]

@@ -4,11 +4,25 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.common.errors import OutOfMemoryError, TransientError
 from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
 from repro.graphcore.compiler import IPUCompiler
 from repro.graphcore.pipeline import PipelineExecutor
 from repro.hardware.specs import BOW2000_SYSTEM, SystemSpec
 from repro.models.config import ModelConfig, TrainConfig
+
+
+class TileOutOfMemoryError(OutOfMemoryError):
+    """A pipeline stage outgrew its IPU's tile SRAM (Fig. 9d's wall).
+
+    Permanent for the configuration: retrying cannot shrink the stage.
+    The structured ``required_bytes`` / ``available_bytes`` show how far
+    over budget the mapping was.
+    """
+
+
+class HostLinkError(TransientError):
+    """The host/IPU link dropped mid-transfer; re-attaching recovers."""
 
 
 class GraphcoreBackend(AcceleratorBackend):
@@ -20,6 +34,8 @@ class GraphcoreBackend(AcceleratorBackend):
     * ``layers_per_ipu`` — explicit decoder distribution (Fig. 11c).
     * ``micro_batches`` — in-flight micro-batches.
     """
+
+    transient_errors = (TransientError, HostLinkError)
 
     def __init__(self, system: SystemSpec = BOW2000_SYSTEM) -> None:
         super().__init__(system)

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError
-from repro.common.units import GB, KB, MB, TB
+from repro.common.units import GB, KB, TB
 
 
 @dataclass(frozen=True)

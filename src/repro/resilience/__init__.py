@@ -1,0 +1,66 @@
+"""Resilient sweep execution: faults, retries, deadlines, resume.
+
+The paper's harness treats platform failures as *results* (Table I's
+"Fail" cells); this package makes the harness itself survive them.
+It provides:
+
+* :mod:`~repro.resilience.clock` — injectable time (real or fake);
+* :mod:`~repro.resilience.faults` — deterministic, seeded fault
+  injection with platform-flavoured faults;
+* :mod:`~repro.resilience.retry` — exponential backoff with seeded
+  jitter;
+* :mod:`~repro.resilience.breaker` — a per-backend circuit breaker;
+* :mod:`~repro.resilience.executor` — the per-cell retry/deadline
+  engine;
+* :mod:`~repro.resilience.journal` — the JSONL checkpoint/resume store.
+
+See ``docs/robustness.md`` for semantics and the journal format.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import Clock, FakeClock, SystemClock
+from repro.resilience.executor import CellOutcome, ResilientExecutor
+from repro.resilience.faults import (
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+    compiler_flake,
+    device_fault,
+    ipu_tile_oom,
+    rdu_section_stall,
+    workload_key,
+    wse_fabric_fault,
+)
+from repro.resilience.journal import (
+    STATUS_FAILED,
+    STATUS_GATED,
+    STATUS_OK,
+    JournalEntry,
+    SweepJournal,
+)
+from repro.resilience.retry import BackoffSchedule, RetryPolicy
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "RetryPolicy",
+    "BackoffSchedule",
+    "CircuitBreaker",
+    "ResilientExecutor",
+    "CellOutcome",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjectingBackend",
+    "workload_key",
+    "compiler_flake",
+    "wse_fabric_fault",
+    "rdu_section_stall",
+    "ipu_tile_oom",
+    "device_fault",
+    "SweepJournal",
+    "JournalEntry",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "STATUS_GATED",
+]

@@ -1,0 +1,86 @@
+"""A per-backend circuit breaker for sweep campaigns.
+
+When a platform starts failing for infrastructure reasons (fabric
+faults, hangs, queue errors) every further cell burns its full retry
+budget against a broken device. The breaker watches *infrastructure*
+failures only — a compile "Fail" is a legitimate benchmark result and
+never trips it — and after ``failure_threshold`` consecutive faults it
+opens: calls fail fast with :class:`~repro.common.errors.CircuitOpenError`
+until ``reset_timeout`` seconds pass on the injected clock, at which
+point one probe call is allowed through (half-open). A successful probe
+closes the breaker; a failed one re-opens it for another cooldown.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CircuitOpenError, ConfigurationError
+from repro.resilience.clock import Clock, SystemClock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Classic three-state (closed / open / half-open) breaker."""
+
+    def __init__(self, name: str = "backend", *,
+                 failure_threshold: int = 5,
+                 reset_timeout: float = 300.0,
+                 clock: Clock | None = None) -> None:
+        if failure_threshold <= 0:
+            raise ConfigurationError(
+                f"failure_threshold must be > 0: {failure_threshold}")
+        if reset_timeout < 0:
+            raise ConfigurationError(
+                f"reset_timeout must be >= 0: {reset_timeout}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock if clock is not None else SystemClock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self.trip_count = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when cooled down."""
+        if self._state == OPEN and self._opened_at is not None:
+            if self.clock.now() - self._opened_at >= self.reset_timeout:
+                self._state = HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        if self.state == OPEN:
+            remaining = self.reset_timeout
+            if self._opened_at is not None:
+                remaining = max(
+                    0.0, self.reset_timeout
+                    - (self.clock.now() - self._opened_at))
+            raise CircuitOpenError(
+                f"circuit for {self.name!r} is open after "
+                f"{self._consecutive_failures} consecutive faults; "
+                f"retry in {remaining:.0f}s",
+                backend=self.name, retry_after=remaining)
+
+    def record_success(self) -> None:
+        """A call succeeded (or failed for capability reasons): close."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """An infrastructure fault occurred; open when over threshold."""
+        self._consecutive_failures += 1
+        if (self._state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold):
+            if self._state != OPEN:
+                self.trip_count += 1
+            self._state = OPEN
+            self._opened_at = self.clock.now()

@@ -1,0 +1,77 @@
+"""Injectable clocks: real time for production, fake time for tests.
+
+Every time-dependent resilience component (backoff sleeps, per-cell
+deadlines, circuit-breaker cooldowns) reads time through a
+:class:`Clock` so that behaviour is deterministic and instant under
+test: a :class:`FakeClock` advances only when asked, making a
+"30-second backoff" or a "5-minute breaker cooldown" testable in
+microseconds, while :class:`SystemClock` provides wall time in
+production.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.common.errors import SimulationError
+
+
+class Clock(abc.ABC):
+    """Monotonic time source plus sleep, in seconds."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+
+    @abc.abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block (or pretend to block) for ``seconds``."""
+
+    @property
+    def is_real(self) -> bool:
+        """Whether sleeping consumes actual wall time."""
+        return False
+
+
+class SystemClock(Clock):
+    """Wall time via :func:`time.monotonic` / :func:`time.sleep`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    @property
+    def is_real(self) -> bool:
+        return True
+
+
+class FakeClock(Clock):
+    """A manually advanced clock for deterministic tests.
+
+    ``sleep`` advances time instantly; ``advance`` moves it without a
+    sleeper. Also records every sleep so tests can assert on the exact
+    backoff schedule an executor produced.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise SimulationError(f"cannot sleep a negative time: {seconds}")
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        if seconds < 0:
+            raise SimulationError(f"cannot advance backwards: {seconds}")
+        self._now += float(seconds)

@@ -1,0 +1,232 @@
+"""The resilient cell executor: retry, deadline, and circuit breaking.
+
+:class:`ResilientExecutor` runs one sweep cell (compile, optionally
+run) under a :class:`~repro.resilience.retry.RetryPolicy`:
+
+* **transient** faults (per the backend's taxonomy) are retried with
+  exponential backoff + seeded jitter, slept on the injected clock;
+* **permanent** faults — capability failures (``CompilationError``),
+  device faults, configuration errors — finalize immediately: they are
+  results, not noise;
+* a **per-cell deadline** cuts off hangs. On a real clock the call runs
+  in a watchdog daemon thread abandoned at timeout; on a fake clock the
+  check is cooperative (injected hangs advance the clock), keeping
+  tests deterministic;
+* an optional per-backend :class:`~repro.resilience.breaker.CircuitBreaker`
+  fail-fasts every cell while the platform itself looks broken —
+  gated cells report as unfinished so a resumed run re-executes them.
+
+The outcome is always a :class:`CellOutcome`; the executor never raises
+for workload failures, only for programming errors.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ErrorRecord,
+    ReproError,
+    TransientError,
+    is_infrastructure_fault,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.journal import (
+    STATUS_FAILED,
+    STATUS_GATED,
+    STATUS_OK,
+    JournalEntry,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What happened to one cell after all attempts.
+
+    Attributes:
+        key: the cell's journal key.
+        status: ``"ok"``, ``"failed"``, or ``"gated"`` (breaker open).
+        compiled / run: the successful artifacts, when status is ok.
+        error: structured record of the final failure.
+        attempts: attempts consumed (>= 1 unless gated before any).
+        elapsed: injected-clock seconds across all attempts.
+        retried: records of the non-final failures that were retried.
+    """
+
+    key: str
+    status: str
+    compiled: Any = None
+    run: Any = None
+    error: ErrorRecord | None = None
+    attempts: int = 0
+    elapsed: float = 0.0
+    retried: tuple[ErrorRecord, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def journal_entry(self,
+                      extra: dict[str, Any] | None = None) -> JournalEntry:
+        """The journal form of this outcome.
+
+        ``extra`` adds caller-computed metrics to the summary (e.g.
+        allocation ratios) so a resumed run can restore them without
+        re-executing the cell.
+        """
+        summary = None
+        if self.run is not None:
+            summary = {
+                "tokens_per_second": self.run.tokens_per_second,
+                "step_time": self.run.step_time,
+                "achieved_flops": self.run.achieved_flops,
+            }
+            if extra:
+                summary.update(extra)
+        return JournalEntry(key=self.key, status=self.status,
+                            attempts=self.attempts, error=self.error,
+                            summary=summary)
+
+
+class ResilientExecutor:
+    """Executes cells with retry, deadlines, and circuit breaking."""
+
+    def __init__(self, retry: RetryPolicy | None = None,
+                 cell_timeout: float | None = None,
+                 clock: Clock | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.cell_timeout = cell_timeout
+        self.clock = clock if clock is not None else SystemClock()
+        self.breaker = breaker
+
+    def execute(self, key: str,
+                compile_fn: Callable[[], Any],
+                run_fn: Callable[[Any], Any] | None = None,
+                is_transient: Callable[[BaseException], bool] | None = None,
+                ) -> CellOutcome:
+        """Run one cell to a final outcome.
+
+        ``is_transient`` is the backend's fault taxonomy (defaults to
+        ``isinstance(exc, TransientError)``).
+        """
+        schedule = self.retry.backoff_schedule()
+        retried: list[ErrorRecord] = []
+        started = self.clock.now()
+        attempts = 0
+        while True:
+            try:
+                if self.breaker is not None:
+                    self.breaker.check()
+            except CircuitOpenError as exc:
+                record = ErrorRecord.from_exception(exc, phase="gate",
+                                                    transient=True)
+                return CellOutcome(
+                    key=key, status=STATUS_GATED, error=record,
+                    attempts=attempts,
+                    elapsed=self.clock.now() - started,
+                    retried=tuple(retried))
+
+            attempts += 1
+            phase = "compile"
+            attempt_started = self.clock.now()
+            try:
+                compiled = self._guarded(compile_fn, attempt_started, phase)
+                self._check_deadline(attempt_started, phase)
+                run = None
+                if run_fn is not None:
+                    phase = "run"
+                    run = self._guarded(lambda: run_fn(compiled),
+                                        attempt_started, phase)
+                    self._check_deadline(attempt_started, phase)
+            except ReproError as exc:
+                transient = self._is_retryable(exc, is_transient)
+                record = ErrorRecord.from_exception(exc, phase=phase,
+                                                    transient=transient)
+                if self.breaker is not None:
+                    if is_infrastructure_fault(exc):
+                        self.breaker.record_failure()
+                    else:
+                        # Capability failures prove the device works.
+                        self.breaker.record_success()
+                if transient and attempts <= self.retry.max_retries:
+                    retried.append(record)
+                    self.clock.sleep(schedule.delay(attempts - 1))
+                    continue
+                return CellOutcome(
+                    key=key, status=STATUS_FAILED, error=record,
+                    attempts=attempts,
+                    elapsed=self.clock.now() - started,
+                    retried=tuple(retried))
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return CellOutcome(
+                key=key, status=STATUS_OK, compiled=compiled, run=run,
+                attempts=attempts, elapsed=self.clock.now() - started,
+                retried=tuple(retried))
+
+    # ------------------------------------------------------------------
+    def _is_retryable(self, exc: BaseException,
+                      is_transient: Callable[[BaseException], bool] | None,
+                      ) -> bool:
+        if isinstance(exc, DeadlineExceededError):
+            return self.retry.retry_deadline_errors
+        if is_transient is not None:
+            return bool(is_transient(exc))
+        return isinstance(exc, TransientError)
+
+    def _check_deadline(self, attempt_started: float, phase: str) -> None:
+        """Cooperative deadline check (covers fake-clock hangs)."""
+        if self.cell_timeout is None:
+            return
+        elapsed = self.clock.now() - attempt_started
+        if elapsed > self.cell_timeout:
+            raise DeadlineExceededError(
+                f"cell exceeded its {self.cell_timeout:g}s deadline "
+                f"during {phase} ({elapsed:g}s elapsed)",
+                elapsed=elapsed, deadline=self.cell_timeout)
+
+    def _guarded(self, fn: Callable[[], Any], attempt_started: float,
+                 phase: str) -> Any:
+        """Call ``fn``, enforcing the deadline with wall-clock threads.
+
+        Only real clocks get the watchdog thread (a hung call is
+        abandoned as a daemon thread — the price of cutting off code
+        that will not return). Fake clocks run inline: injected hangs
+        advance the clock and :meth:`_check_deadline` catches them.
+        """
+        if self.cell_timeout is None or not self.clock.is_real:
+            return fn()
+        budget = self.cell_timeout - (self.clock.now() - attempt_started)
+        if budget <= 0:
+            raise DeadlineExceededError(
+                f"no deadline budget left before {phase}",
+                elapsed=self.clock.now() - attempt_started,
+                deadline=self.cell_timeout)
+        box: dict[str, Any] = {}
+
+        def target() -> None:
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["error"] = exc
+
+        worker = threading.Thread(target=target, daemon=True,
+                                  name=f"cell-{phase}")
+        worker.start()
+        worker.join(budget)
+        if worker.is_alive():
+            raise DeadlineExceededError(
+                f"{phase} still running after {self.cell_timeout:g}s; "
+                "abandoning the attempt",
+                elapsed=self.clock.now() - attempt_started,
+                deadline=self.cell_timeout)
+        if "error" in box:
+            raise box["error"]
+        return box["value"]

@@ -1,0 +1,222 @@
+"""Deterministic fault injection at the compile/run boundary.
+
+Robustness behaviour must be testable without real hardware, so this
+module wraps any :class:`~repro.core.backend.AcceleratorBackend` in a
+:class:`FaultInjectingBackend` that raises platform-flavoured faults
+according to a :class:`FaultPlan`:
+
+* *scripted* faults target workloads by key substring, phase, and
+  attempt index — "fail cell L7's first compile with a fabric fault";
+* *probabilistic* faults fire with a given rate from a seeded RNG, so a
+  chaos run is noisy yet perfectly reproducible;
+* *hangs* burn injected-clock time before (or instead of) failing, so
+  per-cell deadlines can be exercised deterministically.
+
+The wrapper also counts every compile/run call, which doubles as the
+"did resume actually skip this cell?" instrument in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import (
+    DeviceFaultError,
+    ReproError,
+    TransientError,
+)
+from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
+from repro.models.config import ModelConfig, TrainConfig
+from repro.resilience.clock import Clock, SystemClock
+
+
+def workload_key(model: ModelConfig, train: TrainConfig) -> str:
+    """The stable identity fault specs match against."""
+    return (f"{model.name}/L{model.n_layers}/h{model.hidden_size}"
+            f"/b{train.batch_size}")
+
+
+# ----------------------------------------------------------------------
+# Platform-flavoured fault factories
+# ----------------------------------------------------------------------
+def compiler_flake() -> TransientError:
+    """A non-deterministic compiler-service failure (any platform)."""
+    return TransientError(
+        "transient compiler failure: placement service dropped the job")
+
+
+def wse_fabric_fault() -> ReproError:
+    """A WSE fabric/PE fault (transient — spare PE rows absorb it)."""
+    from repro.cerebras.backend import FabricFaultError
+    return FabricFaultError(
+        "wafer fabric fault: PE row reported a parity error mid-step")
+
+
+def rdu_section_stall(section: str = "section-0") -> ReproError:
+    """An RDU section that never finished loading (transient)."""
+    from repro.sambanova.backend import SectionStallError
+    return SectionStallError(
+        f"RDU {section} stalled while staging weights from DDR",
+        section=section)
+
+
+def ipu_tile_oom(required_bytes: float = 950e6,
+                 available_bytes: float = 900e6) -> ReproError:
+    """An IPU tile-memory overflow (permanent for the configuration)."""
+    from repro.graphcore.backend import TileOutOfMemoryError
+    return TileOutOfMemoryError(
+        "pipeline stage exceeds tile SRAM",
+        required_bytes=required_bytes, available_bytes=available_bytes)
+
+
+def device_fault(component: str = "fabric") -> DeviceFaultError:
+    """A permanent device fault: the hardware itself is broken."""
+    return DeviceFaultError(
+        f"device fault: {component} failed and did not recover",
+        component=component)
+
+
+#: Platform name → the transient fault that platform typically shows.
+PLATFORM_TRANSIENTS: dict[str, Callable[[], ReproError]] = {
+    "cerebras": wse_fabric_fault,
+    "sambanova": rdu_section_stall,
+    "graphcore": compiler_flake,
+    "gpu": compiler_flake,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    Attributes:
+        fault: factory for the exception to raise; ``None`` means the
+            call proceeds normally after any hang (a pure slowdown).
+        match: substring of the workload key; ``""`` matches everything.
+        phase: ``"compile"``, ``"run"``, or ``"any"``.
+        attempts: attempt indices (0-based, per key+phase) the rule
+            fires on; ``None`` fires on every attempt.
+        hang_seconds: injected-clock seconds consumed before acting —
+            how deadlines get exercised.
+        probability: chance the rule fires on an eligible call (drawn
+            from the plan's seeded RNG).
+    """
+
+    fault: Callable[[], ReproError] | None
+    match: str = ""
+    phase: str = "any"
+    attempts: tuple[int, ...] | None = (0,)
+    hang_seconds: float = 0.0
+    probability: float = 1.0
+
+    @classmethod
+    def hang(cls, seconds: float, *, match: str = "", phase: str = "any",
+             attempts: tuple[int, ...] | None = None) -> "FaultSpec":
+        """A call that takes ``seconds`` longer than it should."""
+        return cls(fault=None, match=match, phase=phase,
+                   attempts=attempts, hang_seconds=seconds)
+
+    def applies(self, key: str, phase: str, attempt: int) -> bool:
+        """Whether this rule is eligible for the given call."""
+        if self.match and self.match not in key:
+            return False
+        if self.phase != "any" and self.phase != phase:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of injection rules plus a seeded RNG.
+
+    Tracks per-(key, phase) attempt counts so scripted rules can target
+    "first attempt only" and retries see fresh eligibility. The ``log``
+    records every injection for assertions and post-mortems.
+    """
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+    _attempts: Counter = field(init=False, repr=False)
+    log: list[dict[str, Any]] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._attempts = Counter()
+
+    @classmethod
+    def chaos(cls, rate: float, seed: int = 0,
+              platform: str | None = None) -> "FaultPlan":
+        """Random transient faults at ``rate`` per call, platform-styled."""
+        factory = PLATFORM_TRANSIENTS.get(platform or "", compiler_flake)
+        return cls(specs=[FaultSpec(fault=factory, attempts=None,
+                                    probability=rate)], seed=seed)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        """Append a rule (earlier rules win on a given call)."""
+        self.specs.append(spec)
+        return self
+
+    def draw(self, key: str, phase: str) -> FaultSpec | None:
+        """The rule firing on this call, if any (advances attempt count)."""
+        attempt = self._attempts[(key, phase)]
+        self._attempts[(key, phase)] += 1
+        for spec in self.specs:
+            if not spec.applies(key, phase, attempt):
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            self.log.append({"key": key, "phase": phase, "attempt": attempt,
+                             "hang": spec.hang_seconds,
+                             "fault": (type(spec.fault()).__name__
+                                       if spec.fault else None)})
+            return spec
+        return None
+
+
+class FaultInjectingBackend(AcceleratorBackend):
+    """Wrap a backend, injecting the plan's faults at call boundaries.
+
+    With an empty plan this is a transparent pass-through that still
+    counts calls — the instrument resume tests use to prove journaled
+    cells were skipped.
+    """
+
+    def __init__(self, inner: AcceleratorBackend,
+                 plan: FaultPlan | None = None,
+                 clock: Clock | None = None) -> None:
+        super().__init__(inner.system)
+        self.inner = inner
+        self.plan = plan if plan is not None else FaultPlan()
+        self.clock = clock if clock is not None else SystemClock()
+        self.transient_errors = inner.transient_errors
+        self.calls: Counter = Counter()
+
+    def compile(self, model: ModelConfig, train: TrainConfig,
+                **options: Any) -> CompileReport:
+        self.calls["compile"] += 1
+        self._maybe_inject(workload_key(model, train), "compile")
+        return self.inner.compile(model, train, **options)
+
+    def run(self, compiled: CompileReport) -> RunReport:
+        self.calls["run"] += 1
+        self._maybe_inject(
+            workload_key(compiled.model, compiled.train), "run")
+        return self.inner.run(compiled)
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return self.inner.is_transient(exc)
+
+    def _maybe_inject(self, key: str, phase: str) -> None:
+        spec = self.plan.draw(key, phase)
+        if spec is None:
+            return
+        if spec.hang_seconds > 0:
+            self.clock.sleep(spec.hang_seconds)
+        if spec.fault is not None:
+            raise spec.fault()

@@ -1,0 +1,127 @@
+"""A JSONL journal of sweep-cell outcomes for checkpoint/resume.
+
+Long sweep campaigns must never lose finished work: every completed
+cell is appended to the journal the moment it finishes, and a resumed
+run skips every journaled cell. Entries are one JSON object per line:
+
+.. code-block:: json
+
+    {"v": 1, "key": "L12", "status": "ok", "attempts": 1,
+     "error": null, "summary": {"tokens_per_second": 51234.0}}
+
+``status`` is ``"ok"``, ``"failed"`` (a final, structured failure —
+itself a benchmark result), or ``"gated"`` (the circuit breaker
+fail-fasted the cell; treated as unfinished on resume). The append-only
+format survives crashes: a truncated final line — the signature of a
+killed process — is ignored on load, and for the same key the last
+complete entry wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import ErrorRecord
+
+JOURNAL_VERSION = 1
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_GATED = "gated"
+
+#: Statuses that count as finished work on resume.
+FINAL_STATUSES = frozenset({STATUS_OK, STATUS_FAILED})
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled cell outcome."""
+
+    key: str
+    status: str
+    attempts: int = 1
+    error: ErrorRecord | None = None
+    summary: dict[str, Any] | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in FINAL_STATUSES
+
+    @property
+    def failed(self) -> bool:
+        return self.status == STATUS_FAILED
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "v": JOURNAL_VERSION,
+            "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error.to_dict() if self.error else None,
+            "summary": self.summary,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JournalEntry":
+        error = payload.get("error")
+        return cls(
+            key=str(payload["key"]),
+            status=str(payload.get("status", STATUS_FAILED)),
+            attempts=int(payload.get("attempts", 1)),
+            error=ErrorRecord.from_dict(error) if error else None,
+            summary=payload.get("summary"),
+        )
+
+
+class SweepJournal:
+    """Append-only JSONL store of :class:`JournalEntry` records."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+
+    def record(self, entry: JournalEntry) -> None:
+        """Append one outcome, flushed to disk before returning."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> dict[str, JournalEntry]:
+        """Read the journal; last complete entry per key wins.
+
+        Malformed lines (e.g. a line truncated by a crash mid-write)
+        are skipped rather than fatal — a resume must always be
+        possible from whatever made it to disk.
+        """
+        entries: dict[str, JournalEntry] = {}
+        if not self.path.exists():
+            return entries
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    entry = JournalEntry.from_dict(payload)
+                except (json.JSONDecodeError, AttributeError, KeyError,
+                        TypeError, ValueError):
+                    continue
+                entries[entry.key] = entry
+        return entries
+
+    def finished_keys(self, retry_failed: bool = False) -> set[str]:
+        """Keys a resumed run may skip.
+
+        With ``retry_failed`` journaled failures are re-attempted (use
+        after swapping out a faulty device); successes are always kept.
+        """
+        return {
+            key for key, entry in self.load().items()
+            if entry.finished and not (retry_failed and entry.failed)
+        }

@@ -1,0 +1,85 @@
+"""Retry policy: exponential backoff with deterministic, seeded jitter.
+
+Long accelerator sweeps hit transient faults — compiler flakes, fabric
+glitches, queue hiccups — that succeed on a second attempt. The policy
+here is the standard full-jitter exponential backoff, but the jitter
+comes from a seeded :class:`random.Random` so a replayed sweep produces
+an identical backoff schedule (the same determinism contract the
+discrete-event simulator keeps).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts.
+
+    Attributes:
+        max_retries: retries *after* the first attempt (0 = no retry).
+        base_backoff: seconds before the first retry.
+        multiplier: backoff growth factor per retry.
+        max_backoff: cap on any single backoff interval.
+        jitter: fraction of the interval drawn uniformly at random and
+            added on top (0 disables jitter).
+        seed: seed for the jitter stream.
+        retry_deadline_errors: whether a deadline cut-off is worth a
+            fresh attempt (a hang may be transient).
+    """
+
+    max_retries: int = 2
+    base_backoff: float = 1.0
+    multiplier: float = 2.0
+    max_backoff: float = 60.0
+    jitter: float = 0.1
+    seed: int = 0
+    retry_deadline_errors: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0: {self.max_retries}")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ConfigurationError("backoff intervals must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff multiplier must be >= 1: {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1]: {self.jitter}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts including the first."""
+        return self.max_retries + 1
+
+    def backoff_schedule(self) -> "BackoffSchedule":
+        """A fresh deterministic jitter stream for one cell."""
+        return BackoffSchedule(self)
+
+
+@dataclass
+class BackoffSchedule:
+    """Stateful per-cell backoff iterator (owns its jitter stream)."""
+
+    policy: RetryPolicy
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.policy.seed)
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0-based)."""
+        if retry_index < 0:
+            raise ConfigurationError(
+                f"retry index must be >= 0: {retry_index}")
+        base = min(self.policy.max_backoff,
+                   self.policy.base_backoff
+                   * self.policy.multiplier ** retry_index)
+        if self.policy.jitter > 0:
+            base += self._rng.uniform(0.0, self.policy.jitter * base)
+        return min(base, self.policy.max_backoff * (1.0 + self.policy.jitter))

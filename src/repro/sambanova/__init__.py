@@ -19,7 +19,7 @@ sub-60% resource allocation (Fig. 7), sharding-driven allocation drops
 Fig. 11b).
 """
 
-from repro.sambanova.backend import SambaNovaBackend
+from repro.sambanova.backend import SambaNovaBackend, SectionStallError
 from repro.sambanova.compiler import RDUCompiler
 from repro.sambanova.runtime import RDURuntime
 from repro.sambanova.sections import OpDemand, Section
@@ -33,4 +33,5 @@ __all__ = [
     "RDUCompiler",
     "RDURuntime",
     "SambaNovaBackend",
+    "SectionStallError",
 ]

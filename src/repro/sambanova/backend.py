@@ -4,11 +4,25 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.common.errors import TransientError
 from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
 from repro.hardware.specs import SN30_SYSTEM, SystemSpec
 from repro.models.config import ModelConfig, TrainConfig
 from repro.sambanova.compiler import RDUCompiler
 from repro.sambanova.runtime import RDURuntime
+
+
+class SectionStallError(TransientError):
+    """A section failed to make progress loading onto the RDU.
+
+    Section swaps stage weights through DDR; a stalled DMA or a slow
+    host queue shows up as a section that never starts. Re-running the
+    step reloads the section and usually succeeds.
+    """
+
+    def __init__(self, message: str, *, section: str = "") -> None:
+        super().__init__(message)
+        self.section = section
 
 
 class SambaNovaBackend(AcceleratorBackend):
@@ -19,6 +33,8 @@ class SambaNovaBackend(AcceleratorBackend):
     * ``mode`` — compilation mode: ``"O0"``, ``"O1"`` (default), ``"O3"``.
     * ``tp`` — tensor-parallel degree across RDUs (2 per machine).
     """
+
+    transient_errors = (TransientError, SectionStallError)
 
     def __init__(self, system: SystemSpec = SN30_SYSTEM) -> None:
         super().__init__(system)

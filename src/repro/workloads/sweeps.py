@@ -3,16 +3,30 @@
 The benchmark harness uses :func:`run_grid` to regenerate the paper's
 tables: each cell compiles + runs one configuration and failures are
 recorded rather than raised (a "Fail" cell is a result — Table I).
+
+Any :class:`~repro.common.errors.ReproError` escaping the backend
+becomes a failed cell with a structured
+:class:`~repro.common.errors.ErrorRecord` (compile-phase and run-phase
+failures are distinguished). Passing a
+:class:`~repro.resilience.executor.ResilientExecutor` adds retry,
+per-cell deadlines, and circuit breaking; passing a
+:class:`~repro.resilience.journal.SweepJournal` checkpoints every cell
+as it finishes, and ``resume=True`` skips journaled cells on a re-run
+so an interrupted campaign never loses work.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.common.errors import CompilationError
+from repro.common.errors import ErrorRecord
 from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
 from repro.models.config import ModelConfig, TrainConfig
+from repro.resilience.executor import ResilientExecutor
+from repro.resilience.journal import JournalEntry, SweepJournal
+from repro.resilience.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -27,23 +41,63 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class SweepCell:
-    """The outcome of one cell."""
+    """The outcome of one cell.
+
+    ``error`` keeps the human-readable message; ``failure`` carries the
+    structured record (exception type, phase, and attributes such as
+    ``required_bytes``). ``resumed`` cells were restored from a journal
+    without touching the backend — their reports are ``None`` but
+    ``summary`` holds the journaled run metrics.
+    """
 
     spec: SweepSpec
     compiled: CompileReport | None
     run: RunReport | None
     error: str | None = None
+    failure: ErrorRecord | None = None
+    attempts: int = 1
+    resumed: bool = False
+    summary: dict[str, Any] | None = None
 
     @property
     def failed(self) -> bool:
         return self.error is not None
 
+    @property
+    def phase(self) -> str | None:
+        """Which harness phase failed (``None`` for successful cells)."""
+        return self.failure.phase if self.failure is not None else None
+
+
+def _no_retry_executor() -> ResilientExecutor:
+    return ResilientExecutor(retry=RetryPolicy(max_retries=0, jitter=0.0))
+
+
+def _cell_from_outcome(spec: SweepSpec, outcome: Any) -> SweepCell:
+    if outcome.ok:
+        return SweepCell(spec=spec, compiled=outcome.compiled,
+                         run=outcome.run, attempts=outcome.attempts)
+    return SweepCell(spec=spec, compiled=None, run=None,
+                     error=str(outcome.error), failure=outcome.error,
+                     attempts=max(1, outcome.attempts))
+
+
+def _cell_from_journal(spec: SweepSpec, entry: JournalEntry) -> SweepCell:
+    return SweepCell(spec=spec, compiled=None, run=None,
+                     error=str(entry.error) if entry.error else None,
+                     failure=entry.error, attempts=entry.attempts,
+                     resumed=True, summary=entry.summary)
+
 
 def run_grid(backend: AcceleratorBackend,
              specs: list[SweepSpec],
              measure: bool = True,
-             on_cell: Callable[[SweepCell], None] | None = None
-             ) -> list[SweepCell]:
+             on_cell: Callable[[SweepCell], None] | None = None,
+             *,
+             executor: ResilientExecutor | None = None,
+             journal: SweepJournal | str | os.PathLike[str] | None = None,
+             resume: bool = False,
+             retry_failed: bool = False) -> list[SweepCell]:
     """Compile (and optionally run) every spec; failures become cells.
 
     Args:
@@ -52,19 +106,41 @@ def run_grid(backend: AcceleratorBackend,
         measure: when ``False`` only compile (compile-time metrics are
             enough for most Tier-1 tables, matching the paper's
             "most metrics are from compile time" note).
-        on_cell: optional progress callback.
+        on_cell: optional progress callback (also fired for resumed
+            cells).
+        executor: retry/deadline/breaker engine; defaults to a
+            no-retry executor that still produces structured records.
+        journal: checkpoint store — each finished cell is appended.
+        resume: skip cells the journal already holds a final outcome
+            for (keyed by spec label).
+        retry_failed: with ``resume``, re-execute journaled *failures*
+            while still skipping successes.
     """
+    if executor is None:
+        executor = _no_retry_executor()
+    if journal is not None and not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+    journaled: dict[str, JournalEntry] = {}
+    if resume and journal is not None:
+        journaled = journal.load()
+
     cells: list[SweepCell] = []
     for spec in specs:
-        try:
-            compiled = backend.compile(spec.model, spec.train,
-                                       **spec.options)
-            run = backend.run(compiled) if measure else None
-        except CompilationError as exc:
-            cell = SweepCell(spec=spec, compiled=None, run=None,
-                             error=str(exc))
+        entry = journaled.get(spec.label)
+        if (entry is not None and entry.finished
+                and not (retry_failed and entry.failed)):
+            cell = _cell_from_journal(spec, entry)
         else:
-            cell = SweepCell(spec=spec, compiled=compiled, run=run)
+            outcome = executor.execute(
+                spec.label,
+                lambda spec=spec: backend.compile(spec.model, spec.train,
+                                                  **spec.options),
+                (lambda compiled: backend.run(compiled)) if measure else None,
+                is_transient=backend.is_transient,
+            )
+            cell = _cell_from_outcome(spec, outcome)
+            if journal is not None:
+                journal.record(outcome.journal_entry())
         cells.append(cell)
         if on_cell is not None:
             on_cell(cell)

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.cerebras.compiler import WSECompiler
-from repro.common.errors import (
-    CompilationError,
-    ConfigurationError,
-    OutOfMemoryError,
-)
+from repro.common.errors import ConfigurationError, OutOfMemoryError
 from repro.core.metrics import allocation_ratio, weighted_load_imbalance
 from repro.models.config import TrainConfig, gpt2_model
 

@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.common.units import GB, KB, MB, PB, TB, fmt_bytes, fmt_count, fmt_flops, fmt_rate
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    PB,
+    TB,
+    fmt_bytes,
+    fmt_count,
+    fmt_flops,
+    fmt_rate,
+)
 
 
 class TestConstants:

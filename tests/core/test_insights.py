@@ -1,7 +1,5 @@
 """Automated insight generation."""
 
-import pytest
-
 from repro.core.insights import (
     Bottleneck,
     diagnose,

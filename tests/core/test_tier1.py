@@ -1,7 +1,5 @@
 """Tier-1 profiler against all backends."""
 
-import pytest
-
 from repro.core.tier1 import Tier1Profiler
 from repro.models.config import TrainConfig, gpt2_model
 from repro.models.precision import Precision, PrecisionPolicy

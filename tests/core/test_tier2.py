@@ -118,3 +118,98 @@ class TestPrecisionComparison:
             optimized=PrecisionPolicy.pure(Precision.CB16))
         assert cmp.baseline_label == "fp16"
         assert cmp.optimized_label == "cb16"
+
+
+class TestTier2Robustness:
+    """Run-phase faults become points/records, and journals resume."""
+
+    def probe_train(self):
+        return decoder_block_probe(256, 2), TrainConfig(batch_size=8,
+                                                        seq_len=256)
+
+    def test_scaling_sweep_survives_run_phase_fault(self, cerebras):
+        from repro.common.errors import SimulationError
+        from repro.resilience import (
+            FaultInjectingBackend,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        model, train = self.probe_train()
+        plan = FaultPlan().add(FaultSpec(
+            fault=lambda: SimulationError("engine desync"),
+            phase="run", attempts=(0,)))
+        wrapped = FaultInjectingBackend(cerebras, plan)
+        points = ScalabilityAnalyzer(wrapped).sweep(
+            model, train, [("DP1", {"n_replicas": 1}),
+                           ("DP2", {"n_replicas": 2})])
+        assert points[0].failed
+        assert points[0].failure.type == "SimulationError"
+        assert points[0].failure.phase == "run"
+        assert not points[1].failed  # sweep continued
+
+    def test_scaling_failure_keeps_structured_attrs(self, cerebras):
+        train = TrainConfig(batch_size=64, seq_len=1024)
+        points = ScalabilityAnalyzer(cerebras).sweep(
+            gpt2_model("small").with_layers(78), train, [("base", {})])
+        assert points[0].failure is not None
+        assert points[0].failure.type
+        assert points[0].failure.phase == "compile"
+
+    def test_scaling_sweep_resumes_from_journal(self, cerebras, tmp_path):
+        from repro.resilience import FaultInjectingBackend, FaultPlan
+
+        model, train = self.probe_train()
+        journal = tmp_path / "scaling.jsonl"
+        counted = FaultInjectingBackend(cerebras, FaultPlan())
+        configs = [("DP1", {"n_replicas": 1}), ("DP2", {"n_replicas": 2})]
+        first = ScalabilityAnalyzer(counted).sweep(
+            model, train, configs[:1], journal=journal)
+        assert counted.calls["compile"] == 1
+        points = ScalabilityAnalyzer(counted).sweep(
+            model, train, configs, journal=journal, resume=True)
+        assert counted.calls["compile"] == 2  # only DP2 executed
+        assert points[0].resumed
+        assert points[0].tokens_per_second == pytest.approx(
+            first[0].tokens_per_second)
+        # Allocation metrics survive the journal round-trip too.
+        assert points[0].compute_allocation == pytest.approx(
+            first[0].compute_allocation)
+        assert points[0].communication_fraction == pytest.approx(
+            first[0].communication_fraction)
+        assert not points[1].resumed
+
+    def test_batch_sweep_records_structured_failures(self, graphcore):
+        model, train = self.probe_train()
+        from repro.common.errors import OutOfMemoryError
+        from repro.resilience import (
+            FaultInjectingBackend,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        plan = FaultPlan().add(FaultSpec(
+            fault=lambda: OutOfMemoryError("tiles full",
+                                           required_bytes=5.0,
+                                           available_bytes=4.0),
+            match="/b32", attempts=None))
+        wrapped = FaultInjectingBackend(graphcore, plan)
+        sweep = DeploymentOptimizer(wrapped).batch_sweep(
+            model, train, [8, 32])
+        assert 32 in sweep.failures
+        assert sweep.failures[32].attrs["required_bytes"] == 5.0
+        assert sweep.tokens_per_second[1] == 0.0
+
+    def test_batch_sweep_resumes_from_journal(self, cerebras, tmp_path):
+        from repro.resilience import FaultInjectingBackend, FaultPlan
+
+        model, train = self.probe_train()
+        journal = tmp_path / "batch.jsonl"
+        counted = FaultInjectingBackend(cerebras, FaultPlan())
+        optimizer = DeploymentOptimizer(counted)
+        optimizer.batch_sweep(model, train, [8], journal=journal)
+        sweep = optimizer.batch_sweep(model, train, [8, 16],
+                                      journal=journal, resume=True)
+        assert counted.calls["compile"] == 2  # batch=8 skipped on resume
+        assert sweep.batch_sizes == (8, 16)
+        assert all(rate > 0 for rate in sweep.tokens_per_second)

@@ -7,12 +7,10 @@ evaluation (Sections V and VI) through the public API only.
 import pytest
 
 from repro import (
-    CerebrasBackend,
     GraphcoreBackend,
     OutOfMemoryError,
     Precision,
     PrecisionPolicy,
-    SambaNovaBackend,
     Tier1Profiler,
     TrainConfig,
     allocation_ratio,

@@ -1,0 +1,213 @@
+"""End-to-end resilience: the ISSUE acceptance scenario.
+
+A 20-cell grid is executed through the resilient harness with injected
+transient faults, one permanent device fault, and one hang. The grid
+must complete with zero lost cells: transients retried to success, the
+permanent fault journaled as a structured failed cell, the hang cut off
+by the per-cell deadline. A second ``run_grid(..., resume=...)`` must
+re-execute only the unfinished cells, verified by the backend call
+counter.
+"""
+
+from repro.common.errors import TransientError
+from repro.models.config import TrainConfig, gpt2_model
+from repro.resilience import (
+    FakeClock,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+    ResilientExecutor,
+    RetryPolicy,
+    SweepJournal,
+)
+from repro.resilience.faults import device_fault, wse_fabric_fault
+from repro.workloads.sweeps import SweepSpec, run_grid
+
+N_CELLS = 20
+HANG_LAYERS = 9       # the cell that hangs on every attempt
+BROKEN_LAYERS = 13    # the cell whose device fault never clears
+
+
+def grid_specs(n=N_CELLS):
+    """20 small configurations that all compile cleanly when healthy."""
+    train = TrainConfig(batch_size=8, seq_len=256)
+    model = gpt2_model("mini")
+    return [SweepSpec(label=f"L{layers}",
+                      model=model.with_layers(layers),
+                      train=train)
+            for layers in range(1, n + 1)]
+
+
+def acceptance_plan():
+    """Transient flakes on three cells, one permanent fault, one hang."""
+    plan = FaultPlan()
+    for layers in (3, 11, 17):  # transient: first attempt only
+        plan.add(FaultSpec(fault=wse_fabric_fault, match=f"/L{layers}/",
+                           phase="compile", attempts=(0,)))
+    plan.add(FaultSpec(fault=lambda: device_fault("fabric"),
+                       match=f"/L{BROKEN_LAYERS}/", attempts=None))
+    plan.add(FaultSpec.hang(3600.0, match=f"/L{HANG_LAYERS}/",
+                            phase="run", attempts=None))
+    return plan
+
+
+def make_harness(cerebras, tmp_path, plan):
+    clock = FakeClock()
+    backend = FaultInjectingBackend(cerebras, plan, clock=clock)
+    executor = ResilientExecutor(
+        retry=RetryPolicy(max_retries=2, base_backoff=1.0, jitter=0.0),
+        cell_timeout=120.0, clock=clock)
+    journal = SweepJournal(tmp_path / "grid.jsonl")
+    return backend, executor, journal
+
+
+class TestAcceptanceScenario:
+    def test_faulty_grid_completes_with_zero_lost_cells(self, cerebras,
+                                                        tmp_path):
+        backend, executor, journal = make_harness(
+            cerebras, tmp_path, acceptance_plan())
+        cells = run_grid(backend, grid_specs(), executor=executor,
+                         journal=journal)
+
+        assert len(cells) == N_CELLS
+        by_label = {c.spec.label: c for c in cells}
+
+        # Transients retried to success.
+        for layers in (3, 11, 17):
+            cell = by_label[f"L{layers}"]
+            assert not cell.failed
+            assert cell.attempts == 2
+        # The permanent device fault is a structured failed cell.
+        broken = by_label[f"L{BROKEN_LAYERS}"]
+        assert broken.failed
+        assert broken.failure.type == "DeviceFaultError"
+        assert broken.failure.attrs["component"] == "fabric"
+        assert broken.failure.phase == "compile"
+        # The hang was cut off by the per-cell deadline.
+        hung = by_label[f"L{HANG_LAYERS}"]
+        assert hung.failed
+        assert hung.failure.type == "DeadlineExceededError"
+        assert hung.failure.phase == "run"
+        assert hung.failure.attrs["deadline"] == 120.0
+        # Everything else succeeded first try.
+        clean = [c for c in cells
+                 if c.spec.label not in
+                 {f"L{n}" for n in (3, 11, 17, HANG_LAYERS, BROKEN_LAYERS)}]
+        assert all(not c.failed and c.attempts == 1 for c in clean)
+        # Zero lost cells: every cell has a final journal entry.
+        entries = journal.load()
+        assert len(entries) == N_CELLS
+        assert all(entry.finished for entry in entries.values())
+
+    def test_resume_skips_every_journaled_cell(self, cerebras, tmp_path):
+        backend, executor, journal = make_harness(
+            cerebras, tmp_path, acceptance_plan())
+        run_grid(backend, grid_specs(), executor=executor, journal=journal)
+        calls_after_first = dict(backend.calls)
+
+        resumed = run_grid(backend, grid_specs(), executor=executor,
+                           journal=journal, resume=True)
+        # No backend call was made: journaled outcomes were replayed.
+        assert dict(backend.calls) == calls_after_first
+        assert len(resumed) == N_CELLS
+        assert all(c.resumed for c in resumed)
+        assert sum(1 for c in resumed if c.failed) == 2
+
+    def test_resume_executes_only_unfinished_cells(self, cerebras,
+                                                   tmp_path):
+        # Interrupted campaign: only the first 12 cells ran to completion.
+        backend, executor, journal = make_harness(
+            cerebras, tmp_path, FaultPlan())
+        run_grid(backend, grid_specs()[:12], executor=executor,
+                 journal=journal)
+        assert backend.calls["compile"] == 12
+
+        cells = run_grid(backend, grid_specs(), executor=executor,
+                         journal=journal, resume=True)
+        # Exactly the 8 unfinished cells hit the backend.
+        assert backend.calls["compile"] == N_CELLS
+        assert backend.calls["run"] == N_CELLS
+        assert sum(1 for c in cells if c.resumed) == 12
+        assert sum(1 for c in cells if not c.resumed) == 8
+        assert all(not c.failed for c in cells)
+
+    def test_retry_failed_reruns_journaled_failures(self, cerebras,
+                                                    tmp_path):
+        # First campaign: L13's device fault is permanent.
+        backend, executor, journal = make_harness(
+            cerebras, tmp_path, acceptance_plan())
+        run_grid(backend, grid_specs(), executor=executor, journal=journal)
+
+        # The device was repaired (fresh, fault-free plan): retry failures.
+        healthy, executor2, _ = make_harness(cerebras, tmp_path,
+                                             FaultPlan())
+        cells = run_grid(healthy, grid_specs(), executor=executor2,
+                         journal=journal, resume=True, retry_failed=True)
+        assert healthy.calls["compile"] == 2  # just L9 and L13
+        assert all(not c.failed for c in cells)
+
+    def test_backoff_schedule_on_injected_clock(self, cerebras, tmp_path):
+        clock = FakeClock()
+        plan = FaultPlan().add(FaultSpec(fault=wse_fabric_fault,
+                                         phase="compile", attempts=(0, 1)))
+        backend = FaultInjectingBackend(cerebras, plan, clock=clock)
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=2, base_backoff=2.0,
+                              multiplier=3.0, jitter=0.0),
+            clock=clock)
+        cells = run_grid(backend, grid_specs(1), executor=executor)
+        assert not cells[0].failed
+        assert cells[0].attempts == 3
+        assert clock.sleeps == [2.0, 6.0]
+
+
+class TestCircuitBreakerGrid:
+    def test_open_breaker_gates_rest_of_grid(self, cerebras, tmp_path):
+        from repro.resilience import CircuitBreaker
+
+        clock = FakeClock()
+        # Every cell faults permanently: the breaker opens after two.
+        plan = FaultPlan().add(
+            FaultSpec(fault=lambda: device_fault("pcie"), attempts=None))
+        backend = FaultInjectingBackend(cerebras, plan, clock=clock)
+        breaker = CircuitBreaker(backend.name, failure_threshold=2,
+                                 reset_timeout=3600.0, clock=clock)
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=0, jitter=0.0),
+            clock=clock, breaker=breaker)
+        journal = SweepJournal(tmp_path / "gated.jsonl")
+        cells = run_grid(backend, grid_specs(6), executor=executor,
+                         journal=journal)
+        assert backend.calls["compile"] == 2  # the rest gated, fail-fast
+        assert all(c.failed for c in cells)
+        gated = [c for c in cells if c.failure.type == "CircuitOpenError"]
+        assert len(gated) == 4
+        # Gated cells are unfinished: a resume (on fixed hardware)
+        # re-executes them but not the two real failures.
+        healthy = FaultInjectingBackend(cerebras, FaultPlan(), clock=clock)
+        resumed = run_grid(healthy, grid_specs(6),
+                           executor=ResilientExecutor(
+                               retry=RetryPolicy(max_retries=0, jitter=0.0),
+                               clock=clock),
+                           journal=journal, resume=True)
+        assert healthy.calls["compile"] == 4
+        assert sum(1 for c in resumed if not c.failed) == 4
+
+
+class TestTransientTaxonomy:
+    def test_each_backend_declares_transients(self, cerebras, sambanova,
+                                              graphcore, gpu):
+        from repro.cerebras.backend import FabricFaultError
+        from repro.common.errors import OutOfMemoryError
+        from repro.gpu.backend import NcclTimeoutError
+        from repro.graphcore.backend import HostLinkError
+        from repro.sambanova.backend import SectionStallError
+
+        cases = [(cerebras, FabricFaultError("x")),
+                 (sambanova, SectionStallError("x")),
+                 (graphcore, HostLinkError("x")),
+                 (gpu, NcclTimeoutError("x"))]
+        for backend, fault in cases:
+            assert backend.is_transient(fault)
+            assert backend.is_transient(TransientError("generic"))
+            assert not backend.is_transient(OutOfMemoryError("oom"))

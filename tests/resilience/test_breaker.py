@@ -1,0 +1,76 @@
+"""Circuit breaker state machine."""
+
+import pytest
+
+from repro.common.errors import CircuitOpenError, ConfigurationError
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.clock import FakeClock
+
+
+def make_breaker(threshold=3, reset=100.0):
+    clock = FakeClock()
+    return CircuitBreaker("wse", failure_threshold=threshold,
+                          reset_timeout=reset, clock=clock), clock
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        breaker, _clock = make_breaker()
+        assert breaker.state == CLOSED
+        breaker.check()  # no raise
+
+    def test_opens_after_threshold(self):
+        breaker, _clock = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError) as err:
+            breaker.check()
+        assert err.value.backend == "wse"
+        assert err.value.retry_after == pytest.approx(100.0)
+
+    def test_success_resets_count(self):
+        breaker, _clock = make_breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, reset=60.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(61.0)
+        assert breaker.state == HALF_OPEN
+        breaker.check()  # probe allowed
+
+    def test_half_open_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, reset=60.0)
+        breaker.record_failure()
+        clock.advance(61.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker, clock = make_breaker(threshold=5, reset=60.0)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(61.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # single probe failure re-opens
+        assert breaker.state == OPEN
+        assert breaker.trip_count == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_timeout=-1.0)

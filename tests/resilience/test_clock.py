@@ -1,0 +1,47 @@
+"""Injectable clocks."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.resilience.clock import FakeClock, SystemClock
+
+
+class TestFakeClock:
+    def test_starts_at_zero(self):
+        assert FakeClock().now() == 0.0
+
+    def test_sleep_advances_instantly(self):
+        clock = FakeClock()
+        clock.sleep(30.0)
+        assert clock.now() == 30.0
+
+    def test_sleeps_are_recorded(self):
+        clock = FakeClock()
+        clock.sleep(1.0)
+        clock.sleep(2.5)
+        assert clock.sleeps == [1.0, 2.5]
+
+    def test_advance_moves_without_recording(self):
+        clock = FakeClock(start=10.0)
+        clock.advance(5.0)
+        assert clock.now() == 15.0
+        assert clock.sleeps == []
+
+    def test_negative_rejected(self):
+        clock = FakeClock()
+        with pytest.raises(SimulationError):
+            clock.sleep(-1.0)
+        with pytest.raises(SimulationError):
+            clock.advance(-1.0)
+
+    def test_not_real(self):
+        assert not FakeClock().is_real
+
+
+class TestSystemClock:
+    def test_is_real_and_monotone(self):
+        clock = SystemClock()
+        assert clock.is_real
+        first = clock.now()
+        clock.sleep(0.0)  # zero sleep must not block
+        assert clock.now() >= first

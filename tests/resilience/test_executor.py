@@ -1,0 +1,251 @@
+"""The per-cell retry/deadline/breaker engine."""
+
+import pytest
+
+from repro.common.errors import (
+    CompilationError,
+    DeviceFaultError,
+    OutOfMemoryError,
+    TransientError,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import FakeClock, SystemClock
+from repro.resilience.executor import ResilientExecutor
+from repro.resilience.journal import STATUS_FAILED, STATUS_GATED, STATUS_OK
+from repro.resilience.retry import RetryPolicy
+
+
+def make_executor(max_retries=2, cell_timeout=None, breaker=None):
+    clock = FakeClock()
+    executor = ResilientExecutor(
+        retry=RetryPolicy(max_retries=max_retries, base_backoff=1.0,
+                          multiplier=2.0, jitter=0.0),
+        cell_timeout=cell_timeout, clock=clock, breaker=breaker)
+    return executor, clock
+
+
+class FlakyCompile:
+    """Fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures, exc_factory):
+        self.failures = failures
+        self.exc_factory = exc_factory
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc_factory()
+        return "compiled"
+
+
+class TestRetries:
+    def test_success_first_try(self):
+        executor, _clock = make_executor()
+        outcome = executor.execute("cell", lambda: "compiled",
+                                   lambda c: f"ran-{c}")
+        assert outcome.ok
+        assert outcome.compiled == "compiled"
+        assert outcome.run == "ran-compiled"
+        assert outcome.attempts == 1
+        assert outcome.retried == ()
+
+    def test_transient_retried_to_success(self):
+        executor, clock = make_executor(max_retries=2)
+        compile_fn = FlakyCompile(2, lambda: TransientError("flake"))
+        outcome = executor.execute("cell", compile_fn)
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert len(outcome.retried) == 2
+        assert all(r.transient for r in outcome.retried)
+        assert clock.sleeps == [1.0, 2.0]  # exponential backoff
+
+    def test_transient_exhausts_budget(self):
+        executor, _clock = make_executor(max_retries=1)
+        compile_fn = FlakyCompile(5, lambda: TransientError("flake"))
+        outcome = executor.execute("cell", compile_fn)
+        assert outcome.status == STATUS_FAILED
+        assert outcome.attempts == 2
+        assert compile_fn.calls == 2
+
+    def test_permanent_failure_not_retried(self):
+        executor, clock = make_executor(max_retries=3)
+        compile_fn = FlakyCompile(1, lambda: OutOfMemoryError(
+            "oom", required_bytes=2e9, available_bytes=1e9))
+        outcome = executor.execute("cell", compile_fn)
+        assert outcome.status == STATUS_FAILED
+        assert outcome.attempts == 1
+        assert clock.sleeps == []
+        assert outcome.error.type == "OutOfMemoryError"
+        assert outcome.error.attrs["required_bytes"] == 2e9
+
+    def test_custom_taxonomy(self):
+        class PlatformBlip(CompilationError):
+            """Transient on this platform despite being a compile error."""
+
+        executor, _clock = make_executor(max_retries=1)
+        compile_fn = FlakyCompile(1, lambda: PlatformBlip("blip"))
+        outcome = executor.execute(
+            "cell", compile_fn,
+            is_transient=lambda exc: isinstance(exc, PlatformBlip))
+        assert outcome.ok
+        assert outcome.attempts == 2
+
+    def test_run_phase_recorded(self):
+        executor, _clock = make_executor(max_retries=0)
+
+        def bad_run(_compiled):
+            raise TransientError("runtime blip")
+
+        outcome = executor.execute("cell", lambda: "compiled", bad_run)
+        assert outcome.status == STATUS_FAILED
+        assert outcome.error.phase == "run"
+
+    def test_non_repro_errors_propagate(self):
+        executor, _clock = make_executor()
+        with pytest.raises(ZeroDivisionError):
+            executor.execute("cell", lambda: 1 / 0)
+
+
+class TestDeadlines:
+    def test_fake_clock_hang_cut_off(self):
+        executor, clock = make_executor(max_retries=0, cell_timeout=60.0)
+
+        def hanging_compile():
+            clock.sleep(300.0)
+            return "compiled"
+
+        outcome = executor.execute("cell", hanging_compile)
+        assert outcome.status == STATUS_FAILED
+        assert outcome.error.type == "DeadlineExceededError"
+        assert outcome.error.attrs["deadline"] == 60.0
+        assert outcome.error.attrs["elapsed"] == 300.0
+
+    def test_deadline_retryable_by_policy(self):
+        clock = FakeClock()
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=1, base_backoff=1.0, jitter=0.0),
+            cell_timeout=60.0, clock=clock)
+        calls = []
+
+        def compile_fn():
+            calls.append(1)
+            if len(calls) == 1:
+                clock.sleep(120.0)  # hang once
+            return "compiled"
+
+        outcome = executor.execute("cell", compile_fn)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.retried[0].type == "DeadlineExceededError"
+
+    def test_deadline_not_retried_when_disabled(self):
+        clock = FakeClock()
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=3, jitter=0.0,
+                              retry_deadline_errors=False),
+            cell_timeout=60.0, clock=clock)
+
+        def hanging():
+            clock.sleep(120.0)
+            return "compiled"
+
+        outcome = executor.execute("cell", hanging)
+        assert outcome.status == STATUS_FAILED
+        assert outcome.attempts == 1
+
+    def test_real_clock_watchdog_cuts_off_true_hang(self):
+        import threading
+
+        release = threading.Event()
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=0, jitter=0.0,
+                              retry_deadline_errors=False),
+            cell_timeout=0.2, clock=SystemClock())
+
+        def truly_hangs():
+            release.wait(10.0)  # would block far past the deadline
+            return "compiled"
+
+        outcome = executor.execute("cell", truly_hangs)
+        release.set()  # unblock the abandoned worker thread
+        assert outcome.status == STATUS_FAILED
+        assert outcome.error.type == "DeadlineExceededError"
+
+
+class TestBreakerIntegration:
+    def test_gated_after_consecutive_faults(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("wse", failure_threshold=2,
+                                 reset_timeout=600.0, clock=clock)
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=0, jitter=0.0),
+            clock=clock, breaker=breaker)
+
+        def broken():
+            raise DeviceFaultError("fabric died", component="fabric")
+
+        assert executor.execute("a", broken).status == STATUS_FAILED
+        assert executor.execute("b", broken).status == STATUS_FAILED
+        gated = executor.execute("c", lambda: "compiled")
+        assert gated.status == STATUS_GATED
+        assert gated.attempts == 0
+        assert gated.error.type == "CircuitOpenError"
+
+    def test_capability_failures_do_not_trip(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("wse", failure_threshold=2, clock=clock)
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=0, jitter=0.0),
+            clock=clock, breaker=breaker)
+
+        def too_big():
+            raise OutOfMemoryError("oom")
+
+        for key in ("a", "b", "c", "d"):
+            assert executor.execute(key, too_big).status == STATUS_FAILED
+        assert breaker.state == "closed"
+
+    def test_breaker_recovers_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("wse", failure_threshold=1,
+                                 reset_timeout=60.0, clock=clock)
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=0, jitter=0.0),
+            clock=clock, breaker=breaker)
+
+        def broken():
+            raise DeviceFaultError("x")
+
+        executor.execute("a", broken)
+        assert executor.execute("b", lambda: "c").status == STATUS_GATED
+        clock.advance(61.0)
+        assert executor.execute("c", lambda: "c").status == STATUS_OK
+        assert breaker.state == "closed"
+
+
+class TestOutcome:
+    def test_journal_entry_success_summary(self):
+        class Run:
+            tokens_per_second = 100.0
+            step_time = 0.5
+            achieved_flops = 1e12
+
+        executor, _clock = make_executor()
+        outcome = executor.execute("cell", lambda: "compiled",
+                                   lambda c: Run())
+        entry = outcome.journal_entry()
+        assert entry.status == STATUS_OK
+        assert entry.summary["tokens_per_second"] == 100.0
+
+    def test_journal_entry_failure_keeps_record(self):
+        executor, _clock = make_executor(max_retries=0)
+
+        def oom():
+            raise OutOfMemoryError("oom", required_bytes=3.0,
+                                   available_bytes=2.0)
+
+        entry = executor.execute("cell", oom).journal_entry()
+        assert entry.status == STATUS_FAILED
+        assert entry.error.attrs == {"required_bytes": 3.0,
+                                     "available_bytes": 2.0}

@@ -1,0 +1,131 @@
+"""Fault plans and the injecting backend wrapper."""
+
+import pytest
+
+from repro.cerebras.backend import FabricFaultError
+from repro.common.errors import (
+    DeviceFaultError,
+    OutOfMemoryError,
+    TransientError,
+)
+from repro.graphcore.backend import TileOutOfMemoryError
+from repro.models.config import TrainConfig, gpt2_model
+from repro.resilience.clock import FakeClock
+from repro.resilience.faults import (
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+    compiler_flake,
+    device_fault,
+    ipu_tile_oom,
+    rdu_section_stall,
+    workload_key,
+    wse_fabric_fault,
+)
+from repro.sambanova.backend import SectionStallError
+
+
+class TestFactories:
+    def test_platform_flavours(self):
+        assert isinstance(compiler_flake(), TransientError)
+        assert isinstance(wse_fabric_fault(), FabricFaultError)
+        assert isinstance(rdu_section_stall("section-3"), SectionStallError)
+        assert isinstance(device_fault("pcie"), DeviceFaultError)
+
+    def test_tile_oom_is_structured_and_permanent(self):
+        fault = ipu_tile_oom(required_bytes=1000.0, available_bytes=900.0)
+        assert isinstance(fault, TileOutOfMemoryError)
+        assert isinstance(fault, OutOfMemoryError)
+        assert not isinstance(fault, TransientError)
+        assert fault.required_bytes == 1000.0
+        assert fault.available_bytes == 900.0
+
+
+class TestFaultSpec:
+    def test_match_phase_attempt(self):
+        spec = FaultSpec(fault=compiler_flake, match="L7",
+                         phase="compile", attempts=(0,))
+        assert spec.applies("gpt2-small/L7/h768/b16", "compile", 0)
+        assert not spec.applies("gpt2-small/L8/h768/b16", "compile", 0)
+        assert not spec.applies("gpt2-small/L7/h768/b16", "run", 0)
+        assert not spec.applies("gpt2-small/L7/h768/b16", "compile", 1)
+
+    def test_every_attempt(self):
+        spec = FaultSpec(fault=compiler_flake, attempts=None)
+        for attempt in range(5):
+            assert spec.applies("anything", "run", attempt)
+
+
+class TestFaultPlan:
+    def test_scripted_first_attempt_only(self):
+        plan = FaultPlan().add(FaultSpec(fault=compiler_flake,
+                                         attempts=(0,)))
+        assert plan.draw("k", "compile") is not None
+        assert plan.draw("k", "compile") is None  # retry is clean
+
+    def test_attempt_counters_are_per_key_and_phase(self):
+        plan = FaultPlan().add(FaultSpec(fault=compiler_flake,
+                                         attempts=(0,)))
+        assert plan.draw("a", "compile") is not None
+        assert plan.draw("b", "compile") is not None
+        assert plan.draw("a", "run") is not None
+
+    def test_chaos_is_deterministic(self):
+        def drawn(seed):
+            plan = FaultPlan.chaos(0.5, seed=seed)
+            return [plan.draw(f"k{i}", "compile") is not None
+                    for i in range(40)]
+        assert drawn(7) == drawn(7)
+        assert drawn(7) != drawn(8)
+        assert any(drawn(7)) and not all(drawn(7))
+
+    def test_injection_log(self):
+        plan = FaultPlan().add(FaultSpec(fault=compiler_flake,
+                                         attempts=(0,)))
+        plan.draw("cell", "compile")
+        assert plan.log == [{"key": "cell", "phase": "compile",
+                             "attempt": 0, "hang": 0.0,
+                             "fault": "TransientError"}]
+
+
+class TestFaultInjectingBackend:
+    def test_passthrough_counts_calls(self, cerebras):
+        wrapped = FaultInjectingBackend(cerebras)
+        model = gpt2_model("small").with_layers(2)
+        train = TrainConfig(batch_size=8, seq_len=512)
+        compiled = wrapped.compile(model, train)
+        wrapped.run(compiled)
+        assert wrapped.calls == {"compile": 1, "run": 1}
+        assert wrapped.name == cerebras.name
+
+    def test_raises_scripted_fault(self, cerebras):
+        plan = FaultPlan().add(FaultSpec(fault=wse_fabric_fault,
+                                         phase="compile", attempts=(0,)))
+        wrapped = FaultInjectingBackend(cerebras, plan)
+        model = gpt2_model("small").with_layers(2)
+        train = TrainConfig(batch_size=8, seq_len=512)
+        with pytest.raises(FabricFaultError):
+            wrapped.compile(model, train)
+        # second attempt is clean
+        assert wrapped.compile(model, train) is not None
+
+    def test_hang_burns_injected_clock(self, cerebras):
+        clock = FakeClock()
+        plan = FaultPlan().add(FaultSpec.hang(500.0, phase="run"))
+        wrapped = FaultInjectingBackend(cerebras, plan, clock=clock)
+        model = gpt2_model("small").with_layers(2)
+        train = TrainConfig(batch_size=8, seq_len=512)
+        compiled = wrapped.compile(model, train)
+        wrapped.run(compiled)  # hangs, then succeeds
+        assert clock.now() == 500.0
+
+    def test_transient_taxonomy_delegates(self, cerebras):
+        wrapped = FaultInjectingBackend(cerebras)
+        assert wrapped.is_transient(FabricFaultError("x"))
+        assert not wrapped.is_transient(OutOfMemoryError("x"))
+
+    def test_workload_key_is_stable(self):
+        model = gpt2_model("small").with_layers(3)
+        train = TrainConfig(batch_size=16, seq_len=512)
+        assert workload_key(model, train) == workload_key(model, train)
+        assert "L3" in workload_key(model, train)

@@ -1,0 +1,87 @@
+"""The JSONL checkpoint/resume journal."""
+
+import json
+
+from repro.common.errors import ErrorRecord, OutOfMemoryError
+from repro.resilience.journal import (
+    STATUS_FAILED,
+    STATUS_GATED,
+    STATUS_OK,
+    JournalEntry,
+    SweepJournal,
+)
+
+
+def oom_record():
+    exc = OutOfMemoryError("too big", required_bytes=2e9,
+                           available_bytes=1e9)
+    return ErrorRecord.from_exception(exc, phase="compile")
+
+
+class TestJournalEntry:
+    def test_round_trip(self):
+        entry = JournalEntry(key="L7", status=STATUS_FAILED, attempts=3,
+                             error=oom_record())
+        back = JournalEntry.from_dict(entry.to_dict())
+        assert back == entry
+        assert back.error.attrs["required_bytes"] == 2e9
+
+    def test_statuses(self):
+        assert JournalEntry("k", STATUS_OK).finished
+        assert JournalEntry("k", STATUS_FAILED).finished
+        assert JournalEntry("k", STATUS_FAILED).failed
+        assert not JournalEntry("k", STATUS_GATED).finished
+
+
+class TestSweepJournal:
+    def test_record_and_load(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record(JournalEntry("a", STATUS_OK,
+                                    summary={"tokens_per_second": 10.0}))
+        journal.record(JournalEntry("b", STATUS_FAILED,
+                                    error=oom_record()))
+        entries = journal.load()
+        assert set(entries) == {"a", "b"}
+        assert entries["a"].summary == {"tokens_per_second": 10.0}
+        assert entries["b"].error.type == "OutOfMemoryError"
+
+    def test_last_entry_wins(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record(JournalEntry("a", STATUS_FAILED,
+                                    error=oom_record()))
+        journal.record(JournalEntry("a", STATUS_OK))
+        assert journal.load()["a"].status == STATUS_OK
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert SweepJournal(tmp_path / "nope.jsonl").load() == {}
+
+    def test_truncated_last_line_survives(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record(JournalEntry("a", STATUS_OK))
+        # simulate a crash mid-append
+        with path.open("a") as handle:
+            handle.write('{"v": 1, "key": "b", "stat')
+        entries = journal.load()
+        assert set(entries) == {"a"}
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('not json\n'
+                        + json.dumps(JournalEntry("a", STATUS_OK).to_dict())
+                        + '\n[1, 2, 3]\n')
+        assert set(SweepJournal(path).load()) == {"a"}
+
+    def test_finished_keys_retry_failed(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record(JournalEntry("ok", STATUS_OK))
+        journal.record(JournalEntry("bad", STATUS_FAILED,
+                                    error=oom_record()))
+        journal.record(JournalEntry("gated", STATUS_GATED))
+        assert journal.finished_keys() == {"ok", "bad"}
+        assert journal.finished_keys(retry_failed=True) == {"ok"}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        journal = SweepJournal(tmp_path / "deep" / "dir" / "j.jsonl")
+        journal.record(JournalEntry("a", STATUS_OK))
+        assert set(journal.load()) == {"a"}

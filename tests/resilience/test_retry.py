@@ -1,0 +1,59 @@
+"""Retry policy and deterministic backoff."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.resilience.retry import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == policy.max_retries + 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff=-1.0)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        schedule = RetryPolicy(base_backoff=1.0, multiplier=2.0,
+                               jitter=0.0).backoff_schedule()
+        assert [schedule.delay(i) for i in range(4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_capped_at_max_backoff(self):
+        schedule = RetryPolicy(base_backoff=10.0, multiplier=10.0,
+                               max_backoff=25.0,
+                               jitter=0.0).backoff_schedule()
+        assert schedule.delay(5) == 25.0
+
+    def test_jitter_is_bounded(self):
+        policy = RetryPolicy(base_backoff=1.0, multiplier=2.0, jitter=0.5)
+        schedule = policy.backoff_schedule()
+        for i in range(5):
+            base = min(policy.max_backoff, 2.0 ** i)
+            delay = schedule.delay(i)
+            assert base <= delay <= base * 1.5 + 1e-9
+
+    def test_same_seed_same_schedule(self):
+        a = RetryPolicy(seed=42).backoff_schedule()
+        b = RetryPolicy(seed=42).backoff_schedule()
+        assert [a.delay(i) for i in range(5)] == \
+               [b.delay(i) for i in range(5)]
+
+    def test_different_seed_different_jitter(self):
+        a = RetryPolicy(seed=1).backoff_schedule()
+        b = RetryPolicy(seed=2).backoff_schedule()
+        assert [a.delay(i) for i in range(5)] != \
+               [b.delay(i) for i in range(5)]
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().backoff_schedule().delay(-1)

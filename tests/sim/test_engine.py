@@ -86,6 +86,128 @@ class TestScheduling:
         assert sim.run() == 4.5
 
 
+class TestTieBreaking:
+    """Equal-timestamp determinism — the resilience layer's replay
+    guarantees (seeded faults, journal resume) lean on it."""
+
+    def test_nested_equal_timestamp_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+
+        def parent(tag):
+            log.append(f"parent-{tag}")
+            # zero-delay children land at the same timestamp as the
+            # remaining parents but must fire after them
+            sim.schedule(0.0, log.append, f"child-{tag}")
+
+        sim.schedule(1.0, parent, "a")
+        sim.schedule(1.0, parent, "b")
+        sim.run()
+        assert log == ["parent-a", "parent-b", "child-a", "child-b"]
+
+    def test_schedule_vs_schedule_at_ties(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(2.0, log.append, "at")
+        sim.schedule(2.0, log.append, "delay")
+        sim.run()
+        assert log == ["at", "delay"]
+
+    def test_tie_order_is_reproducible_across_runs(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            for i in range(20):
+                sim.schedule(1.0, log.append, i)
+                sim.schedule(0.0, log.append, 100 + i)
+            sim.run()
+            return log
+
+        assert run_once() == run_once()
+
+
+class TestNegativeDelays:
+    def test_negative_delay_rejected_midrun(self):
+        sim = Simulator()
+
+        def bad():
+            sim.schedule(-0.5, lambda: None)
+
+        sim.schedule(1.0, bad)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.0, log.append, "now")
+        sim.run()
+        assert log == ["now"]
+
+    def test_schedule_at_current_time_allowed(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: sim.schedule_at(sim.now, log.append,
+                                                  "same-time"))
+        sim.run()
+        assert log == ["same-time"]
+
+
+class TestEventCap:
+    """`max_events` must stop any runaway loop a callback creates."""
+
+    def test_self_rescheduling_callback_hits_cap(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)  # zero-delay: time never advances
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run(max_events=50)
+
+    def test_cap_leaves_simulator_queriable(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=10)
+        assert sim.events_processed == 11
+        assert sim.pending >= 1  # the loop's next event is still queued
+
+    def test_fanout_past_cap_detected(self):
+        sim = Simulator()
+
+        def breed():
+            sim.schedule(1.0, breed)
+            sim.schedule(1.0, breed)
+
+        sim.schedule(0.0, breed)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_well_formed_workload_unaffected_by_cap(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i), log.append, i)
+        assert sim.run(max_events=5) == 4.0
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_cap_respected_with_until(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(until=10.0, max_events=25)
+
+
 class TestResource:
     def test_capacity_validated(self):
         sim = Simulator()

@@ -1,6 +1,10 @@
 """Grid sweep execution."""
 
+import pytest
+
+from repro.common.errors import OutOfMemoryError, SimulationError
 from repro.models.config import TrainConfig, gpt2_model
+from repro.resilience import FaultInjectingBackend, FaultPlan, FaultSpec
 from repro.workloads.sweeps import SweepSpec, run_grid
 
 
@@ -40,3 +44,51 @@ class TestRunGrid:
                          options={"mode": "O0"})
         cells = run_grid(sambanova, [spec], measure=False)
         assert cells[0].compiled.meta["mode"] == "O0"
+
+
+class TestRunGridRobustness:
+    """Any ReproError becomes a failed cell — not a dead grid."""
+
+    def test_run_phase_error_does_not_abort_grid(self, cerebras):
+        def sim_blowup():
+            return SimulationError("engine reached inconsistent state")
+
+        plan = FaultPlan().add(FaultSpec(fault=sim_blowup, match="/L4/",
+                                         phase="run", attempts=None))
+        wrapped = FaultInjectingBackend(cerebras, plan)
+        cells = run_grid(wrapped, specs_for([2, 4, 6]))
+        assert [c.failed for c in cells] == [False, True, False]
+        assert cells[1].failure.type == "SimulationError"
+        assert cells[1].phase == "run"
+
+    def test_compile_vs_run_phase_distinguished(self, cerebras):
+        cells = run_grid(cerebras, specs_for([90]))
+        assert cells[0].failed
+        assert cells[0].phase == "compile"
+
+    def test_structured_oom_attributes_preserved(self, cerebras):
+        def oom():
+            return OutOfMemoryError("over budget", required_bytes=2e9,
+                                    available_bytes=1e9)
+
+        plan = FaultPlan().add(FaultSpec(fault=oom, phase="compile",
+                                         attempts=None))
+        wrapped = FaultInjectingBackend(cerebras, plan)
+        cells = run_grid(wrapped, specs_for([2]))
+        failure = cells[0].failure
+        assert failure.attrs["required_bytes"] == 2e9
+        assert failure.attrs["available_bytes"] == 1e9
+        assert not failure.transient
+
+    def test_non_repro_errors_still_propagate(self, cerebras):
+        class Boom(RuntimeError):
+            """Programming errors must not be swallowed as cells."""
+
+        def bug():
+            raise Boom("bug in the harness")
+
+        plan = FaultPlan()
+        wrapped = FaultInjectingBackend(cerebras, plan)
+        wrapped.compile = lambda *a, **k: bug()
+        with pytest.raises(Boom):
+            run_grid(wrapped, specs_for([2]))
