@@ -17,7 +17,11 @@ In-Depth Benchmarking of Post-Moore Dataflow AI Accelerators for LLMs*
   simulation engine (:mod:`repro.sim`);
 * a resilience layer (:mod:`repro.resilience`) that keeps long sweep
   campaigns alive: seeded fault injection, retry with backoff, per-cell
-  deadlines, circuit breaking, and JSONL checkpoint/resume.
+  deadlines, circuit breaking, and JSONL checkpoint/resume — all
+  configured through one :class:`~repro.resilience.ExecutionPolicy`;
+* a parallel campaign engine (:mod:`repro.campaign`) fanning sweep
+  cells across worker threads and multiple backends concurrently, with
+  sharded journals and per-backend circuit breakers.
 
 Quickstart::
 
@@ -28,6 +32,12 @@ Quickstart::
     print(result.compute_allocation, result.load_imbalance)
 """
 
+from repro.campaign import (
+    BackendStats,
+    Campaign,
+    CampaignLane,
+    CampaignResult,
+)
 from repro.cerebras import CerebrasBackend
 from repro.common.errors import (
     CompilationError,
@@ -70,10 +80,12 @@ from repro.models import (
 )
 from repro.resilience import (
     CircuitBreaker,
+    ExecutionPolicy,
     FaultInjectingBackend,
     FaultPlan,
     ResilientExecutor,
     RetryPolicy,
+    ShardedJournal,
     SweepJournal,
 )
 from repro.sambanova import SambaNovaBackend
@@ -123,10 +135,17 @@ __all__ = [
     "llama2_model",
     "decoder_block_probe",
     # resilience
+    "ExecutionPolicy",
     "ResilientExecutor",
     "RetryPolicy",
     "CircuitBreaker",
     "FaultPlan",
     "FaultInjectingBackend",
     "SweepJournal",
+    "ShardedJournal",
+    # campaigns
+    "Campaign",
+    "CampaignLane",
+    "CampaignResult",
+    "BackendStats",
 ]

@@ -1,0 +1,209 @@
+"""The pooled cell dispatcher behind every sweep and campaign.
+
+A sweep is a list of independent cells; this module executes such a
+list — sequentially or across a thread pool — with journaling, resume,
+and deterministic result ordering. The higher layers
+(:func:`~repro.workloads.sweeps.run_grid`, the Tier-2 analyzers, and
+:class:`~repro.campaign.Campaign`) all reduce their work to
+:class:`CellTask` lists and call :func:`run_cell_tasks`, so the
+retry/journal/resume semantics cannot drift between entry points.
+
+Guarantees:
+
+* **Deterministic ordering** — results come back in task-list order,
+  whatever order cells completed in.
+* **Sequential fidelity** — with ``max_workers=1`` cells run inline in
+  order, exactly like the pre-campaign harness (including progress
+  callback ordering on a resumed run).
+* **Crash tolerance** — each finished cell is journaled (fsynced)
+  before its result is surfaced; a non-:class:`ReproError` escaping a
+  cell (a harness bug, or an injected "kill") cancels undispatched
+  cells, drains the running ones, and re-raises — journaled outcomes
+  survive for the resume.
+* **Backend serialization** — tasks carrying a ``serializer`` lock
+  (backends audited ``thread_safe = False``) never overlap their
+  backend calls, while their retries/backoffs still interleave freely.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.resilience.executor import CellOutcome, ResilientExecutor
+from repro.resilience.journal import JournalEntry, ShardedJournal, SweepJournal
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One independent unit of sweep work.
+
+    Attributes:
+        key: the cell's journal key (unique within the task list).
+        compile_fn: zero-arg callable producing the compile artifact.
+        run_fn: optional callable taking the compile artifact.
+        is_transient: the owning backend's fault taxonomy.
+        executor: the retry/deadline/breaker engine for this cell
+            (lanes of a campaign share one executor per backend).
+        summary_extra: optional hook computing extra journal-summary
+            fields from a successful outcome (e.g. allocation ratios)
+            so a resume can restore them without re-executing.
+        serializer: optional lock serializing the backend calls of a
+            non-thread-safe backend.
+    """
+
+    key: str
+    compile_fn: Callable[[], Any]
+    run_fn: Callable[[Any], Any] | None = None
+    is_transient: Callable[[BaseException], bool] | None = None
+    executor: ResilientExecutor | None = None
+    summary_extra: Callable[[CellOutcome],
+                            dict[str, Any] | None] | None = None
+    serializer: threading.Lock | None = None
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """What the engine produced for one task, at its input index.
+
+    Executed cells carry the live :class:`CellOutcome` (and the
+    :class:`JournalEntry` that was recorded, when journaling); resumed
+    cells carry only the journaled entry.
+    """
+
+    index: int
+    key: str
+    outcome: CellOutcome | None
+    entry: JournalEntry | None
+    resumed: bool
+
+    @property
+    def status(self) -> str:
+        if self.outcome is not None:
+            return self.outcome.status
+        assert self.entry is not None
+        return self.entry.status
+
+    @property
+    def attempts(self) -> int:
+        if self.outcome is not None:
+            return max(1, self.outcome.attempts)
+        assert self.entry is not None
+        return self.entry.attempts
+
+    @property
+    def elapsed(self) -> float:
+        """Injected-clock seconds this run spent on the cell (0 if
+        resumed)."""
+        return self.outcome.elapsed if self.outcome is not None else 0.0
+
+
+def _locked(fn: Callable[..., Any],
+            lock: threading.Lock | None) -> Callable[..., Any]:
+    if lock is None:
+        return fn
+
+    def guarded(*args: Any) -> Any:
+        with lock:
+            return fn(*args)
+
+    return guarded
+
+
+def _execute(task: CellTask, index: int,
+             journal: SweepJournal | ShardedJournal | None,
+             fallback: ResilientExecutor) -> CellResult:
+    executor = task.executor if task.executor is not None else fallback
+    run_fn = task.run_fn
+    outcome = executor.execute(
+        task.key,
+        _locked(task.compile_fn, task.serializer),
+        _locked(run_fn, task.serializer) if run_fn is not None else None,
+        is_transient=task.is_transient,
+    )
+    entry = None
+    if journal is not None:
+        extra = None
+        if task.summary_extra is not None:
+            extra = task.summary_extra(outcome)
+        entry = outcome.journal_entry(extra)
+        journal.record(entry)
+    return CellResult(index=index, key=task.key, outcome=outcome,
+                      entry=entry, resumed=False)
+
+
+def run_cell_tasks(
+    tasks: list[CellTask], *,
+    max_workers: int = 1,
+    journal: SweepJournal | ShardedJournal | None = None,
+    resume: bool = False,
+    retry_failed: bool = False,
+    on_result: Callable[[CellResult], None] | None = None,
+) -> list[CellResult]:
+    """Execute every task; return results in task order.
+
+    ``on_result`` fires once per cell as it resolves (resumed cells
+    resolve immediately). Under ``max_workers=1`` that is strict task
+    order; under a pool it is completion order — still exactly once
+    per cell.
+    """
+    journaled: dict[str, JournalEntry] = {}
+    if resume and journal is not None:
+        journaled = journal.load()
+
+    results: list[CellResult | None] = [None] * len(tasks)
+    pending: list[tuple[int, CellTask]] = []
+    for index, task in enumerate(tasks):
+        entry = journaled.get(task.key)
+        if (entry is not None and entry.finished
+                and not (retry_failed and entry.failed)):
+            results[index] = CellResult(index=index, key=task.key,
+                                        outcome=None, entry=entry,
+                                        resumed=True)
+        else:
+            pending.append((index, task))
+
+    fallback = ResilientExecutor()
+
+    if max_workers <= 1 or len(pending) <= 1:
+        for index, task in enumerate(tasks):
+            result = results[index]
+            if result is None:
+                result = _execute(task, index, journal, fallback)
+                results[index] = result
+            if on_result is not None:
+                on_result(result)
+        return [r for r in results if r is not None]
+
+    # Resumed cells resolve first, in order; executed cells as completed.
+    if on_result is not None:
+        for result in results:
+            if result is not None:
+                on_result(result)
+
+    first_error: BaseException | None = None
+    with ThreadPoolExecutor(max_workers=min(max_workers, len(pending)),
+                            thread_name_prefix="campaign") as pool:
+        futures = {pool.submit(_execute, task, index, journal, fallback)
+                   for index, task in pending}
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                if future.cancelled():
+                    continue
+                try:
+                    result = future.result()
+                except BaseException as exc:  # noqa: BLE001 — re-raised
+                    if first_error is None:
+                        first_error = exc
+                        for other in futures:
+                            other.cancel()
+                    continue
+                results[result.index] = result
+                if on_result is not None and first_error is None:
+                    on_result(result)
+    if first_error is not None:
+        raise first_error
+    return [r for r in results if r is not None]

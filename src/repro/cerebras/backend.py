@@ -35,6 +35,9 @@ class CerebrasBackend(AcceleratorBackend):
 
     transient_errors = (TransientError, FabricFaultError,
                         PlacementFlakeError)
+    # Audited for campaign concurrency: WSECompiler/WSERuntime hold only
+    # constructor-time spec state, so concurrent compile/run is safe.
+    thread_safe = True
 
     def __init__(self, system: SystemSpec = CS2_SYSTEM) -> None:
         super().__init__(system)

@@ -15,17 +15,25 @@ reproduction::
     python -m repro grid --platform cerebras --model gpt2-small \
         --layers 2 6 12 --batches 16 64 --resume sweep.jsonl \
         --max-retries 2 --cell-timeout 120
+    python -m repro campaign --platforms cerebras sambanova gpu \
+        --model gpt2-small --layers 2 12 --batches 16 64 \
+        --max-workers 8 --journal-dir journal/ --resume
 
 Platform-specific compile options are passed as repeated
 ``--option key=value`` flags (and per-config in ``scaling``). Add
 ``--json FILE`` to dump machine-readable results.
 
-The sweep commands (``grid``, ``batch-sweep``, ``scaling``) accept
-resilience flags: ``--max-retries`` / ``--cell-timeout`` for retry and
-deadline control, ``--resume JOURNAL`` to checkpoint cells to a JSONL
-journal and skip already-finished ones on a re-run (``--journal`` to
-checkpoint without skipping), and ``--inject-faults RATE`` /
-``--fault-seed`` to chaos-test a campaign with seeded transient faults.
+The sweep commands (``grid``, ``batch-sweep``, ``scaling``,
+``campaign``) share one resilience flag group (a single argparse parent
+parser, so the flags cannot drift between subcommands):
+``--max-retries`` / ``--cell-timeout`` for retry and deadline control,
+``--max-workers`` to fan cells across worker threads,
+``--resume [JOURNAL]`` to checkpoint cells and skip already-finished
+ones on a re-run (``--journal`` to checkpoint without skipping),
+``--journal-dir`` for a sharded journal directory (one shard per
+worker — the right store for parallel campaigns; combine with a bare
+``--resume``), and ``--inject-faults RATE`` / ``--fault-seed`` to
+chaos-test a campaign with seeded transient faults.
 """
 
 from __future__ import annotations
@@ -35,16 +43,20 @@ import json
 import sys
 from typing import Any, Sequence
 
+from repro.campaign import Campaign, CampaignLane
 from repro.common.errors import ConfigurationError
 from repro.core.backend import AcceleratorBackend
 from repro.core.report import (
+    GRID_HEADERS,
     TIER1_HEADERS,
     describe_tier1,
     render_table,
+    sweep_cell_row,
     tier1_summary_row,
 )
 from repro.core.serialize import (
     batch_sweep_to_dict,
+    campaign_to_dict,
     scaling_point_to_dict,
     sweep_cell_to_dict,
     sweep_entry_to_dict,
@@ -53,10 +65,11 @@ from repro.core.serialize import (
 from repro.core.tier1 import Tier1Profiler
 from repro.core.tier2 import DeploymentOptimizer, ScalabilityAnalyzer
 from repro.resilience import (
+    ExecutionPolicy,
     FaultInjectingBackend,
     FaultPlan,
-    ResilientExecutor,
     RetryPolicy,
+    ShardedJournal,
 )
 from repro.models.config import (
     GPT2_PRESETS,
@@ -167,33 +180,48 @@ def _emit(args: argparse.Namespace, payload: Any, text: str) -> None:
         print(f"\n[json written to {args.json}]")
 
 
-def _resilience_from_args(args: argparse.Namespace,
-                          backend: AcceleratorBackend
-                          ) -> tuple[AcceleratorBackend,
-                                     ResilientExecutor | None,
-                                     str | None, bool]:
-    """Build (backend, executor, journal path, resume) from CLI flags."""
-    if args.inject_faults:
-        if not 0.0 < args.inject_faults <= 1.0:
-            raise ConfigurationError(
-                "--inject-faults rate must be in (0, 1]: "
-                f"{args.inject_faults}")
-        plan = FaultPlan.chaos(args.inject_faults, seed=args.fault_seed,
-                               platform=args.platform)
-        backend = FaultInjectingBackend(backend, plan)
+def _fault_backend(args: argparse.Namespace, backend: AcceleratorBackend,
+                   platform: str) -> AcceleratorBackend:
+    """Wrap the backend in chaos-mode fault injection when requested."""
+    if not args.inject_faults:
+        return backend
+    if not 0.0 < args.inject_faults <= 1.0:
+        raise ConfigurationError(
+            "--inject-faults rate must be in (0, 1]: "
+            f"{args.inject_faults}")
+    plan = FaultPlan.chaos(args.inject_faults, seed=args.fault_seed,
+                           platform=platform)
+    return FaultInjectingBackend(backend, plan)
+
+
+def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
+    """Build the ExecutionPolicy the shared resilience flags describe."""
     if args.cell_timeout is not None and args.cell_timeout <= 0:
         raise ConfigurationError(
             f"--cell-timeout must be positive: {args.cell_timeout}")
     if args.max_retries < 0:
         raise ConfigurationError(
             f"--max-retries must be >= 0: {args.max_retries}")
-    executor = None
-    if args.max_retries or args.cell_timeout:
-        executor = ResilientExecutor(
-            retry=RetryPolicy(max_retries=args.max_retries),
-            cell_timeout=args.cell_timeout)
-    journal = args.resume or args.journal
-    return backend, executor, journal, bool(args.resume)
+    resume = bool(args.resume)
+    journal = args.resume if isinstance(args.resume, str) else args.journal
+    if args.journal_dir:
+        if journal is not None:
+            raise ConfigurationError(
+                "--journal-dir conflicts with a journal file; pass a "
+                "bare --resume to resume from the directory")
+        journal = ShardedJournal(args.journal_dir)
+    if resume and journal is None:
+        raise ConfigurationError(
+            "--resume needs a journal: give it a path, or combine a "
+            "bare --resume with --journal-dir")
+    return ExecutionPolicy(
+        retry=RetryPolicy(max_retries=args.max_retries),
+        deadline=args.cell_timeout,
+        journal=journal,
+        resume=resume,
+        retry_failed=args.retry_failed,
+        max_workers=args.max_workers,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -255,12 +283,12 @@ def cmd_sweep_layers(args: argparse.Namespace) -> int:
 
 
 def cmd_batch_sweep(args: argparse.Namespace) -> int:
-    backend, executor, journal, resume = _resilience_from_args(
-        args, make_backend(args.platform))
-    optimizer = DeploymentOptimizer(backend, executor=executor)
+    backend = _fault_backend(args, make_backend(args.platform),
+                             args.platform)
+    optimizer = DeploymentOptimizer(backend)
     sweep = optimizer.batch_sweep(parse_model(args.model),
                                   _train_from_args(args), args.batches,
-                                  journal=journal, resume=resume,
+                                  policy=_policy_from_args(args),
                                   **parse_options(args.option))
     rows = [[b, f"{t:,.0f}" if t else sweep.errors.get(b, "Fail")]
             for b, t in zip(sweep.batch_sizes, sweep.tokens_per_second)]
@@ -277,9 +305,9 @@ def cmd_batch_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_scaling(args: argparse.Namespace) -> int:
-    backend, executor, journal, resume = _resilience_from_args(
-        args, make_backend(args.platform))
-    analyzer = ScalabilityAnalyzer(backend, executor=executor)
+    backend = _fault_backend(args, make_backend(args.platform),
+                             args.platform)
+    analyzer = ScalabilityAnalyzer(backend)
     base = parse_options(args.option)
     configs = []
     for spec in args.configs:
@@ -288,7 +316,7 @@ def cmd_scaling(args: argparse.Namespace) -> int:
         configs.append((spec, options))
     points = analyzer.sweep(parse_model(args.model),
                             _train_from_args(args), configs,
-                            journal=journal, resume=resume)
+                            policy=_policy_from_args(args))
     rows = [[p.label,
              "Fail" if p.failed else f"{p.tokens_per_second:,.0f}",
              f"{p.compute_allocation:.1%}",
@@ -300,13 +328,11 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_grid(args: argparse.Namespace) -> int:
-    backend, executor, journal, resume = _resilience_from_args(
-        args, make_backend(args.platform))
+def _grid_specs(args: argparse.Namespace) -> list[SweepSpec]:
     model = parse_model(args.model)
     train = _train_from_args(args)
     options = parse_options(args.option)
-    specs = [
+    return [
         SweepSpec(label=f"L{layers}/b{batch}",
                   model=model.with_layers(layers),
                   train=train.with_batch_size(batch),
@@ -314,33 +340,101 @@ def cmd_grid(args: argparse.Namespace) -> int:
         for layers in args.layers
         for batch in args.batches
     ]
-    cells = run_grid(backend, specs, measure=not args.compile_only,
-                     executor=executor, journal=journal, resume=resume,
-                     retry_failed=args.retry_failed)
-    rows = []
-    for cell in cells:
-        if cell.failed:
-            status = f"Fail ({cell.failure.type})" if cell.failure \
-                else "Fail"
-            rate = "-"
-        else:
-            status = "ok"
-            if cell.run is not None:
-                rate = f"{cell.run.tokens_per_second:,.0f}"
-            elif cell.summary:
-                rate = f"{cell.summary.get('tokens_per_second', 0):,.0f}"
-            else:
-                rate = "-"
-        rows.append([cell.spec.label, status, cell.attempts,
-                     "yes" if cell.resumed else "no", rate])
-    text = render_table(
-        ["cell", "status", "attempts", "resumed", "tokens/s"], rows,
-        title=f"Grid sweep on {backend.name}")
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    backend = _fault_backend(args, make_backend(args.platform),
+                             args.platform)
+    cells = run_grid(backend, _grid_specs(args),
+                     measure=not args.compile_only,
+                     policy=_policy_from_args(args))
+    text = render_table(GRID_HEADERS, [sweep_cell_row(c) for c in cells],
+                        title=f"Grid sweep on {backend.name}")
     _emit(args, [sweep_cell_to_dict(c) for c in cells], text)
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    specs = _grid_specs(args)
+    lanes = [
+        CampaignLane(backend=_fault_backend(args, make_backend(name), name),
+                     specs=specs, label=name)
+        for name in args.platforms
+    ]
+    campaign = Campaign(lanes, _policy_from_args(args),
+                        measure=not args.compile_only)
+    result = campaign.run()
+    _emit(args, campaign_to_dict(result),
+          result.report(title="Campaign").render())
+    return 0
+
+
 # ----------------------------------------------------------------------
+def _workload_parent(platform: bool = True) -> argparse.ArgumentParser:
+    """Shared workload flags as an argparse parent parser."""
+    p = argparse.ArgumentParser(add_help=False)
+    if platform:
+        p.add_argument("--platform", required=True, choices=PLATFORMS)
+    p.add_argument("--model", required=True,
+                   help="gpt2-<size>[:layers], llama2-<size>[:layers], "
+                        "or probe:<hidden>x<layers>")
+    p.add_argument("--batch", type=int, default=16)
+    p.add_argument("--seq-len", type=int, default=1024)
+    p.add_argument("--precision", default="fp16",
+                   help="fp32/fp16/bf16/cb16, mixed-<fmt>, "
+                        "matmul-<fmt>")
+    p.add_argument("--option", action="append", default=[],
+                   metavar="K=V", help="backend compile option")
+    p.add_argument("--inference", action="store_true",
+                   help="benchmark forward-only inference instead of "
+                        "training steps")
+    p.add_argument("--json", help="also write results to this file")
+    return p
+
+
+def _resilience_parent() -> argparse.ArgumentParser:
+    """The one definition of the resilience flag group.
+
+    Every sweep subcommand inherits this parent parser, so the flags
+    (and their semantics, read by :func:`_policy_from_args`) cannot
+    drift between ``grid``, ``batch-sweep``, ``scaling``, and
+    ``campaign``.
+    """
+    p = argparse.ArgumentParser(add_help=False)
+    group = p.add_argument_group("resilience")
+    group.add_argument("--max-retries", type=int, default=0,
+                       help="retries per cell for transient faults")
+    group.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-cell deadline; hung cells are cut "
+                            "off and recorded")
+    group.add_argument("--max-workers", type=int, default=1,
+                       help="worker threads fanning sweep cells out "
+                            "(1 = sequential)")
+    group.add_argument("--resume", metavar="JOURNAL", default=None,
+                       nargs="?", const=True,
+                       help="checkpoint cells to this JSONL journal "
+                            "and skip already-finished ones; bare "
+                            "--resume uses --journal-dir")
+    group.add_argument("--journal", metavar="JOURNAL", default=None,
+                       help="checkpoint cells without skipping "
+                            "(fresh run)")
+    group.add_argument("--journal-dir", metavar="DIR", default=None,
+                       help="sharded journal directory (one shard per "
+                            "worker thread; the right store for "
+                            "parallel runs)")
+    group.add_argument("--retry-failed", action="store_true",
+                       help="with --resume, re-execute journaled "
+                            "failures too")
+    group.add_argument("--inject-faults", type=float, default=0.0,
+                       metavar="RATE",
+                       help="chaos-test: inject seeded transient "
+                            "faults at this rate per backend call")
+    group.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for --inject-faults")
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DABench-LLM benchmarking CLI")
@@ -348,75 +442,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("platforms", help="list simulated platforms")
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--platform", required=True, choices=PLATFORMS)
-        p.add_argument("--model", required=True,
-                       help="gpt2-<size>[:layers], llama2-<size>[:layers], "
-                            "or probe:<hidden>x<layers>")
-        p.add_argument("--batch", type=int, default=16)
-        p.add_argument("--seq-len", type=int, default=1024)
-        p.add_argument("--precision", default="fp16",
-                       help="fp32/fp16/bf16/cb16, mixed-<fmt>, "
-                            "matmul-<fmt>")
-        p.add_argument("--option", action="append", default=[],
-                       metavar="K=V", help="backend compile option")
-        p.add_argument("--inference", action="store_true",
-                       help="benchmark forward-only inference instead of "
-                            "training steps")
-        p.add_argument("--json", help="also write results to this file")
+    workload = _workload_parent()
+    resilience = _resilience_parent()
 
-    def resilience(p: argparse.ArgumentParser) -> None:
-        group = p.add_argument_group("resilience")
-        group.add_argument("--max-retries", type=int, default=0,
-                           help="retries per cell for transient faults")
-        group.add_argument("--cell-timeout", type=float, default=None,
-                           metavar="SECONDS",
-                           help="per-cell deadline; hung cells are cut "
-                                "off and recorded")
-        group.add_argument("--resume", metavar="JOURNAL", default=None,
-                           help="checkpoint cells to this JSONL journal "
-                                "and skip already-finished ones")
-        group.add_argument("--journal", metavar="JOURNAL", default=None,
-                           help="checkpoint cells without skipping "
-                                "(fresh run)")
-        group.add_argument("--retry-failed", action="store_true",
-                           help="with --resume, re-execute journaled "
-                                "failures too")
-        group.add_argument("--inject-faults", type=float, default=0.0,
-                           metavar="RATE",
-                           help="chaos-test: inject seeded transient "
-                                "faults at this rate per backend call")
-        group.add_argument("--fault-seed", type=int, default=0,
-                           help="seed for --inject-faults")
+    sub.add_parser("tier1", help="intra-chip Tier-1 profile",
+                   parents=[workload])
 
-    tier1 = sub.add_parser("tier1", help="intra-chip Tier-1 profile")
-    common(tier1)
-
-    sweep = sub.add_parser("sweep-layers", help="Tier-1 layer sweep")
-    common(sweep)
+    sweep = sub.add_parser("sweep-layers", help="Tier-1 layer sweep",
+                           parents=[workload])
     sweep.add_argument("--layers", type=int, nargs="+", required=True)
 
     batch = sub.add_parser("batch-sweep",
-                           help="Tier-2 batch deployment sweep")
-    common(batch)
-    resilience(batch)
+                           help="Tier-2 batch deployment sweep",
+                           parents=[workload, resilience])
     batch.add_argument("--batches", type=int, nargs="+", required=True)
 
-    scaling = sub.add_parser("scaling", help="Tier-2 scalability sweep")
-    common(scaling)
-    resilience(scaling)
+    scaling = sub.add_parser("scaling", help="Tier-2 scalability sweep",
+                             parents=[workload, resilience])
     scaling.add_argument("--configs", nargs="+", required=True,
                          metavar="K=V[,K=V...]",
                          help="one option bundle per configuration")
 
     grid = sub.add_parser(
-        "grid", help="layer x batch grid with checkpoint/resume")
-    common(grid)
-    resilience(grid)
+        "grid", help="layer x batch grid with checkpoint/resume",
+        parents=[workload, resilience])
     grid.add_argument("--layers", type=int, nargs="+", required=True)
     grid.add_argument("--batches", type=int, nargs="+", required=True)
     grid.add_argument("--compile-only", action="store_true",
                       help="skip the run phase (compile-time metrics)")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="parallel multi-backend layer x batch campaign",
+        parents=[_workload_parent(platform=False), resilience])
+    campaign.add_argument("--platforms", nargs="+", required=True,
+                          choices=PLATFORMS, metavar="PLATFORM",
+                          help="one campaign lane per platform "
+                               f"({', '.join(PLATFORMS)})")
+    campaign.add_argument("--layers", type=int, nargs="+", required=True)
+    campaign.add_argument("--batches", type=int, nargs="+",
+                          required=True)
+    campaign.add_argument("--compile-only", action="store_true",
+                          help="skip the run phase "
+                               "(compile-time metrics)")
     return parser
 
 
@@ -427,6 +495,7 @@ COMMANDS = {
     "batch-sweep": cmd_batch_sweep,
     "scaling": cmd_scaling,
     "grid": cmd_grid,
+    "campaign": cmd_campaign,
 }
 
 

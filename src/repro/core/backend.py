@@ -216,10 +216,21 @@ class AcceleratorBackend(abc.ABC):
     failures are worth retrying (fabric glitches, section stalls, queue
     flakes); the resilience layer consults it through
     :meth:`is_transient`. Capability failures must never appear here.
+
+    ``thread_safe`` declares whether concurrent ``compile``/``run``
+    calls from campaign worker threads are safe. The contract is that a
+    backend holds no per-call mutable state — every bundled simulator
+    computes its reports purely from its constructor-time specs — so
+    the default is ``True``; a stateful adapter (e.g. one caching
+    compile artifacts) must set it ``False``, and the campaign engine
+    then serializes its calls behind a per-backend lock.
     """
 
     #: Exception types this platform considers retryable.
     transient_errors: tuple[type[BaseException], ...] = (TransientError,)
+
+    #: Whether concurrent compile/run calls are safe (no per-call state).
+    thread_safe: bool = True
 
     def __init__(self, system: SystemSpec) -> None:
         self.system = system

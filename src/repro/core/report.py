@@ -53,6 +53,16 @@ class BenchmarkReport:
     def add_text(self, text: str) -> None:
         self.sections.append(text)
 
+    def add_infrastructure_health(self, stats: Sequence[object],
+                                  title: str = "Infrastructure health",
+                                  ) -> None:
+        """One row per backend lane: outcome counts plus the lane's
+        circuit-breaker trip count and accumulated open time (each
+        ``stats`` item is duck-typed like
+        :class:`~repro.campaign.BackendStats`)."""
+        self.add_table(title, INFRA_HEADERS,
+                       [infrastructure_row(s) for s in stats])
+
     def render(self) -> str:
         banner = "=" * max(len(self.title), 8)
         return "\n\n".join([f"{banner}\n{self.title}\n{banner}",
@@ -81,6 +91,47 @@ TIER1_HEADERS = [
     "platform", "model", "alloc", "LI", "achieved", "efficiency",
     "AI (F/B)", "bound", "throughput",
 ]
+
+GRID_HEADERS = ["cell", "status", "attempts", "resumed", "tokens/s"]
+
+
+def sweep_cell_row(cell: object) -> list[object]:
+    """A standard grid-table row for one sweep cell.
+
+    Duck-typed over :class:`~repro.workloads.sweeps.SweepCell` so the
+    campaign package can render rows without importing the sweeps
+    module (which imports the campaign engine).
+    """
+    if cell.failed:
+        status = (f"Fail ({cell.failure.type})"
+                  if cell.failure is not None else "Fail")
+        rate = "-"
+    else:
+        status = "ok"
+        if cell.run is not None:
+            rate = f"{cell.run.tokens_per_second:,.0f}"
+        elif cell.summary:
+            rate = f"{cell.summary.get('tokens_per_second', 0):,.0f}"
+        else:
+            rate = "-"
+    return [cell.spec.label, status, cell.attempts,
+            "yes" if cell.resumed else "no", rate]
+
+
+INFRA_HEADERS = [
+    "backend", "cells", "ok", "failed", "gated", "resumed", "attempts",
+    "retries", "breaker", "trips", "open (s)",
+]
+
+
+def infrastructure_row(stats: object) -> list[object]:
+    """An infrastructure-health row from per-lane campaign statistics
+    (duck-typed over :class:`~repro.campaign.BackendStats`)."""
+    breaker = stats.breaker or {}
+    return [stats.backend, stats.cells, stats.ok, stats.failed,
+            stats.gated, stats.resumed, stats.attempts, stats.retries,
+            breaker.get("state", "-"), breaker.get("trip_count", 0),
+            f"{breaker.get('open_seconds', 0.0):.1f}"]
 
 
 def describe_tier1(result: Tier1Result) -> str:

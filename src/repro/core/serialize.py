@@ -200,6 +200,65 @@ def precision_to_dict(cmp: PrecisionComparison) -> dict[str, Any]:
     }
 
 
+def execution_policy_to_dict(policy: Any) -> dict[str, Any]:
+    """Flatten an :class:`~repro.resilience.ExecutionPolicy` (the
+    journal/clock/executor objects are reduced to descriptive strings)."""
+    journal = policy.journal
+    if journal is not None and not isinstance(journal, (str,)):
+        journal = getattr(journal, "path", None) or getattr(
+            journal, "directory", None) or journal
+    return {
+        "max_retries": policy.retry.max_retries,
+        "deadline": policy.deadline,
+        "journal": str(journal) if journal is not None else None,
+        "resume": policy.resume,
+        "retry_failed": policy.retry_failed,
+        "max_workers": policy.max_workers,
+        "breaker": (policy.breaker if isinstance(policy.breaker, bool)
+                    else policy.breaker.name),
+        "breaker_threshold": policy.breaker_threshold,
+        "breaker_reset": policy.breaker_reset,
+    }
+
+
+def backend_stats_to_dict(stats: Any) -> dict[str, Any]:
+    """Flatten one campaign lane's :class:`~repro.campaign.BackendStats`
+    (the breaker metrics dict is already JSON-friendly)."""
+    return {
+        "backend": stats.backend,
+        "cells": stats.cells,
+        "ok": stats.ok,
+        "failed": stats.failed,
+        "gated": stats.gated,
+        "resumed": stats.resumed,
+        "executed": stats.executed,
+        "attempts": stats.attempts,
+        "retries": stats.retries,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "breaker": dict(stats.breaker),
+    }
+
+
+def campaign_to_dict(result: Any) -> dict[str, Any]:
+    """Flatten a :class:`~repro.campaign.CampaignResult`: per-lane cells
+    and statistics plus the policy that produced them."""
+    return {
+        "policy": execution_policy_to_dict(result.policy),
+        "total_cells": result.total_cells,
+        "executed_cells": result.executed_cells,
+        "resumed_cells": result.resumed_cells,
+        "lanes": [
+            {
+                "label": label,
+                "stats": backend_stats_to_dict(result.stats[label]),
+                "cells": [sweep_cell_to_dict(cell)
+                          for cell in result.cells[label]],
+            }
+            for label in result.labels
+        ],
+    }
+
+
 def to_json(payload: Any, indent: int = 2) -> str:
     """Serialize any of the flattened dicts (validates JSON-ability)."""
     return json.dumps(payload, indent=indent, sort_keys=True)

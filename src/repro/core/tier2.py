@@ -14,8 +14,9 @@ Two analyzers:
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.common.errors import ConfigurationError, ErrorRecord
 from repro.core.backend import AcceleratorBackend
@@ -23,19 +24,19 @@ from repro.core.metrics import allocation_ratio
 from repro.models.config import ModelConfig, TrainConfig
 from repro.models.precision import PrecisionPolicy
 from repro.resilience.executor import CellOutcome, ResilientExecutor
-from repro.resilience.journal import JournalEntry, SweepJournal
-from repro.resilience.retry import RetryPolicy
+from repro.resilience.journal import (
+    JournalEntry,
+    ShardedJournal,
+    SweepJournal,
+)
+from repro.resilience.policy import ExecutionPolicy, resolve_policy
+
+if TYPE_CHECKING:  # the engine is imported lazily inside the sweeps
+    from repro.campaign.engine import CellResult
 
 
-def _no_retry_executor() -> ResilientExecutor:
-    return ResilientExecutor(retry=RetryPolicy(max_retries=0, jitter=0.0))
-
-
-def _normalize_journal(journal: SweepJournal | str | os.PathLike[str] | None
-                       ) -> SweepJournal | None:
-    if journal is None or isinstance(journal, SweepJournal):
-        return journal
-    return SweepJournal(journal)
+def _serializer_for(backend: AcceleratorBackend) -> threading.Lock | None:
+    return None if backend.thread_safe else threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -69,57 +70,94 @@ class ScalingPoint:
 
 
 class ScalabilityAnalyzer:
-    """Runs a parallelism sweep against one backend."""
+    """Runs a parallelism sweep against one backend.
+
+    The constructor ``executor`` (when given) overrides the executor an
+    :class:`~repro.resilience.ExecutionPolicy` would build — unless the
+    policy itself carries one, which wins.
+    """
 
     def __init__(self, backend: AcceleratorBackend,
                  executor: ResilientExecutor | None = None) -> None:
         self.backend = backend
-        self.executor = executor if executor is not None \
-            else _no_retry_executor()
+        self.executor = executor
+
+    def _executor_for(self, policy: ExecutionPolicy) -> ResilientExecutor:
+        if policy.executor is None and self.executor is not None:
+            return self.executor
+        return policy.make_executor(self.backend.name)
 
     def sweep(self, model: ModelConfig, train: TrainConfig,
               configurations: Iterable[tuple[str, dict[str, Any]]],
               *,
-              journal: SweepJournal | str | os.PathLike[str] | None = None,
-              resume: bool = False) -> list[ScalingPoint]:
+              policy: ExecutionPolicy | None = None,
+              journal: (SweepJournal | ShardedJournal | str
+                        | os.PathLike[str] | None) = None,
+              resume: bool | None = None) -> list[ScalingPoint]:
         """Measure each labelled option-dict configuration.
 
         Failures (any :class:`~repro.common.errors.ReproError`, from
         either phase) are recorded as failed points, not raised:
-        exceeding a platform's scalability envelope is a result. With a
-        ``journal``, finished points checkpoint as they complete and
-        ``resume=True`` skips them on a re-run.
+        exceeding a platform's scalability envelope is a result. The
+        ``policy`` controls journaling/resume, retry, deadlines, and
+        worker fan-out; points always return in configuration order.
+        ``journal``/``resume`` are deprecated aliases for the policy
+        fields.
         """
-        journal = _normalize_journal(journal)
-        journaled: dict[str, JournalEntry] = {}
-        if resume and journal is not None:
-            journaled = journal.load()
-        points: list[ScalingPoint] = []
-        for label, options in configurations:
-            entry = journaled.get(label)
-            if entry is not None and entry.finished:
-                points.append(self._point_from_journal(label, options, entry))
-                continue
-            outcome = self.executor.execute(
-                label,
-                lambda options=options: self.backend.compile(
+        # Lazy: the engine lives under repro.campaign, which resilience
+        # (imported above) reaches back into via repro.core at import
+        # time — a module-level import here would close that cycle.
+        from repro.campaign.engine import CellTask, run_cell_tasks
+
+        policy = resolve_policy(policy, api="ScalabilityAnalyzer.sweep",
+                                journal=journal, resume=resume)
+        executor = self._executor_for(policy)
+        serializer = _serializer_for(self.backend)
+        configs = [(label, dict(options))
+                   for label, options in configurations]
+        tasks = [
+            CellTask(
+                key=label,
+                compile_fn=lambda options=options: self.backend.compile(
                     model, train, **options),
-                lambda compiled: self.backend.run(compiled),
+                run_fn=lambda compiled: self.backend.run(compiled),
                 is_transient=self.backend.is_transient,
+                executor=executor,
+                summary_extra=self._summary_extra,
+                serializer=serializer,
             )
-            point = self._point_from_outcome(label, options, outcome)
-            if journal is not None:
-                extra = None
-                if outcome.ok:
-                    extra = {
-                        "compute_allocation": point.compute_allocation,
-                        "memory_allocation": point.memory_allocation,
-                        "compute_time_fraction":
-                            point.compute_time_fraction,
-                    }
-                journal.record(outcome.journal_entry(extra))
-            points.append(point)
-        return points
+            for label, options in configs
+        ]
+        results = run_cell_tasks(
+            tasks,
+            max_workers=policy.max_workers,
+            journal=policy.normalized_journal(),
+            resume=policy.resume,
+            retry_failed=policy.retry_failed,
+        )
+        return [self._point_from_result(label, options, result)
+                for (label, options), result in zip(configs, results)]
+
+    @staticmethod
+    def _summary_extra(outcome: CellOutcome) -> dict[str, Any] | None:
+        if not outcome.ok:
+            return None
+        return {
+            "compute_allocation": allocation_ratio(outcome.compiled,
+                                                   kind="compute"),
+            "memory_allocation": allocation_ratio(outcome.compiled,
+                                                  kind="memory"),
+            "compute_time_fraction": float(
+                outcome.run.meta.get("compute_fraction", 1.0)),
+        }
+
+    @classmethod
+    def _point_from_result(cls, label: str, options: dict[str, Any],
+                           result: CellResult) -> ScalingPoint:
+        if result.resumed:
+            assert result.entry is not None
+            return cls._point_from_journal(label, options, result.entry)
+        return cls._point_from_outcome(label, options, result.outcome)
 
     @staticmethod
     def _point_from_outcome(label: str, options: dict[str, Any],
@@ -250,55 +288,79 @@ class PrecisionComparison:
 
 
 class DeploymentOptimizer:
-    """Batch-size and precision deployment studies for one backend."""
+    """Batch-size and precision deployment studies for one backend.
+
+    As with :class:`ScalabilityAnalyzer`, a constructor ``executor``
+    overrides the policy-derived one unless the policy carries its own.
+    """
 
     def __init__(self, backend: AcceleratorBackend,
                  executor: ResilientExecutor | None = None) -> None:
         self.backend = backend
-        self.executor = executor if executor is not None \
-            else _no_retry_executor()
+        self.executor = executor
+
+    def _executor_for(self, policy: ExecutionPolicy) -> ResilientExecutor:
+        if policy.executor is None and self.executor is not None:
+            return self.executor
+        return policy.make_executor(self.backend.name)
 
     def batch_sweep(self, model: ModelConfig, train: TrainConfig,
                     batch_sizes: Iterable[int],
-                    journal: SweepJournal | str | os.PathLike[str] | None
-                    = None,
-                    resume: bool = False,
+                    journal: (SweepJournal | ShardedJournal | str
+                              | os.PathLike[str] | None) = None,
+                    resume: bool | None = None,
+                    policy: ExecutionPolicy | None = None,
                     **options: Any) -> BatchSweepResult:
         """Measure throughput across batch sizes (other knobs fixed).
 
         Any :class:`~repro.common.errors.ReproError` becomes a failed
-        point with a structured record in ``failures``. With a
-        ``journal``, points checkpoint as they finish (keyed
-        ``batch=<n>``) and ``resume=True`` skips finished ones.
+        point with a structured record in ``failures``. The ``policy``
+        controls journaling (keyed ``batch=<n>``), resume, retry,
+        deadlines, and worker fan-out; ``journal``/``resume`` are
+        deprecated aliases.
         """
-        journal = _normalize_journal(journal)
-        journaled: dict[str, JournalEntry] = {}
-        if resume and journal is not None:
-            journaled = journal.load()
-        sizes: list[int] = []
+        from repro.campaign.engine import CellTask, run_cell_tasks
+
+        policy = resolve_policy(policy,
+                                api="DeploymentOptimizer.batch_sweep",
+                                journal=journal, resume=resume)
+        executor = self._executor_for(policy)
+        serializer = _serializer_for(self.backend)
+        sizes = list(batch_sizes)
+        tasks = [
+            CellTask(
+                key=f"batch={batch}",
+                compile_fn=lambda batch=batch: self.backend.compile(
+                    model, train.with_batch_size(batch), **options),
+                run_fn=lambda compiled: self.backend.run(compiled),
+                is_transient=self.backend.is_transient,
+                executor=executor,
+                serializer=serializer,
+            )
+            for batch in sizes
+        ]
+        results = run_cell_tasks(
+            tasks,
+            max_workers=policy.max_workers,
+            journal=policy.normalized_journal(),
+            resume=policy.resume,
+            retry_failed=policy.retry_failed,
+        )
         rates: list[float] = []
         errors: dict[int, str] = {}
         failures: dict[int, ErrorRecord] = {}
-        for batch in batch_sizes:
-            sizes.append(batch)
-            key = f"batch={batch}"
-            entry = journaled.get(key)
-            if entry is not None and entry.finished:
+        for batch, result in zip(sizes, results):
+            if result.resumed:
+                entry = result.entry
+                assert entry is not None
                 summary = entry.summary or {}
                 rates.append(float(summary.get("tokens_per_second", 0.0)))
                 if entry.error is not None:
                     errors[batch] = str(entry.error)
                     failures[batch] = entry.error
                 continue
-            outcome = self.executor.execute(
-                key,
-                lambda batch=batch: self.backend.compile(
-                    model, train.with_batch_size(batch), **options),
-                lambda compiled: self.backend.run(compiled),
-                is_transient=self.backend.is_transient,
-            )
-            if journal is not None:
-                journal.record(outcome.journal_entry())
+            outcome = result.outcome
+            assert outcome is not None
             if outcome.ok:
                 rates.append(outcome.run.tokens_per_second)
             else:

@@ -37,6 +37,9 @@ class GPUBackend(AcceleratorBackend):
     """
 
     transient_errors = (TransientError, NcclTimeoutError, EccRetryError)
+    # Audited for campaign concurrency: GPUClusterModel holds only
+    # constructor-time spec state, so concurrent compile/run is safe.
+    thread_safe = True
 
     def __init__(self, system: SystemSpec = GPU_CLUSTER) -> None:
         super().__init__(system)

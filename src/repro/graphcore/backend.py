@@ -36,6 +36,9 @@ class GraphcoreBackend(AcceleratorBackend):
     """
 
     transient_errors = (TransientError, HostLinkError)
+    # Audited for campaign concurrency: IPUCompiler/PipelineExecutor hold
+    # only constructor-time spec state, so concurrent compile/run is safe.
+    thread_safe = True
 
     def __init__(self, system: SystemSpec = BOW2000_SYSTEM) -> None:
         super().__init__(system)

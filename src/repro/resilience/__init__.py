@@ -12,7 +12,12 @@ It provides:
 * :mod:`~repro.resilience.breaker` — a per-backend circuit breaker;
 * :mod:`~repro.resilience.executor` — the per-cell retry/deadline
   engine;
-* :mod:`~repro.resilience.journal` — the JSONL checkpoint/resume store.
+* :mod:`~repro.resilience.journal` — the JSONL checkpoint/resume
+  stores (single-file and sharded);
+* :mod:`~repro.resilience.policy` — :class:`ExecutionPolicy`, the one
+  value the sweep entry points and :class:`~repro.campaign.Campaign`
+  take to describe retry, deadlines, journaling, resume, and
+  parallelism.
 
 See ``docs/robustness.md`` for semantics and the journal format.
 """
@@ -36,8 +41,10 @@ from repro.resilience.journal import (
     STATUS_GATED,
     STATUS_OK,
     JournalEntry,
+    ShardedJournal,
     SweepJournal,
 )
+from repro.resilience.policy import ExecutionPolicy, resolve_policy
 from repro.resilience.retry import BackoffSchedule, RetryPolicy
 
 __all__ = [
@@ -47,6 +54,8 @@ __all__ = [
     "RetryPolicy",
     "BackoffSchedule",
     "CircuitBreaker",
+    "ExecutionPolicy",
+    "resolve_policy",
     "ResilientExecutor",
     "CellOutcome",
     "FaultSpec",
@@ -59,6 +68,7 @@ __all__ = [
     "ipu_tile_oom",
     "device_fault",
     "SweepJournal",
+    "ShardedJournal",
     "JournalEntry",
     "STATUS_OK",
     "STATUS_FAILED",

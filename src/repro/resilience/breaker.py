@@ -9,9 +9,19 @@ opens: calls fail fast with :class:`~repro.common.errors.CircuitOpenError`
 until ``reset_timeout`` seconds pass on the injected clock, at which
 point one probe call is allowed through (half-open). A successful probe
 closes the breaker; a failed one re-opens it for another cooldown.
+
+The breaker is shared by every worker thread driving its backend in a
+parallel campaign, so all state transitions happen under an internal
+lock, and it keeps the two health metrics long campaigns summarize:
+``trip_count`` (closed→open transitions) and ``open_seconds`` (total
+injected-clock time spent tripped, from each trip until the breaker
+closed again).
 """
 
 from __future__ import annotations
+
+import threading
+from typing import Any
 
 from repro.common.errors import CircuitOpenError, ConfigurationError
 from repro.resilience.clock import Clock, SystemClock
@@ -38,49 +48,86 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self.clock = clock if clock is not None else SystemClock()
+        self._lock = threading.RLock()
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at: float | None = None
+        self._tripped_since: float | None = None
+        self._open_seconds = 0.0
         self.trip_count = 0
 
     @property
     def state(self) -> str:
         """Current state, advancing open → half-open when cooled down."""
-        if self._state == OPEN and self._opened_at is not None:
-            if self.clock.now() - self._opened_at >= self.reset_timeout:
-                self._state = HALF_OPEN
-        return self._state
+        with self._lock:
+            if self._state == OPEN and self._opened_at is not None:
+                if self.clock.now() - self._opened_at >= self.reset_timeout:
+                    self._state = HALF_OPEN
+            return self._state
 
     @property
     def consecutive_failures(self) -> int:
-        return self._consecutive_failures
+        with self._lock:
+            return self._consecutive_failures
+
+    @property
+    def open_seconds(self) -> float:
+        """Total clock time spent tripped (each trip until re-closed).
+
+        A currently tripped breaker counts time up to ``clock.now()``,
+        so the metric is meaningful mid-campaign too.
+        """
+        with self._lock:
+            total = self._open_seconds
+            if self._tripped_since is not None:
+                total += self.clock.now() - self._tripped_since
+            return total
+
+    def metrics(self) -> dict[str, Any]:
+        """Health snapshot for reports: trips, open time, current state."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self.state,
+                "trip_count": self.trip_count,
+                "open_seconds": self.open_seconds,
+                "consecutive_failures": self._consecutive_failures,
+            }
 
     def check(self) -> None:
         """Raise :class:`CircuitOpenError` unless a call may proceed."""
-        if self.state == OPEN:
-            remaining = self.reset_timeout
-            if self._opened_at is not None:
-                remaining = max(
-                    0.0, self.reset_timeout
-                    - (self.clock.now() - self._opened_at))
-            raise CircuitOpenError(
-                f"circuit for {self.name!r} is open after "
-                f"{self._consecutive_failures} consecutive faults; "
-                f"retry in {remaining:.0f}s",
-                backend=self.name, retry_after=remaining)
+        with self._lock:
+            if self.state == OPEN:
+                remaining = self.reset_timeout
+                if self._opened_at is not None:
+                    remaining = max(
+                        0.0, self.reset_timeout
+                        - (self.clock.now() - self._opened_at))
+                raise CircuitOpenError(
+                    f"circuit for {self.name!r} is open after "
+                    f"{self._consecutive_failures} consecutive faults; "
+                    f"retry in {remaining:.0f}s",
+                    backend=self.name, retry_after=remaining)
 
     def record_success(self) -> None:
         """A call succeeded (or failed for capability reasons): close."""
-        self._state = CLOSED
-        self._consecutive_failures = 0
-        self._opened_at = None
+        with self._lock:
+            if self._tripped_since is not None:
+                self._open_seconds += self.clock.now() - self._tripped_since
+                self._tripped_since = None
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
 
     def record_failure(self) -> None:
         """An infrastructure fault occurred; open when over threshold."""
-        self._consecutive_failures += 1
-        if (self._state == HALF_OPEN
-                or self._consecutive_failures >= self.failure_threshold):
-            if self._state != OPEN:
-                self.trip_count += 1
-            self._state = OPEN
-            self._opened_at = self.clock.now()
+        with self._lock:
+            self._consecutive_failures += 1
+            if (self._state == HALF_OPEN
+                    or self._consecutive_failures >= self.failure_threshold):
+                if self._state != OPEN:
+                    self.trip_count += 1
+                if self._tripped_since is None:
+                    self._tripped_since = self.clock.now()
+                self._state = OPEN
+                self._opened_at = self.clock.now()

@@ -12,6 +12,7 @@ production.
 from __future__ import annotations
 
 import abc
+import threading
 import time
 
 from repro.common.errors import SimulationError
@@ -55,23 +56,31 @@ class FakeClock(Clock):
     ``sleep`` advances time instantly; ``advance`` moves it without a
     sleeper. Also records every sleep so tests can assert on the exact
     backoff schedule an executor produced.
+
+    Updates happen under a lock so a fake clock shared by the worker
+    threads of a parallel campaign never loses a sleep: ``now()`` always
+    reflects the sum of all sleeps, whatever the interleaving.
     """
 
     def __init__(self, start: float = 0.0) -> None:
+        self._lock = threading.Lock()
         self._now = float(start)
         self.sleeps: list[float] = []
 
     def now(self) -> float:
-        return self._now
+        with self._lock:
+            return self._now
 
     def sleep(self, seconds: float) -> None:
         if seconds < 0:
             raise SimulationError(f"cannot sleep a negative time: {seconds}")
-        self.sleeps.append(float(seconds))
-        self._now += float(seconds)
+        with self._lock:
+            self.sleeps.append(float(seconds))
+            self._now += float(seconds)
 
     def advance(self, seconds: float) -> None:
         """Move time forward without recording a sleep."""
         if seconds < 0:
             raise SimulationError(f"cannot advance backwards: {seconds}")
-        self._now += float(seconds)
+        with self._lock:
+            self._now += float(seconds)

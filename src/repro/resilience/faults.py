@@ -19,6 +19,7 @@ The wrapper also counts every compile/run call, which doubles as the
 from __future__ import annotations
 
 import random
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -136,18 +137,24 @@ class FaultPlan:
 
     Tracks per-(key, phase) attempt counts so scripted rules can target
     "first attempt only" and retries see fresh eligibility. The ``log``
-    records every injection for assertions and post-mortems.
+    records every injection for assertions and post-mortems. Draws are
+    serialized by a lock, so one plan can arm a backend shared by the
+    worker threads of a parallel campaign; per-key scripted rules stay
+    deterministic under any thread interleaving because attempt counts
+    are tracked per (key, phase).
     """
 
     specs: list[FaultSpec] = field(default_factory=list)
     seed: int = 0
     _rng: random.Random = field(init=False, repr=False)
     _attempts: Counter = field(init=False, repr=False)
+    _lock: threading.Lock = field(init=False, repr=False)
     log: list[dict[str, Any]] = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
         self._attempts = Counter()
+        self._lock = threading.Lock()
 
     @classmethod
     def chaos(cls, rate: float, seed: int = 0,
@@ -164,19 +171,22 @@ class FaultPlan:
 
     def draw(self, key: str, phase: str) -> FaultSpec | None:
         """The rule firing on this call, if any (advances attempt count)."""
-        attempt = self._attempts[(key, phase)]
-        self._attempts[(key, phase)] += 1
-        for spec in self.specs:
-            if not spec.applies(key, phase, attempt):
-                continue
-            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
-                continue
-            self.log.append({"key": key, "phase": phase, "attempt": attempt,
-                             "hang": spec.hang_seconds,
-                             "fault": (type(spec.fault()).__name__
-                                       if spec.fault else None)})
-            return spec
-        return None
+        with self._lock:
+            attempt = self._attempts[(key, phase)]
+            self._attempts[(key, phase)] += 1
+            for spec in self.specs:
+                if not spec.applies(key, phase, attempt):
+                    continue
+                if (spec.probability < 1.0
+                        and self._rng.random() >= spec.probability):
+                    continue
+                self.log.append({"key": key, "phase": phase,
+                                 "attempt": attempt,
+                                 "hang": spec.hang_seconds,
+                                 "fault": (type(spec.fault()).__name__
+                                           if spec.fault else None)})
+                return spec
+            return None
 
 
 class FaultInjectingBackend(AcceleratorBackend):
@@ -184,7 +194,9 @@ class FaultInjectingBackend(AcceleratorBackend):
 
     With an empty plan this is a transparent pass-through that still
     counts calls — the instrument resume tests use to prove journaled
-    cells were skipped.
+    cells were skipped. Call counting and fault draws are lock-guarded
+    (``thread_safe`` stays ``True`` as long as the wrapped backend's
+    is), so one instrumented backend can serve a whole campaign pool.
     """
 
     def __init__(self, inner: AcceleratorBackend,
@@ -195,16 +207,20 @@ class FaultInjectingBackend(AcceleratorBackend):
         self.plan = plan if plan is not None else FaultPlan()
         self.clock = clock if clock is not None else SystemClock()
         self.transient_errors = inner.transient_errors
+        self.thread_safe = inner.thread_safe
         self.calls: Counter = Counter()
+        self._calls_lock = threading.Lock()
 
     def compile(self, model: ModelConfig, train: TrainConfig,
                 **options: Any) -> CompileReport:
-        self.calls["compile"] += 1
+        with self._calls_lock:
+            self.calls["compile"] += 1
         self._maybe_inject(workload_key(model, train), "compile")
         return self.inner.compile(model, train, **options)
 
     def run(self, compiled: CompileReport) -> RunReport:
-        self.calls["run"] += 1
+        with self._calls_lock:
+            self.calls["run"] += 1
         self._maybe_inject(
             workload_key(compiled.model, compiled.train), "run")
         return self.inner.run(compiled)

@@ -1,4 +1,4 @@
-"""A JSONL journal of sweep-cell outcomes for checkpoint/resume.
+"""JSONL journals of sweep-cell outcomes for checkpoint/resume.
 
 Long sweep campaigns must never lose finished work: every completed
 cell is appended to the journal the moment it finishes, and a resumed
@@ -15,12 +15,26 @@ fail-fasted the cell; treated as unfinished on resume). The append-only
 format survives crashes: a truncated final line — the signature of a
 killed process — is ignored on load, and for the same key the last
 complete entry wins.
+
+Two stores implement the format:
+
+* :class:`SweepJournal` — one file, one writer (appends are serialized
+  by an in-process lock, so one journal may be shared by the worker
+  threads of a parallel sweep);
+* :class:`ShardedJournal` — a directory of shards, one file per worker
+  thread per campaign run, so concurrent writers never share a file and
+  a crash can truncate at most one line per worker. Shards are named
+  ``shard-<generation>-<worker>.jsonl``; each new campaign run claims
+  the next generation, and :meth:`ShardedJournal.load` merges shards in
+  (generation, worker) order so entries from later runs win.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -77,42 +91,63 @@ class JournalEntry:
         )
 
 
+def _read_entries(path: Path, into: dict[str, JournalEntry]) -> None:
+    """Merge one JSONL file into ``into``; last complete entry wins.
+
+    Malformed lines (e.g. a line truncated by a crash mid-write) are
+    skipped rather than fatal — a resume must always be possible from
+    whatever made it to disk.
+    """
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                entry = JournalEntry.from_dict(payload)
+            except (json.JSONDecodeError, AttributeError, KeyError,
+                    TypeError, ValueError):
+                continue
+            into[entry.key] = entry
+
+
+def _finished_keys(entries: dict[str, JournalEntry],
+                   retry_failed: bool) -> set[str]:
+    return {
+        key for key, entry in entries.items()
+        if entry.finished and not (retry_failed and entry.failed)
+    }
+
+
 class SweepJournal:
-    """Append-only JSONL store of :class:`JournalEntry` records."""
+    """Append-only JSONL store of :class:`JournalEntry` records.
+
+    Appends are serialized by an in-process lock so a single journal
+    file can back a thread-pooled sweep; cross-process writers should
+    use :class:`ShardedJournal` instead.
+    """
 
     def __init__(self, path: str | os.PathLike[str]) -> None:
         self.path = Path(path)
+        self._lock = threading.Lock()
 
     def record(self, entry: JournalEntry) -> None:
         """Append one outcome, flushed to disk before returning."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry.to_dict(), sort_keys=True)
+                             + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def load(self) -> dict[str, JournalEntry]:
-        """Read the journal; last complete entry per key wins.
-
-        Malformed lines (e.g. a line truncated by a crash mid-write)
-        are skipped rather than fatal — a resume must always be
-        possible from whatever made it to disk.
-        """
+        """Read the journal; last complete entry per key wins."""
         entries: dict[str, JournalEntry] = {}
-        if not self.path.exists():
-            return entries
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                    entry = JournalEntry.from_dict(payload)
-                except (json.JSONDecodeError, AttributeError, KeyError,
-                        TypeError, ValueError):
-                    continue
-                entries[entry.key] = entry
+        _read_entries(self.path, entries)
         return entries
 
     def finished_keys(self, retry_failed: bool = False) -> set[str]:
@@ -121,7 +156,97 @@ class SweepJournal:
         With ``retry_failed`` journaled failures are re-attempted (use
         after swapping out a faulty device); successes are always kept.
         """
-        return {
-            key for key, entry in self.load().items()
-            if entry.finished and not (retry_failed and entry.failed)
-        }
+        return _finished_keys(self.load(), retry_failed)
+
+
+class ShardedJournal:
+    """A directory of JSONL shards: one writer thread per file.
+
+    Parallel campaigns need concurrent journal writers without losing
+    the crash-tolerance of the append-only format. Each worker thread
+    lazily claims its own shard file on first write, so no file ever
+    has two writers and a killed campaign can truncate at most the
+    final line of each shard. Every :class:`ShardedJournal` instance
+    (i.e. every campaign run) writes a fresh *generation* of shards;
+    :meth:`load` merges all generations in order, so a re-executed key
+    (``retry_failed``) takes its newest outcome.
+    """
+
+    _SHARD_RE = re.compile(r"-(\d+)-(\d+)\.jsonl$")
+
+    def __init__(self, directory: str | os.PathLike[str],
+                 prefix: str = "shard") -> None:
+        self.directory = Path(directory)
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_worker = 0
+        self._generation = self._next_generation()
+
+    # -- write side ----------------------------------------------------
+    def record(self, entry: JournalEntry) -> None:
+        """Append one outcome to this thread's shard."""
+        self._writer().record(entry)
+
+    def _writer(self) -> SweepJournal:
+        journal = getattr(self._local, "journal", None)
+        if journal is None:
+            with self._lock:
+                worker = self._next_worker
+                self._next_worker += 1
+            name = (f"{self.prefix}-{self._generation:04d}"
+                    f"-{worker:03d}.jsonl")
+            journal = SweepJournal(self.directory / name)
+            self._local.journal = journal
+        return journal
+
+    def _next_generation(self) -> int:
+        generations = [int(match.group(1))
+                       for path in self._shard_paths()
+                       if (match := self._SHARD_RE.search(path.name))]
+        return max(generations) + 1 if generations else 0
+
+    # -- read side -----------------------------------------------------
+    def _shard_paths(self) -> list[Path]:
+        """Existing shards, ordered (generation, worker) — merge order."""
+        if not self.directory.exists():
+            return []
+        return sorted(path for path in self.directory.iterdir()
+                      if path.name.startswith(f"{self.prefix}-")
+                      and self._SHARD_RE.search(path.name))
+
+    def shard_paths(self) -> list[Path]:
+        """Existing shard files in merge order."""
+        return self._shard_paths()
+
+    def load(self) -> dict[str, JournalEntry]:
+        """Merge every shard; for a key, the newest generation wins."""
+        entries: dict[str, JournalEntry] = {}
+        for path in self._shard_paths():
+            _read_entries(path, entries)
+        return entries
+
+    def finished_keys(self, retry_failed: bool = False) -> set[str]:
+        """Keys a resumed run may skip (see :meth:`SweepJournal.finished_keys`)."""
+        return _finished_keys(self.load(), retry_failed)
+
+    # -- canonical merge -----------------------------------------------
+    def merged_text(self) -> str:
+        """The canonical merged journal: entries sorted by key.
+
+        Two campaigns that finished the same cell set produce
+        byte-identical merged text, whatever the sharding or thread
+        interleaving — the determinism guarantee campaigns are tested
+        against.
+        """
+        entries = self.load()
+        lines = [json.dumps(entries[key].to_dict(), sort_keys=True)
+                 for key in sorted(entries)]
+        return "".join(line + "\n" for line in lines)
+
+    def write_merged(self, path: str | os.PathLike[str]) -> Path:
+        """Write the canonical merged journal to ``path``."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.merged_text(), encoding="utf-8")
+        return target

@@ -1,0 +1,194 @@
+"""ExecutionPolicy: one value describing how a sweep should execute.
+
+PR 1 grew the sweep entry points a sprawl of keywords — ``executor=``,
+``journal=``, ``resume=``, ``retry_failed=`` — and the campaign engine
+would have added ``max_workers=`` on top. :class:`ExecutionPolicy`
+consolidates all of them into a single frozen value that
+:func:`~repro.workloads.sweeps.run_grid`,
+:meth:`~repro.core.tier2.ScalabilityAnalyzer.sweep`,
+:meth:`~repro.core.tier2.DeploymentOptimizer.batch_sweep`, and
+:class:`~repro.campaign.Campaign` all accept::
+
+    policy = ExecutionPolicy(retry=RetryPolicy(max_retries=2),
+                             deadline=300.0,
+                             journal="campaign.jsonl", resume=True,
+                             max_workers=8)
+    cells = run_grid(backend, specs, policy=policy)
+
+The old keywords keep working as deprecated aliases (they emit
+:class:`DeprecationWarning` and are translated through
+:func:`resolve_policy`), so existing scripts survive; internal callers
+are held to the new API by CI, which escalates ``repro.*``
+deprecations to errors.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.executor import ResilientExecutor
+from repro.resilience.journal import ShardedJournal, SweepJournal
+from repro.resilience.retry import RetryPolicy
+
+#: The default execution behaviour: one attempt, no jitter — identical
+#: to the pre-policy sweep default.
+NO_RETRY = RetryPolicy(max_retries=0, jitter=0.0)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a grid of independent sweep cells should be executed.
+
+    Attributes:
+        retry: per-cell retry/backoff policy for transient faults.
+        deadline: per-cell timeout in seconds (``None`` disables).
+        journal: checkpoint store — a :class:`SweepJournal`,
+            a :class:`ShardedJournal` (directory, for parallel
+            campaigns), or a path to a JSONL file.
+        resume: skip cells the journal already holds a final outcome
+            for.
+        retry_failed: with ``resume``, re-execute journaled *failures*
+            while still skipping successes.
+        max_workers: worker threads fanning cells out; ``1`` keeps the
+            exact sequential semantics (and callback ordering) of the
+            pre-campaign harness.
+        breaker: circuit breaking for single-backend sweeps — ``False``
+            (off, the default), ``True`` (build one from the threshold
+            fields below), or a ready :class:`CircuitBreaker` instance.
+            :class:`~repro.campaign.Campaign` always builds one breaker
+            per backend from the threshold fields, whatever this says.
+        breaker_threshold: consecutive infrastructure faults that trip
+            a policy-built breaker.
+        breaker_reset: seconds a tripped breaker stays open before
+            half-opening.
+        clock: injected time source (``None`` = wall clock). Fake
+            clocks make backoff/deadline/cooldown behaviour
+            deterministic in tests.
+        executor: expert escape hatch — a pre-built
+            :class:`ResilientExecutor` used verbatim instead of one
+            derived from ``retry``/``deadline``/``clock``. Also the
+            bridge the deprecated ``executor=`` keyword lands on.
+    """
+
+    retry: RetryPolicy = NO_RETRY
+    deadline: float | None = None
+    journal: (SweepJournal | ShardedJournal | str
+              | os.PathLike[str] | None) = None
+    resume: bool = False
+    retry_failed: bool = False
+    max_workers: int = 1
+    breaker: CircuitBreaker | bool = False
+    breaker_threshold: int = 5
+    breaker_reset: float = 300.0
+    clock: Clock | None = None
+    executor: ResilientExecutor | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1: {self.max_workers}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive: {self.deadline}")
+        if self.breaker_threshold <= 0:
+            raise ConfigurationError(
+                f"breaker_threshold must be > 0: {self.breaker_threshold}")
+        if self.breaker_reset < 0:
+            raise ConfigurationError(
+                f"breaker_reset must be >= 0: {self.breaker_reset}")
+
+    # -- derived pieces ------------------------------------------------
+    def normalized_journal(self) -> SweepJournal | ShardedJournal | None:
+        """The journal as a store instance (paths become journals)."""
+        if self.journal is None or isinstance(self.journal,
+                                              (SweepJournal,
+                                               ShardedJournal)):
+            return self.journal
+        return SweepJournal(self.journal)
+
+    def make_breaker(self, name: str,
+                     clock: Clock | None = None) -> CircuitBreaker | None:
+        """A breaker per this policy (``None`` when breaking is off)."""
+        if isinstance(self.breaker, CircuitBreaker):
+            return self.breaker
+        if not self.breaker:
+            return None
+        return self.new_breaker(name, clock)
+
+    def new_breaker(self, name: str,
+                    clock: Clock | None = None) -> CircuitBreaker:
+        """A fresh breaker from the threshold fields (campaign lanes)."""
+        return CircuitBreaker(name,
+                              failure_threshold=self.breaker_threshold,
+                              reset_timeout=self.breaker_reset,
+                              clock=clock or self.clock or SystemClock())
+
+    def make_executor(self, name: str = "backend", *,
+                      breaker: CircuitBreaker | None = None,
+                      clock: Clock | None = None) -> ResilientExecutor:
+        """The per-cell executor this policy describes.
+
+        ``breaker``/``clock`` override the policy's own (the campaign
+        passes per-lane instances). A pre-built ``executor`` is reused,
+        re-wrapped only when a breaker must be attached.
+        """
+        if breaker is None:
+            breaker = self.make_breaker(name, clock)
+        if self.executor is not None:
+            if breaker is None or breaker is self.executor.breaker:
+                return self.executor
+            return ResilientExecutor(retry=self.executor.retry,
+                                     cell_timeout=self.executor.cell_timeout,
+                                     clock=self.executor.clock,
+                                     breaker=breaker)
+        return ResilientExecutor(retry=self.retry,
+                                 cell_timeout=self.deadline,
+                                 clock=clock or self.clock or SystemClock(),
+                                 breaker=breaker)
+
+    def with_options(self, **changes: Any) -> "ExecutionPolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def resolve_policy(policy: ExecutionPolicy | None, *, api: str,
+                   stacklevel: int = 3,
+                   executor: ResilientExecutor | None = None,
+                   journal: (SweepJournal | ShardedJournal | str
+                             | os.PathLike[str] | None) = None,
+                   resume: bool | None = None,
+                   retry_failed: bool | None = None) -> ExecutionPolicy:
+    """Fold the deprecated per-keyword API into an :class:`ExecutionPolicy`.
+
+    The sweep entry points call this with whatever the caller passed:
+    no legacy keywords → the policy (or the default) is returned as-is;
+    any legacy keyword → a :class:`DeprecationWarning` names the
+    offending keywords and an equivalent policy is built. Mixing
+    ``policy=`` with legacy keywords is a configuration error — there
+    is no sane precedence between them.
+    """
+    legacy = {name: value
+              for name, value in (("executor", executor),
+                                  ("journal", journal),
+                                  ("resume", resume),
+                                  ("retry_failed", retry_failed))
+              if value is not None}
+    if not legacy:
+        return policy if policy is not None else ExecutionPolicy()
+    if policy is not None:
+        raise ConfigurationError(
+            f"{api}: pass either policy= or the deprecated "
+            f"{sorted(legacy)} keyword(s), not both")
+    warnings.warn(
+        f"{api}: the {', '.join(sorted(legacy))} keyword(s) are "
+        "deprecated; pass policy=ExecutionPolicy(...) instead",
+        DeprecationWarning, stacklevel=stacklevel)
+    return ExecutionPolicy(executor=executor, journal=journal,
+                           resume=bool(resume),
+                           retry_failed=bool(retry_failed))

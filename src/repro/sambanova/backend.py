@@ -35,6 +35,9 @@ class SambaNovaBackend(AcceleratorBackend):
     """
 
     transient_errors = (TransientError, SectionStallError)
+    # Audited for campaign concurrency: RDUCompiler/RDURuntime hold only
+    # constructor-time spec state, so concurrent compile/run is safe.
+    thread_safe = True
 
     def __init__(self, system: SystemSpec = SN30_SYSTEM) -> None:
         super().__init__(system)

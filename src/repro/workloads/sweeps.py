@@ -7,26 +7,35 @@ recorded rather than raised (a "Fail" cell is a result — Table I).
 Any :class:`~repro.common.errors.ReproError` escaping the backend
 becomes a failed cell with a structured
 :class:`~repro.common.errors.ErrorRecord` (compile-phase and run-phase
-failures are distinguished). Passing a
-:class:`~repro.resilience.executor.ResilientExecutor` adds retry,
-per-cell deadlines, and circuit breaking; passing a
-:class:`~repro.resilience.journal.SweepJournal` checkpoints every cell
-as it finishes, and ``resume=True`` skips journaled cells on a re-run
-so an interrupted campaign never loses work.
+failures are distinguished). Execution behaviour — retry, per-cell
+deadlines, circuit breaking, journaling/resume, and worker-thread
+fan-out — is described by one
+:class:`~repro.resilience.ExecutionPolicy`::
+
+    cells = run_grid(backend, specs,
+                     policy=ExecutionPolicy(retry=RetryPolicy(2),
+                                            journal="sweep.jsonl",
+                                            resume=True, max_workers=4))
+
+The pre-policy keywords (``executor=``, ``journal=``, ``resume=``,
+``retry_failed=``) keep working as deprecated aliases. Cells always
+come back in spec order, whatever order they executed in.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.campaign.engine import CellResult, CellTask, run_cell_tasks
 from repro.common.errors import ErrorRecord
 from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
 from repro.models.config import ModelConfig, TrainConfig
 from repro.resilience.executor import ResilientExecutor
-from repro.resilience.journal import JournalEntry, SweepJournal
-from repro.resilience.retry import RetryPolicy
+from repro.resilience.journal import JournalEntry, ShardedJournal, SweepJournal
+from repro.resilience.policy import ExecutionPolicy, resolve_policy
 
 
 @dataclass(frozen=True)
@@ -69,10 +78,6 @@ class SweepCell:
         return self.failure.phase if self.failure is not None else None
 
 
-def _no_retry_executor() -> ResilientExecutor:
-    return ResilientExecutor(retry=RetryPolicy(max_retries=0, jitter=0.0))
-
-
 def _cell_from_outcome(spec: SweepSpec, outcome: Any) -> SweepCell:
     if outcome.ok:
         return SweepCell(spec=spec, compiled=outcome.compiled,
@@ -89,15 +94,50 @@ def _cell_from_journal(spec: SweepSpec, entry: JournalEntry) -> SweepCell:
                      resumed=True, summary=entry.summary)
 
 
+def cell_from_result(spec: SweepSpec, result: CellResult) -> SweepCell:
+    """Convert an engine :class:`CellResult` back into a sweep cell."""
+    if result.resumed:
+        assert result.entry is not None
+        return _cell_from_journal(spec, result.entry)
+    return _cell_from_outcome(spec, result.outcome)
+
+
+def cell_tasks(backend: AcceleratorBackend, specs: list[SweepSpec],
+               executor: ResilientExecutor, *, measure: bool = True,
+               key_prefix: str = "") -> list[CellTask]:
+    """Engine tasks for a spec grid on one backend.
+
+    Non-thread-safe backends get a shared serializer lock so a pooled
+    run never overlaps their calls.
+    """
+    serializer = None if backend.thread_safe else threading.Lock()
+    run_fn = ((lambda compiled: backend.run(compiled)) if measure
+              else None)
+    return [
+        CellTask(
+            key=f"{key_prefix}{spec.label}",
+            compile_fn=lambda spec=spec: backend.compile(
+                spec.model, spec.train, **spec.options),
+            run_fn=run_fn,
+            is_transient=backend.is_transient,
+            executor=executor,
+            serializer=serializer,
+        )
+        for spec in specs
+    ]
+
+
 def run_grid(backend: AcceleratorBackend,
              specs: list[SweepSpec],
              measure: bool = True,
              on_cell: Callable[[SweepCell], None] | None = None,
              *,
+             policy: ExecutionPolicy | None = None,
              executor: ResilientExecutor | None = None,
-             journal: SweepJournal | str | os.PathLike[str] | None = None,
-             resume: bool = False,
-             retry_failed: bool = False) -> list[SweepCell]:
+             journal: (SweepJournal | ShardedJournal | str
+                       | os.PathLike[str] | None) = None,
+             resume: bool | None = None,
+             retry_failed: bool | None = None) -> list[SweepCell]:
     """Compile (and optionally run) every spec; failures become cells.
 
     Args:
@@ -107,41 +147,34 @@ def run_grid(backend: AcceleratorBackend,
             enough for most Tier-1 tables, matching the paper's
             "most metrics are from compile time" note).
         on_cell: optional progress callback (also fired for resumed
-            cells).
-        executor: retry/deadline/breaker engine; defaults to a
-            no-retry executor that still produces structured records.
-        journal: checkpoint store — each finished cell is appended.
-        resume: skip cells the journal already holds a final outcome
-            for (keyed by spec label).
-        retry_failed: with ``resume``, re-execute journaled *failures*
-            while still skipping successes.
+            cells). With ``max_workers=1`` it fires in spec order; under
+            a pool, in completion order.
+        policy: the :class:`ExecutionPolicy` governing retry, deadlines,
+            journaling, resume, and ``max_workers`` fan-out.
+        executor, journal, resume, retry_failed: deprecated aliases for
+            the corresponding policy fields (they emit
+            :class:`DeprecationWarning`).
     """
-    if executor is None:
-        executor = _no_retry_executor()
-    if journal is not None and not isinstance(journal, SweepJournal):
-        journal = SweepJournal(journal)
-    journaled: dict[str, JournalEntry] = {}
-    if resume and journal is not None:
-        journaled = journal.load()
+    policy = resolve_policy(policy, api="run_grid", executor=executor,
+                            journal=journal, resume=resume,
+                            retry_failed=retry_failed)
+    tasks = cell_tasks(backend, specs, policy.make_executor(backend.name),
+                       measure=measure)
 
-    cells: list[SweepCell] = []
-    for spec in specs:
-        entry = journaled.get(spec.label)
-        if (entry is not None and entry.finished
-                and not (retry_failed and entry.failed)):
-            cell = _cell_from_journal(spec, entry)
-        else:
-            outcome = executor.execute(
-                spec.label,
-                lambda spec=spec: backend.compile(spec.model, spec.train,
-                                                  **spec.options),
-                (lambda compiled: backend.run(compiled)) if measure else None,
-                is_transient=backend.is_transient,
-            )
-            cell = _cell_from_outcome(spec, outcome)
-            if journal is not None:
-                journal.record(outcome.journal_entry())
-        cells.append(cell)
-        if on_cell is not None:
-            on_cell(cell)
-    return cells
+    relay = None
+    if on_cell is not None:
+        callback = on_cell
+
+        def relay(result: CellResult) -> None:
+            callback(cell_from_result(specs[result.index], result))
+
+    results = run_cell_tasks(
+        tasks,
+        max_workers=policy.max_workers,
+        journal=policy.normalized_journal(),
+        resume=policy.resume,
+        retry_failed=policy.retry_failed,
+        on_result=relay,
+    )
+    return [cell_from_result(spec, result)
+            for spec, result in zip(specs, results)]

@@ -1,0 +1,96 @@
+"""The Campaign object: lanes, labels, stats, reports, serialization."""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign
+from repro.common.errors import ConfigurationError
+from repro.core.serialize import campaign_to_dict, to_json
+from repro.models.config import TrainConfig, gpt2_model
+from repro.resilience import CircuitBreaker, ExecutionPolicy
+from repro.workloads.sweeps import SweepCell, SweepSpec
+
+
+def specs_for(layers):
+    train = TrainConfig(batch_size=8, seq_len=256)
+    return [SweepSpec(label=f"L{n}",
+                      model=gpt2_model("mini").with_layers(n),
+                      train=train) for n in layers]
+
+
+class TestCampaignConstruction:
+    def test_bare_tuples_become_lanes(self, cerebras, gpu):
+        campaign = Campaign([(cerebras, specs_for([2])),
+                             (gpu, specs_for([2]))])
+        assert [lane.label for lane in campaign.lanes] == \
+            [cerebras.name, gpu.name]
+
+    def test_duplicate_labels_deduplicated(self, cerebras):
+        campaign = Campaign([(cerebras, specs_for([2])),
+                             (cerebras, specs_for([4]))])
+        labels = [lane.label for lane in campaign.lanes]
+        assert labels == [cerebras.name, f"{cerebras.name}#2"]
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one lane"):
+            Campaign([])
+
+    def test_shared_breaker_rejected_for_multiple_lanes(self, cerebras,
+                                                        gpu):
+        policy = ExecutionPolicy(breaker=CircuitBreaker("shared"))
+        with pytest.raises(ConfigurationError, match="shared"):
+            Campaign([(cerebras, specs_for([2])),
+                      (gpu, specs_for([2]))], policy)
+        # A single lane may own a prebuilt breaker.
+        Campaign([(cerebras, specs_for([2]))], policy)
+
+
+class TestCampaignRun:
+    def test_compile_only_campaign(self, cerebras):
+        result = Campaign([(cerebras, specs_for([2, 4]))],
+                          measure=False).run()
+        cells = result.cells[cerebras.name]
+        assert all(not c.failed and c.run is None for c in cells)
+
+    def test_on_cell_receives_label_and_cell(self, cerebras, gpu):
+        seen = []
+        Campaign([(cerebras, specs_for([2])), (gpu, specs_for([2]))]).run(
+            on_cell=lambda label, cell: seen.append((label, cell)))
+        assert sorted(label for label, _ in seen) == \
+            sorted([cerebras.name, gpu.name])
+        assert all(isinstance(cell, SweepCell) for _, cell in seen)
+
+    def test_stats_count_failures(self, cerebras):
+        # L90 exceeds the wafer: a failed cell, counted as such.
+        result = Campaign([(cerebras, specs_for([2, 90]))]).run()
+        stats = result.stats[cerebras.name]
+        assert (stats.cells, stats.ok, stats.failed) == (2, 1, 1)
+        assert stats.executed == 2
+        assert stats.breaker["trip_count"] == 0
+
+    def test_report_has_one_table_per_lane(self, cerebras, gpu):
+        result = Campaign([(cerebras, specs_for([2])),
+                           (gpu, specs_for([2]))]).run()
+        rendered = result.report().render()
+        assert f"Grid on {cerebras.name}" in rendered
+        assert f"Grid on {gpu.name}" in rendered
+        assert "Infrastructure health" in rendered
+        assert "Insight:" in rendered
+
+
+class TestCampaignSerialization:
+    def test_round_trips_through_json(self, cerebras, tmp_path):
+        policy = ExecutionPolicy(max_workers=2,
+                                 journal=tmp_path / "j.jsonl")
+        result = Campaign([(cerebras, specs_for([2, 90]))], policy).run()
+        payload = json.loads(to_json(campaign_to_dict(result)))
+        assert payload["total_cells"] == 2
+        assert payload["executed_cells"] == 2
+        assert payload["policy"]["max_workers"] == 2
+        assert payload["policy"]["journal"] == str(tmp_path / "j.jsonl")
+        lane = payload["lanes"][0]
+        assert lane["label"] == cerebras.name
+        assert lane["stats"]["failed"] == 1
+        assert "trip_count" in lane["stats"]["breaker"]
+        assert len(lane["cells"]) == 2

@@ -1,10 +1,14 @@
 """Report rendering."""
 
 from repro.core.report import (
+    GRID_HEADERS,
+    INFRA_HEADERS,
     TIER1_HEADERS,
     BenchmarkReport,
     describe_tier1,
+    infrastructure_row,
     render_table,
+    sweep_cell_row,
     tier1_summary_row,
 )
 from repro.core.tier1 import Tier1Profiler
@@ -42,6 +46,70 @@ class TestBenchmarkReport:
         rendered = BenchmarkReport(title="My Title").render()
         assert "My Title" in rendered
         assert "=" * len("My Title") in rendered
+
+
+class TestInfrastructureHealth:
+    def test_row_matches_headers(self, cerebras):
+        from repro.campaign import Campaign
+        from repro.workloads.sweeps import SweepSpec
+
+        spec = SweepSpec(label="L2",
+                         model=gpt2_model("mini").with_layers(2),
+                         train=TrainConfig(batch_size=8, seq_len=256))
+        result = Campaign([(cerebras, [spec])]).run()
+        row = infrastructure_row(result.stats[cerebras.name])
+        assert len(row) == len(INFRA_HEADERS)
+        assert row[0] == cerebras.name
+
+    def test_table_renders_breaker_columns(self):
+        class Stats:
+            backend = "CS-2"
+            cells = 5
+            ok = 2
+            failed = 2
+            gated = 1
+            resumed = 0
+            attempts = 7
+            retries = 2
+            breaker = {"state": "open", "trip_count": 3,
+                       "open_seconds": 12.5}
+
+        report = BenchmarkReport(title="T")
+        report.add_infrastructure_health([Stats()])
+        rendered = report.render()
+        assert "Infrastructure health" in rendered
+        assert "trips" in rendered
+        line = next(ln for ln in rendered.splitlines() if "CS-2" in ln)
+        assert "open" in line and "3" in line and "12.5" in line
+
+    def test_missing_breaker_renders_placeholder(self):
+        class Stats:
+            backend = "x"
+            cells = ok = failed = gated = resumed = 0
+            attempts = retries = 0
+            breaker = {}
+
+        row = infrastructure_row(Stats())
+        assert row[INFRA_HEADERS.index("breaker")] == "-"
+        assert row[INFRA_HEADERS.index("trips")] == 0
+
+    def test_sweep_cell_row_shapes(self, cerebras):
+        from repro.workloads.sweeps import SweepSpec, run_grid
+
+        train = TrainConfig(batch_size=8, seq_len=256)
+        specs = [SweepSpec(label="L2",
+                           model=gpt2_model("mini").with_layers(2),
+                           train=train),
+                 SweepSpec(label="L90",
+                           model=gpt2_model("mini").with_layers(90),
+                           train=train)]
+        cells = run_grid(cerebras, specs)
+        ok_row = sweep_cell_row(cells[0])
+        fail_row = sweep_cell_row(cells[1])
+        assert len(ok_row) == len(fail_row) == len(GRID_HEADERS)
+        assert ok_row[1] == "ok"
+        assert fail_row[1].startswith("Fail (")
+        assert fail_row[-1] == "-"
 
 
 class TestTier1Rendering:

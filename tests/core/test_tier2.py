@@ -157,17 +157,23 @@ class TestTier2Robustness:
         assert points[0].failure.phase == "compile"
 
     def test_scaling_sweep_resumes_from_journal(self, cerebras, tmp_path):
-        from repro.resilience import FaultInjectingBackend, FaultPlan
+        from repro.resilience import (
+            ExecutionPolicy,
+            FaultInjectingBackend,
+            FaultPlan,
+        )
 
         model, train = self.probe_train()
         journal = tmp_path / "scaling.jsonl"
         counted = FaultInjectingBackend(cerebras, FaultPlan())
         configs = [("DP1", {"n_replicas": 1}), ("DP2", {"n_replicas": 2})]
         first = ScalabilityAnalyzer(counted).sweep(
-            model, train, configs[:1], journal=journal)
+            model, train, configs[:1],
+            policy=ExecutionPolicy(journal=journal))
         assert counted.calls["compile"] == 1
         points = ScalabilityAnalyzer(counted).sweep(
-            model, train, configs, journal=journal, resume=True)
+            model, train, configs,
+            policy=ExecutionPolicy(journal=journal, resume=True))
         assert counted.calls["compile"] == 2  # only DP2 executed
         assert points[0].resumed
         assert points[0].tokens_per_second == pytest.approx(
@@ -201,15 +207,64 @@ class TestTier2Robustness:
         assert sweep.tokens_per_second[1] == 0.0
 
     def test_batch_sweep_resumes_from_journal(self, cerebras, tmp_path):
-        from repro.resilience import FaultInjectingBackend, FaultPlan
+        from repro.resilience import (
+            ExecutionPolicy,
+            FaultInjectingBackend,
+            FaultPlan,
+        )
 
         model, train = self.probe_train()
         journal = tmp_path / "batch.jsonl"
         counted = FaultInjectingBackend(cerebras, FaultPlan())
         optimizer = DeploymentOptimizer(counted)
-        optimizer.batch_sweep(model, train, [8], journal=journal)
-        sweep = optimizer.batch_sweep(model, train, [8, 16],
-                                      journal=journal, resume=True)
+        optimizer.batch_sweep(model, train, [8],
+                              policy=ExecutionPolicy(journal=journal))
+        sweep = optimizer.batch_sweep(
+            model, train, [8, 16],
+            policy=ExecutionPolicy(journal=journal, resume=True))
         assert counted.calls["compile"] == 2  # batch=8 skipped on resume
         assert sweep.batch_sizes == (8, 16)
         assert all(rate > 0 for rate in sweep.tokens_per_second)
+
+    def test_parallel_sweep_matches_sequential(self, cerebras):
+        from repro.resilience import ExecutionPolicy
+
+        model, train = self.probe_train()
+        configs = [(f"DP{n}", {"n_replicas": n}) for n in (1, 2, 4)]
+        pooled = ScalabilityAnalyzer(cerebras).sweep(
+            model, train, configs,
+            policy=ExecutionPolicy(max_workers=3))
+        serial = ScalabilityAnalyzer(cerebras).sweep(model, train, configs)
+        assert [p.label for p in pooled] == ["DP1", "DP2", "DP4"]
+        assert [p.tokens_per_second for p in pooled] == \
+            [p.tokens_per_second for p in serial]
+
+
+class TestDeprecatedKeywords:
+    """The pre-policy keywords still work but warn (satellite 1)."""
+
+    def probe_train(self):
+        return decoder_block_probe(256, 2), TrainConfig(batch_size=8,
+                                                        seq_len=256)
+
+    def test_sweep_journal_keyword_warns(self, cerebras, tmp_path):
+        model, train = self.probe_train()
+        with pytest.warns(DeprecationWarning,
+                          match="ScalabilityAnalyzer.sweep"):
+            points = ScalabilityAnalyzer(cerebras).sweep(
+                model, train, [("DP1", {"n_replicas": 1})],
+                journal=tmp_path / "j.jsonl")
+        assert not points[0].failed
+        assert (tmp_path / "j.jsonl").exists()
+
+    def test_batch_sweep_resume_keyword_warns(self, cerebras, tmp_path):
+        model, train = self.probe_train()
+        journal = tmp_path / "batch.jsonl"
+        optimizer = DeploymentOptimizer(cerebras)
+        with pytest.warns(DeprecationWarning,
+                          match="DeploymentOptimizer.batch_sweep"):
+            optimizer.batch_sweep(model, train, [8], journal=journal)
+        with pytest.warns(DeprecationWarning, match="journal, resume"):
+            sweep = optimizer.batch_sweep(model, train, [8],
+                                          journal=journal, resume=True)
+        assert sweep.tokens_per_second[0] > 0

@@ -1,0 +1,196 @@
+"""End-to-end parallel campaigns: the ISSUE acceptance scenario.
+
+A 4-backend x 5-cell campaign with ``max_workers=4`` must produce
+results in deterministic spec order with identical ``SweepCell``
+outcomes to a sequential run, leave behind a merged journal from which
+a ``resume=True`` campaign re-executes zero cells, and surface circuit
+breaker trip counts in the rendered report. A killed campaign (a
+harness-level error escaping mid-run) must resume to the exact cell
+set a sequential run produces, whatever the worker count.
+"""
+
+import pytest
+
+from repro.campaign import Campaign, CampaignLane
+from repro.models.config import TrainConfig, gpt2_model
+from repro.resilience import (
+    ExecutionPolicy,
+    FakeClock,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+    ShardedJournal,
+)
+from repro.resilience.faults import device_fault
+from repro.workloads.sweeps import SweepSpec
+
+N_SPECS = 5
+LAYERS = range(2, 2 + N_SPECS)
+
+
+def campaign_specs():
+    """Five small configurations that compile cleanly when healthy."""
+    train = TrainConfig(batch_size=8, seq_len=256)
+    model = gpt2_model("mini")
+    return [SweepSpec(label=f"L{layers}",
+                      model=model.with_layers(layers),
+                      train=train)
+            for layers in LAYERS]
+
+
+def lanes_for(backends):
+    return [CampaignLane(backend=backend, specs=campaign_specs())
+            for backend in backends]
+
+
+@pytest.fixture
+def backends(cerebras, sambanova, graphcore, gpu):
+    return [cerebras, sambanova, graphcore, gpu]
+
+
+class TestCampaignAcceptance:
+    def test_parallel_matches_sequential(self, backends, tmp_path):
+        seen = []
+        parallel = Campaign(
+            lanes_for(backends),
+            ExecutionPolicy(max_workers=4,
+                            journal=ShardedJournal(tmp_path / "par")),
+        ).run(on_cell=lambda label, cell: seen.append((label,
+                                                       cell.spec.label)))
+        sequential = Campaign(
+            lanes_for(backends),
+            ExecutionPolicy(journal=ShardedJournal(tmp_path / "seq")),
+        ).run()
+
+        # Deterministic lane and spec order, whatever completed first.
+        assert parallel.labels == [b.name for b in backends]
+        assert parallel.total_cells == 4 * N_SPECS
+        for label in parallel.labels:
+            par = parallel.cells[label]
+            seq = sequential.cells[label]
+            assert [c.spec.label for c in par] == [f"L{n}" for n in LAYERS]
+            for p, s in zip(par, seq):
+                assert not p.failed and not s.failed
+                assert p.attempts == s.attempts == 1
+                assert p.run.tokens_per_second == s.run.tokens_per_second
+        # The progress callback fired exactly once per (lane, cell).
+        assert sorted(seen) == sorted(
+            (label, f"L{n}") for label in parallel.labels for n in LAYERS)
+        # The merged journals are byte-identical across worker counts.
+        assert (ShardedJournal(tmp_path / "par").merged_text()
+                == ShardedJournal(tmp_path / "seq").merged_text())
+
+    def test_resume_re_executes_zero_cells(self, backends, tmp_path):
+        wrapped = [FaultInjectingBackend(b, FaultPlan()) for b in backends]
+        policy = ExecutionPolicy(max_workers=4,
+                                 journal=ShardedJournal(tmp_path))
+        first = Campaign(lanes_for(wrapped), policy).run()
+        assert first.executed_cells == 4 * N_SPECS
+        calls = [dict(b.calls) for b in wrapped]
+
+        resumed = Campaign(
+            lanes_for(wrapped),
+            policy.with_options(journal=ShardedJournal(tmp_path),
+                                resume=True),
+        ).run()
+        assert resumed.executed_cells == 0
+        assert resumed.resumed_cells == 4 * N_SPECS
+        # Not a single backend call: every cell replayed from the journal.
+        assert [dict(b.calls) for b in wrapped] == calls
+        for label in resumed.labels:
+            for cell in resumed.cells[label]:
+                assert cell.resumed and not cell.failed
+                assert cell.summary["tokens_per_second"] > 0
+
+    @pytest.mark.parametrize("kill_layer,max_workers",
+                             [(3, 2), (5, 3), (6, 4)])
+    def test_killed_campaign_resumes_to_sequential_set(
+            self, backends, tmp_path, kill_layer, max_workers):
+        # The baseline: what an uninterrupted sequential campaign leaves.
+        Campaign(
+            lanes_for(backends),
+            ExecutionPolicy(journal=ShardedJournal(tmp_path / "seq")),
+        ).run()
+        baseline = ShardedJournal(tmp_path / "seq").merged_text()
+
+        # One lane's worker dies mid-campaign: a non-workload error
+        # escapes, the engine drains in-flight cells and re-raises.
+        kill = FaultPlan().add(FaultSpec(
+            fault=lambda: RuntimeError("worker killed"),
+            match=f"/L{kill_layer}/", phase="compile", attempts=(0,)))
+        killed_lane = [FaultInjectingBackend(b, kill) if i == 1 else b
+                       for i, b in enumerate(backends)]
+        with pytest.raises(RuntimeError, match="worker killed"):
+            Campaign(
+                lanes_for(killed_lane),
+                ExecutionPolicy(max_workers=max_workers,
+                                journal=ShardedJournal(tmp_path / "j")),
+            ).run()
+        survived = ShardedJournal(tmp_path / "j").finished_keys()
+        assert 0 < len(survived) < 4 * N_SPECS
+
+        # Resume on healthy hardware: exactly the missing cells execute
+        # and the merged journal converges to the sequential baseline.
+        healthy = [FaultInjectingBackend(b, FaultPlan()) for b in backends]
+        resumed = Campaign(
+            lanes_for(healthy),
+            ExecutionPolicy(max_workers=max_workers,
+                            journal=ShardedJournal(tmp_path / "j"),
+                            resume=True),
+        ).run()
+        assert resumed.resumed_cells == len(survived)
+        assert resumed.executed_cells == 4 * N_SPECS - len(survived)
+        assert sum(b.calls["compile"] for b in healthy) == \
+            resumed.executed_cells
+        assert ShardedJournal(tmp_path / "j").merged_text() == baseline
+
+    def test_breaker_trips_render_in_report(self, cerebras, gpu):
+        # Every Cerebras cell hits a permanent device fault; with a
+        # threshold of 2 the lane breaker trips and gates the rest.
+        plan = FaultPlan().add(FaultSpec(
+            fault=lambda: device_fault("pcie"), attempts=None))
+        broken = FaultInjectingBackend(cerebras, plan)
+        result = Campaign(
+            [CampaignLane(backend=broken, specs=campaign_specs()),
+             CampaignLane(backend=gpu, specs=campaign_specs())],
+            ExecutionPolicy(breaker_threshold=2, breaker_reset=3600.0),
+        ).run()
+
+        stats = result.stats[broken.name]
+        assert stats.failed == 2
+        assert stats.gated == N_SPECS - 2
+        assert stats.breaker["trip_count"] == 1
+        assert stats.breaker["state"] == "open"
+        healthy = result.stats[gpu.name]
+        assert healthy.ok == N_SPECS
+        assert healthy.breaker["trip_count"] == 0
+
+        rendered = result.report().render()
+        assert "Infrastructure health" in rendered
+        assert any(broken.name in line and "open" in line
+                   for line in rendered.splitlines())
+
+    def test_per_lane_clocks_show_parallel_speedup(self, backends):
+        # Every compile hangs 10 injected seconds on its lane's clock;
+        # with per-lane clocks the simulated makespan is one lane's busy
+        # time, not the whole campaign's.
+        lanes, clocks = [], []
+        for inner in backends:
+            clock = FakeClock()
+            plan = FaultPlan().add(FaultSpec.hang(10.0, phase="compile"))
+            backend = FaultInjectingBackend(inner, plan, clock=clock)
+            lanes.append(CampaignLane(backend=backend,
+                                      specs=campaign_specs(), clock=clock))
+            clocks.append(clock)
+
+        result = Campaign(lanes, ExecutionPolicy(max_workers=4)).run()
+        assert result.executed_cells == 4 * N_SPECS
+        for label in result.labels:
+            assert all(not c.failed for c in result.cells[label])
+        # Each lane burned exactly its own 5 x 10s, deterministically.
+        assert [c.now() for c in clocks] == [50.0] * 4
+        makespan = max(c.now() for c in clocks)
+        assert makespan == 50.0
+        # A sequential harness would have paid the sum of all lanes.
+        assert makespan < result.sequential_seconds
+        assert result.sequential_seconds >= 4 * 50.0

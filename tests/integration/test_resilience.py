@@ -12,11 +12,11 @@ counter.
 from repro.common.errors import TransientError
 from repro.models.config import TrainConfig, gpt2_model
 from repro.resilience import (
+    ExecutionPolicy,
     FakeClock,
     FaultInjectingBackend,
     FaultPlan,
     FaultSpec,
-    ResilientExecutor,
     RetryPolicy,
     SweepJournal,
 )
@@ -54,20 +54,19 @@ def acceptance_plan():
 def make_harness(cerebras, tmp_path, plan):
     clock = FakeClock()
     backend = FaultInjectingBackend(cerebras, plan, clock=clock)
-    executor = ResilientExecutor(
+    policy = ExecutionPolicy(
         retry=RetryPolicy(max_retries=2, base_backoff=1.0, jitter=0.0),
-        cell_timeout=120.0, clock=clock)
-    journal = SweepJournal(tmp_path / "grid.jsonl")
-    return backend, executor, journal
+        deadline=120.0, clock=clock,
+        journal=SweepJournal(tmp_path / "grid.jsonl"))
+    return backend, policy
 
 
 class TestAcceptanceScenario:
     def test_faulty_grid_completes_with_zero_lost_cells(self, cerebras,
                                                         tmp_path):
-        backend, executor, journal = make_harness(
+        backend, policy = make_harness(
             cerebras, tmp_path, acceptance_plan())
-        cells = run_grid(backend, grid_specs(), executor=executor,
-                         journal=journal)
+        cells = run_grid(backend, grid_specs(), policy=policy)
 
         assert len(cells) == N_CELLS
         by_label = {c.spec.label: c for c in cells}
@@ -95,18 +94,18 @@ class TestAcceptanceScenario:
                  {f"L{n}" for n in (3, 11, 17, HANG_LAYERS, BROKEN_LAYERS)}]
         assert all(not c.failed and c.attempts == 1 for c in clean)
         # Zero lost cells: every cell has a final journal entry.
-        entries = journal.load()
+        entries = policy.journal.load()
         assert len(entries) == N_CELLS
         assert all(entry.finished for entry in entries.values())
 
     def test_resume_skips_every_journaled_cell(self, cerebras, tmp_path):
-        backend, executor, journal = make_harness(
+        backend, policy = make_harness(
             cerebras, tmp_path, acceptance_plan())
-        run_grid(backend, grid_specs(), executor=executor, journal=journal)
+        run_grid(backend, grid_specs(), policy=policy)
         calls_after_first = dict(backend.calls)
 
-        resumed = run_grid(backend, grid_specs(), executor=executor,
-                           journal=journal, resume=True)
+        resumed = run_grid(backend, grid_specs(),
+                           policy=policy.with_options(resume=True))
         # No backend call was made: journaled outcomes were replayed.
         assert dict(backend.calls) == calls_after_first
         assert len(resumed) == N_CELLS
@@ -116,14 +115,13 @@ class TestAcceptanceScenario:
     def test_resume_executes_only_unfinished_cells(self, cerebras,
                                                    tmp_path):
         # Interrupted campaign: only the first 12 cells ran to completion.
-        backend, executor, journal = make_harness(
+        backend, policy = make_harness(
             cerebras, tmp_path, FaultPlan())
-        run_grid(backend, grid_specs()[:12], executor=executor,
-                 journal=journal)
+        run_grid(backend, grid_specs()[:12], policy=policy)
         assert backend.calls["compile"] == 12
 
-        cells = run_grid(backend, grid_specs(), executor=executor,
-                         journal=journal, resume=True)
+        cells = run_grid(backend, grid_specs(),
+                         policy=policy.with_options(resume=True))
         # Exactly the 8 unfinished cells hit the backend.
         assert backend.calls["compile"] == N_CELLS
         assert backend.calls["run"] == N_CELLS
@@ -134,15 +132,15 @@ class TestAcceptanceScenario:
     def test_retry_failed_reruns_journaled_failures(self, cerebras,
                                                     tmp_path):
         # First campaign: L13's device fault is permanent.
-        backend, executor, journal = make_harness(
+        backend, policy = make_harness(
             cerebras, tmp_path, acceptance_plan())
-        run_grid(backend, grid_specs(), executor=executor, journal=journal)
+        run_grid(backend, grid_specs(), policy=policy)
 
         # The device was repaired (fresh, fault-free plan): retry failures.
-        healthy, executor2, _ = make_harness(cerebras, tmp_path,
-                                             FaultPlan())
-        cells = run_grid(healthy, grid_specs(), executor=executor2,
-                         journal=journal, resume=True, retry_failed=True)
+        healthy, policy2 = make_harness(cerebras, tmp_path, FaultPlan())
+        cells = run_grid(healthy, grid_specs(),
+                         policy=policy2.with_options(resume=True,
+                                                     retry_failed=True))
         assert healthy.calls["compile"] == 2  # just L9 and L13
         assert all(not c.failed for c in cells)
 
@@ -151,11 +149,11 @@ class TestAcceptanceScenario:
         plan = FaultPlan().add(FaultSpec(fault=wse_fabric_fault,
                                          phase="compile", attempts=(0, 1)))
         backend = FaultInjectingBackend(cerebras, plan, clock=clock)
-        executor = ResilientExecutor(
+        policy = ExecutionPolicy(
             retry=RetryPolicy(max_retries=2, base_backoff=2.0,
                               multiplier=3.0, jitter=0.0),
             clock=clock)
-        cells = run_grid(backend, grid_specs(1), executor=executor)
+        cells = run_grid(backend, grid_specs(1), policy=policy)
         assert not cells[0].failed
         assert cells[0].attempts == 3
         assert clock.sleeps == [2.0, 6.0]
@@ -172,12 +170,11 @@ class TestCircuitBreakerGrid:
         backend = FaultInjectingBackend(cerebras, plan, clock=clock)
         breaker = CircuitBreaker(backend.name, failure_threshold=2,
                                  reset_timeout=3600.0, clock=clock)
-        executor = ResilientExecutor(
-            retry=RetryPolicy(max_retries=0, jitter=0.0),
-            clock=clock, breaker=breaker)
         journal = SweepJournal(tmp_path / "gated.jsonl")
-        cells = run_grid(backend, grid_specs(6), executor=executor,
-                         journal=journal)
+        policy = ExecutionPolicy(
+            retry=RetryPolicy(max_retries=0, jitter=0.0),
+            clock=clock, breaker=breaker, journal=journal)
+        cells = run_grid(backend, grid_specs(6), policy=policy)
         assert backend.calls["compile"] == 2  # the rest gated, fail-fast
         assert all(c.failed for c in cells)
         gated = [c for c in cells if c.failure.type == "CircuitOpenError"]
@@ -186,10 +183,9 @@ class TestCircuitBreakerGrid:
         # re-executes them but not the two real failures.
         healthy = FaultInjectingBackend(cerebras, FaultPlan(), clock=clock)
         resumed = run_grid(healthy, grid_specs(6),
-                           executor=ResilientExecutor(
+                           policy=ExecutionPolicy(
                                retry=RetryPolicy(max_retries=0, jitter=0.0),
-                               clock=clock),
-                           journal=journal, resume=True)
+                               clock=clock, journal=journal, resume=True))
         assert healthy.calls["compile"] == 4
         assert sum(1 for c in resumed if not c.failed) == 4
 

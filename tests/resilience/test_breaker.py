@@ -74,3 +74,57 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ConfigurationError):
             CircuitBreaker(reset_timeout=-1.0)
+
+
+class TestBreakerMetrics:
+    def test_trip_count_counts_closed_to_open(self):
+        breaker, clock = make_breaker(threshold=2, reset=10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.trip_count == 1
+        # extra failures while already open do not re-count
+        breaker.record_failure()
+        assert breaker.trip_count == 1
+        clock.advance(11.0)
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.trip_count == 2
+
+    def test_open_seconds_accumulates_until_close(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(7.0)
+        assert breaker.open_seconds == pytest.approx(7.0)
+        breaker.record_success()
+        assert breaker.open_seconds == pytest.approx(7.0)
+        clock.advance(100.0)  # closed time does not count
+        assert breaker.open_seconds == pytest.approx(7.0)
+
+    def test_open_seconds_spans_failed_probe(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # probe fails: still the same outage
+        clock.advance(4.0)
+        breaker.record_success()
+        assert breaker.open_seconds == pytest.approx(10.0)
+
+    def test_metrics_snapshot(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        metrics = breaker.metrics()
+        assert metrics["name"] == "wse"
+        assert metrics["state"] == OPEN
+        assert metrics["trip_count"] == 1
+        assert metrics["open_seconds"] == pytest.approx(2.0)
+        assert metrics["consecutive_failures"] == 1
+
+    def test_metrics_start_clean(self):
+        breaker, _clock = make_breaker()
+        metrics = breaker.metrics()
+        assert metrics["trip_count"] == 0
+        assert metrics["open_seconds"] == 0.0
+        assert metrics["state"] == CLOSED

@@ -1,6 +1,7 @@
-"""The JSONL checkpoint/resume journal."""
+"""The JSONL checkpoint/resume journals (single-file and sharded)."""
 
 import json
+import threading
 
 from repro.common.errors import ErrorRecord, OutOfMemoryError
 from repro.resilience.journal import (
@@ -8,6 +9,7 @@ from repro.resilience.journal import (
     STATUS_GATED,
     STATUS_OK,
     JournalEntry,
+    ShardedJournal,
     SweepJournal,
 )
 
@@ -83,5 +85,94 @@ class TestSweepJournal:
 
     def test_creates_parent_dirs(self, tmp_path):
         journal = SweepJournal(tmp_path / "deep" / "dir" / "j.jsonl")
+        journal.record(JournalEntry("a", STATUS_OK))
+        assert set(journal.load()) == {"a"}
+
+
+class TestShardedJournal:
+    def test_one_shard_per_writer_thread(self, tmp_path):
+        journal = ShardedJournal(tmp_path)
+        barrier = threading.Barrier(3)
+
+        def write(n):
+            barrier.wait()
+            journal.record(JournalEntry(f"cell-{n}", STATUS_OK))
+
+        threads = [threading.Thread(target=write, args=(n,))
+                   for n in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(journal.shard_paths()) == 3
+        assert set(journal.load()) == {"cell-0", "cell-1", "cell-2"}
+
+    def test_same_thread_reuses_its_shard(self, tmp_path):
+        journal = ShardedJournal(tmp_path)
+        journal.record(JournalEntry("a", STATUS_OK))
+        journal.record(JournalEntry("b", STATUS_OK))
+        assert len(journal.shard_paths()) == 1
+
+    def test_generations_increment_per_instance(self, tmp_path):
+        first = ShardedJournal(tmp_path)
+        first.record(JournalEntry("a", STATUS_FAILED, error=oom_record()))
+        second = ShardedJournal(tmp_path)
+        second.record(JournalEntry("b", STATUS_OK))
+        names = [p.name for p in second.shard_paths()]
+        assert names == ["shard-0000-000.jsonl", "shard-0001-000.jsonl"]
+
+    def test_later_generation_wins_per_key(self, tmp_path):
+        first = ShardedJournal(tmp_path)
+        first.record(JournalEntry("a", STATUS_FAILED, error=oom_record()))
+        second = ShardedJournal(tmp_path)
+        second.record(JournalEntry("a", STATUS_OK))
+        assert second.load()["a"].status == STATUS_OK
+        # a third instance reading cold sees the same merge
+        assert ShardedJournal(tmp_path).load()["a"].status == STATUS_OK
+
+    def test_finished_keys_merges_shards(self, tmp_path):
+        journal = ShardedJournal(tmp_path)
+        journal.record(JournalEntry("ok", STATUS_OK))
+        journal.record(JournalEntry("bad", STATUS_FAILED,
+                                    error=oom_record()))
+        journal.record(JournalEntry("gated", STATUS_GATED))
+        assert journal.finished_keys() == {"ok", "bad"}
+        assert journal.finished_keys(retry_failed=True) == {"ok"}
+
+    def test_merged_text_is_canonical(self, tmp_path):
+        left = ShardedJournal(tmp_path / "left")
+        right = ShardedJournal(tmp_path / "right")
+        # same outcomes, opposite insertion order and different shards
+        left.record(JournalEntry("a", STATUS_OK))
+        left.record(JournalEntry("b", STATUS_OK))
+        thread = threading.Thread(
+            target=lambda: right.record(JournalEntry("b", STATUS_OK)))
+        thread.start()
+        thread.join()
+        right.record(JournalEntry("a", STATUS_OK))
+        assert left.merged_text() == right.merged_text()
+
+    def test_write_merged(self, tmp_path):
+        journal = ShardedJournal(tmp_path / "shards")
+        journal.record(JournalEntry("a", STATUS_OK))
+        target = journal.write_merged(tmp_path / "merged.jsonl")
+        merged = SweepJournal(target).load()
+        assert set(merged) == {"a"}
+
+    def test_truncated_shard_line_survives(self, tmp_path):
+        journal = ShardedJournal(tmp_path)
+        journal.record(JournalEntry("a", STATUS_OK))
+        with journal.shard_paths()[0].open("a") as handle:
+            handle.write('{"v": 1, "key": "b", "stat')
+        assert set(ShardedJournal(tmp_path).load()) == {"a"}
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert ShardedJournal(tmp_path / "nope").load() == {}
+
+    def test_foreign_files_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello\n")
+        (tmp_path / "shard-bogus.jsonl").write_text(
+            json.dumps(JournalEntry("x", STATUS_OK).to_dict()) + "\n")
+        journal = ShardedJournal(tmp_path)
         journal.record(JournalEntry("a", STATUS_OK))
         assert set(journal.load()) == {"a"}

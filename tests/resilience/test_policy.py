@@ -1,0 +1,134 @@
+"""ExecutionPolicy and the deprecated-keyword resolution."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import FakeClock
+from repro.resilience.executor import ResilientExecutor
+from repro.resilience.journal import ShardedJournal, SweepJournal
+from repro.resilience.policy import (
+    NO_RETRY,
+    ExecutionPolicy,
+    resolve_policy,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+class TestExecutionPolicy:
+    def test_defaults_match_pre_policy_harness(self):
+        policy = ExecutionPolicy()
+        assert policy.retry is NO_RETRY
+        assert policy.deadline is None
+        assert policy.journal is None
+        assert not policy.resume
+        assert not policy.retry_failed
+        assert policy.max_workers == 1
+        assert policy.breaker is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(deadline=0.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(breaker_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(breaker_reset=-1.0)
+
+    def test_normalized_journal_wraps_paths(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = ExecutionPolicy(journal=path).normalized_journal()
+        assert isinstance(journal, SweepJournal)
+        assert journal.path == path
+        sharded = ShardedJournal(tmp_path / "shards")
+        assert (ExecutionPolicy(journal=sharded).normalized_journal()
+                is sharded)
+        assert ExecutionPolicy().normalized_journal() is None
+
+    def test_make_breaker_modes(self):
+        assert ExecutionPolicy().make_breaker("wse") is None
+        built = ExecutionPolicy(breaker=True, breaker_threshold=2,
+                                breaker_reset=10.0).make_breaker("wse")
+        assert built.failure_threshold == 2
+        assert built.reset_timeout == 10.0
+        assert built.name == "wse"
+        ready = CircuitBreaker("mine")
+        assert ExecutionPolicy(breaker=ready).make_breaker("wse") is ready
+
+    def test_new_breaker_always_fresh(self):
+        policy = ExecutionPolicy(breaker_threshold=3)
+        a = policy.new_breaker("a")
+        b = policy.new_breaker("b")
+        assert a is not b
+        assert a.failure_threshold == 3
+
+    def test_make_executor_from_fields(self):
+        clock = FakeClock()
+        retry = RetryPolicy(max_retries=2)
+        policy = ExecutionPolicy(retry=retry, deadline=60.0, clock=clock)
+        executor = policy.make_executor("wse")
+        assert executor.retry is retry
+        assert executor.cell_timeout == 60.0
+        assert executor.clock is clock
+        assert executor.breaker is None
+
+    def test_make_executor_reuses_prebuilt(self):
+        prebuilt = ResilientExecutor(retry=RetryPolicy(max_retries=7))
+        policy = ExecutionPolicy(executor=prebuilt)
+        assert policy.make_executor("wse") is prebuilt
+
+    def test_make_executor_rewraps_for_breaker(self):
+        prebuilt = ResilientExecutor(retry=RetryPolicy(max_retries=7),
+                                     cell_timeout=5.0)
+        policy = ExecutionPolicy(executor=prebuilt)
+        breaker = CircuitBreaker("lane")
+        wrapped = policy.make_executor("lane", breaker=breaker)
+        assert wrapped is not prebuilt
+        assert wrapped.breaker is breaker
+        assert wrapped.retry is prebuilt.retry
+        assert wrapped.cell_timeout == 5.0
+
+    def test_with_options(self):
+        policy = ExecutionPolicy(max_workers=2)
+        wider = policy.with_options(max_workers=8, resume=True)
+        assert wider.max_workers == 8
+        assert wider.resume
+        assert policy.max_workers == 2  # frozen original untouched
+
+
+class TestResolvePolicy:
+    def test_no_arguments_yields_default(self):
+        policy = resolve_policy(None, api="f")
+        assert policy == ExecutionPolicy()
+
+    def test_policy_passes_through(self):
+        policy = ExecutionPolicy(max_workers=4)
+        assert resolve_policy(policy, api="f") is policy
+
+    def test_legacy_keywords_warn_and_translate(self, tmp_path):
+        with pytest.warns(DeprecationWarning,
+                          match="f: the journal, resume keyword"):
+            policy = resolve_policy(None, api="f",
+                                    journal=tmp_path / "j.jsonl",
+                                    resume=True)
+        assert policy.resume
+        assert policy.journal == tmp_path / "j.jsonl"
+
+    def test_legacy_executor_lands_on_policy(self):
+        executor = ResilientExecutor()
+        with pytest.warns(DeprecationWarning, match="executor"):
+            policy = resolve_policy(None, api="f", executor=executor)
+        assert policy.executor is executor
+        assert policy.make_executor("x") is executor
+
+    def test_mixing_policy_and_legacy_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            resolve_policy(ExecutionPolicy(), api="f", resume=True)
+
+    def test_explicit_false_still_counts_as_legacy(self):
+        # Passing the old keyword at all is deprecated, even with its
+        # old default value: None is the only "not passed" sentinel.
+        with pytest.warns(DeprecationWarning):
+            policy = resolve_policy(None, api="f", resume=False)
+        assert not policy.resume

@@ -156,3 +156,64 @@ class TestResilienceFlags:
         assert code == 0
         lines = journal.read_text().strip().splitlines()
         assert len(lines) == 2
+
+    def test_grid_max_workers_keeps_spec_order(self, capsys):
+        code = main(["grid", "--platform", "cerebras",
+                     "--model", "probe:256x2", "--seq-len", "256",
+                     "--layers", "2", "4", "--batches", "8", "16",
+                     "--max-workers", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.index("L2/b8") < out.index("L2/b16") \
+            < out.index("L4/b8") < out.index("L4/b16")
+
+    def test_bare_resume_without_journal_rejected(self, capsys):
+        code = main(["grid", "--platform", "cerebras",
+                     "--model", "probe:256x2",
+                     "--layers", "2", "--batches", "8", "--resume"])
+        assert code == 2
+        assert "journal" in capsys.readouterr().err
+
+    def test_journal_dir_conflicts_with_journal_file(self, capsys,
+                                                     tmp_path):
+        code = main(["grid", "--platform", "cerebras",
+                     "--model", "probe:256x2",
+                     "--layers", "2", "--batches", "8",
+                     "--journal", str(tmp_path / "j.jsonl"),
+                     "--journal-dir", str(tmp_path / "dir")])
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    def test_campaign_runs_multiple_lanes(self, capsys, tmp_path):
+        out_file = tmp_path / "campaign.json"
+        code = main(["campaign", "--platforms", "cerebras", "gpu",
+                     "--model", "probe:256x2", "--seq-len", "256",
+                     "--layers", "2", "4", "--batches", "8",
+                     "--max-workers", "4",
+                     "--journal-dir", str(tmp_path / "journal"),
+                     "--json", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Grid on cerebras" in out
+        assert "Grid on gpu" in out
+        assert "Infrastructure health" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["total_cells"] == 4
+        assert payload["policy"]["max_workers"] == 4
+        assert [lane["label"] for lane in payload["lanes"]] == \
+            ["cerebras", "gpu"]
+        shards = list((tmp_path / "journal").glob("shard-*.jsonl"))
+        assert 1 <= len(shards) <= 4
+
+    def test_campaign_resume_from_journal_dir(self, capsys, tmp_path):
+        args = ["campaign", "--platforms", "cerebras",
+                "--model", "probe:256x2", "--seq-len", "256",
+                "--layers", "2", "--batches", "8",
+                "--journal-dir", str(tmp_path / "j"), "--resume"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 of 1 cells executed (1 resumed" in out

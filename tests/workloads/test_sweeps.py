@@ -4,7 +4,12 @@ import pytest
 
 from repro.common.errors import OutOfMemoryError, SimulationError
 from repro.models.config import TrainConfig, gpt2_model
-from repro.resilience import FaultInjectingBackend, FaultPlan, FaultSpec
+from repro.resilience import (
+    ExecutionPolicy,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.workloads.sweeps import SweepSpec, run_grid
 
 
@@ -44,6 +49,26 @@ class TestRunGrid:
                          options={"mode": "O0"})
         cells = run_grid(sambanova, [spec], measure=False)
         assert cells[0].compiled.meta["mode"] == "O0"
+
+    def test_pooled_grid_matches_sequential(self, cerebras):
+        specs = specs_for([2, 4, 6, 90])
+        pooled = run_grid(cerebras, specs,
+                          policy=ExecutionPolicy(max_workers=3))
+        serial = run_grid(cerebras, specs)
+        assert [c.spec.label for c in pooled] == ["L2", "L4", "L6", "L90"]
+        assert [c.failed for c in pooled] == [c.failed for c in serial]
+        for p, s in zip(pooled, serial):
+            if not p.failed:
+                assert p.run.tokens_per_second == s.run.tokens_per_second
+
+    def test_legacy_keywords_warn_and_still_work(self, cerebras, tmp_path):
+        journal = tmp_path / "grid.jsonl"
+        with pytest.warns(DeprecationWarning, match="run_grid"):
+            run_grid(cerebras, specs_for([2]), journal=journal)
+        with pytest.warns(DeprecationWarning, match="journal, resume"):
+            cells = run_grid(cerebras, specs_for([2]), journal=journal,
+                             resume=True)
+        assert cells[0].resumed
 
 
 class TestRunGridRobustness:
