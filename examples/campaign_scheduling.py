@@ -1,0 +1,139 @@
+"""Cost-aware campaign scheduling: dispatch by predicted cell cost.
+
+Builds a deliberately unbalanced sweep — eight two-second cells plus
+one 24-second straggler — and runs it twice through a Campaign: once
+with the default ``lane-major`` dispatch (arrival order) and once with
+``longest-first`` (predicted-cost order). On a simulated two-worker
+pool the straggler-first order finishes in 24 s instead of 32 s, a 25%
+makespan cut, while both runs produce identical spec-ordered results.
+
+Also shows the :class:`~repro.campaign.CostPredictor` protocol by
+plugging in a custom predictor that knows the injected hang durations
+exactly, driving the scheduler's prediction error to zero.
+
+All durations are injected on a fake clock, so the numbers are exact
+and deterministic — no wall-clock sleeping happens.
+
+Usage::
+
+    python examples/campaign_scheduling.py
+"""
+
+from repro import (
+    Campaign,
+    CampaignLane,
+    CerebrasBackend,
+    ExecutionPolicy,
+    FaultInjectingBackend,
+    FaultPlan,
+    TrainConfig,
+    gpt2_model,
+)
+from repro.campaign import simulate_makespan
+from repro.campaign.engine import CellTask
+from repro.resilience import FakeClock, FaultSpec
+from repro.workloads.sweeps import SweepSpec
+
+SHORT_LAYERS = tuple(range(2, 10))
+LONG_LAYERS = 40
+SHORT_SECONDS, LONG_SECONDS = 2.0, 24.0
+WORKERS = 2
+
+COSTS = {f"L{n}": SHORT_SECONDS for n in SHORT_LAYERS}
+COSTS[f"L{LONG_LAYERS}"] = LONG_SECONDS
+
+
+class HangPredictor:
+    """A custom CostPredictor: knows the injected durations exactly.
+
+    Anything with ``name``, ``predict(task)`` and ``observe(task,
+    seconds)`` satisfies the protocol; pass an instance straight to
+    ``ExecutionPolicy(predictor=...)``.
+    """
+
+    name = "oracle"
+
+    def predict(self, task: CellTask) -> float:
+        label = task.key.rsplit("::", 1)[-1]
+        return COSTS.get(label, 1.0)
+
+    def observe(self, task: CellTask, seconds: float) -> None:
+        pass  # nothing to learn — the oracle is already right
+
+
+def unbalanced_lane() -> CampaignLane:
+    train = TrainConfig(batch_size=8, seq_len=256)
+    model = gpt2_model("mini")
+    specs = [SweepSpec(label=f"L{n}", model=model.with_layers(n),
+                       train=train)
+             for n in (*SHORT_LAYERS, LONG_LAYERS)]
+    clock = FakeClock()
+    plan = FaultPlan()
+    for n in SHORT_LAYERS:
+        plan.add(FaultSpec.hang(SHORT_SECONDS, match=f"/L{n}/",
+                                phase="compile"))
+    plan.add(FaultSpec.hang(LONG_SECONDS, match=f"/L{LONG_LAYERS}/",
+                            phase="compile"))
+    backend = FaultInjectingBackend(CerebrasBackend(), plan, clock=clock)
+    return CampaignLane(backend=backend, specs=specs, clock=clock)
+
+
+def run_once(schedule: str, predictor) -> tuple[list[str], object]:
+    """Run the unbalanced campaign, returning dispatch order + stats."""
+    order: list[str] = []
+    result = Campaign(
+        [unbalanced_lane()],
+        ExecutionPolicy(schedule=schedule, predictor=predictor),
+    ).run(on_cell=lambda label, cell: order.append(cell.spec.label))
+    return order, result
+
+
+def main() -> None:
+    print("Cost-aware scheduling on an unbalanced grid")
+    print(f"  {len(SHORT_LAYERS)} cells x {SHORT_SECONDS:.0f}s + "
+          f"1 straggler x {LONG_SECONDS:.0f}s, "
+          f"{WORKERS} simulated workers\n")
+
+    runs = {}
+    for schedule, predictor in [("lane-major", "analytic"),
+                                ("longest-first", "analytic"),
+                                ("longest-first", HangPredictor())]:
+        order, result = run_once(schedule, predictor)
+        stats = result.scheduling
+        makespan = simulate_makespan([COSTS[label] for label in order],
+                                     WORKERS)
+        runs[(schedule, stats.predictor)] = (order, result, makespan)
+        print(f"{schedule:>14} / {stats.predictor:<8} "
+              f"makespan {makespan:5.1f}s   "
+              f"MAE {stats.mean_abs_error:6.2f}s   "
+              f"first dispatched: {order[0]}")
+
+    baseline = runs[("lane-major", "analytic")][2]
+    improved = runs[("longest-first", "analytic")][2]
+    print(f"\nLongest-first cuts the makespan "
+          f"{100 * (1 - improved / baseline):.0f}% "
+          f"({baseline:.0f}s -> {improved:.0f}s) by starting the "
+          f"straggler immediately.")
+
+    oracle = runs[("longest-first", "oracle")][1].scheduling
+    print(f"The oracle predictor's error is zero "
+          f"(MAE {oracle.mean_abs_error:.2f}s, "
+          f"MAPE {oracle.mape:.1%}) — the protocol lets you plug in "
+          f"site-specific cost knowledge.")
+
+    def labels(result):
+        return [cell.spec.label
+                for cells in result.cells.values() for cell in cells]
+
+    base_labels = labels(runs[("lane-major", "analytic")][1])
+    fast_labels = labels(runs[("longest-first", "analytic")][1])
+    assert base_labels == fast_labels
+    print("\nResult order is identical under every schedule: dispatch "
+          "order changes, reported spec order does not.")
+
+    print("\nScheduling table (as serialized into reports):")
+    print(runs[("longest-first", "analytic")][1].report().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,17 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.campaign.engine import CellResult, CellTask, run_cell_tasks
+# engine must import before scheduler: scheduler type-hints engine tasks.
+from repro.campaign.scheduler import (
+    AnalyticCostPredictor,
+    CostPredictor,
+    EWMACostPredictor,
+    Scheduler,
+    SchedulerStats,
+    estimate_cell_seconds,
+    make_predictor,
+    simulate_makespan,
+)
 from repro.common.errors import ConfigurationError
 from repro.core.backend import AcceleratorBackend
 from repro.core.report import BenchmarkReport, GRID_HEADERS, sweep_cell_row
@@ -64,6 +75,14 @@ __all__ = [
     "CellTask",
     "CellResult",
     "run_cell_tasks",
+    "Scheduler",
+    "SchedulerStats",
+    "CostPredictor",
+    "AnalyticCostPredictor",
+    "EWMACostPredictor",
+    "estimate_cell_seconds",
+    "make_predictor",
+    "simulate_makespan",
 ]
 
 
@@ -118,6 +137,7 @@ class CampaignResult:
     cells: "dict[str, list[SweepCell]]"
     stats: dict[str, BackendStats]
     policy: ExecutionPolicy
+    scheduling: SchedulerStats | None = None
 
     @property
     def total_cells(self) -> int:
@@ -146,6 +166,8 @@ class CampaignResult:
                               for cell in self.cells[label]])
         report.add_infrastructure_health(
             [self.stats[label] for label in self.labels])
+        if self.scheduling is not None:
+            report.add_scheduling([self.scheduling])
         report.add_insight(
             f"{self.executed_cells} of {self.total_cells} cells executed "
             f"({self.resumed_cells} resumed from the journal) across "
@@ -238,6 +260,7 @@ class Campaign:
             if on_cell is not None:
                 on_cell(lane.label, cell_from_result(spec, result))
 
+        scheduler = policy.make_scheduler()
         results = run_cell_tasks(
             tasks,
             max_workers=policy.max_workers,
@@ -245,6 +268,7 @@ class Campaign:
             resume=policy.resume,
             retry_failed=policy.retry_failed,
             on_result=relay if on_cell is not None else None,
+            scheduler=scheduler,
         )
 
         labels: list[str] = []
@@ -262,7 +286,9 @@ class Campaign:
             stats[lane.label] = self._stats(lane.label, lane_results,
                                             breakers[lane.label])
         return CampaignResult(labels=labels, cells=cells, stats=stats,
-                              policy=policy)
+                              policy=policy,
+                              scheduling=scheduler.stats(
+                                  policy.max_workers))
 
     # ------------------------------------------------------------------
     def _task(self, lane: CampaignLane, spec: "SweepSpec",
@@ -279,6 +305,10 @@ class Campaign:
             is_transient=backend.is_transient,
             executor=executor,
             serializer=serializer,
+            cost_hint=estimate_cell_seconds(backend, spec.model,
+                                            spec.train,
+                                            measure=self.measure),
+            family=f"{lane.label}::{spec.model.family}",
         )
 
     @staticmethod

@@ -30,10 +30,13 @@ from __future__ import annotations
 import threading
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.resilience.executor import CellOutcome, ResilientExecutor
 from repro.resilience.journal import JournalEntry, ShardedJournal, SweepJournal
+
+if TYPE_CHECKING:  # the scheduler module imports nothing from here
+    from repro.campaign.scheduler import Scheduler
 
 
 @dataclass(frozen=True)
@@ -52,6 +55,11 @@ class CellTask:
             so a resume can restore them without re-executing.
         serializer: optional lock serializing the backend calls of a
             non-thread-safe backend.
+        cost_hint: analytic prediction of the cell's harness seconds
+            (see :func:`~repro.campaign.scheduler.estimate_cell_seconds`);
+            ``None`` means unpriced.
+        family: workload-family key cost observations generalize over
+            (the campaign stamps ``"<lane>::<model family>"``).
     """
 
     key: str
@@ -62,6 +70,8 @@ class CellTask:
     summary_extra: Callable[[CellOutcome],
                             dict[str, Any] | None] | None = None
     serializer: threading.Lock | None = None
+    cost_hint: float | None = None
+    family: str = ""
 
 
 @dataclass(frozen=True)
@@ -141,6 +151,7 @@ def run_cell_tasks(
     resume: bool = False,
     retry_failed: bool = False,
     on_result: Callable[[CellResult], None] | None = None,
+    scheduler: "Scheduler | None" = None,
 ) -> list[CellResult]:
     """Execute every task; return results in task order.
 
@@ -148,6 +159,15 @@ def run_cell_tasks(
     resolve immediately). Under ``max_workers=1`` that is strict task
     order; under a pool it is completion order — still exactly once
     per cell.
+
+    ``scheduler`` (a :class:`~repro.campaign.scheduler.Scheduler`)
+    reorders *dispatch* only: it picks which pending cell each free
+    worker takes next and is told what every cell actually cost.
+    Results, journal keys, and resume behaviour are identical under
+    every schedule; a non-lane-major schedule with ``max_workers=1``
+    executes cells in predicted-cost order, so ``on_result`` fires in
+    dispatch order rather than task order (resumed cells still resolve
+    first, in task order).
     """
     journaled: dict[str, JournalEntry] = {}
     if resume and journal is not None:
@@ -168,11 +188,36 @@ def run_cell_tasks(
     fallback = ResilientExecutor()
 
     if max_workers <= 1 or len(pending) <= 1:
-        for index, task in enumerate(tasks):
-            result = results[index]
-            if result is None:
-                result = _execute(task, index, journal, fallback)
-                results[index] = result
+        if scheduler is None or scheduler.is_lane_major:
+            # The pre-scheduler sequential path: strict task order,
+            # resumed callbacks interleaved at their positions. A
+            # lane-major scheduler observes each cell but never
+            # reorders (its pick is always the queue head).
+            queue = list(pending)
+            for index, task in enumerate(tasks):
+                result = results[index]
+                if result is None:
+                    if scheduler is not None:
+                        queue.pop(scheduler.pick(queue))
+                    result = _execute(task, index, journal, fallback)
+                    results[index] = result
+                    if scheduler is not None:
+                        scheduler.observe(task, result.elapsed)
+                if on_result is not None:
+                    on_result(result)
+            return [r for r in results if r is not None]
+        # Cost-ordered sequential run: resumed cells resolve first (in
+        # task order), then cells execute in scheduler order.
+        if on_result is not None:
+            for result in results:
+                if result is not None:
+                    on_result(result)
+        queue = list(pending)
+        while queue:
+            index, task = queue.pop(scheduler.pick(queue))
+            result = _execute(task, index, journal, fallback)
+            results[index] = result
+            scheduler.observe(task, result.elapsed)
             if on_result is not None:
                 on_result(result)
         return [r for r in results if r is not None]
@@ -183,6 +228,22 @@ def run_cell_tasks(
             if result is not None:
                 on_result(result)
 
+    if scheduler is None:
+        return _run_pooled(pending, results, max_workers, journal,
+                           fallback, on_result)
+    return _run_pooled_scheduled(pending, results, max_workers,
+                                 journal, fallback, on_result, scheduler)
+
+
+def _run_pooled(
+    pending: list[tuple[int, CellTask]],
+    results: list[CellResult | None],
+    max_workers: int,
+    journal: SweepJournal | ShardedJournal | None,
+    fallback: ResilientExecutor,
+    on_result: Callable[[CellResult], None] | None,
+) -> list[CellResult]:
+    """The unscheduled pool: submit everything, collect as completed."""
     first_error: BaseException | None = None
     with ThreadPoolExecutor(max_workers=min(max_workers, len(pending)),
                             thread_name_prefix="campaign") as pool:
@@ -204,6 +265,61 @@ def run_cell_tasks(
                 results[result.index] = result
                 if on_result is not None and first_error is None:
                     on_result(result)
+    if first_error is not None:
+        raise first_error
+    return [r for r in results if r is not None]
+
+
+def _run_pooled_scheduled(
+    pending: list[tuple[int, CellTask]],
+    results: list[CellResult | None],
+    max_workers: int,
+    journal: SweepJournal | ShardedJournal | None,
+    fallback: ResilientExecutor,
+    on_result: Callable[[CellResult], None] | None,
+    scheduler: "Scheduler",
+) -> list[CellResult]:
+    """The scheduled pool: incremental dispatch, one pick per free slot.
+
+    Cells are submitted one at a time as workers free up, so an online
+    predictor's observations from finished cells inform which pending
+    cell is picked next. Lane-major picks are always the queue head —
+    FIFO, exactly the dispatch order of the submit-everything pool. A
+    harness error (non-:class:`~repro.common.errors.ReproError`) stops
+    further dispatch, drains the in-flight cells, and re-raises, same
+    as the unscheduled pool.
+    """
+    first_error: BaseException | None = None
+    queue = list(pending)
+    workers = min(max_workers, len(pending))
+    with ThreadPoolExecutor(max_workers=workers,
+                            thread_name_prefix="campaign") as pool:
+        inflight: dict[Any, CellTask] = {}
+
+        def submit_next() -> None:
+            index, task = queue.pop(scheduler.pick(queue))
+            inflight[pool.submit(_execute, task, index, journal,
+                                 fallback)] = task
+        while queue and len(inflight) < workers:
+            submit_next()
+        while inflight:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                task = inflight.pop(future)
+                try:
+                    result = future.result()
+                except BaseException as exc:  # noqa: BLE001 — re-raised
+                    if first_error is None:
+                        first_error = exc
+                        queue.clear()
+                    continue
+                results[result.index] = result
+                if first_error is None:
+                    scheduler.observe(task, result.elapsed)
+                    if on_result is not None:
+                        on_result(result)
+                    while queue and len(inflight) < workers:
+                        submit_next()
     if first_error is not None:
         raise first_error
     return [r for r in results if r is not None]

@@ -32,8 +32,17 @@ parser, so the flags cannot drift between subcommands):
 ones on a re-run (``--journal`` to checkpoint without skipping),
 ``--journal-dir`` for a sharded journal directory (one shard per
 worker — the right store for parallel campaigns; combine with a bare
-``--resume``), and ``--inject-faults RATE`` / ``--fault-seed`` to
-chaos-test a campaign with seeded transient faults.
+``--resume``), ``--schedule`` / ``--predictor`` to dispatch cells by
+predicted cost (``longest-first`` cuts makespan on unbalanced grids;
+see ``docs/campaign.md``), and ``--inject-faults RATE`` /
+``--fault-seed`` to chaos-test a campaign with seeded, per-platform
+calibrated transient faults.
+
+All execution behaviour flows through one
+:class:`~repro.resilience.ExecutionPolicy` built by
+:func:`_policy_from_args` — the CLI has no side-channel into the sweep
+entry points (the pre-policy ``executor=``/``journal=`` keywords are
+deprecated aliases slated for removal; see ``docs/extending.md``).
 """
 
 from __future__ import annotations
@@ -65,6 +74,8 @@ from repro.core.serialize import (
 from repro.core.tier1 import Tier1Profiler
 from repro.core.tier2 import DeploymentOptimizer, ScalabilityAnalyzer
 from repro.resilience import (
+    PREDICTORS,
+    SCHEDULE_POLICIES,
     ExecutionPolicy,
     FaultInjectingBackend,
     FaultPlan,
@@ -221,6 +232,8 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
         resume=resume,
         retry_failed=args.retry_failed,
         max_workers=args.max_workers,
+        schedule=args.schedule,
+        predictor=args.predictor,
     )
 
 
@@ -426,6 +439,18 @@ def _resilience_parent() -> argparse.ArgumentParser:
     group.add_argument("--retry-failed", action="store_true",
                        help="with --resume, re-execute journaled "
                             "failures too")
+    group.add_argument("--schedule", choices=SCHEDULE_POLICIES,
+                       default=SCHEDULE_POLICIES[0],
+                       help="cell dispatch order: lane-major (arrival "
+                            "order), longest-first (predicted-cost LPT "
+                            "— cuts makespan on unbalanced grids), or "
+                            "shortest-first (quick feedback)")
+    group.add_argument("--predictor", choices=PREDICTORS,
+                       default="ewma",
+                       help="cost model ranking cells for --schedule: "
+                            "analytic (static cost-model estimate) or "
+                            "ewma (online, learns per-backend cell "
+                            "durations as the run progresses)")
     group.add_argument("--inject-faults", type=float, default=0.0,
                        metavar="RATE",
                        help="chaos-test: inject seeded transient "

@@ -63,6 +63,15 @@ class BenchmarkReport:
         self.add_table(title, INFRA_HEADERS,
                        [infrastructure_row(s) for s in stats])
 
+    def add_scheduling(self, stats: Sequence[object],
+                       title: str = "Scheduling") -> None:
+        """One row per schedule run: dispatch policy, predictor, and
+        predicted-vs-actual cost accuracy plus simulated makespan (each
+        ``stats`` item is duck-typed like
+        :class:`~repro.campaign.SchedulerStats`)."""
+        self.add_table(title, SCHEDULING_HEADERS,
+                       [scheduling_row(s) for s in stats])
+
     def render(self) -> str:
         banner = "=" * max(len(self.title), 8)
         return "\n\n".join([f"{banner}\n{self.title}\n{banner}",
@@ -132,6 +141,24 @@ def infrastructure_row(stats: object) -> list[object]:
             stats.gated, stats.resumed, stats.attempts, stats.retries,
             breaker.get("state", "-"), breaker.get("trip_count", 0),
             f"{breaker.get('open_seconds', 0.0):.1f}"]
+
+
+SCHEDULING_HEADERS = [
+    "schedule", "predictor", "cells", "predicted (s)", "actual (s)",
+    "MAE (s)", "MAPE", "makespan (s)", "workers",
+]
+
+
+def scheduling_row(stats: object) -> list[object]:
+    """A scheduling-telemetry row (duck-typed over
+    :class:`~repro.campaign.SchedulerStats`)."""
+    mape = stats.mape
+    return [stats.schedule, stats.predictor, stats.cells,
+            f"{stats.predicted_seconds:.1f}",
+            f"{stats.actual_seconds:.1f}",
+            f"{stats.mean_abs_error:.2f}",
+            f"{mape * 100:.1f}%" if mape is not None else "-",
+            f"{stats.makespan_seconds:.1f}", stats.max_workers]
 
 
 def describe_tier1(result: Tier1Result) -> str:

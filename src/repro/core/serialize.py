@@ -214,6 +214,10 @@ def execution_policy_to_dict(policy: Any) -> dict[str, Any]:
         "resume": policy.resume,
         "retry_failed": policy.retry_failed,
         "max_workers": policy.max_workers,
+        "schedule": policy.schedule,
+        "predictor": (policy.predictor if isinstance(policy.predictor, str)
+                      else getattr(policy.predictor, "name",
+                                   type(policy.predictor).__name__)),
         "breaker": (policy.breaker if isinstance(policy.breaker, bool)
                     else policy.breaker.name),
         "breaker_threshold": policy.breaker_threshold,
@@ -239,6 +243,24 @@ def backend_stats_to_dict(stats: Any) -> dict[str, Any]:
     }
 
 
+def scheduler_stats_to_dict(stats: Any) -> dict[str, Any] | None:
+    """Flatten a :class:`~repro.campaign.SchedulerStats` (``None``
+    passes through, for campaigns run without scheduling telemetry)."""
+    if stats is None:
+        return None
+    return {
+        "schedule": stats.schedule,
+        "predictor": stats.predictor,
+        "cells": stats.cells,
+        "predicted_seconds": stats.predicted_seconds,
+        "actual_seconds": stats.actual_seconds,
+        "mean_abs_error": stats.mean_abs_error,
+        "mape": stats.mape,
+        "makespan_seconds": stats.makespan_seconds,
+        "max_workers": stats.max_workers,
+    }
+
+
 def campaign_to_dict(result: Any) -> dict[str, Any]:
     """Flatten a :class:`~repro.campaign.CampaignResult`: per-lane cells
     and statistics plus the policy that produced them."""
@@ -247,6 +269,8 @@ def campaign_to_dict(result: Any) -> dict[str, Any]:
         "total_cells": result.total_cells,
         "executed_cells": result.executed_cells,
         "resumed_cells": result.resumed_cells,
+        "scheduling": scheduler_stats_to_dict(
+            getattr(result, "scheduling", None)),
         "lanes": [
             {
                 "label": label,

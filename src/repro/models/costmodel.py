@@ -22,6 +22,13 @@ from dataclasses import dataclass
 
 from repro.models.config import ModelConfig, TrainConfig
 
+#: Compile-time proxy constants (see ``estimated_compile_seconds``):
+#: a fixed compiler-service overhead, a per-layer placement term, and a
+#: per-billion-parameter graph-lowering term. Relative, not calibrated.
+COMPILE_BASE_SECONDS = 5.0
+COMPILE_SECONDS_PER_LAYER = 0.5
+COMPILE_SECONDS_PER_GPARAM = 20.0
+
 
 @dataclass(frozen=True)
 class LayerParams:
@@ -190,6 +197,38 @@ class TransformerCostModel:
                 + self.gradient_bytes(train)
                 + self.optimizer_state_bytes(train)
                 + self.activation_bytes(train))
+
+    # ------------------------------------------------------------------
+    # Harness-cost estimates (campaign scheduling)
+    # ------------------------------------------------------------------
+    def estimated_compile_seconds(self) -> float:
+        """Analytic estimate of how long compiling this model takes.
+
+        The paper's Section IV harness observes that compile time is
+        the dominant cost of large sweep cells and that it grows with
+        graph size (layer count) and with the parameter volume the
+        placer must map. This proxy is *relative*, not calibrated: the
+        cost-aware campaign scheduler only needs big cells ranked above
+        small ones, so the constants just need realistic proportions
+        (a fixed service overhead, a per-layer placement term, and a
+        per-billion-parameter lowering term).
+        """
+        m = self.model
+        return (COMPILE_BASE_SECONDS
+                + COMPILE_SECONDS_PER_LAYER * m.n_layers
+                + COMPILE_SECONDS_PER_GPARAM * self.total_params() / 1e9)
+
+    def estimated_step_seconds(self, train: TrainConfig,
+                               peak_flops: float,
+                               efficiency: float = 0.2) -> float:
+        """Analytic estimate of one measured step on a device.
+
+        ``peak_flops`` is the target chip's peak; ``efficiency`` is the
+        achieved fraction (the paper's Sec. V-C2 reports ~20% on these
+        platforms, which is the default). Relative accuracy is all the
+        scheduler needs.
+        """
+        return self.step_flops(train) / (peak_flops * efficiency)
 
     # ------------------------------------------------------------------
     # Arithmetic intensity — paper Eq. 5

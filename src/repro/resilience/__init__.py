@@ -26,15 +26,21 @@ from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.clock import Clock, FakeClock, SystemClock
 from repro.resilience.executor import CellOutcome, ResilientExecutor
 from repro.resilience.faults import (
+    CHAOS_PROFILES,
+    ChaosFault,
     FaultInjectingBackend,
     FaultPlan,
     FaultSpec,
     compiler_flake,
     device_fault,
+    gpu_ecc_retry,
+    gpu_nccl_timeout,
+    ipu_host_link_error,
     ipu_tile_oom,
     rdu_section_stall,
     workload_key,
     wse_fabric_fault,
+    wse_placement_flake,
 )
 from repro.resilience.journal import (
     STATUS_FAILED,
@@ -44,7 +50,17 @@ from repro.resilience.journal import (
     ShardedJournal,
     SweepJournal,
 )
-from repro.resilience.policy import ExecutionPolicy, resolve_policy
+from repro.resilience.policy import (
+    PREDICTOR_ANALYTIC,
+    PREDICTOR_EWMA,
+    PREDICTORS,
+    SCHEDULE_LANE_MAJOR,
+    SCHEDULE_LONGEST_FIRST,
+    SCHEDULE_POLICIES,
+    SCHEDULE_SHORTEST_FIRST,
+    ExecutionPolicy,
+    resolve_policy,
+)
 from repro.resilience.retry import BackoffSchedule, RetryPolicy
 
 __all__ = [
@@ -56,16 +72,29 @@ __all__ = [
     "CircuitBreaker",
     "ExecutionPolicy",
     "resolve_policy",
+    "SCHEDULE_LANE_MAJOR",
+    "SCHEDULE_LONGEST_FIRST",
+    "SCHEDULE_SHORTEST_FIRST",
+    "SCHEDULE_POLICIES",
+    "PREDICTOR_ANALYTIC",
+    "PREDICTOR_EWMA",
+    "PREDICTORS",
     "ResilientExecutor",
     "CellOutcome",
     "FaultSpec",
     "FaultPlan",
     "FaultInjectingBackend",
+    "ChaosFault",
+    "CHAOS_PROFILES",
     "workload_key",
     "compiler_flake",
     "wse_fabric_fault",
+    "wse_placement_flake",
     "rdu_section_stall",
+    "ipu_host_link_error",
     "ipu_tile_oom",
+    "gpu_nccl_timeout",
+    "gpu_ecc_retry",
     "device_fault",
     "SweepJournal",
     "ShardedJournal",

@@ -73,6 +73,34 @@ def ipu_tile_oom(required_bytes: float = 950e6,
         required_bytes=required_bytes, available_bytes=available_bytes)
 
 
+def wse_placement_flake() -> ReproError:
+    """A non-deterministic WSE placement-service failure at compile."""
+    from repro.cerebras.backend import PlacementFlakeError
+    return PlacementFlakeError(
+        "placement service produced no routable layout; resubmit")
+
+
+def ipu_host_link_error() -> ReproError:
+    """A dropped host/IPU link mid-transfer (transient; re-attach)."""
+    from repro.graphcore.backend import HostLinkError
+    return HostLinkError(
+        "host link dropped while streaming activations; re-attaching")
+
+
+def gpu_nccl_timeout() -> ReproError:
+    """A collective that timed out on a straggler rank (transient)."""
+    from repro.gpu.backend import NcclTimeoutError
+    return NcclTimeoutError(
+        "NCCL all-reduce timed out waiting on a straggler rank")
+
+
+def gpu_ecc_retry() -> ReproError:
+    """A corrected ECC event forcing a step replay (transient)."""
+    from repro.gpu.backend import EccRetryError
+    return EccRetryError(
+        "corrected ECC memory event; step replayed")
+
+
 def device_fault(component: str = "fabric") -> DeviceFaultError:
     """A permanent device fault: the hardware itself is broken."""
     return DeviceFaultError(
@@ -86,6 +114,68 @@ PLATFORM_TRANSIENTS: dict[str, Callable[[], ReproError]] = {
     "sambanova": rdu_section_stall,
     "graphcore": compiler_flake,
     "gpu": compiler_flake,
+}
+
+
+# ----------------------------------------------------------------------
+# Chaos-mode calibration (per-platform rate profiles)
+# ----------------------------------------------------------------------
+#: Reference die area chaos rates are normalized against: the A100's
+#: reticle-limited 826 mm^2 die, the conventional accelerator size.
+REFERENCE_DIE_MM2 = 826.0
+
+#: The WSE-2 is a whole 46,225 mm^2 wafer (215 mm x 215 mm) — ~56x the
+#: reference die's silicon, hence ~56x the raw soft-error cross-section.
+WSE2_WAFER_MM2 = 46_225.0
+
+#: Fraction of wafer upsets that stay *visible* to the harness. The WSE
+#: carries spare PE rows precisely so that most single-PE faults are
+#: absorbed by remapping without the workload noticing; only ~2.5%
+#: surface as a FabricFaultError the executor must retry.
+WSE_VISIBLE_FAULT_FRACTION = 0.025
+
+#: Cerebras fabric-fault weight: raw area scaling discounted by spare-row
+#: absorption (56x * 0.025 = 1.4x the base chaos rate).
+_WSE_FABRIC_WEIGHT = (WSE2_WAFER_MM2 / REFERENCE_DIE_MM2
+                      * WSE_VISIBLE_FAULT_FRACTION)
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One component of a platform's chaos profile.
+
+    ``weight`` multiplies the caller's base chaos rate (capped at 1.0);
+    ``phase`` pins the fault to the harness phase where that failure
+    mode physically occurs.
+    """
+
+    fault: Callable[[], ReproError]
+    weight: float
+    phase: str = "any"
+
+
+#: Platform → calibrated chaos profile. Rates are *relative* to the
+#: caller's base rate; the rationale for each weight (wafer-area
+#: scaling, DDR section staging, host-link streaming, NCCL stragglers)
+#: is documented in ``docs/robustness.md``.
+CHAOS_PROFILES: dict[str, tuple[ChaosFault, ...]] = {
+    "cerebras": (
+        ChaosFault(wse_fabric_fault, _WSE_FABRIC_WEIGHT, phase="run"),
+        ChaosFault(wse_placement_flake, 0.5, phase="compile"),
+    ),
+    "sambanova": (
+        ChaosFault(rdu_section_stall, 0.8, phase="run"),
+        ChaosFault(compiler_flake, 0.3, phase="compile"),
+    ),
+    "graphcore": (
+        ChaosFault(ipu_host_link_error, 0.6, phase="run"),
+        ChaosFault(compiler_flake, 0.3, phase="compile"),
+    ),
+    "gpu": (
+        ChaosFault(gpu_nccl_timeout, 0.5, phase="run"),
+        ChaosFault(gpu_ecc_retry, 0.2, phase="run"),
+        ChaosFault(compiler_flake, 0.2, phase="compile"),
+    ),
 }
 
 
@@ -159,10 +249,33 @@ class FaultPlan:
     @classmethod
     def chaos(cls, rate: float, seed: int = 0,
               platform: str | None = None) -> "FaultPlan":
-        """Random transient faults at ``rate`` per call, platform-styled."""
-        factory = PLATFORM_TRANSIENTS.get(platform or "", compiler_flake)
-        return cls(specs=[FaultSpec(fault=factory, attempts=None,
-                                    probability=rate)], seed=seed)
+        """Random transient faults at ``rate`` per call.
+
+        Without a platform this is the uniform legacy behaviour: one
+        generic compiler flake at ``rate`` on every call. With a
+        platform name, the calibrated :data:`CHAOS_PROFILES` entry is
+        used instead — each failure mode fires in its own phase at
+        ``weight * rate`` (capped at 1.0), so e.g. Cerebras chaos is
+        dominated by run-phase fabric faults at the wafer-area-scaled
+        rate while SN30 chaos is mostly DDR section stalls. Platform
+        variants (``graphcore-pod``) share their family's profile;
+        unknown platforms fall back to a uniform
+        :data:`PLATFORM_TRANSIENTS` fault.
+        """
+        if platform is None:
+            return cls(specs=[FaultSpec(fault=compiler_flake,
+                                        attempts=None,
+                                        probability=rate)], seed=seed)
+        profile = CHAOS_PROFILES.get(platform.split("-")[0])
+        if profile is None:
+            factory = PLATFORM_TRANSIENTS.get(platform, compiler_flake)
+            return cls(specs=[FaultSpec(fault=factory, attempts=None,
+                                        probability=rate)], seed=seed)
+        return cls(specs=[FaultSpec(fault=part.fault, phase=part.phase,
+                                    attempts=None,
+                                    probability=min(1.0,
+                                                    part.weight * rate))
+                          for part in profile], seed=seed)
 
     def add(self, spec: FaultSpec) -> "FaultPlan":
         """Append a rule (earlier rules win on a given call)."""

@@ -40,6 +40,21 @@ from repro.resilience.retry import RetryPolicy
 #: to the pre-policy sweep default.
 NO_RETRY = RetryPolicy(max_retries=0, jitter=0.0)
 
+#: Cell dispatch orders (see :mod:`repro.campaign.scheduler`). Defined
+#: here, not in the scheduler module, so the policy can validate its
+#: ``schedule`` field without importing the campaign package (which
+#: imports this module).
+SCHEDULE_LANE_MAJOR = "lane-major"
+SCHEDULE_LONGEST_FIRST = "longest-first"
+SCHEDULE_SHORTEST_FIRST = "shortest-first"
+SCHEDULE_POLICIES = (SCHEDULE_LANE_MAJOR, SCHEDULE_LONGEST_FIRST,
+                     SCHEDULE_SHORTEST_FIRST)
+
+#: Built-in cost predictor names (see :mod:`repro.campaign.scheduler`).
+PREDICTOR_ANALYTIC = "analytic"
+PREDICTOR_EWMA = "ewma"
+PREDICTORS = (PREDICTOR_ANALYTIC, PREDICTOR_EWMA)
+
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
@@ -58,6 +73,20 @@ class ExecutionPolicy:
         max_workers: worker threads fanning cells out; ``1`` keeps the
             exact sequential semantics (and callback ordering) of the
             pre-campaign harness.
+        schedule: the order cells are *dispatched* in —
+            ``"lane-major"`` (task-list arrival order, the default and
+            the pre-scheduler behaviour), ``"longest-first"`` (highest
+            predicted cost first — the LPT heuristic that cuts
+            makespan on unbalanced grids), or ``"shortest-first"``
+            (quick feedback first). Results always come back in spec
+            order whatever the schedule; see
+            :mod:`repro.campaign.scheduler`.
+        predictor: the cost model the scheduler ranks cells with —
+            ``"ewma"`` (the default: an online per-(backend, family)
+            estimator seeded by the analytic prior), ``"analytic"``
+            (the static :mod:`repro.models.costmodel` estimate), or
+            any object implementing the
+            :class:`~repro.campaign.scheduler.CostPredictor` protocol.
         breaker: circuit breaking for single-backend sweeps — ``False``
             (off, the default), ``True`` (build one from the threshold
             fields below), or a ready :class:`CircuitBreaker` instance.
@@ -83,6 +112,8 @@ class ExecutionPolicy:
     resume: bool = False
     retry_failed: bool = False
     max_workers: int = 1
+    schedule: str = SCHEDULE_LANE_MAJOR
+    predictor: Any = PREDICTOR_EWMA
     breaker: CircuitBreaker | bool = False
     breaker_threshold: int = 5
     breaker_reset: float = 300.0
@@ -102,6 +133,15 @@ class ExecutionPolicy:
         if self.breaker_reset < 0:
             raise ConfigurationError(
                 f"breaker_reset must be >= 0: {self.breaker_reset}")
+        if self.schedule not in SCHEDULE_POLICIES:
+            raise ConfigurationError(
+                f"schedule must be one of {SCHEDULE_POLICIES}: "
+                f"{self.schedule!r}")
+        if isinstance(self.predictor, str) and \
+                self.predictor not in PREDICTORS:
+            raise ConfigurationError(
+                f"predictor must be one of {PREDICTORS} or a "
+                f"CostPredictor instance: {self.predictor!r}")
 
     # -- derived pieces ------------------------------------------------
     def normalized_journal(self) -> SweepJournal | ShardedJournal | None:
@@ -151,6 +191,15 @@ class ExecutionPolicy:
                                  cell_timeout=self.deadline,
                                  clock=clock or self.clock or SystemClock(),
                                  breaker=breaker)
+
+    def make_scheduler(self) -> Any:
+        """A :class:`~repro.campaign.scheduler.Scheduler` per this policy.
+
+        Imported lazily: the campaign package imports this module, so
+        the policy cannot import it at module scope.
+        """
+        from repro.campaign.scheduler import Scheduler, make_predictor
+        return Scheduler(self.schedule, make_predictor(self.predictor))
 
     def with_options(self, **changes: Any) -> "ExecutionPolicy":
         """A copy with the given fields replaced."""

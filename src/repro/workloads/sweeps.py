@@ -108,8 +108,12 @@ def cell_tasks(backend: AcceleratorBackend, specs: list[SweepSpec],
     """Engine tasks for a spec grid on one backend.
 
     Non-thread-safe backends get a shared serializer lock so a pooled
-    run never overlaps their calls.
+    run never overlaps their calls. Every task is stamped with its
+    analytic cost prediction and workload-family key so a cost-aware
+    :class:`~repro.campaign.scheduler.Scheduler` can order dispatch.
     """
+    from repro.campaign.scheduler import estimate_cell_seconds
+
     serializer = None if backend.thread_safe else threading.Lock()
     run_fn = ((lambda compiled: backend.run(compiled)) if measure
               else None)
@@ -122,6 +126,9 @@ def cell_tasks(backend: AcceleratorBackend, specs: list[SweepSpec],
             is_transient=backend.is_transient,
             executor=executor,
             serializer=serializer,
+            cost_hint=estimate_cell_seconds(backend, spec.model,
+                                            spec.train, measure=measure),
+            family=f"{backend.name}::{spec.model.family}",
         )
         for spec in specs
     ]
@@ -150,10 +157,12 @@ def run_grid(backend: AcceleratorBackend,
             cells). With ``max_workers=1`` it fires in spec order; under
             a pool, in completion order.
         policy: the :class:`ExecutionPolicy` governing retry, deadlines,
-            journaling, resume, and ``max_workers`` fan-out.
+            journaling, resume, ``max_workers`` fan-out, and the
+            dispatch ``schedule``.
         executor, journal, resume, retry_failed: deprecated aliases for
             the corresponding policy fields (they emit
-            :class:`DeprecationWarning`).
+            :class:`DeprecationWarning`; scheduled for removal in the
+            0.3 release — see ``docs/extending.md``).
     """
     policy = resolve_policy(policy, api="run_grid", executor=executor,
                             journal=journal, resume=resume,
@@ -175,6 +184,7 @@ def run_grid(backend: AcceleratorBackend,
         resume=policy.resume,
         retry_failed=policy.retry_failed,
         on_result=relay,
+        scheduler=policy.make_scheduler(),
     )
     return [cell_from_result(spec, result)
             for spec, result in zip(specs, results)]

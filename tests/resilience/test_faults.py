@@ -8,19 +8,25 @@ from repro.common.errors import (
     OutOfMemoryError,
     TransientError,
 )
-from repro.graphcore.backend import TileOutOfMemoryError
+from repro.gpu.backend import EccRetryError, NcclTimeoutError
+from repro.graphcore.backend import HostLinkError, TileOutOfMemoryError
 from repro.models.config import TrainConfig, gpt2_model
 from repro.resilience.clock import FakeClock
 from repro.resilience.faults import (
+    CHAOS_PROFILES,
     FaultInjectingBackend,
     FaultPlan,
     FaultSpec,
     compiler_flake,
     device_fault,
+    gpu_ecc_retry,
+    gpu_nccl_timeout,
+    ipu_host_link_error,
     ipu_tile_oom,
     rdu_section_stall,
     workload_key,
     wse_fabric_fault,
+    wse_placement_flake,
 )
 from repro.sambanova.backend import SectionStallError
 
@@ -78,6 +84,61 @@ class TestFaultPlan:
         assert drawn(7) == drawn(7)
         assert drawn(7) != drawn(8)
         assert any(drawn(7)) and not all(drawn(7))
+
+    def test_chaos_without_platform_is_uniform_compiler_flake(self):
+        plan = FaultPlan.chaos(0.25)
+        assert len(plan.specs) == 1
+        spec = plan.specs[0]
+        assert spec.fault is compiler_flake
+        assert spec.phase == "any"
+        assert spec.probability == 0.25
+
+    @pytest.mark.parametrize("platform,run_type,compile_type", [
+        ("cerebras", FabricFaultError, wse_placement_flake),
+        ("sambanova", SectionStallError, compiler_flake),
+        ("graphcore", HostLinkError, compiler_flake),
+        ("graphcore-pod", HostLinkError, compiler_flake),
+    ])
+    def test_chaos_platform_profiles_are_phase_calibrated(
+            self, platform, run_type, compile_type):
+        plan = FaultPlan.chaos(0.1, platform=platform)
+        run_specs = [s for s in plan.specs if s.phase == "run"]
+        compile_specs = [s for s in plan.specs if s.phase == "compile"]
+        assert run_specs and compile_specs
+        assert isinstance(run_specs[0].fault(), run_type)
+        assert compile_specs[0].fault is compile_type or \
+            isinstance(compile_specs[0].fault(),
+                       type(compile_type()))
+
+    def test_cerebras_fabric_rate_scales_with_wafer_area(self):
+        # The WSE-2's wafer is ~56x the reference die; spare-row
+        # absorption leaves 2.5% visible — a 1.4x weight on the base
+        # rate, so Cerebras chaos faults more than a die-sized chip.
+        rate = 0.1
+        wse = FaultPlan.chaos(rate, platform="cerebras")
+        gpu = FaultPlan.chaos(rate, platform="gpu")
+        fabric = [s for s in wse.specs if s.phase == "run"][0]
+        assert fabric.probability == pytest.approx(
+            rate * 46_225.0 / 826.0 * 0.025)
+        assert fabric.probability > max(s.probability
+                                        for s in gpu.specs)
+
+    def test_chaos_probability_is_capped_at_one(self):
+        plan = FaultPlan.chaos(1.0, platform="cerebras")
+        assert all(s.probability <= 1.0 for s in plan.specs)
+
+    def test_gpu_profile_flavours(self):
+        plan = FaultPlan.chaos(0.2, platform="gpu")
+        raised = {type(s.fault()).__name__ for s in plan.specs}
+        assert "NcclTimeoutError" in raised
+        assert "EccRetryError" in raised
+        assert isinstance(gpu_nccl_timeout(), NcclTimeoutError)
+        assert isinstance(gpu_ecc_retry(), EccRetryError)
+        assert isinstance(ipu_host_link_error(), HostLinkError)
+
+    def test_profiles_cover_every_platform_family(self):
+        assert set(CHAOS_PROFILES) == {"cerebras", "sambanova",
+                                       "graphcore", "gpu"}
 
     def test_injection_log(self):
         plan = FaultPlan().add(FaultSpec(fault=compiler_flake,

@@ -207,6 +207,34 @@ class TestCampaignCommand:
         shards = list((tmp_path / "journal").glob("shard-*.jsonl"))
         assert 1 <= len(shards) <= 4
 
+    def test_campaign_schedule_flag(self, capsys, tmp_path):
+        out_file = tmp_path / "campaign.json"
+        code = main(["campaign", "--platforms", "cerebras", "gpu",
+                     "--model", "probe:256x2", "--seq-len", "256",
+                     "--layers", "2", "4", "--batches", "8",
+                     "--schedule", "longest-first",
+                     "--predictor", "analytic",
+                     "--json", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scheduling" in out
+        assert "longest-first" in out
+        # Spec order survives cost-ordered dispatch.
+        assert out.index("L2/b8") < out.index("L4/b8")
+        payload = json.loads(out_file.read_text())
+        assert payload["policy"]["schedule"] == "longest-first"
+        assert payload["policy"]["predictor"] == "analytic"
+        assert payload["scheduling"]["cells"] == 4
+        assert payload["scheduling"]["predicted_seconds"] > 0
+
+    def test_bad_schedule_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["grid", "--platform", "cerebras",
+                  "--model", "probe:256x2",
+                  "--layers", "2", "--batches", "8",
+                  "--schedule", "random"])
+        assert "--schedule" in capsys.readouterr().err
+
     def test_campaign_resume_from_journal_dir(self, capsys, tmp_path):
         args = ["campaign", "--platforms", "cerebras",
                 "--model", "probe:256x2", "--seq-len", "256",

@@ -70,6 +70,16 @@ def test_figures_and_energy(capsys):
     assert "tokens per joule" in out
 
 
+def test_campaign_scheduling(capsys):
+    out = run_example("campaign_scheduling", capsys)
+    assert "makespan  32.0s" in out
+    assert "makespan  24.0s" in out
+    assert "cuts the makespan 25%" in out
+    assert "MAE   0.00s" in out  # the oracle predictor is exact
+    assert "Scheduling" in out
+    assert "longest-first" in out
+
+
 def test_inference_study(capsys):
     out = run_example("inference_study", capsys)
     assert "Training vs inference" in out
