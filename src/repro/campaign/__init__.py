@@ -55,6 +55,12 @@ from repro.campaign.scheduler import (
     make_predictor,
     simulate_makespan,
 )
+from repro.campaign.process import (
+    CellSpec,
+    WorkerSpec,
+    check_process_policy,
+    run_cell_specs,
+)
 from repro.common.errors import ConfigurationError
 from repro.core.backend import AcceleratorBackend
 from repro.core.report import BenchmarkReport, GRID_HEADERS, sweep_cell_row
@@ -62,7 +68,7 @@ from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.clock import Clock
 from repro.resilience.executor import ResilientExecutor
 from repro.resilience.journal import STATUS_GATED, STATUS_OK
-from repro.resilience.policy import ExecutionPolicy
+from repro.resilience.policy import DISPATCH_PROCESS, ExecutionPolicy
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
     from repro.workloads.sweeps import SweepCell, SweepSpec
@@ -75,6 +81,9 @@ __all__ = [
     "CellTask",
     "CellResult",
     "run_cell_tasks",
+    "CellSpec",
+    "WorkerSpec",
+    "run_cell_specs",
     "Scheduler",
     "SchedulerStats",
     "CostPredictor",
@@ -233,6 +242,8 @@ class Campaign:
         from repro.workloads.sweeps import cell_from_result
 
         policy = self.policy
+        if policy.dispatch == DISPATCH_PROCESS:
+            return self._run_process(on_cell)
         journal = policy.normalized_journal()
 
         tasks: list[CellTask] = []
@@ -271,6 +282,86 @@ class Campaign:
             scheduler=scheduler,
         )
 
+        return self._assemble(results, breakers, scheduler)
+
+    def _run_process(self, on_cell: "Callable[[str, SweepCell], None]"
+                     " | None" = None) -> CampaignResult:
+        """The process-dispatch path: picklable specs, per-worker state.
+
+        Cells cross to worker processes as :class:`CellSpec` data; each
+        worker rebuilds the per-lane executors/breakers once and
+        journals into its own shard (see
+        :mod:`repro.campaign.process`). Results, ordering, resume, and
+        scheduler feedback match thread dispatch; the parent-side
+        health table shows no breaker state, which lives and dies with
+        the workers.
+        """
+        from repro.workloads.sweeps import cell_from_result
+
+        policy = self.policy
+        journal = policy.normalized_journal()
+        check_process_policy(
+            policy, journal, api="Campaign",
+            injected_clock=any(lane.clock is not None
+                               for lane in self.lanes))
+
+        specs: list[CellSpec] = []
+        owners: list[tuple[CampaignLane, "SweepSpec"]] = []
+        for lane in self.lanes:
+            assert lane.label is not None
+            for spec in lane.specs:
+                specs.append(CellSpec(
+                    key=f"{lane.label}::{spec.label}",
+                    lane=lane.label,
+                    model=spec.model,
+                    train=spec.train,
+                    options=dict(spec.options),
+                    measure=self.measure,
+                    cost_hint=estimate_cell_seconds(
+                        lane.backend, spec.model, spec.train,
+                        measure=self.measure),
+                    family=f"{lane.label}::{spec.model.family}",
+                ))
+                owners.append((lane, spec))
+        worker = WorkerSpec(
+            backends={lane.label: lane.backend for lane in self.lanes},
+            retry=policy.retry,
+            deadline=policy.deadline,
+            breakers=True,
+            breaker_threshold=policy.breaker_threshold,
+            breaker_reset=policy.breaker_reset,
+            journal_dir=(str(journal.directory)
+                         if journal is not None else None),
+            journal_prefix=(journal.prefix if journal is not None
+                            else "shard"),
+        )
+
+        def relay(result: CellResult) -> None:
+            lane, spec = owners[result.index]
+            assert lane.label is not None
+            if on_cell is not None:
+                on_cell(lane.label, cell_from_result(spec, result))
+
+        scheduler = policy.make_scheduler()
+        results = run_cell_specs(
+            specs,
+            worker=worker,
+            max_workers=policy.max_workers,
+            journal=journal,
+            resume=policy.resume,
+            retry_failed=policy.retry_failed,
+            on_result=relay if on_cell is not None else None,
+            scheduler=scheduler,
+        )
+        return self._assemble(results, {}, scheduler)
+
+    # ------------------------------------------------------------------
+    def _assemble(self, results: list[CellResult],
+                  breakers: dict[str, CircuitBreaker],
+                  scheduler: Scheduler) -> CampaignResult:
+        from repro.workloads.sweeps import cell_from_result
+
+        policy = self.policy
         labels: list[str] = []
         cells: dict[str, list[SweepCell]] = {}
         stats: dict[str, BackendStats] = {}
@@ -284,11 +375,11 @@ class Campaign:
                 cell_from_result(spec, result)
                 for spec, result in zip(lane.specs, lane_results)]
             stats[lane.label] = self._stats(lane.label, lane_results,
-                                            breakers[lane.label])
+                                            breakers.get(lane.label))
         return CampaignResult(labels=labels, cells=cells, stats=stats,
                               policy=policy,
                               scheduling=scheduler.stats(
-                                  policy.max_workers))
+                                  policy.max_workers, policy.dispatch))
 
     # ------------------------------------------------------------------
     def _task(self, lane: CampaignLane, spec: "SweepSpec",
@@ -313,7 +404,7 @@ class Campaign:
 
     @staticmethod
     def _stats(label: str, results: list[CellResult],
-               breaker: CircuitBreaker) -> BackendStats:
+               breaker: CircuitBreaker | None) -> BackendStats:
         ok = failed = gated = resumed = attempts = retries = 0
         elapsed = 0.0
         for result in results:
@@ -334,4 +425,5 @@ class Campaign:
                             failed=failed, gated=gated, resumed=resumed,
                             attempts=attempts, retries=retries,
                             elapsed_seconds=elapsed,
-                            breaker=breaker.metrics())
+                            breaker=(breaker.metrics()
+                                     if breaker is not None else {}))

@@ -235,19 +235,34 @@ def run_cell_tasks(
                                  journal, fallback, on_result, scheduler)
 
 
+def _thread_pool(workers: int) -> ThreadPoolExecutor:
+    return ThreadPoolExecutor(max_workers=workers,
+                              thread_name_prefix="campaign")
+
+
 def _run_pooled(
     pending: list[tuple[int, CellTask]],
     results: list[CellResult | None],
     max_workers: int,
     journal: SweepJournal | ShardedJournal | None,
-    fallback: ResilientExecutor,
+    fallback: ResilientExecutor | None,
     on_result: Callable[[CellResult], None] | None,
+    pool_factory: Callable[[int], Any] = _thread_pool,
+    submit_fn: Callable[..., Any] | None = None,
 ) -> list[CellResult]:
-    """The unscheduled pool: submit everything, collect as completed."""
+    """The unscheduled pool: submit everything, collect as completed.
+
+    ``pool_factory`` / ``submit_fn`` let
+    :mod:`repro.campaign.process` reuse this drain (identical
+    error/cancel/callback semantics) over a process pool executing
+    picklable cell specs instead of in-process tasks.
+    """
+    if submit_fn is None:
+        def submit_fn(pool: Any, index: int, task: CellTask) -> Any:
+            return pool.submit(_execute, task, index, journal, fallback)
     first_error: BaseException | None = None
-    with ThreadPoolExecutor(max_workers=min(max_workers, len(pending)),
-                            thread_name_prefix="campaign") as pool:
-        futures = {pool.submit(_execute, task, index, journal, fallback)
+    with pool_factory(min(max_workers, len(pending))) as pool:
+        futures = {submit_fn(pool, index, task)
                    for index, task in pending}
         while futures:
             done, futures = wait(futures, return_when=FIRST_COMPLETED)
@@ -275,9 +290,11 @@ def _run_pooled_scheduled(
     results: list[CellResult | None],
     max_workers: int,
     journal: SweepJournal | ShardedJournal | None,
-    fallback: ResilientExecutor,
+    fallback: ResilientExecutor | None,
     on_result: Callable[[CellResult], None] | None,
     scheduler: "Scheduler",
+    pool_factory: Callable[[int], Any] = _thread_pool,
+    submit_fn: Callable[..., Any] | None = None,
 ) -> list[CellResult]:
     """The scheduled pool: incremental dispatch, one pick per free slot.
 
@@ -287,19 +304,21 @@ def _run_pooled_scheduled(
     FIFO, exactly the dispatch order of the submit-everything pool. A
     harness error (non-:class:`~repro.common.errors.ReproError`) stops
     further dispatch, drains the in-flight cells, and re-raises, same
-    as the unscheduled pool.
+    as the unscheduled pool. ``pool_factory`` / ``submit_fn`` swap the
+    pool exactly as in :func:`_run_pooled`.
     """
+    if submit_fn is None:
+        def submit_fn(pool: Any, index: int, task: CellTask) -> Any:
+            return pool.submit(_execute, task, index, journal, fallback)
     first_error: BaseException | None = None
     queue = list(pending)
     workers = min(max_workers, len(pending))
-    with ThreadPoolExecutor(max_workers=workers,
-                            thread_name_prefix="campaign") as pool:
+    with pool_factory(workers) as pool:
         inflight: dict[Any, CellTask] = {}
 
         def submit_next() -> None:
             index, task = queue.pop(scheduler.pick(queue))
-            inflight[pool.submit(_execute, task, index, journal,
-                                 fallback)] = task
+            inflight[submit_fn(pool, index, task)] = task
         while queue and len(inflight) < workers:
             submit_next()
         while inflight:

@@ -1,0 +1,281 @@
+"""Process-based campaign dispatch: picklable cells, per-process state.
+
+Thread dispatch (:func:`~repro.campaign.engine.run_cell_tasks`) shares
+one address space, so tasks can carry closures and every worker writes
+the same journal instance. The simulator backends, though, are pure
+Python — CPU-bound cells serialize on the GIL and a thread pool buys
+no wall-clock at all. This module supplies the process path:
+
+* :class:`CellSpec` — a *picklable* description of one cell (no
+  closures): key, lane, (model, train, options), and the cost
+  hint/family the scheduler prices it by;
+* :class:`WorkerSpec` — everything a worker process needs to rebuild
+  the harness once: the lane backends plus the retry / deadline /
+  breaker settings of the :class:`~repro.resilience.ExecutionPolicy`;
+* :func:`run_cell_specs` — the parent-side engine. It resume-skips
+  from the journal exactly like the thread engine, then drives a
+  :class:`~concurrent.futures.ProcessPoolExecutor` through the same
+  drain loops (spec-ordered results, exactly-once callbacks, identical
+  error/cancel semantics).
+
+Each worker process builds its own
+:class:`~repro.resilience.ResilientExecutor` + circuit breaker per
+lane and journals finished cells into its own
+:class:`~repro.resilience.ShardedJournal` shard — the journal's
+atomic generation claim guarantees the processes never share a file,
+and the canonical ``merged_text()`` is byte-identical to a sequential
+run's. Full :class:`~repro.resilience.CellOutcome` objects (compile
+and run reports included) travel back over the results pipe, so the
+parent's results — and the scheduler's elapsed-seconds feedback — are
+exactly what thread dispatch would have produced.
+
+Known limits (enforced with :class:`ConfigurationError` up front):
+backends and fault plans must pickle; the journal must be sharded (a
+single :class:`~repro.resilience.SweepJournal` file cannot take
+appends from several processes); injected clocks and pre-built
+executors/breakers cannot cross a process boundary. Breaker state
+lives in the workers, so the parent-side health table reports no trips
+for process-dispatched lanes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.campaign.engine import (
+    CellResult,
+    _run_pooled,
+    _run_pooled_scheduled,
+)
+from repro.common.errors import ConfigurationError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.executor import ResilientExecutor
+from repro.resilience.journal import JournalEntry, ShardedJournal
+from repro.resilience.retry import RetryPolicy
+
+if TYPE_CHECKING:
+    from repro.campaign.scheduler import Scheduler
+    from repro.core.backend import AcceleratorBackend
+    from repro.models.config import ModelConfig, TrainConfig
+    from repro.resilience.policy import ExecutionPolicy
+
+__all__ = [
+    "CellSpec",
+    "WorkerSpec",
+    "CampaignWorker",
+    "run_cell_specs",
+    "check_process_policy",
+]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell as pure data — the process-dispatch unit of work.
+
+    Duck-types with :class:`~repro.campaign.engine.CellTask` where the
+    scheduler is concerned (``key`` / ``cost_hint`` / ``family``), but
+    carries the (model, train, options) triple instead of closures so
+    it can cross a process boundary.
+    """
+
+    key: str
+    lane: str
+    model: "ModelConfig"
+    train: "TrainConfig"
+    options: dict[str, Any] = field(default_factory=dict)
+    measure: bool = True
+    cost_hint: float | None = None
+    family: str = ""
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """The seed a worker process rebuilds its harness from.
+
+    One :class:`WorkerSpec` describes every lane, so a single pool
+    serves a whole multi-backend campaign; ``breakers`` mirrors
+    whether the policy asked for circuit breaking (campaigns always
+    do). ``journal_dir`` being ``None`` means unjournaled.
+    """
+
+    backends: "dict[str, AcceleratorBackend]"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    deadline: float | None = None
+    breakers: bool = True
+    breaker_threshold: int = 5
+    breaker_reset: float = 300.0
+    journal_dir: str | None = None
+    journal_prefix: str = "shard"
+
+
+class CampaignWorker:
+    """Per-process harness: executors, breakers, and a journal shard.
+
+    Built once per worker process by the pool initializer; every cell
+    the process executes reuses the same per-lane executor (so retries
+    and breaker state accumulate exactly as they would on a thread)
+    and appends to the same journal generation. Worker processes are
+    single-threaded, so non-thread-safe backends need no serializer
+    here.
+    """
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.journal = (ShardedJournal(spec.journal_dir,
+                                       spec.journal_prefix)
+                        if spec.journal_dir is not None else None)
+        self.executors: dict[str, ResilientExecutor] = {}
+        for label in spec.backends:
+            breaker = None
+            if spec.breakers:
+                breaker = CircuitBreaker(
+                    label, failure_threshold=spec.breaker_threshold,
+                    reset_timeout=spec.breaker_reset)
+            self.executors[label] = ResilientExecutor(
+                retry=spec.retry, cell_timeout=spec.deadline,
+                breaker=breaker)
+
+    def execute(self, index: int, cell: CellSpec) -> CellResult:
+        """Run one cell to a journaled :class:`CellResult`."""
+        backend = self.spec.backends[cell.lane]
+        run_fn = ((lambda compiled: backend.run(compiled))
+                  if cell.measure else None)
+        outcome = self.executors[cell.lane].execute(
+            cell.key,
+            lambda: backend.compile(cell.model, cell.train,
+                                    **cell.options),
+            run_fn,
+            is_transient=backend.is_transient,
+        )
+        entry: JournalEntry | None = None
+        if self.journal is not None:
+            entry = outcome.journal_entry()
+            self.journal.record(entry)
+        return CellResult(index=index, key=cell.key, outcome=outcome,
+                          entry=entry, resumed=False)
+
+
+#: The process-local worker, set once by :func:`_init_worker`.
+_WORKER: CampaignWorker | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: rebuild the harness from the pickled seed.
+
+    The seed is shipped as explicit pickle bytes (not raw ``initargs``)
+    so fork- and spawn-started pools behave identically and every
+    worker gets its own deep copy of backend state — fault-plan RNGs
+    included, which keeps injection deterministic *per worker*.
+    """
+    global _WORKER
+    _WORKER = CampaignWorker(pickle.loads(payload))
+
+
+def _execute_cell(index: int, cell: CellSpec) -> CellResult:
+    assert _WORKER is not None, "pool initializer did not run"
+    return _WORKER.execute(index, cell)
+
+
+def check_process_policy(policy: "ExecutionPolicy", journal: Any, *,
+                         api: str, injected_clock: bool = False) -> None:
+    """Reject policy features that cannot cross a process boundary."""
+    if journal is not None and not isinstance(journal, ShardedJournal):
+        raise ConfigurationError(
+            f"{api}: process dispatch needs a ShardedJournal directory "
+            "(or no journal) — a single journal file cannot take "
+            "appends from multiple processes")
+    if injected_clock or policy.clock is not None:
+        raise ConfigurationError(
+            f"{api}: an injected clock cannot be shared across "
+            "processes; use thread dispatch for fake-clock runs")
+    if policy.executor is not None:
+        raise ConfigurationError(
+            f"{api}: a pre-built executor cannot cross a process "
+            "boundary; describe retry/deadline on the policy instead")
+    if isinstance(policy.breaker, CircuitBreaker):
+        raise ConfigurationError(
+            f"{api}: a pre-built CircuitBreaker cannot cross a process "
+            "boundary; use breaker_threshold/breaker_reset instead")
+
+
+def _seed_bytes(worker: WorkerSpec, cells: list[CellSpec]) -> bytes:
+    """Pickle the seed (and prove the cells pickle) with a clear error."""
+    try:
+        payload = pickle.dumps(worker)
+        pickle.dumps(cells)
+    except Exception as exc:
+        raise ConfigurationError(
+            "process dispatch requires picklable backends and specs "
+            f"(closures and locks cannot cross processes): {exc}"
+        ) from exc
+    return payload
+
+
+def run_cell_specs(
+    cells: list[CellSpec], *,
+    worker: WorkerSpec,
+    max_workers: int = 1,
+    journal: ShardedJournal | None = None,
+    resume: bool = False,
+    retry_failed: bool = False,
+    on_result: Callable[[CellResult], None] | None = None,
+    scheduler: "Scheduler | None" = None,
+) -> list[CellResult]:
+    """Execute every cell spec across a process pool; results in order.
+
+    The process-dispatch twin of
+    :func:`~repro.campaign.engine.run_cell_tasks`, with the same
+    guarantees: results come back in spec order, ``on_result`` fires
+    exactly once per cell (resumed cells first, in spec order), the
+    ``scheduler`` reorders dispatch only and is fed each cell's
+    measured seconds, and a harness error cancels undispatched cells
+    and re-raises after the drain. Journaling happens *in the
+    workers* — each process appends finished cells to its own shard,
+    fsynced before the result travels home, so a killed campaign
+    resumes exactly-once from whatever reached disk.
+    """
+    journaled: dict[str, JournalEntry] = {}
+    if resume and journal is not None:
+        journaled = journal.load()
+
+    results: list[CellResult | None] = [None] * len(cells)
+    pending: list[tuple[int, CellSpec]] = []
+    for index, cell in enumerate(cells):
+        entry = journaled.get(cell.key)
+        if (entry is not None and entry.finished
+                and not (retry_failed and entry.failed)):
+            results[index] = CellResult(index=index, key=cell.key,
+                                        outcome=None, entry=entry,
+                                        resumed=True)
+        else:
+            pending.append((index, cell))
+
+    if on_result is not None:
+        for result in results:
+            if result is not None:
+                on_result(result)
+    if not pending:
+        return [r for r in results if r is not None]
+
+    payload = _seed_bytes(worker, [cell for _, cell in pending])
+
+    def pool_factory(workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_init_worker,
+                                   initargs=(payload,))
+
+    def submit_fn(pool: ProcessPoolExecutor, index: int,
+                  cell: CellSpec) -> Any:
+        return pool.submit(_execute_cell, index, cell)
+
+    if scheduler is None:
+        return _run_pooled(pending, results, max_workers, None, None,
+                           on_result, pool_factory=pool_factory,
+                           submit_fn=submit_fn)
+    return _run_pooled_scheduled(pending, results, max_workers, None,
+                                 None, on_result, scheduler,
+                                 pool_factory=pool_factory,
+                                 submit_fn=submit_fn)

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 from repro.common.errors import ConfigurationError
 from repro.models.costmodel import TransformerCostModel
 from repro.resilience.policy import (
+    DISPATCH_THREAD,
     PREDICTOR_ANALYTIC,
     PREDICTOR_EWMA,
     PREDICTORS,
@@ -219,6 +220,8 @@ class SchedulerStats:
     ``max_workers`` workers (see :func:`simulate_makespan`);
     ``mean_abs_error`` / ``mape`` compare the dispatch-time predictions
     against what cells actually took (MAPE skips zero-cost cells).
+    ``dispatch`` records how the workers were realized (``"thread"`` or
+    ``"process"``) so a report line is self-describing.
     """
 
     schedule: str
@@ -230,6 +233,7 @@ class SchedulerStats:
     mape: float | None
     makespan_seconds: float
     max_workers: int
+    dispatch: str = DISPATCH_THREAD
 
 
 class Scheduler:
@@ -266,20 +270,24 @@ class Scheduler:
         ``lane-major`` always takes the head; the cost policies price
         every pending task and take the extreme, earliest task winning
         ties (so constant predictions degrade gracefully to lane-major
-        order). The chosen task's prediction is recorded for the
-        predicted-vs-actual telemetry.
+        order). The price the comparison used is what the telemetry
+        records — re-predicting after the loop could diverge from the
+        decision under a predictor whose state moves between calls
+        (and would double the predict() traffic).
         """
         position = 0
+        price = self.predictor.predict(pending[0][1])
         if not self.is_lane_major and len(pending) > 1:
             longest = self.schedule == SCHEDULE_LONGEST_FIRST
-            best = self.predictor.predict(pending[0][1])
+            best = price
             for i in range(1, len(pending)):
                 cost = self.predictor.predict(pending[i][1])
                 if (cost > best) if longest else (cost < best):
                     best, position = cost, i
+            price = best
         chosen = pending[position][1]
         self._order.append(chosen.key)
-        self._forecast[chosen.key] = self.predictor.predict(chosen)
+        self._forecast[chosen.key] = price
         return position
 
     def observe(self, task: "CellTask", seconds: float) -> None:
@@ -287,7 +295,8 @@ class Scheduler:
         self._actual[task.key] = seconds
         self.predictor.observe(task, seconds)
 
-    def stats(self, max_workers: int = 1) -> SchedulerStats:
+    def stats(self, max_workers: int = 1,
+              dispatch: str = DISPATCH_THREAD) -> SchedulerStats:
         """Summarize the run's predictions against its observations."""
         pairs = [(self._forecast[key], self._actual[key])
                  for key in self._order if key in self._actual]
@@ -307,4 +316,5 @@ class Scheduler:
             makespan_seconds=simulate_makespan(
                 [a for _, a in pairs], max_workers),
             max_workers=max_workers,
+            dispatch=dispatch,
         )

@@ -74,6 +74,8 @@ from repro.core.serialize import (
 from repro.core.tier1 import Tier1Profiler
 from repro.core.tier2 import DeploymentOptimizer, ScalabilityAnalyzer
 from repro.resilience import (
+    DISPATCH_MODES,
+    DISPATCH_THREAD,
     PREDICTORS,
     SCHEDULE_POLICIES,
     ExecutionPolicy,
@@ -232,6 +234,7 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
         resume=resume,
         retry_failed=args.retry_failed,
         max_workers=args.max_workers,
+        dispatch=args.dispatch,
         schedule=args.schedule,
         predictor=args.predictor,
     )
@@ -422,8 +425,16 @@ def _resilience_parent() -> argparse.ArgumentParser:
                        help="per-cell deadline; hung cells are cut "
                             "off and recorded")
     group.add_argument("--max-workers", type=int, default=1,
-                       help="worker threads fanning sweep cells out "
+                       help="workers fanning sweep cells out "
                             "(1 = sequential)")
+    group.add_argument("--dispatch", choices=DISPATCH_MODES,
+                       default=DISPATCH_THREAD,
+                       help="how --max-workers are realized: thread "
+                            "(shared address space, right for "
+                            "IO-bound cells) or process (one worker "
+                            "process per slot — real multi-core for "
+                            "CPU-bound cells; needs --journal-dir "
+                            "or no journal)")
     group.add_argument("--resume", metavar="JOURNAL", default=None,
                        nargs="?", const=True,
                        help="checkpoint cells to this JSONL journal "

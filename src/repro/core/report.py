@@ -145,7 +145,7 @@ def infrastructure_row(stats: object) -> list[object]:
 
 SCHEDULING_HEADERS = [
     "schedule", "predictor", "cells", "predicted (s)", "actual (s)",
-    "MAE (s)", "MAPE", "makespan (s)", "workers",
+    "MAE (s)", "MAPE", "makespan (s)", "workers", "dispatch",
 ]
 
 
@@ -158,7 +158,8 @@ def scheduling_row(stats: object) -> list[object]:
             f"{stats.actual_seconds:.1f}",
             f"{stats.mean_abs_error:.2f}",
             f"{mape * 100:.1f}%" if mape is not None else "-",
-            f"{stats.makespan_seconds:.1f}", stats.max_workers]
+            f"{stats.makespan_seconds:.1f}", stats.max_workers,
+            getattr(stats, "dispatch", "thread")]
 
 
 def describe_tier1(result: Tier1Result) -> str:

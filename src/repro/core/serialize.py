@@ -214,6 +214,7 @@ def execution_policy_to_dict(policy: Any) -> dict[str, Any]:
         "resume": policy.resume,
         "retry_failed": policy.retry_failed,
         "max_workers": policy.max_workers,
+        "dispatch": policy.dispatch,
         "schedule": policy.schedule,
         "predictor": (policy.predictor if isinstance(policy.predictor, str)
                       else getattr(policy.predictor, "name",
@@ -258,6 +259,7 @@ def scheduler_stats_to_dict(stats: Any) -> dict[str, Any] | None:
         "mape": stats.mape,
         "makespan_seconds": stats.makespan_seconds,
         "max_workers": stats.max_workers,
+        "dispatch": getattr(stats, "dispatch", "thread"),
     }
 
 

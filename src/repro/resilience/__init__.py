@@ -51,6 +51,9 @@ from repro.resilience.journal import (
     SweepJournal,
 )
 from repro.resilience.policy import (
+    DISPATCH_MODES,
+    DISPATCH_PROCESS,
+    DISPATCH_THREAD,
     PREDICTOR_ANALYTIC,
     PREDICTOR_EWMA,
     PREDICTORS,
@@ -76,6 +79,9 @@ __all__ = [
     "SCHEDULE_LONGEST_FIRST",
     "SCHEDULE_SHORTEST_FIRST",
     "SCHEDULE_POLICIES",
+    "DISPATCH_THREAD",
+    "DISPATCH_PROCESS",
+    "DISPATCH_MODES",
     "PREDICTOR_ANALYTIC",
     "PREDICTOR_EWMA",
     "PREDICTORS",

@@ -120,14 +120,22 @@ class CircuitBreaker:
             self._opened_at = None
 
     def record_failure(self) -> None:
-        """An infrastructure fault occurred; open when over threshold."""
+        """An infrastructure fault occurred; open when over threshold.
+
+        Failures recorded while the breaker is *already* open — calls
+        that were in flight when it tripped — must not refresh
+        ``_opened_at``: under sustained load that would restart the
+        cooldown on every straggler and postpone half-open
+        indefinitely. The cooldown clock starts only on an actual
+        closed/half-open → open transition.
+        """
         with self._lock:
             self._consecutive_failures += 1
             if (self._state == HALF_OPEN
                     or self._consecutive_failures >= self.failure_threshold):
                 if self._state != OPEN:
                     self.trip_count += 1
+                    self._opened_at = self.clock.now()
                 if self._tripped_since is None:
                     self._tripped_since = self.clock.now()
                 self._state = OPEN
-                self._opened_at = self.clock.now()

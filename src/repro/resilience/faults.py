@@ -246,6 +246,18 @@ class FaultPlan:
         self._attempts = Counter()
         self._lock = threading.Lock()
 
+    # A plan must cross process boundaries (each worker of a
+    # process-dispatched campaign arms its own copy), and locks do not
+    # pickle. The RNG and attempt counts travel; the lock is rebuilt.
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     @classmethod
     def chaos(cls, rate: float, seed: int = 0,
               platform: str | None = None) -> "FaultPlan":
@@ -322,6 +334,17 @@ class FaultInjectingBackend(AcceleratorBackend):
         self.transient_errors = inner.transient_errors
         self.thread_safe = inner.thread_safe
         self.calls: Counter = Counter()
+        self._calls_lock = threading.Lock()
+
+    # Same contract as FaultPlan: picklable for process dispatch, with
+    # the call-counting lock rebuilt on the far side.
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_calls_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
         self._calls_lock = threading.Lock()
 
     def compile(self, model: ModelConfig, train: TrainConfig,

@@ -167,12 +167,23 @@ class ShardedJournal:
     lazily claims its own shard file on first write, so no file ever
     has two writers and a killed campaign can truncate at most the
     final line of each shard. Every :class:`ShardedJournal` instance
-    (i.e. every campaign run) writes a fresh *generation* of shards;
-    :meth:`load` merges all generations in order, so a re-executed key
-    (``retry_failed``) takes its newest outcome.
+    that writes (i.e. every campaign run — including each worker
+    *process* of a process-dispatched campaign) claims a fresh
+    *generation* of shards; :meth:`load` merges all generations in
+    order, so a re-executed key (``retry_failed``) takes its newest
+    outcome.
+
+    Generations are claimed atomically: the first write creates a
+    ``<prefix>-<generation>.claim`` marker with ``O_EXCL``, so two
+    journals opened on the same directory at the same time — two
+    campaign processes, say — can never collide on a generation even
+    though neither can see the other's in-memory state. Read-only
+    instances (resume loads, merges) never claim and never touch the
+    directory.
     """
 
     _SHARD_RE = re.compile(r"-(\d+)-(\d+)\.jsonl$")
+    _CLAIM_RE = re.compile(r"-(\d+)\.claim$")
 
     def __init__(self, directory: str | os.PathLike[str],
                  prefix: str = "shard") -> None:
@@ -181,7 +192,7 @@ class ShardedJournal:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_worker = 0
-        self._generation = self._next_generation()
+        self._generation: int | None = None
 
     # -- write side ----------------------------------------------------
     def record(self, entry: JournalEntry) -> None:
@@ -192,6 +203,8 @@ class ShardedJournal:
         journal = getattr(self._local, "journal", None)
         if journal is None:
             with self._lock:
+                if self._generation is None:
+                    self._generation = self._claim_generation()
                 worker = self._next_worker
                 self._next_worker += 1
             name = (f"{self.prefix}-{self._generation:04d}"
@@ -200,20 +213,53 @@ class ShardedJournal:
             self._local.journal = journal
         return journal
 
-    def _next_generation(self) -> int:
-        generations = [int(match.group(1))
-                       for path in self._shard_paths()
-                       if (match := self._SHARD_RE.search(path.name))]
-        return max(generations) + 1 if generations else 0
+    def _claim_generation(self) -> int:
+        """Atomically claim the next free generation number.
+
+        An ``O_EXCL`` create of the generation's ``.claim`` marker is
+        the claim itself — the filesystem arbitrates concurrent
+        claimants (two campaign processes starting together), and a
+        loser simply retries the next number. Markers are never
+        deleted, so generation numbers are never reused even when old
+        shards are pruned.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        taken = [int(match.group(1))
+                 for path in self.directory.iterdir()
+                 if path.name.startswith(f"{self.prefix}-")
+                 and (match := (self._SHARD_RE.search(path.name)
+                                or self._CLAIM_RE.search(path.name)))]
+        generation = max(taken) + 1 if taken else 0
+        while True:
+            marker = self.directory / f"{self.prefix}-{generation}.claim"
+            try:
+                os.close(os.open(marker,
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return generation
+            except FileExistsError:
+                generation += 1
 
     # -- read side -----------------------------------------------------
     def _shard_paths(self) -> list[Path]:
-        """Existing shards, ordered (generation, worker) — merge order."""
+        """Existing shards, ordered (generation, worker) — merge order.
+
+        The order is *numeric* on the parsed generation and worker ids:
+        zero-padding in the filenames is cosmetic, so worker ids beyond
+        the padding width (or generations beyond four digits) must not
+        let an older generation lexicographically outrank a newer one.
+        """
         if not self.directory.exists():
             return []
-        return sorted(path for path in self.directory.iterdir()
-                      if path.name.startswith(f"{self.prefix}-")
-                      and self._SHARD_RE.search(path.name))
+
+        def merge_order(path: Path) -> tuple[int, int]:
+            match = self._SHARD_RE.search(path.name)
+            assert match is not None  # filtered below
+            return int(match.group(1)), int(match.group(2))
+
+        return sorted((path for path in self.directory.iterdir()
+                       if path.name.startswith(f"{self.prefix}-")
+                       and self._SHARD_RE.search(path.name)),
+                      key=merge_order)
 
     def shard_paths(self) -> list[Path]:
         """Existing shard files in merge order."""

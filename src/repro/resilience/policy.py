@@ -55,6 +55,11 @@ PREDICTOR_ANALYTIC = "analytic"
 PREDICTOR_EWMA = "ewma"
 PREDICTORS = (PREDICTOR_ANALYTIC, PREDICTOR_EWMA)
 
+#: How worker fan-out is realized (see :mod:`repro.campaign.process`).
+DISPATCH_THREAD = "thread"
+DISPATCH_PROCESS = "process"
+DISPATCH_MODES = (DISPATCH_THREAD, DISPATCH_PROCESS)
+
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
@@ -70,9 +75,18 @@ class ExecutionPolicy:
             for.
         retry_failed: with ``resume``, re-execute journaled *failures*
             while still skipping successes.
-        max_workers: worker threads fanning cells out; ``1`` keeps the
-            exact sequential semantics (and callback ordering) of the
+        max_workers: workers fanning cells out; ``1`` keeps the exact
+            sequential semantics (and callback ordering) of the
             pre-campaign harness.
+        dispatch: how workers are realized — ``"thread"`` (the
+            default: a :class:`~concurrent.futures.ThreadPoolExecutor`
+            sharing the GIL, right for simulator backends that mostly
+            wait) or ``"process"`` (a
+            :class:`~concurrent.futures.ProcessPoolExecutor` of
+            single-threaded workers for CPU-bound cells; requires
+            picklable backends, a :class:`ShardedJournal` or no
+            journal, and no injected clocks — see
+            :mod:`repro.campaign.process`).
         schedule: the order cells are *dispatched* in —
             ``"lane-major"`` (task-list arrival order, the default and
             the pre-scheduler behaviour), ``"longest-first"`` (highest
@@ -112,6 +126,7 @@ class ExecutionPolicy:
     resume: bool = False
     retry_failed: bool = False
     max_workers: int = 1
+    dispatch: str = DISPATCH_THREAD
     schedule: str = SCHEDULE_LANE_MAJOR
     predictor: Any = PREDICTOR_EWMA
     breaker: CircuitBreaker | bool = False
@@ -133,6 +148,10 @@ class ExecutionPolicy:
         if self.breaker_reset < 0:
             raise ConfigurationError(
                 f"breaker_reset must be >= 0: {self.breaker_reset}")
+        if self.dispatch not in DISPATCH_MODES:
+            raise ConfigurationError(
+                f"dispatch must be one of {DISPATCH_MODES}: "
+                f"{self.dispatch!r}")
         if self.schedule not in SCHEDULE_POLICIES:
             raise ConfigurationError(
                 f"schedule must be one of {SCHEDULE_POLICIES}: "

@@ -12,6 +12,7 @@ from repro.workloads.probes import (
     paper_rdu_hidden_sweep_o0_o3,
     paper_rdu_hidden_sweep_o1,
 )
+from repro.workloads.reference import CpuBoundBackend
 from repro.workloads.sweeps import SweepSpec, run_grid
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "paper_layer_sweep",
     "paper_rdu_hidden_sweep_o0_o3",
     "paper_rdu_hidden_sweep_o1",
+    "CpuBoundBackend",
     "SweepSpec",
     "run_grid",
 ]

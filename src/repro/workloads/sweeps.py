@@ -35,7 +35,11 @@ from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
 from repro.models.config import ModelConfig, TrainConfig
 from repro.resilience.executor import ResilientExecutor
 from repro.resilience.journal import JournalEntry, ShardedJournal, SweepJournal
-from repro.resilience.policy import ExecutionPolicy, resolve_policy
+from repro.resilience.policy import (
+    DISPATCH_PROCESS,
+    ExecutionPolicy,
+    resolve_policy,
+)
 
 
 @dataclass(frozen=True)
@@ -167,8 +171,6 @@ def run_grid(backend: AcceleratorBackend,
     policy = resolve_policy(policy, api="run_grid", executor=executor,
                             journal=journal, resume=resume,
                             retry_failed=retry_failed)
-    tasks = cell_tasks(backend, specs, policy.make_executor(backend.name),
-                       measure=measure)
 
     relay = None
     if on_cell is not None:
@@ -177,10 +179,77 @@ def run_grid(backend: AcceleratorBackend,
         def relay(result: CellResult) -> None:
             callback(cell_from_result(specs[result.index], result))
 
+    if policy.dispatch == DISPATCH_PROCESS:
+        return _run_grid_process(backend, specs, policy, measure=measure,
+                                 relay=relay)
+
+    tasks = cell_tasks(backend, specs, policy.make_executor(backend.name),
+                       measure=measure)
     results = run_cell_tasks(
         tasks,
         max_workers=policy.max_workers,
         journal=policy.normalized_journal(),
+        resume=policy.resume,
+        retry_failed=policy.retry_failed,
+        on_result=relay,
+        scheduler=policy.make_scheduler(),
+    )
+    return [cell_from_result(spec, result)
+            for spec, result in zip(specs, results)]
+
+
+def _run_grid_process(backend: AcceleratorBackend,
+                      specs: list[SweepSpec],
+                      policy: ExecutionPolicy, *, measure: bool,
+                      relay: Callable[[CellResult], None] | None,
+                      ) -> list[SweepCell]:
+    """The grid's process-dispatch path (see
+    :mod:`repro.campaign.process`).
+
+    Journal keys stay ``spec.label``, exactly as on the thread path, so
+    a process-dispatched run and a sequential one resume each other.
+    """
+    from repro.campaign.process import (
+        CellSpec,
+        WorkerSpec,
+        check_process_policy,
+        run_cell_specs,
+    )
+    from repro.campaign.scheduler import estimate_cell_seconds
+
+    store = policy.normalized_journal()
+    check_process_policy(policy, store, api="run_grid")
+    if store is not None:
+        assert isinstance(store, ShardedJournal)  # check_process_policy
+    cells = [
+        CellSpec(
+            key=spec.label,
+            lane=backend.name,
+            model=spec.model,
+            train=spec.train,
+            options=dict(spec.options),
+            measure=measure,
+            cost_hint=estimate_cell_seconds(backend, spec.model,
+                                            spec.train, measure=measure),
+            family=f"{backend.name}::{spec.model.family}",
+        )
+        for spec in specs
+    ]
+    worker = WorkerSpec(
+        backends={backend.name: backend},
+        retry=policy.retry,
+        deadline=policy.deadline,
+        breakers=bool(policy.breaker),
+        breaker_threshold=policy.breaker_threshold,
+        breaker_reset=policy.breaker_reset,
+        journal_dir=str(store.directory) if store is not None else None,
+        journal_prefix=store.prefix if store is not None else "shard",
+    )
+    results = run_cell_specs(
+        cells,
+        worker=worker,
+        max_workers=policy.max_workers,
+        journal=store,
         resume=policy.resume,
         retry_failed=policy.retry_failed,
         on_result=relay,

@@ -1,0 +1,178 @@
+"""Process dispatch units: pickling, the worker harness, and policy
+validation (the integration invariants live in
+``tests/integration/test_process_dispatch.py``)."""
+
+import pickle
+
+import pytest
+
+from repro.campaign import CellSpec, WorkerSpec, run_cell_specs
+from repro.campaign.process import (
+    CampaignWorker,
+    check_process_policy,
+)
+from repro.common.errors import ConfigurationError
+from repro.models.config import TrainConfig, gpt2_model
+from repro.resilience import (
+    CircuitBreaker,
+    ExecutionPolicy,
+    FakeClock,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+    ResilientExecutor,
+    ShardedJournal,
+    SweepJournal,
+    compiler_flake,
+)
+from repro.workloads.reference import CpuBoundBackend
+
+
+def cell(key="c0", lane="ref", n_layers=2, **kwargs):
+    return CellSpec(key=key, lane=lane,
+                    model=gpt2_model("mini").with_layers(n_layers),
+                    train=TrainConfig(batch_size=4, seq_len=64),
+                    **kwargs)
+
+
+def worker_spec(tmp_path=None, **kwargs):
+    kwargs.setdefault("backends",
+                      {"ref": CpuBoundBackend(spins_per_layer=10)})
+    if tmp_path is not None:
+        kwargs.setdefault("journal_dir", str(tmp_path))
+    return WorkerSpec(**kwargs)
+
+
+class TestPickling:
+    def test_cell_spec_round_trips(self):
+        spec = cell(cost_hint=3.0, family="ref::gpt2")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_worker_spec_round_trips(self, tmp_path):
+        spec = worker_spec(tmp_path)
+        back = pickle.loads(pickle.dumps(spec))
+        assert back.journal_dir == str(tmp_path)
+        assert set(back.backends) == {"ref"}
+
+    def test_every_simulator_backend_pickles(self):
+        from repro import (
+            CerebrasBackend,
+            GPUBackend,
+            GraphcoreBackend,
+            SambaNovaBackend,
+        )
+        for backend in (CerebrasBackend(), SambaNovaBackend(),
+                        GraphcoreBackend(), GPUBackend()):
+            clone = pickle.loads(pickle.dumps(backend))
+            assert clone.name == backend.name
+
+    def test_fault_plan_round_trips_with_fresh_lock(self):
+        plan = FaultPlan.chaos(0.5, seed=7, platform="gpu")
+        plan.draw("warmup", "compile")  # advance RNG + counters
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.seed == plan.seed
+        assert len(clone.specs) == len(plan.specs)
+        # the rebuilt lock works — a draw must not deadlock or raise
+        clone.draw("k", "compile")
+        assert clone._lock is not plan._lock
+
+    def test_fault_injecting_backend_round_trips(self):
+        wrapped = FaultInjectingBackend(
+            CpuBoundBackend(spins_per_layer=10),
+            FaultPlan(specs=[FaultSpec(fault=compiler_flake)]))
+        clone = pickle.loads(pickle.dumps(wrapped))
+        assert clone.name == wrapped.name
+        assert len(clone.plan.specs) == 1
+
+    def test_unpicklable_seed_is_a_config_error(self, tmp_path):
+        backend = CpuBoundBackend(spins_per_layer=10)
+        backend.hook = lambda: None  # closures cannot cross processes
+        spec = worker_spec(backends={"ref": backend})
+        with pytest.raises(ConfigurationError, match="picklable"):
+            run_cell_specs([cell()], worker=spec, max_workers=2)
+
+
+class TestCampaignWorker:
+    def test_executes_and_journals_into_own_shard(self, tmp_path):
+        worker = CampaignWorker(worker_spec(tmp_path))
+        result = worker.execute(0, cell())
+        assert result.status == "ok"
+        assert result.outcome.run is not None
+        shards = ShardedJournal(tmp_path).shard_paths()
+        assert len(shards) == 1
+        assert set(ShardedJournal(tmp_path).load()) == {"c0"}
+
+    def test_compile_only_cells_skip_run(self, tmp_path):
+        worker = CampaignWorker(worker_spec(tmp_path))
+        result = worker.execute(0, cell(measure=False))
+        assert result.status == "ok"
+        assert result.outcome.run is None
+
+    def test_no_journal_dir_means_unjournaled(self):
+        worker = CampaignWorker(worker_spec())
+        assert worker.journal is None
+        assert worker.execute(0, cell()).entry is None
+
+    def test_one_executor_with_breaker_per_lane(self):
+        spec = worker_spec(backends={
+            "a": CpuBoundBackend(spins_per_layer=10),
+            "b": CpuBoundBackend(spins_per_layer=10)})
+        worker = CampaignWorker(spec)
+        assert set(worker.executors) == {"a", "b"}
+        assert worker.executors["a"].breaker is not None
+        assert worker.executors["a"].breaker.name == "a"
+        assert (worker.executors["a"].breaker
+                is not worker.executors["b"].breaker)
+
+    def test_breakers_flag_off_builds_none(self):
+        worker = CampaignWorker(worker_spec(breakers=False))
+        assert worker.executors["ref"].breaker is None
+
+
+class TestCheckProcessPolicy:
+    def test_accepts_sharded_or_no_journal(self, tmp_path):
+        policy = ExecutionPolicy(dispatch="process")
+        check_process_policy(policy, None, api="t")
+        check_process_policy(policy, ShardedJournal(tmp_path), api="t")
+
+    def test_rejects_single_file_journal(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="ShardedJournal"):
+            check_process_policy(ExecutionPolicy(dispatch="process"),
+                                 SweepJournal(tmp_path / "j.jsonl"),
+                                 api="t")
+
+    def test_rejects_injected_clock(self):
+        with pytest.raises(ConfigurationError, match="clock"):
+            check_process_policy(
+                ExecutionPolicy(dispatch="process", clock=FakeClock()),
+                None, api="t")
+        with pytest.raises(ConfigurationError, match="clock"):
+            check_process_policy(ExecutionPolicy(dispatch="process"),
+                                 None, api="t", injected_clock=True)
+
+    def test_rejects_prebuilt_executor_and_breaker(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            check_process_policy(
+                ExecutionPolicy(dispatch="process",
+                                executor=ResilientExecutor()),
+                None, api="t")
+        with pytest.raises(ConfigurationError, match="CircuitBreaker"):
+            check_process_policy(
+                ExecutionPolicy(dispatch="process",
+                                breaker=CircuitBreaker("x")),
+                None, api="t")
+
+
+class TestPolicyDispatchField:
+    def test_defaults_to_thread(self):
+        assert ExecutionPolicy().dispatch == "thread"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="dispatch"):
+            ExecutionPolicy(dispatch="fiber")
+
+    def test_serializes(self):
+        from repro.core.serialize import execution_policy_to_dict
+        payload = execution_policy_to_dict(
+            ExecutionPolicy(dispatch="process"))
+        assert payload["dispatch"] == "process"

@@ -127,6 +127,36 @@ class TestSchedulerOrdering:
         with pytest.raises(ConfigurationError, match="schedule"):
             Scheduler("random")
 
+    def test_forecast_records_comparison_time_price(self):
+        # Regression: pick() used to re-call predict(chosen) for the
+        # telemetry *after* the comparison loop. A predictor whose
+        # state moves between calls (EWMA learning from a concurrent
+        # observe, here modelled by a drifting stub) then recorded a
+        # price the decision never saw — and paid an extra predict()
+        # call per pick on top.
+        class DriftingPredictor:
+            name = "drifting"
+
+            def __init__(self):
+                self.calls = 0
+
+            def predict(self, task):
+                self.calls += 1
+                return task.cost_hint + 100.0 * self.calls
+
+            def observe(self, task, seconds):
+                pass
+
+        predictor = DriftingPredictor()
+        scheduler = Scheduler("longest-first", predictor)
+        pending = list(enumerate([task("a", 1.0), task("b", 2.0)]))
+        position = scheduler.pick(pending)
+        # Drift dominates the hints, so the comparison picks the
+        # later-priced task; the forecast must be that same price.
+        assert position == 1
+        assert predictor.calls == 2  # one predict per pending task
+        assert scheduler._forecast["b"] == 202.0
+
     def test_stats_track_prediction_error(self):
         scheduler = Scheduler("longest-first", AnalyticCostPredictor())
         pending = list(enumerate([task("a", 4.0), task("b", 2.0)]))

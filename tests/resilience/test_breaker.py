@@ -75,6 +75,38 @@ class TestCircuitBreaker:
         with pytest.raises(ConfigurationError):
             CircuitBreaker(reset_timeout=-1.0)
 
+    def test_failures_while_open_do_not_restart_cooldown(self):
+        # Regression: calls in flight when the breaker tripped record
+        # their failures *while open*; each one used to refresh
+        # _opened_at and push half-open out another full cooldown.
+        breaker, clock = make_breaker(threshold=2, reset=60.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        # Stragglers keep failing throughout the cooldown window.
+        for _ in range(6):
+            clock.advance(10.0)
+            breaker.record_failure()
+        assert clock.now() == 60.0
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        breaker.check()  # the probe goes through on schedule
+        assert breaker.trip_count == 1
+
+    def test_half_open_refailure_starts_fresh_cooldown(self):
+        # The flip side: a *real* re-trip (failed half-open probe) must
+        # still restart the cooldown from the probe's failure time.
+        breaker, clock = make_breaker(threshold=1, reset=60.0)
+        breaker.record_failure()
+        clock.advance(61.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(59.0)
+        assert breaker.state == OPEN
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+
 
 class TestBreakerMetrics:
     def test_trip_count_counts_closed_to_open(self):

@@ -176,3 +176,98 @@ class TestShardedJournal:
         journal = ShardedJournal(tmp_path)
         journal.record(JournalEntry("a", STATUS_OK))
         assert set(journal.load()) == {"a"}
+
+    def test_read_only_instances_leave_no_files(self, tmp_path):
+        target = tmp_path / "journal"
+        journal = ShardedJournal(target)
+        assert journal.load() == {}
+        assert journal.merged_text() == ""
+        assert not target.exists()
+
+
+def shard_line(key, status, error=None):
+    return json.dumps(JournalEntry(key, status, error=error).to_dict(),
+                      sort_keys=True) + "\n"
+
+
+class TestShardMergeOrder:
+    """Shards must merge in *numeric* (generation, worker) order.
+
+    Regression tests for the lexicographic-sort bug: ids beyond the
+    filename zero-padding ("shard-10000-000" < "shard-9999-000" as
+    strings) let an older generation's entry win on resume.
+    """
+
+    def test_generation_10000_beats_9999(self, tmp_path):
+        (tmp_path / "shard-9999-000.jsonl").write_text(
+            shard_line("cell", STATUS_FAILED, error=oom_record()))
+        (tmp_path / "shard-10000-000.jsonl").write_text(
+            shard_line("cell", STATUS_OK))
+        journal = ShardedJournal(tmp_path)
+        names = [p.name for p in journal.shard_paths()]
+        assert names == ["shard-9999-000.jsonl", "shard-10000-000.jsonl"]
+        assert journal.load()["cell"].status == STATUS_OK
+
+    def test_worker_1000_merges_after_999(self, tmp_path):
+        (tmp_path / "shard-0000-999.jsonl").write_text(
+            shard_line("cell", STATUS_FAILED, error=oom_record()))
+        (tmp_path / "shard-0000-1000.jsonl").write_text(
+            shard_line("cell", STATUS_OK))
+        journal = ShardedJournal(tmp_path)
+        names = [p.name for p in journal.shard_paths()]
+        assert names == ["shard-0000-999.jsonl", "shard-0000-1000.jsonl"]
+        assert journal.load()["cell"].status == STATUS_OK
+
+    def test_next_generation_follows_wide_ids(self, tmp_path):
+        (tmp_path / "shard-10000-000.jsonl").write_text(
+            shard_line("cell", STATUS_OK))
+        journal = ShardedJournal(tmp_path)
+        journal.record(JournalEntry("other", STATUS_OK))
+        assert journal.shard_paths()[-1].name == "shard-10001-000.jsonl"
+
+
+class TestConcurrentGenerationClaim:
+    """Generation claims are atomic across writers on one directory.
+
+    Regression tests for the construction-time claim bug: two journals
+    opened on the same (empty) directory both computed generation 0 and
+    collided on shard files — the prerequisite bug for cross-process
+    campaign dispatch.
+    """
+
+    def test_two_live_instances_get_distinct_generations(self, tmp_path):
+        first = ShardedJournal(tmp_path)
+        second = ShardedJournal(tmp_path)
+        # Neither has written yet, so neither can see the other's shards;
+        # only the atomic claim keeps them apart.
+        first.record(JournalEntry("a", STATUS_OK))
+        second.record(JournalEntry("b", STATUS_OK))
+        shards = ShardedJournal(tmp_path).shard_paths()
+        assert len(shards) == 2
+        assert len({p.name for p in shards}) == 2
+        assert set(ShardedJournal(tmp_path).load()) == {"a", "b"}
+
+    def test_claim_storm_never_collides(self, tmp_path):
+        journals = [ShardedJournal(tmp_path) for _ in range(8)]
+        barrier = threading.Barrier(len(journals))
+        errors = []
+
+        def write(journal, n):
+            barrier.wait()
+            try:
+                journal.record(JournalEntry(f"cell-{n}", STATUS_OK))
+            except OSError as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(j, n))
+                   for n, j in enumerate(journals)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        shards = ShardedJournal(tmp_path).shard_paths()
+        assert len(shards) == len(journals)
+        assert len({p.name for p in shards}) == len(journals)
+        assert set(ShardedJournal(tmp_path).load()) == {
+            f"cell-{n}" for n in range(len(journals))}
