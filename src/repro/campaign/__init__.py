@@ -61,6 +61,7 @@ from repro.campaign.process import (
     check_process_policy,
     run_cell_specs,
 )
+from repro.campaign.supervisor import SupervisionStats, Supervisor
 from repro.common.errors import ConfigurationError
 from repro.core.backend import AcceleratorBackend
 from repro.core.report import BenchmarkReport, GRID_HEADERS, sweep_cell_row
@@ -84,6 +85,8 @@ __all__ = [
     "CellSpec",
     "WorkerSpec",
     "run_cell_specs",
+    "Supervisor",
+    "SupervisionStats",
     "Scheduler",
     "SchedulerStats",
     "CostPredictor",
@@ -126,6 +129,9 @@ class BackendStats:
     retries: int
     elapsed_seconds: float
     breaker: dict[str, Any] = field(default_factory=dict)
+    #: Watchdog threads this lane's executor abandoned on hung cells
+    #: (thread dispatch only; worker processes take theirs with them).
+    abandoned_watchdogs: int = 0
 
     @property
     def executed(self) -> int:
@@ -147,6 +153,9 @@ class CampaignResult:
     stats: dict[str, BackendStats]
     policy: ExecutionPolicy
     scheduling: SchedulerStats | None = None
+    #: Supervisor telemetry (process dispatch only; ``None`` on the
+    #: thread path, where workers share the parent's address space).
+    supervision: SupervisionStats | None = None
 
     @property
     def total_cells(self) -> int:
@@ -177,6 +186,8 @@ class CampaignResult:
             [self.stats[label] for label in self.labels])
         if self.scheduling is not None:
             report.add_scheduling([self.scheduling])
+        if self.supervision is not None:
+            report.add_supervision(self.supervision)
         report.add_insight(
             f"{self.executed_cells} of {self.total_cells} cells executed "
             f"({self.resumed_cells} resumed from the journal) across "
@@ -249,6 +260,7 @@ class Campaign:
         tasks: list[CellTask] = []
         owners: list[tuple[CampaignLane, "SweepSpec"]] = []
         breakers: dict[str, CircuitBreaker] = {}
+        executors: dict[str, ResilientExecutor] = {}
         for lane in self.lanes:
             assert lane.label is not None
             clock = lane.clock or policy.clock
@@ -259,6 +271,7 @@ class Campaign:
             breakers[lane.label] = breaker
             executor = policy.make_executor(lane.label, breaker=breaker,
                                             clock=clock)
+            executors[lane.label] = executor
             serializer = (None if lane.backend.thread_safe
                           else threading.Lock())
             for spec in lane.specs:
@@ -282,7 +295,8 @@ class Campaign:
             scheduler=scheduler,
         )
 
-        return self._assemble(results, breakers, scheduler)
+        return self._assemble(results, breakers, scheduler,
+                              executors=executors)
 
     def _run_process(self, on_cell: "Callable[[str, SweepCell], None]"
                      " | None" = None) -> CampaignResult:
@@ -343,6 +357,7 @@ class Campaign:
                 on_cell(lane.label, cell_from_result(spec, result))
 
         scheduler = policy.make_scheduler()
+        supervisor = policy.make_supervisor()
         results = run_cell_specs(
             specs,
             worker=worker,
@@ -352,13 +367,18 @@ class Campaign:
             retry_failed=policy.retry_failed,
             on_result=relay if on_cell is not None else None,
             scheduler=scheduler,
+            supervisor=supervisor,
         )
-        return self._assemble(results, {}, scheduler)
+        return self._assemble(results, {}, scheduler,
+                              supervision=supervisor.stats())
 
     # ------------------------------------------------------------------
     def _assemble(self, results: list[CellResult],
                   breakers: dict[str, CircuitBreaker],
-                  scheduler: Scheduler) -> CampaignResult:
+                  scheduler: Scheduler, *,
+                  executors: dict[str, ResilientExecutor] | None = None,
+                  supervision: SupervisionStats | None = None,
+                  ) -> CampaignResult:
         from repro.workloads.sweeps import cell_from_result
 
         policy = self.policy
@@ -374,12 +394,15 @@ class Campaign:
             cells[lane.label] = [
                 cell_from_result(spec, result)
                 for spec, result in zip(lane.specs, lane_results)]
+            executor = (executors or {}).get(lane.label)
             stats[lane.label] = self._stats(lane.label, lane_results,
-                                            breakers.get(lane.label))
+                                            breakers.get(lane.label),
+                                            executor)
         return CampaignResult(labels=labels, cells=cells, stats=stats,
                               policy=policy,
                               scheduling=scheduler.stats(
-                                  policy.max_workers, policy.dispatch))
+                                  policy.max_workers, policy.dispatch),
+                              supervision=supervision)
 
     # ------------------------------------------------------------------
     def _task(self, lane: CampaignLane, spec: "SweepSpec",
@@ -404,7 +427,8 @@ class Campaign:
 
     @staticmethod
     def _stats(label: str, results: list[CellResult],
-               breaker: CircuitBreaker | None) -> BackendStats:
+               breaker: CircuitBreaker | None,
+               executor: ResilientExecutor | None = None) -> BackendStats:
         ok = failed = gated = resumed = attempts = retries = 0
         elapsed = 0.0
         for result in results:
@@ -421,9 +445,12 @@ class Campaign:
             elapsed += result.elapsed
             if result.outcome is not None:
                 retries += len(result.outcome.retried)
+        abandoned = (executor.metrics()["abandoned_watchdogs"]
+                     if executor is not None else 0)
         return BackendStats(backend=label, cells=len(results), ok=ok,
                             failed=failed, gated=gated, resumed=resumed,
                             attempts=attempts, retries=retries,
                             elapsed_seconds=elapsed,
                             breaker=(breaker.metrics()
-                                     if breaker is not None else {}))
+                                     if breaker is not None else {}),
+                            abandoned_watchdogs=abandoned)

@@ -40,7 +40,10 @@ for process-dispatched lanes.
 
 from __future__ import annotations
 
+import os
 import pickle
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
@@ -50,6 +53,7 @@ from repro.campaign.engine import (
     _run_pooled,
     _run_pooled_scheduled,
 )
+from repro.campaign.supervisor import write_heartbeat
 from repro.common.errors import ConfigurationError
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.executor import ResilientExecutor
@@ -58,6 +62,7 @@ from repro.resilience.retry import RetryPolicy
 
 if TYPE_CHECKING:
     from repro.campaign.scheduler import Scheduler
+    from repro.campaign.supervisor import Supervisor
     from repro.core.backend import AcceleratorBackend
     from repro.models.config import ModelConfig, TrainConfig
     from repro.resilience.policy import ExecutionPolicy
@@ -158,25 +163,98 @@ class CampaignWorker:
                           entry=entry, resumed=False)
 
 
+class _WorkerHeartbeat:
+    """Worker-side heartbeat stamper: a daemon thread plus sync marks.
+
+    The daemon thread re-stamps every ``interval`` seconds so the
+    supervisor can tell a *wedged* worker (stale beat — even its
+    stamper froze, e.g. SIGSTOP) from a busy one. :meth:`mark` stamps
+    synchronously at cell start/end so the in-flight cell key and its
+    wall-clock start are on disk *before* the cell runs — a SIGKILL'd
+    worker leaves behind exactly which cell it died holding.
+    """
+
+    def __init__(self, directory: str, interval: float,
+                 token: str) -> None:
+        self.directory = directory
+        self.interval = interval
+        self.token = token
+        self._cell: str | None = None
+        self._cell_started: float | None = None
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        self._stamp()
+        thread = threading.Thread(target=self._beat_forever,
+                                  daemon=True, name="heartbeat")
+        thread.start()
+
+    def mark(self, cell: str | None) -> None:
+        with self._lock:
+            self._cell = cell
+            self._cell_started = (time.monotonic()
+                                  if cell is not None else None)
+        self._stamp()
+
+    def _stamp(self) -> None:
+        with self._lock:
+            self._seq += 1
+            try:
+                write_heartbeat(self.directory, pid=os.getpid(),
+                                token=self.token,
+                                beat=time.monotonic(),
+                                cell=self._cell,
+                                cell_started=self._cell_started,
+                                seq=self._seq)
+            except OSError:
+                # Never let heartbeat IO take down real work; a
+                # missing stamp only risks one spurious stale-kill.
+                pass
+
+    def _beat_forever(self) -> None:
+        while True:
+            time.sleep(self.interval)
+            self._stamp()
+
+
 #: The process-local worker, set once by :func:`_init_worker`.
 _WORKER: CampaignWorker | None = None
 
+#: The process-local heartbeat stamper (None when unsupervised).
+_HEARTBEAT: _WorkerHeartbeat | None = None
 
-def _init_worker(payload: bytes) -> None:
+
+def _init_worker(payload: bytes, heartbeat_dir: str | None = None,
+                 heartbeat_interval: float = 5.0,
+                 pool_token: str = "") -> None:
     """Pool initializer: rebuild the harness from the pickled seed.
 
     The seed is shipped as explicit pickle bytes (not raw ``initargs``)
     so fork- and spawn-started pools behave identically and every
     worker gets its own deep copy of backend state — fault-plan RNGs
-    included, which keeps injection deterministic *per worker*.
+    included, which keeps injection deterministic *per worker*. Under
+    a :class:`~repro.campaign.supervisor.Supervisor` the initializer
+    also starts the heartbeat stamper.
     """
-    global _WORKER
+    global _WORKER, _HEARTBEAT
     _WORKER = CampaignWorker(pickle.loads(payload))
+    _HEARTBEAT = None
+    if heartbeat_dir is not None:
+        _HEARTBEAT = _WorkerHeartbeat(heartbeat_dir,
+                                      heartbeat_interval, pool_token)
+        _HEARTBEAT.start()
 
 
 def _execute_cell(index: int, cell: CellSpec) -> CellResult:
     assert _WORKER is not None, "pool initializer did not run"
-    return _WORKER.execute(index, cell)
+    if _HEARTBEAT is None:
+        return _WORKER.execute(index, cell)
+    _HEARTBEAT.mark(cell.key)
+    try:
+        return _WORKER.execute(index, cell)
+    finally:
+        _HEARTBEAT.mark(None)
 
 
 def check_process_policy(policy: "ExecutionPolicy", journal: Any, *,
@@ -206,7 +284,7 @@ def _seed_bytes(worker: WorkerSpec, cells: list[CellSpec]) -> bytes:
     try:
         payload = pickle.dumps(worker)
         pickle.dumps(cells)
-    except Exception as exc:
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
         raise ConfigurationError(
             "process dispatch requires picklable backends and specs "
             f"(closures and locks cannot cross processes): {exc}"
@@ -223,6 +301,7 @@ def run_cell_specs(
     retry_failed: bool = False,
     on_result: Callable[[CellResult], None] | None = None,
     scheduler: "Scheduler | None" = None,
+    supervisor: "Supervisor | None" = None,
 ) -> list[CellResult]:
     """Execute every cell spec across a process pool; results in order.
 
@@ -236,6 +315,11 @@ def run_cell_specs(
     workers* — each process appends finished cells to its own shard,
     fsynced before the result travels home, so a killed campaign
     resumes exactly-once from whatever reached disk.
+
+    With a ``supervisor`` the drain additionally survives worker
+    death: crashed/wedged workers are detected (heartbeats), killed
+    (hard deadlines), and the pool is rebuilt with exactly-once resume
+    from the journal — see :class:`~repro.campaign.supervisor.Supervisor`.
     """
     journaled: dict[str, JournalEntry] = {}
     if resume and journal is not None:
@@ -261,6 +345,12 @@ def run_cell_specs(
         return [r for r in results if r is not None]
 
     payload = _seed_bytes(worker, [cell for _, cell in pending])
+
+    if supervisor is not None:
+        return supervisor.run(pending, results, worker=worker,
+                              payload=payload, max_workers=max_workers,
+                              journal=journal, on_result=on_result,
+                              scheduler=scheduler)
 
     def pool_factory(workers: int) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=workers,

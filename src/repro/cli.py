@@ -215,6 +215,16 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
     if args.max_retries < 0:
         raise ConfigurationError(
             f"--max-retries must be >= 0: {args.max_retries}")
+    if args.heartbeat_interval <= 0:
+        raise ConfigurationError(
+            "--heartbeat-interval must be positive: "
+            f"{args.heartbeat_interval}")
+    if args.quarantine_after <= 0:
+        raise ConfigurationError(
+            f"--quarantine-after must be >= 1: {args.quarantine_after}")
+    if args.max_pool_rebuilds < 0:
+        raise ConfigurationError(
+            f"--max-pool-rebuilds must be >= 0: {args.max_pool_rebuilds}")
     resume = bool(args.resume)
     journal = args.resume if isinstance(args.resume, str) else args.journal
     if args.journal_dir:
@@ -237,6 +247,9 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
         dispatch=args.dispatch,
         schedule=args.schedule,
         predictor=args.predictor,
+        heartbeat_interval=args.heartbeat_interval,
+        quarantine_after=args.quarantine_after,
+        max_pool_rebuilds=args.max_pool_rebuilds,
     )
 
 
@@ -462,6 +475,22 @@ def _resilience_parent() -> argparse.ArgumentParser:
                             "analytic (static cost-model estimate) or "
                             "ewma (online, learns per-backend cell "
                             "durations as the run progresses)")
+    group.add_argument("--heartbeat-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="process dispatch: how often worker "
+                            "processes stamp their heartbeat files "
+                            "(supervisor kills a worker whose beat "
+                            "goes stale past interval x grace)")
+    group.add_argument("--quarantine-after", type=int, default=2,
+                       metavar="N",
+                       help="process dispatch: a cell that kills its "
+                            "worker this many times is quarantined "
+                            "as a final failure instead of retried")
+    group.add_argument("--max-pool-rebuilds", type=int, default=5,
+                       metavar="N",
+                       help="process dispatch: how many times a "
+                            "broken worker pool is rebuilt before "
+                            "the campaign gives up")
     group.add_argument("--inject-faults", type=float, default=0.0,
                        metavar="RATE",
                        help="chaos-test: inject seeded transient "

@@ -101,6 +101,24 @@ class DeadlineExceededError(ReproError):
         self.deadline = float(deadline)
 
 
+class QuarantinedError(ReproError):
+    """A cell was quarantined after repeatedly killing its worker.
+
+    Raised (as a record, not across processes) by the campaign
+    :class:`~repro.campaign.supervisor.Supervisor` when a poison cell
+    crashes its worker process ``quarantine_after`` times: the cell is
+    finalized as a failure instead of being retried forever, so one
+    pathological (model, backend) point cannot sink the grid.
+
+    Attributes:
+        crashes: worker crashes this cell caused before quarantine.
+    """
+
+    def __init__(self, message: str, *, crashes: int = 0) -> None:
+        super().__init__(message)
+        self.crashes = int(crashes)
+
+
 class CircuitOpenError(ReproError):
     """The per-backend circuit breaker is open: calls fail fast.
 
@@ -138,7 +156,11 @@ class ErrorRecord:
     raised (``"compile"`` or ``"run"``), and every public scalar
     attribute of the exception — so an ``OutOfMemoryError`` keeps its
     ``required_bytes`` / ``available_bytes`` all the way into reports
-    and the resume journal.
+    and the resume journal. ``traceback`` optionally carries the
+    formatted original traceback for post-mortems; it is excluded from
+    journal lines (tracebacks embed file/line details that would break
+    the byte-identical ``merged_text()`` guarantee across dispatch
+    modes) but survives into JSON reports.
     """
 
     type: str
@@ -146,10 +168,12 @@ class ErrorRecord:
     phase: str = "compile"
     transient: bool = False
     attrs: dict[str, Any] = field(default_factory=dict)
+    traceback: str | None = None
 
     @classmethod
     def from_exception(cls, exc: BaseException, *, phase: str = "compile",
-                       transient: bool | None = None) -> "ErrorRecord":
+                       transient: bool | None = None,
+                       capture_traceback: bool = False) -> "ErrorRecord":
         """Capture ``exc`` (public scalar attributes included)."""
         attrs = {
             name: value
@@ -158,23 +182,33 @@ class ErrorRecord:
         }
         if transient is None:
             transient = isinstance(exc, TransientError)
+        formatted = None
+        if capture_traceback and exc.__traceback__ is not None:
+            import traceback as _traceback
+            formatted = "".join(_traceback.format_exception(
+                type(exc), exc, exc.__traceback__))
         return cls(type=type(exc).__name__, message=str(exc), phase=phase,
-                   transient=transient, attrs=attrs)
+                   transient=transient, attrs=attrs, traceback=formatted)
 
     def to_dict(self) -> dict[str, Any]:
         """Flatten for JSON serialization."""
-        return {"type": self.type, "message": self.message,
-                "phase": self.phase, "transient": self.transient,
-                "attrs": dict(self.attrs)}
+        payload = {"type": self.type, "message": self.message,
+                   "phase": self.phase, "transient": self.transient,
+                   "attrs": dict(self.attrs)}
+        if self.traceback is not None:
+            payload["traceback"] = self.traceback
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "ErrorRecord":
         """Rebuild from a journal/JSON dict."""
+        traceback = payload.get("traceback")
         return cls(type=str(payload.get("type", "ReproError")),
                    message=str(payload.get("message", "")),
                    phase=str(payload.get("phase", "compile")),
                    transient=bool(payload.get("transient", False)),
-                   attrs=dict(payload.get("attrs", {})))
+                   attrs=dict(payload.get("attrs", {})),
+                   traceback=str(traceback) if traceback else None)
 
     def __str__(self) -> str:
         return f"{self.type}: {self.message}"

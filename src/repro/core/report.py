@@ -72,6 +72,14 @@ class BenchmarkReport:
         self.add_table(title, SCHEDULING_HEADERS,
                        [scheduling_row(s) for s in stats])
 
+    def add_supervision(self, stats: object,
+                        title: str = "Supervision") -> None:
+        """Worker-supervision telemetry for a process-dispatched run:
+        kills, pool rebuilds, and quarantined cells (``stats`` is
+        duck-typed like :class:`~repro.campaign.SupervisionStats`)."""
+        self.add_table(title, SUPERVISION_HEADERS,
+                       [supervision_row(stats)])
+
     def render(self) -> str:
         banner = "=" * max(len(self.title), 8)
         return "\n\n".join([f"{banner}\n{self.title}\n{banner}",
@@ -129,7 +137,7 @@ def sweep_cell_row(cell: object) -> list[object]:
 
 INFRA_HEADERS = [
     "backend", "cells", "ok", "failed", "gated", "resumed", "attempts",
-    "retries", "breaker", "trips", "open (s)",
+    "retries", "breaker", "trips", "open (s)", "abandoned wd",
 ]
 
 
@@ -140,7 +148,24 @@ def infrastructure_row(stats: object) -> list[object]:
     return [stats.backend, stats.cells, stats.ok, stats.failed,
             stats.gated, stats.resumed, stats.attempts, stats.retries,
             breaker.get("state", "-"), breaker.get("trip_count", 0),
-            f"{breaker.get('open_seconds', 0.0):.1f}"]
+            f"{breaker.get('open_seconds', 0.0):.1f}",
+            getattr(stats, "abandoned_watchdogs", 0)]
+
+
+SUPERVISION_HEADERS = [
+    "deadline kills", "stale kills", "worker crashes", "pool rebuilds",
+    "quarantined", "corrupt lines", "heartbeat (s)", "grace",
+]
+
+
+def supervision_row(stats: object) -> list[object]:
+    """A supervision-telemetry row (duck-typed over
+    :class:`~repro.campaign.SupervisionStats`)."""
+    quarantined = ", ".join(stats.quarantined) or "-"
+    return [stats.deadline_kills, stats.stale_kills,
+            stats.worker_crashes, stats.pool_rebuilds, quarantined,
+            stats.corrupt_lines, f"{stats.heartbeat_interval:g}",
+            f"{stats.grace_factor:g}"]
 
 
 SCHEDULING_HEADERS = [

@@ -223,6 +223,10 @@ def execution_policy_to_dict(policy: Any) -> dict[str, Any]:
                     else policy.breaker.name),
         "breaker_threshold": policy.breaker_threshold,
         "breaker_reset": policy.breaker_reset,
+        "heartbeat_interval": policy.heartbeat_interval,
+        "grace_factor": policy.grace_factor,
+        "quarantine_after": policy.quarantine_after,
+        "max_pool_rebuilds": policy.max_pool_rebuilds,
     }
 
 
@@ -241,6 +245,7 @@ def backend_stats_to_dict(stats: Any) -> dict[str, Any]:
         "retries": stats.retries,
         "elapsed_seconds": stats.elapsed_seconds,
         "breaker": dict(stats.breaker),
+        "abandoned_watchdogs": getattr(stats, "abandoned_watchdogs", 0),
     }
 
 
@@ -263,6 +268,25 @@ def scheduler_stats_to_dict(stats: Any) -> dict[str, Any] | None:
     }
 
 
+def supervision_stats_to_dict(stats: Any) -> dict[str, Any] | None:
+    """Flatten a :class:`~repro.campaign.SupervisionStats` (``None``
+    passes through, for thread-dispatched campaigns)."""
+    if stats is None:
+        return None
+    return {
+        "deadline_kills": stats.deadline_kills,
+        "stale_kills": stats.stale_kills,
+        "worker_crashes": stats.worker_crashes,
+        "pool_rebuilds": stats.pool_rebuilds,
+        "quarantined": list(stats.quarantined),
+        "corrupt_lines": stats.corrupt_lines,
+        "heartbeat_interval": stats.heartbeat_interval,
+        "grace_factor": stats.grace_factor,
+        "quarantine_after": stats.quarantine_after,
+        "max_pool_rebuilds": stats.max_pool_rebuilds,
+    }
+
+
 def campaign_to_dict(result: Any) -> dict[str, Any]:
     """Flatten a :class:`~repro.campaign.CampaignResult`: per-lane cells
     and statistics plus the policy that produced them."""
@@ -273,6 +297,8 @@ def campaign_to_dict(result: Any) -> dict[str, Any]:
         "resumed_cells": result.resumed_cells,
         "scheduling": scheduler_stats_to_dict(
             getattr(result, "scheduling", None)),
+        "supervision": supervision_stats_to_dict(
+            getattr(result, "supervision", None)),
         "lanes": [
             {
                 "label": label,

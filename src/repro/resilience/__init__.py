@@ -27,10 +27,12 @@ from repro.resilience.clock import Clock, FakeClock, SystemClock
 from repro.resilience.executor import CellOutcome, ResilientExecutor
 from repro.resilience.faults import (
     CHAOS_PROFILES,
+    CRASH_MODES,
     ChaosFault,
     FaultInjectingBackend,
     FaultPlan,
     FaultSpec,
+    WorkerCrashFault,
     compiler_flake,
     device_fault,
     gpu_ecc_retry,
@@ -92,6 +94,8 @@ __all__ = [
     "FaultInjectingBackend",
     "ChaosFault",
     "CHAOS_PROFILES",
+    "WorkerCrashFault",
+    "CRASH_MODES",
     "workload_key",
     "compiler_flake",
     "wse_fabric_fault",

@@ -94,17 +94,49 @@ class CellOutcome:
                             summary=summary)
 
 
+#: Default cap on concurrently-abandoned watchdog threads per executor.
+DEFAULT_MAX_ABANDONED_WATCHDOGS = 8
+
+
 class ResilientExecutor:
-    """Executes cells with retry, deadlines, and circuit breaking."""
+    """Executes cells with retry, deadlines, and circuit breaking.
+
+    ``max_abandoned_watchdogs`` bounds the real-clock watchdog leak: a
+    hung cell's daemon thread is abandoned at timeout and lives until
+    the hung call returns (possibly forever). Once that many abandoned
+    threads are still alive, further guarded calls fail fast with a
+    :class:`DeadlineExceededError` instead of stacking more threads —
+    a truly wedged backend then gates quickly rather than exhausting
+    the process. :meth:`metrics` exposes the counters.
+    """
 
     def __init__(self, retry: RetryPolicy | None = None,
                  cell_timeout: float | None = None,
                  clock: Clock | None = None,
-                 breaker: CircuitBreaker | None = None) -> None:
+                 breaker: CircuitBreaker | None = None,
+                 max_abandoned_watchdogs: int =
+                 DEFAULT_MAX_ABANDONED_WATCHDOGS) -> None:
         self.retry = retry if retry is not None else RetryPolicy()
         self.cell_timeout = cell_timeout
         self.clock = clock if clock is not None else SystemClock()
         self.breaker = breaker
+        self.max_abandoned_watchdogs = max_abandoned_watchdogs
+        self._watchdog_lock = threading.Lock()
+        self._abandoned: list[threading.Thread] = []
+        self._abandoned_total = 0
+        self._watchdog_denials = 0
+
+    def metrics(self) -> dict[str, Any]:
+        """Executor health counters for the infrastructure table."""
+        with self._watchdog_lock:
+            self._abandoned = [t for t in self._abandoned
+                               if t.is_alive()]
+            return {
+                "abandoned_watchdogs": self._abandoned_total,
+                "live_watchdogs": len(self._abandoned),
+                "watchdog_cap": self.max_abandoned_watchdogs,
+                "watchdog_denials": self._watchdog_denials,
+            }
 
     def execute(self, key: str,
                 compile_fn: Callable[[], Any],
@@ -148,7 +180,8 @@ class ResilientExecutor:
             except ReproError as exc:
                 transient = self._is_retryable(exc, is_transient)
                 record = ErrorRecord.from_exception(exc, phase=phase,
-                                                    transient=transient)
+                                                    transient=transient,
+                                                    capture_traceback=True)
                 if self.breaker is not None:
                     if is_infrastructure_fault(exc):
                         self.breaker.record_failure()
@@ -209,6 +242,17 @@ class ResilientExecutor:
                 f"no deadline budget left before {phase}",
                 elapsed=self.clock.now() - attempt_started,
                 deadline=self.cell_timeout)
+        with self._watchdog_lock:
+            self._abandoned = [t for t in self._abandoned
+                               if t.is_alive()]
+            if len(self._abandoned) >= self.max_abandoned_watchdogs:
+                self._watchdog_denials += 1
+                live = len(self._abandoned)
+                raise DeadlineExceededError(
+                    f"watchdog capacity exhausted: {live} abandoned "
+                    f"watchdog thread(s) still running hung cells; "
+                    f"failing {phase} fast",
+                    elapsed=0.0, deadline=self.cell_timeout)
         box: dict[str, Any] = {}
 
         def target() -> None:
@@ -222,6 +266,9 @@ class ResilientExecutor:
         worker.start()
         worker.join(budget)
         if worker.is_alive():
+            with self._watchdog_lock:
+                self._abandoned.append(worker)
+                self._abandoned_total += 1
             raise DeadlineExceededError(
                 f"{phase} still running after {self.cell_timeout:g}s; "
                 "abandoning the attempt",

@@ -18,13 +18,17 @@ The wrapper also counts every compile/run call, which doubles as the
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
+import signal
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.common.errors import (
+    ConfigurationError,
     DeviceFaultError,
     ReproError,
     TransientError,
@@ -106,6 +110,70 @@ def device_fault(component: str = "fabric") -> DeviceFaultError:
     return DeviceFaultError(
         f"device fault: {component} failed and did not recover",
         component=component)
+
+
+#: Worker-crash flavours: hard SIGKILL, abrupt ``os._exit``, or SIGSTOP
+#: (the process wedges — every thread, heartbeats included, freezes —
+#: which is how the supervisor's hard-kill paths are exercised).
+CRASH_MODES = ("sigkill", "exit", "stop")
+
+
+@dataclass(frozen=True)
+class WorkerCrashFault:
+    """A fault factory that kills (or wedges) the worker process itself.
+
+    Used as ``FaultSpec(fault=WorkerCrashFault(...))`` to chaos-test
+    the campaign :class:`~repro.campaign.supervisor.Supervisor`: the
+    "fault" never raises — it takes the whole worker down, surfacing
+    parent-side as a broken process pool (or a stale heartbeat for
+    ``mode="stop"``).
+
+    Because each worker process arms its own copy of the plan (fresh
+    attempt counters), an attempt-indexed spec would re-fire in every
+    replacement worker. ``once_path`` is the cross-process alternative:
+    the fault atomically creates that marker file before crashing and
+    disarms itself (returns ``None``) once the marker exists, so a cell
+    crashes its worker exactly once and then heals — the crash-recovery
+    scenario. Without ``once_path`` the cell is poison: it kills every
+    worker it touches until the supervisor quarantines it.
+
+    Firing in the main process (thread dispatch, or a bare backend
+    call) raises :class:`ConfigurationError` instead of killing the
+    test run.
+    """
+
+    mode: str = "sigkill"
+    exit_code: int = 77
+    once_path: str | None = None
+    #: Name used by :meth:`FaultPlan.draw` logging — the factory cannot
+    #: be called just to learn its type (it would kill the process).
+    fault_name: str = "WorkerCrash"
+
+    def __post_init__(self) -> None:
+        if self.mode not in CRASH_MODES:
+            raise ConfigurationError(
+                f"WorkerCrashFault mode must be one of {CRASH_MODES}: "
+                f"{self.mode!r}")
+
+    def __call__(self) -> ReproError | None:
+        if multiprocessing.parent_process() is None:
+            raise ConfigurationError(
+                "WorkerCrashFault fired in the main process; it is "
+                "only meaningful under dispatch='process' (it would "
+                "kill the harness itself)")
+        if self.once_path is not None:
+            try:
+                os.close(os.open(self.once_path,
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                return None  # already crashed once; disarmed
+        if self.mode == "exit":
+            os._exit(self.exit_code)
+        elif self.mode == "stop":
+            os.kill(os.getpid(), signal.SIGSTOP)
+            return None  # resumed (SIGCONT) — behave as healed
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 #: Platform name → the transient fault that platform typically shows.
@@ -221,6 +289,23 @@ class FaultSpec:
         return True
 
 
+def _fault_name(factory: Callable[[], ReproError | None] | None,
+                ) -> str | None:
+    """A log-friendly name for a fault factory.
+
+    Factories that declare ``fault_name`` (e.g.
+    :class:`WorkerCrashFault`, which must not be *called* just to name
+    it — it would kill the process) are named without a call; plain
+    factories are invoked once, exactly as before.
+    """
+    if factory is None:
+        return None
+    name = getattr(factory, "fault_name", None)
+    if name is not None:
+        return str(name)
+    return type(factory()).__name__
+
+
 @dataclass
 class FaultPlan:
     """An ordered set of injection rules plus a seeded RNG.
@@ -308,8 +393,7 @@ class FaultPlan:
                 self.log.append({"key": key, "phase": phase,
                                  "attempt": attempt,
                                  "hang": spec.hang_seconds,
-                                 "fault": (type(spec.fault()).__name__
-                                           if spec.fault else None)})
+                                 "fault": _fault_name(spec.fault)})
                 return spec
             return None
 
@@ -371,4 +455,8 @@ class FaultInjectingBackend(AcceleratorBackend):
         if spec.hang_seconds > 0:
             self.clock.sleep(spec.hang_seconds)
         if spec.fault is not None:
-            raise spec.fault()
+            fault = spec.fault()
+            # A disarmed factory (e.g. a WorkerCrashFault whose
+            # once_path marker already exists) returns None: no-op.
+            if fault is not None:
+                raise fault

@@ -35,6 +35,7 @@ import json
 import os
 import re
 import threading
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -70,12 +71,18 @@ class JournalEntry:
         return self.status == STATUS_FAILED
 
     def to_dict(self) -> dict[str, Any]:
+        # Tracebacks never enter journal lines: they embed frame
+        # file/line details that differ between dispatch modes and
+        # would break the byte-identical merged_text() guarantee.
+        error = self.error.to_dict() if self.error else None
+        if error is not None:
+            error.pop("traceback", None)
         return {
             "v": JOURNAL_VERSION,
             "key": self.key,
             "status": self.status,
             "attempts": self.attempts,
-            "error": self.error.to_dict() if self.error else None,
+            "error": error,
             "summary": self.summary,
         }
 
@@ -91,15 +98,18 @@ class JournalEntry:
         )
 
 
-def _read_entries(path: Path, into: dict[str, JournalEntry]) -> None:
+def _read_entries(path: Path, into: dict[str, JournalEntry]) -> int:
     """Merge one JSONL file into ``into``; last complete entry wins.
 
     Malformed lines (e.g. a line truncated by a crash mid-write) are
     skipped rather than fatal — a resume must always be possible from
-    whatever made it to disk.
+    whatever made it to disk. Returns the number of lines skipped, so
+    callers can surface crash-truncated shards instead of letting the
+    resume set silently shrink.
     """
     if not path.exists():
-        return
+        return 0
+    corrupt = 0
     with path.open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -110,8 +120,18 @@ def _read_entries(path: Path, into: dict[str, JournalEntry]) -> None:
                 entry = JournalEntry.from_dict(payload)
             except (json.JSONDecodeError, AttributeError, KeyError,
                     TypeError, ValueError):
+                corrupt += 1
                 continue
             into[entry.key] = entry
+    return corrupt
+
+
+def _warn_corrupt(source: str, corrupt: int) -> None:
+    warnings.warn(
+        f"journal {source}: skipped {corrupt} malformed/torn JSONL "
+        "line(s) on load — a crash-truncated shard is expected to lose "
+        "at most its final line; more may mean disk corruption",
+        RuntimeWarning, stacklevel=3)
 
 
 def _finished_keys(entries: dict[str, JournalEntry],
@@ -133,6 +153,8 @@ class SweepJournal:
     def __init__(self, path: str | os.PathLike[str]) -> None:
         self.path = Path(path)
         self._lock = threading.Lock()
+        #: Malformed lines skipped by the most recent :meth:`load`.
+        self.corrupt_lines = 0
 
     def record(self, entry: JournalEntry) -> None:
         """Append one outcome, flushed to disk before returning."""
@@ -145,9 +167,15 @@ class SweepJournal:
                 os.fsync(handle.fileno())
 
     def load(self) -> dict[str, JournalEntry]:
-        """Read the journal; last complete entry per key wins."""
+        """Read the journal; last complete entry per key wins.
+
+        Sets :attr:`corrupt_lines` to the number of malformed lines
+        skipped by this load (and warns when nonzero).
+        """
         entries: dict[str, JournalEntry] = {}
-        _read_entries(self.path, entries)
+        self.corrupt_lines = _read_entries(self.path, entries)
+        if self.corrupt_lines:
+            _warn_corrupt(str(self.path), self.corrupt_lines)
         return entries
 
     def finished_keys(self, retry_failed: bool = False) -> set[str]:
@@ -193,6 +221,9 @@ class ShardedJournal:
         self._local = threading.local()
         self._next_worker = 0
         self._generation: int | None = None
+        #: Malformed lines skipped by the most recent :meth:`load`
+        #: (summed across all shards).
+        self.corrupt_lines = 0
 
     # -- write side ----------------------------------------------------
     def record(self, entry: JournalEntry) -> None:
@@ -266,10 +297,18 @@ class ShardedJournal:
         return self._shard_paths()
 
     def load(self) -> dict[str, JournalEntry]:
-        """Merge every shard; for a key, the newest generation wins."""
+        """Merge every shard; for a key, the newest generation wins.
+
+        Sets :attr:`corrupt_lines` to the total number of malformed
+        lines skipped across shards (and warns when nonzero).
+        """
         entries: dict[str, JournalEntry] = {}
+        corrupt = 0
         for path in self._shard_paths():
-            _read_entries(path, entries)
+            corrupt += _read_entries(path, entries)
+        self.corrupt_lines = corrupt
+        if corrupt:
+            _warn_corrupt(str(self.directory), corrupt)
         return entries
 
     def finished_keys(self, retry_failed: bool = False) -> set[str]:

@@ -110,6 +110,21 @@ class ExecutionPolicy:
             a policy-built breaker.
         breaker_reset: seconds a tripped breaker stays open before
             half-opening.
+        heartbeat_interval: seconds between worker heartbeat stamps
+            under process dispatch (see
+            :mod:`repro.campaign.supervisor`). The supervisor polls the
+            heartbeat files on this cadence.
+        grace_factor: multiplier on ``deadline`` (hard wall-clock kill)
+            and on ``heartbeat_interval`` (staleness kill): a worker
+            whose in-flight cell exceeds ``deadline * grace_factor``
+            wall-clock seconds, or whose heartbeat is older than
+            ``heartbeat_interval * grace_factor``, is SIGKILL'd and the
+            pool rebuilt.
+        quarantine_after: worker crashes a single cell may cause before
+            it is quarantined (journaled as a ``QuarantinedError``
+            failure instead of retried forever).
+        max_pool_rebuilds: times the supervisor rebuilds a broken
+            process pool before giving up and re-raising.
         clock: injected time source (``None`` = wall clock). Fake
             clocks make backoff/deadline/cooldown behaviour
             deterministic in tests.
@@ -132,6 +147,10 @@ class ExecutionPolicy:
     breaker: CircuitBreaker | bool = False
     breaker_threshold: int = 5
     breaker_reset: float = 300.0
+    heartbeat_interval: float = 5.0
+    grace_factor: float = 2.0
+    quarantine_after: int = 2
+    max_pool_rebuilds: int = 5
     clock: Clock | None = None
     executor: ResilientExecutor | None = None
 
@@ -148,6 +167,20 @@ class ExecutionPolicy:
         if self.breaker_reset < 0:
             raise ConfigurationError(
                 f"breaker_reset must be >= 0: {self.breaker_reset}")
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be > 0: "
+                f"{self.heartbeat_interval}")
+        if self.grace_factor < 1.0:
+            raise ConfigurationError(
+                f"grace_factor must be >= 1: {self.grace_factor}")
+        if self.quarantine_after <= 0:
+            raise ConfigurationError(
+                f"quarantine_after must be > 0: {self.quarantine_after}")
+        if self.max_pool_rebuilds < 0:
+            raise ConfigurationError(
+                f"max_pool_rebuilds must be >= 0: "
+                f"{self.max_pool_rebuilds}")
         if self.dispatch not in DISPATCH_MODES:
             raise ConfigurationError(
                 f"dispatch must be one of {DISPATCH_MODES}: "
@@ -219,6 +252,17 @@ class ExecutionPolicy:
         """
         from repro.campaign.scheduler import Scheduler, make_predictor
         return Scheduler(self.schedule, make_predictor(self.predictor))
+
+    def make_supervisor(self) -> Any:
+        """A :class:`~repro.campaign.supervisor.Supervisor` per this
+        policy (process dispatch only; imported lazily like the
+        scheduler)."""
+        from repro.campaign.supervisor import Supervisor
+        return Supervisor(deadline=self.deadline,
+                          heartbeat_interval=self.heartbeat_interval,
+                          grace_factor=self.grace_factor,
+                          quarantine_after=self.quarantine_after,
+                          max_pool_rebuilds=self.max_pool_rebuilds)
 
     def with_options(self, **changes: Any) -> "ExecutionPolicy":
         """A copy with the given fields replaced."""

@@ -254,6 +254,7 @@ def _run_grid_process(backend: AcceleratorBackend,
         retry_failed=policy.retry_failed,
         on_result=relay,
         scheduler=policy.make_scheduler(),
+        supervisor=policy.make_supervisor(),
     )
     return [cell_from_result(spec, result)
             for spec, result in zip(specs, results)]

@@ -44,3 +44,40 @@ def test_oom_defaults_zero():
 def test_catching_repro_error_catches_oom():
     with pytest.raises(ReproError):
         raise OutOfMemoryError("boom")
+
+
+class TestErrorRecordTraceback:
+    def _failing_record(self, capture):
+        from repro.common.errors import ErrorRecord
+
+        try:
+            raise OutOfMemoryError("oom", required_bytes=2.0,
+                                   available_bytes=1.0)
+        except OutOfMemoryError as exc:
+            return ErrorRecord.from_exception(exc, phase="compile",
+                                              capture_traceback=capture)
+
+    def test_not_captured_by_default(self):
+        record = self._failing_record(capture=False)
+        assert record.traceback is None
+        assert "traceback" not in record.to_dict()
+
+    def test_captured_keeps_original_frames(self):
+        record = self._failing_record(capture=True)
+        assert "Traceback (most recent call last)" in record.traceback
+        assert "_failing_record" in record.traceback
+        assert "OutOfMemoryError" in record.traceback
+
+    def test_round_trips_through_dict(self):
+        from repro.common.errors import ErrorRecord
+
+        record = self._failing_record(capture=True)
+        back = ErrorRecord.from_dict(record.to_dict())
+        assert back.traceback == record.traceback
+
+    def test_quarantined_error_carries_crash_count(self):
+        from repro.common.errors import QuarantinedError
+
+        err = QuarantinedError("poison", crashes=3)
+        assert isinstance(err, ReproError)
+        assert err.crashes == 3

@@ -1,0 +1,216 @@
+"""Supervised-campaign acceptance: crash recovery, quarantine, kills.
+
+The contract the :class:`~repro.campaign.Supervisor` is tested
+against, per scenario:
+
+* a worker SIGKILL'd mid-grid costs nothing but the crashed cell's
+  re-execution — every other cell finishes, nothing finished is
+  re-executed (exactly-once resume from the journal), and the merged
+  journal is byte-identical to an unfaulted run's;
+* a poison cell (kills every worker it touches) is quarantined as a
+  final ``QuarantinedError`` after ``quarantine_after`` crashes
+  instead of wedging the campaign forever;
+* a worker wedged mid-cell (SIGSTOP — even its heartbeat thread
+  freezes, so cooperative deadlines cannot fire) is hard-killed by
+  the supervisor within ``deadline * grace_factor`` plus a heartbeat
+  poll, freeing the lane;
+* without a deadline, the same wedged worker is caught by heartbeat
+  staleness and its cell retried on a fresh worker.
+"""
+
+import json
+import time
+from collections import Counter
+
+from repro.campaign import Campaign
+from repro.resilience import (
+    ExecutionPolicy,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+    ShardedJournal,
+    WorkerCrashFault,
+)
+from repro.resilience.journal import JournalEntry
+from repro.workloads.reference import CpuBoundBackend
+from repro.workloads.sweeps import run_grid
+
+from .test_process_dispatch import fast_backend, grid
+
+
+def crash_plan(mode, match, once_path=None):
+    return FaultPlan(specs=[FaultSpec(
+        fault=WorkerCrashFault(
+            mode=mode,
+            once_path=str(once_path) if once_path is not None else None),
+        match=match, attempts=None)])
+
+
+def journal_lines_per_key(journal):
+    """How many raw shard lines each key received (exactly-once probe)."""
+    counts = Counter()
+    for path in journal.shard_paths():
+        for line in path.read_text().splitlines():
+            if line.strip():
+                counts[JournalEntry.from_dict(json.loads(line)).key] += 1
+    return counts
+
+
+def run_campaign(backend, journal_dir, **policy_kwargs):
+    policy = ExecutionPolicy(max_workers=2, dispatch="process",
+                             journal=ShardedJournal(journal_dir),
+                             **policy_kwargs)
+    return Campaign([(backend, grid())], policy).run()
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_recovers_exactly_once(self, tmp_path):
+        plan = crash_plan("sigkill", match="L3",
+                          once_path=tmp_path / "tripwire")
+        result = run_campaign(
+            FaultInjectingBackend(fast_backend(), plan),
+            tmp_path / "faulted")
+        label = result.labels[0]
+
+        assert all(not c.failed for c in result.cells[label])
+        supervision = result.supervision
+        assert supervision is not None
+        assert supervision.worker_crashes == 1
+        assert supervision.pool_rebuilds == 1
+        assert supervision.quarantined == ()
+        assert (tmp_path / "tripwire").exists()
+
+        # Exactly-once: no finished cell was re-executed after the
+        # rebuild — every key reached the journal exactly once.
+        counts = journal_lines_per_key(ShardedJournal(tmp_path / "faulted"))
+        assert set(counts) == {f"{label}::{s.label}" for s in grid()}
+        assert set(counts.values()) == {1}
+
+        # Byte-identical merged journal vs. a run that never crashed.
+        run_campaign(fast_backend(), tmp_path / "clean")
+        assert (ShardedJournal(tmp_path / "faulted").merged_text()
+                == ShardedJournal(tmp_path / "clean").merged_text())
+
+    def test_supervised_grid_path_recovers_too(self, tmp_path):
+        # The same recovery through run_grid's process path (PR 2 API).
+        plan = crash_plan("exit", match="L4",
+                          once_path=tmp_path / "tripwire")
+        journal = ShardedJournal(tmp_path / "journal")
+        cells = run_grid(FaultInjectingBackend(fast_backend(), plan),
+                         grid(), policy=ExecutionPolicy(
+                             max_workers=2, dispatch="process",
+                             journal=journal))
+        assert all(not c.failed for c in cells)
+        assert [c.spec.label for c in cells] == \
+            [s.label for s in grid()]  # spec order survives recovery
+        counts = journal_lines_per_key(journal)
+        assert set(counts.values()) == {1}
+
+
+class TestQuarantine:
+    def test_poison_cell_quarantined_not_retried_forever(self, tmp_path):
+        plan = crash_plan("sigkill", match="L4")  # no marker: poison
+        result = run_campaign(
+            FaultInjectingBackend(fast_backend(), plan),
+            tmp_path / "faulted")
+        label = result.labels[0]
+        by_label = {c.spec.label: c for c in result.cells[label]}
+
+        assert by_label["L4"].failed
+        assert by_label["L4"].failure.type == "QuarantinedError"
+        assert "2 time(s)" in by_label["L4"].error
+        for other in ("L2", "L3", "L5"):
+            assert not by_label[other].failed
+
+        supervision = result.supervision
+        assert supervision.quarantined == (f"{label}::L4",)
+        assert supervision.worker_crashes == 2  # quarantine_after=2
+        assert "QuarantinedError" in result.report().render()
+
+        # Surviving cells' journal entries are byte-identical to an
+        # unfaulted run's; the poison key is journaled exactly once.
+        counts = journal_lines_per_key(ShardedJournal(tmp_path / "faulted"))
+        assert set(counts.values()) == {1}
+        run_campaign(fast_backend(), tmp_path / "clean")
+        faulted = ShardedJournal(tmp_path / "faulted").load()
+        clean = ShardedJournal(tmp_path / "clean").load()
+        for key in clean:
+            if key != f"{label}::L4":
+                assert faulted[key] == clean[key]
+
+    def test_quarantined_cell_can_be_retried_later(self, tmp_path):
+        plan = crash_plan("sigkill", match="L4")
+        run_campaign(FaultInjectingBackend(fast_backend(), plan),
+                     tmp_path / "journal")
+        # The fault "fixed", retry_failed re-executes only the
+        # quarantined cell — standard journal semantics.
+        healed = run_campaign(fast_backend(), tmp_path / "journal",
+                              resume=True, retry_failed=True)
+        label = healed.labels[0]
+        assert all(not c.failed for c in healed.cells[label])
+        assert healed.resumed_cells == 3
+
+
+class TestHardDeadline:
+    def test_wedged_worker_killed_within_budget(self, tmp_path):
+        # SIGSTOP freezes every worker thread — heartbeat stamper and
+        # cooperative watchdog included. deadline*grace (0.3s) is well
+        # under the staleness threshold (2s), so the kill must come
+        # from the hard-deadline path.
+        plan = crash_plan("stop", match="L3")
+        started = time.monotonic()
+        result = run_campaign(
+            FaultInjectingBackend(fast_backend(), plan),
+            tmp_path / "journal",
+            deadline=0.15, heartbeat_interval=1.0, grace_factor=2.0)
+        elapsed = time.monotonic() - started
+        label = result.labels[0]
+        by_label = {c.spec.label: c for c in result.cells[label]}
+
+        assert by_label["L3"].failed
+        assert by_label["L3"].failure.type == "DeadlineExceededError"
+        assert "SIGKILL" in by_label["L3"].error
+        for other in ("L2", "L4", "L5"):
+            assert not by_label[other].failed
+
+        supervision = result.supervision
+        assert supervision.deadline_kills == 1
+        assert supervision.stale_kills == 0
+        # The lane is freed within deadline*grace + a heartbeat poll;
+        # everything beyond that is pool-rebuild + the healthy cells.
+        assert elapsed < 0.15 * 2.0 + 1.0 + 15.0
+
+    def test_stale_heartbeat_kill_recovers_the_cell(self, tmp_path):
+        # No deadline at all: staleness is the only tripwire. The
+        # marker heals the cell after its first wedge, so the retry
+        # on a fresh worker completes the grid.
+        plan = crash_plan("stop", match="L2",
+                          once_path=tmp_path / "tripwire")
+        result = run_campaign(
+            FaultInjectingBackend(fast_backend(), plan),
+            tmp_path / "journal",
+            heartbeat_interval=0.2, grace_factor=2.0)
+        label = result.labels[0]
+
+        assert all(not c.failed for c in result.cells[label])
+        supervision = result.supervision
+        assert supervision.stale_kills >= 1
+        assert supervision.deadline_kills == 0
+        assert supervision.worker_crashes >= 1
+        assert supervision.quarantined == ()
+
+    def test_supervision_lands_in_report_and_json(self, tmp_path):
+        from repro.core.serialize import campaign_to_dict, to_json
+
+        plan = crash_plan("sigkill", match="L3",
+                          once_path=tmp_path / "tripwire")
+        result = run_campaign(
+            FaultInjectingBackend(fast_backend(), plan),
+            tmp_path / "journal")
+        rendered = result.report().render()
+        assert "Supervision" in rendered
+        assert "worker crashes" in rendered
+        payload = campaign_to_dict(result)
+        assert payload["supervision"]["worker_crashes"] == 1
+        assert payload["supervision"]["quarantined"] == []
+        to_json(payload)  # stays JSON-serializable

@@ -249,3 +249,76 @@ class TestOutcome:
         assert entry.status == STATUS_FAILED
         assert entry.error.attrs == {"required_bytes": 3.0,
                                      "available_bytes": 2.0}
+
+
+class TestWatchdogAccounting:
+    def _hung_executor(self, cap):
+        import threading
+
+        release = threading.Event()
+        executor = ResilientExecutor(
+            retry=RetryPolicy(max_retries=0, jitter=0.0,
+                              retry_deadline_errors=False),
+            cell_timeout=0.1, clock=SystemClock(),
+            max_abandoned_watchdogs=cap)
+
+        def truly_hangs():
+            release.wait(30.0)
+            return "compiled"
+
+        return executor, truly_hangs, release
+
+    def test_metrics_start_clean(self):
+        executor, _clock = make_executor()
+        metrics = executor.metrics()
+        assert metrics["abandoned_watchdogs"] == 0
+        assert metrics["live_watchdogs"] == 0
+        assert metrics["watchdog_denials"] == 0
+        assert metrics["watchdog_cap"] > 0
+
+    def test_abandoned_watchdog_counted(self):
+        executor, hangs, release = self._hung_executor(cap=4)
+        try:
+            outcome = executor.execute("cell", hangs)
+            assert outcome.status == STATUS_FAILED
+            metrics = executor.metrics()
+            assert metrics["abandoned_watchdogs"] == 1
+            assert metrics["live_watchdogs"] == 1
+        finally:
+            release.set()
+
+    def test_cap_fails_fast_instead_of_stacking_threads(self):
+        executor, hangs, release = self._hung_executor(cap=1)
+        try:
+            assert executor.execute("a", hangs).status == STATUS_FAILED
+            denied = executor.execute("b", hangs)
+            assert denied.status == STATUS_FAILED
+            assert denied.error.type == "DeadlineExceededError"
+            assert "watchdog capacity" in denied.error.message
+            metrics = executor.metrics()
+            assert metrics["abandoned_watchdogs"] == 1  # no new thread
+            assert metrics["watchdog_denials"] == 1
+        finally:
+            release.set()
+
+    def test_finished_hang_frees_capacity(self):
+        executor, hangs, release = self._hung_executor(cap=1)
+        assert executor.execute("a", hangs).status == STATUS_FAILED
+        release.set()
+        deadline = SystemClock().now() + 5.0
+        while (executor.metrics()["live_watchdogs"]
+               and SystemClock().now() < deadline):
+            pass
+        assert executor.metrics()["live_watchdogs"] == 0
+        # Capacity is back: the next guarded call really runs.
+        assert executor.execute("b", lambda: "compiled").ok
+
+    def test_fake_clock_never_spawns_watchdogs(self):
+        executor, clock = make_executor(max_retries=0, cell_timeout=60.0)
+
+        def hanging():
+            clock.sleep(300.0)
+            return "compiled"
+
+        assert executor.execute("cell", hanging).status == STATUS_FAILED
+        assert executor.metrics()["abandoned_watchdogs"] == 0

@@ -2,6 +2,9 @@
 
 import json
 import threading
+import warnings
+
+import pytest
 
 from repro.common.errors import ErrorRecord, OutOfMemoryError
 from repro.resilience.journal import (
@@ -271,3 +274,55 @@ class TestConcurrentGenerationClaim:
         assert len({p.name for p in shards}) == len(journals)
         assert set(ShardedJournal(tmp_path).load()) == {
             f"cell-{n}" for n in range(len(journals))}
+
+
+class TestCorruptLineTelemetry:
+    def test_sweep_journal_counts_and_warns(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record(JournalEntry("a", STATUS_OK))
+        with path.open("a") as handle:
+            handle.write('{"v": 1, "key": "b", "stat\n')
+            handle.write("not json at all\n")
+        with pytest.warns(RuntimeWarning, match="skipped 2 malformed"):
+            entries = journal.load()
+        assert set(entries) == {"a"}
+        assert journal.corrupt_lines == 2
+
+    def test_clean_load_resets_counter_and_stays_quiet(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record(JournalEntry("a", STATUS_OK))
+        journal.corrupt_lines = 99  # stale from a previous load
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            journal.load()
+        assert journal.corrupt_lines == 0
+
+    def test_sharded_journal_sums_across_shards(self, tmp_path):
+        journal = ShardedJournal(tmp_path)
+        journal.record(JournalEntry("a", STATUS_OK))
+        second = ShardedJournal(tmp_path)
+        second.record(JournalEntry("b", STATUS_OK))
+        for path in journal.shard_paths():
+            with path.open("a") as handle:
+                handle.write('{"torn\n')
+        reader = ShardedJournal(tmp_path)
+        with pytest.warns(RuntimeWarning, match="skipped 2 malformed"):
+            entries = reader.load()
+        assert set(entries) == {"a", "b"}
+        assert reader.corrupt_lines == 2
+
+
+class TestTracebackStripping:
+    def test_journal_line_never_carries_traceback(self):
+        try:
+            raise OutOfMemoryError("oom")
+        except OutOfMemoryError as exc:
+            record = ErrorRecord.from_exception(exc, phase="compile",
+                                                capture_traceback=True)
+        assert record.traceback is not None
+        entry = JournalEntry("a", STATUS_FAILED, error=record)
+        assert "traceback" not in entry.to_dict()["error"]
+        # The in-memory record is untouched — reports still see it.
+        assert "Traceback" in record.traceback

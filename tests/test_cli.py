@@ -147,6 +147,40 @@ class TestResilienceFlags:
                      "--inject-faults", "1.5"])
         assert code == 2
 
+    @pytest.mark.parametrize("flag, value", [
+        ("--heartbeat-interval", "0"),
+        ("--heartbeat-interval", "-2.5"),
+        ("--quarantine-after", "0"),
+        ("--quarantine-after", "-1"),
+        ("--max-pool-rebuilds", "-1"),
+    ])
+    def test_bad_supervision_flags_rejected(self, capsys, flag, value):
+        # Mirrors the --cell-timeout check: fail fast with exit code 2
+        # before any cell runs.
+        code = main(["grid", "--platform", "cerebras",
+                     "--model", "probe:256x2",
+                     "--layers", "2", "--batches", "8",
+                     flag, value])
+        assert code == 2
+        assert flag in capsys.readouterr().err
+
+    def test_supervision_flags_reach_policy_json(self, capsys, tmp_path):
+        out_file = tmp_path / "campaign.json"
+        code = main(["campaign", "--platforms", "cerebras",
+                     "--model", "probe:256x2", "--seq-len", "256",
+                     "--layers", "2", "--batches", "8",
+                     "--heartbeat-interval", "1.5",
+                     "--quarantine-after", "3",
+                     "--max-pool-rebuilds", "7",
+                     "--json", str(out_file)])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["policy"]["heartbeat_interval"] == 1.5
+        assert payload["policy"]["quarantine_after"] == 3
+        assert payload["policy"]["max_pool_rebuilds"] == 7
+        # Thread dispatch runs unsupervised.
+        assert payload["supervision"] is None
+
     def test_batch_sweep_journal(self, tmp_path, capsys):
         journal = tmp_path / "bs.jsonl"
         code = main(["batch-sweep", "--platform", "sambanova",
