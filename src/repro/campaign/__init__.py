@@ -65,6 +65,12 @@ from repro.campaign.supervisor import SupervisionStats, Supervisor
 from repro.common.errors import ConfigurationError
 from repro.core.backend import AcceleratorBackend
 from repro.core.report import BenchmarkReport, GRID_HEADERS, sweep_cell_row
+from repro.observe import (
+    ObservabilityStats,
+    TraceRecorder,
+    aggregate_observability,
+    load_events,
+)
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.clock import Clock
 from repro.resilience.executor import ResilientExecutor
@@ -87,6 +93,7 @@ __all__ = [
     "run_cell_specs",
     "Supervisor",
     "SupervisionStats",
+    "ObservabilityStats",
     "Scheduler",
     "SchedulerStats",
     "CostPredictor",
@@ -156,6 +163,9 @@ class CampaignResult:
     #: Supervisor telemetry (process dispatch only; ``None`` on the
     #: thread path, where workers share the parent's address space).
     supervision: SupervisionStats | None = None
+    #: Per-lane trace rollup (``None`` when the policy's tracing is
+    #: off) — see :func:`repro.observe.aggregate_observability`.
+    observability: list[ObservabilityStats] | None = None
 
     @property
     def total_cells(self) -> int:
@@ -188,6 +198,8 @@ class CampaignResult:
             report.add_scheduling([self.scheduling])
         if self.supervision is not None:
             report.add_supervision(self.supervision)
+        if self.observability is not None:
+            report.add_observability(self.observability)
         report.add_insight(
             f"{self.executed_cells} of {self.total_cells} cells executed "
             f"({self.resumed_cells} resumed from the journal) across "
@@ -261,6 +273,7 @@ class Campaign:
         owners: list[tuple[CampaignLane, "SweepSpec"]] = []
         breakers: dict[str, CircuitBreaker] = {}
         executors: dict[str, ResilientExecutor] = {}
+        tracer = policy.make_tracer()
         for lane in self.lanes:
             assert lane.label is not None
             clock = lane.clock or policy.clock
@@ -270,7 +283,7 @@ class Campaign:
                 breaker = policy.new_breaker(lane.label, clock)
             breakers[lane.label] = breaker
             executor = policy.make_executor(lane.label, breaker=breaker,
-                                            clock=clock)
+                                            clock=clock, tracer=tracer)
             executors[lane.label] = executor
             serializer = (None if lane.backend.thread_safe
                           else threading.Lock())
@@ -284,7 +297,7 @@ class Campaign:
             if on_cell is not None:
                 on_cell(lane.label, cell_from_result(spec, result))
 
-        scheduler = policy.make_scheduler()
+        scheduler = policy.make_scheduler(tracer)
         results = run_cell_tasks(
             tasks,
             max_workers=policy.max_workers,
@@ -293,10 +306,11 @@ class Campaign:
             retry_failed=policy.retry_failed,
             on_result=relay if on_cell is not None else None,
             scheduler=scheduler,
+            tracer=tracer,
         )
 
         return self._assemble(results, breakers, scheduler,
-                              executors=executors)
+                              executors=executors, tracer=tracer)
 
     def _run_process(self, on_cell: "Callable[[str, SweepCell], None]"
                      " | None" = None) -> CampaignResult:
@@ -337,6 +351,8 @@ class Campaign:
                     family=f"{lane.label}::{spec.model.family}",
                 ))
                 owners.append((lane, spec))
+        tracer = policy.make_tracer()
+        trace_dir = policy.trace_directory()
         worker = WorkerSpec(
             backends={lane.label: lane.backend for lane in self.lanes},
             retry=policy.retry,
@@ -348,6 +364,9 @@ class Campaign:
                          if journal is not None else None),
             journal_prefix=(journal.prefix if journal is not None
                             else "shard"),
+            trace_dir=(str(trace_dir) if trace_dir is not None
+                       else None),
+            trace_run=(tracer.run if tracer is not None else ""),
         )
 
         def relay(result: CellResult) -> None:
@@ -356,8 +375,8 @@ class Campaign:
             if on_cell is not None:
                 on_cell(lane.label, cell_from_result(spec, result))
 
-        scheduler = policy.make_scheduler()
-        supervisor = policy.make_supervisor()
+        scheduler = policy.make_scheduler(tracer)
+        supervisor = policy.make_supervisor(tracer)
         results = run_cell_specs(
             specs,
             worker=worker,
@@ -368,9 +387,11 @@ class Campaign:
             on_result=relay if on_cell is not None else None,
             scheduler=scheduler,
             supervisor=supervisor,
+            tracer=tracer,
         )
         return self._assemble(results, {}, scheduler,
-                              supervision=supervisor.stats())
+                              supervision=supervisor.stats(),
+                              tracer=tracer)
 
     # ------------------------------------------------------------------
     def _assemble(self, results: list[CellResult],
@@ -378,6 +399,7 @@ class Campaign:
                   scheduler: Scheduler, *,
                   executors: dict[str, ResilientExecutor] | None = None,
                   supervision: SupervisionStats | None = None,
+                  tracer: TraceRecorder | None = None,
                   ) -> CampaignResult:
         from repro.workloads.sweeps import cell_from_result
 
@@ -398,11 +420,16 @@ class Campaign:
             stats[lane.label] = self._stats(lane.label, lane_results,
                                             breakers.get(lane.label),
                                             executor)
+        observability: list[ObservabilityStats] | None = None
+        if tracer is not None:
+            observability = aggregate_observability(
+                load_events(tracer.directory, run=tracer.run), labels)
         return CampaignResult(labels=labels, cells=cells, stats=stats,
                               policy=policy,
                               scheduling=scheduler.stats(
                                   policy.max_workers, policy.dispatch),
-                              supervision=supervision)
+                              supervision=supervision,
+                              observability=observability)
 
     # ------------------------------------------------------------------
     def _task(self, lane: CampaignLane, spec: "SweepSpec",

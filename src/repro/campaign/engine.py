@@ -37,6 +37,7 @@ from repro.resilience.journal import JournalEntry, ShardedJournal, SweepJournal
 
 if TYPE_CHECKING:  # the scheduler module imports nothing from here
     from repro.campaign.scheduler import Scheduler
+    from repro.observe import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -124,7 +125,8 @@ def _locked(fn: Callable[..., Any],
 
 def _execute(task: CellTask, index: int,
              journal: SweepJournal | ShardedJournal | None,
-             fallback: ResilientExecutor) -> CellResult:
+             fallback: ResilientExecutor,
+             tracer: "TraceRecorder | None" = None) -> CellResult:
     executor = task.executor if task.executor is not None else fallback
     run_fn = task.run_fn
     outcome = executor.execute(
@@ -140,6 +142,9 @@ def _execute(task: CellTask, index: int,
             extra = task.summary_extra(outcome)
         entry = outcome.journal_entry(extra)
         journal.record(entry)
+    if tracer is not None:
+        tracer.emit("cell", key=task.key, status=outcome.status,
+                    attempt=outcome.attempts, duration=outcome.elapsed)
     return CellResult(index=index, key=task.key, outcome=outcome,
                       entry=entry, resumed=False)
 
@@ -152,6 +157,7 @@ def run_cell_tasks(
     retry_failed: bool = False,
     on_result: Callable[[CellResult], None] | None = None,
     scheduler: "Scheduler | None" = None,
+    tracer: "TraceRecorder | None" = None,
 ) -> list[CellResult]:
     """Execute every task; return results in task order.
 
@@ -168,6 +174,10 @@ def run_cell_tasks(
     executes cells in predicted-cost order, so ``on_result`` fires in
     dispatch order rather than task order (resumed cells still resolve
     first, in task order).
+
+    ``tracer`` (a :class:`~repro.observe.TraceRecorder`) records the
+    dispatch/resume/cell lifecycle as JSONL trace events — pure
+    telemetry, never touching results or the journal.
     """
     journaled: dict[str, JournalEntry] = {}
     if resume and journal is not None:
@@ -182,6 +192,8 @@ def run_cell_tasks(
             results[index] = CellResult(index=index, key=task.key,
                                         outcome=None, entry=entry,
                                         resumed=True)
+            if tracer is not None:
+                tracer.emit("resume", key=task.key, status=entry.status)
         else:
             pending.append((index, task))
 
@@ -199,7 +211,10 @@ def run_cell_tasks(
                 if result is None:
                     if scheduler is not None:
                         queue.pop(scheduler.pick(queue))
-                    result = _execute(task, index, journal, fallback)
+                    if tracer is not None:
+                        tracer.emit("dispatch", key=task.key)
+                    result = _execute(task, index, journal, fallback,
+                                      tracer)
                     results[index] = result
                     if scheduler is not None:
                         scheduler.observe(task, result.elapsed)
@@ -215,7 +230,9 @@ def run_cell_tasks(
         queue = list(pending)
         while queue:
             index, task = queue.pop(scheduler.pick(queue))
-            result = _execute(task, index, journal, fallback)
+            if tracer is not None:
+                tracer.emit("dispatch", key=task.key)
+            result = _execute(task, index, journal, fallback, tracer)
             results[index] = result
             scheduler.observe(task, result.elapsed)
             if on_result is not None:
@@ -230,9 +247,10 @@ def run_cell_tasks(
 
     if scheduler is None:
         return _run_pooled(pending, results, max_workers, journal,
-                           fallback, on_result)
+                           fallback, on_result, tracer=tracer)
     return _run_pooled_scheduled(pending, results, max_workers,
-                                 journal, fallback, on_result, scheduler)
+                                 journal, fallback, on_result, scheduler,
+                                 tracer=tracer)
 
 
 def _thread_pool(workers: int) -> ThreadPoolExecutor:
@@ -249,6 +267,7 @@ def _run_pooled(
     on_result: Callable[[CellResult], None] | None,
     pool_factory: Callable[[int], Any] = _thread_pool,
     submit_fn: Callable[..., Any] | None = None,
+    tracer: "TraceRecorder | None" = None,
 ) -> list[CellResult]:
     """The unscheduled pool: submit everything, collect as completed.
 
@@ -259,10 +278,16 @@ def _run_pooled(
     """
     if submit_fn is None:
         def submit_fn(pool: Any, index: int, task: CellTask) -> Any:
-            return pool.submit(_execute, task, index, journal, fallback)
+            return pool.submit(_execute, task, index, journal, fallback,
+                               tracer)
+
+    def dispatch(pool: Any, index: int, task: CellTask) -> Any:
+        if tracer is not None:
+            tracer.emit("dispatch", key=task.key)
+        return submit_fn(pool, index, task)
     first_error: BaseException | None = None
     with pool_factory(min(max_workers, len(pending))) as pool:
-        futures = {submit_fn(pool, index, task)
+        futures = {dispatch(pool, index, task)
                    for index, task in pending}
         while futures:
             done, futures = wait(futures, return_when=FIRST_COMPLETED)
@@ -295,6 +320,7 @@ def _run_pooled_scheduled(
     scheduler: "Scheduler",
     pool_factory: Callable[[int], Any] = _thread_pool,
     submit_fn: Callable[..., Any] | None = None,
+    tracer: "TraceRecorder | None" = None,
 ) -> list[CellResult]:
     """The scheduled pool: incremental dispatch, one pick per free slot.
 
@@ -309,7 +335,8 @@ def _run_pooled_scheduled(
     """
     if submit_fn is None:
         def submit_fn(pool: Any, index: int, task: CellTask) -> Any:
-            return pool.submit(_execute, task, index, journal, fallback)
+            return pool.submit(_execute, task, index, journal, fallback,
+                               tracer)
     first_error: BaseException | None = None
     queue = list(pending)
     workers = min(max_workers, len(pending))
@@ -318,6 +345,8 @@ def _run_pooled_scheduled(
 
         def submit_next() -> None:
             index, task = queue.pop(scheduler.pick(queue))
+            if tracer is not None:
+                tracer.emit("dispatch", key=task.key)
             inflight[submit_fn(pool, index, task)] = task
         while queue and len(inflight) < workers:
             submit_next()

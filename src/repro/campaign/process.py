@@ -114,6 +114,10 @@ class WorkerSpec:
     breaker_reset: float = 300.0
     journal_dir: str | None = None
     journal_prefix: str = "shard"
+    #: Trace-shard directory (``None`` = tracing off) and the parent's
+    #: run token, so every worker's shards group under one campaign.
+    trace_dir: str | None = None
+    trace_run: str = ""
 
 
 class CampaignWorker:
@@ -132,6 +136,11 @@ class CampaignWorker:
         self.journal = (ShardedJournal(spec.journal_dir,
                                        spec.journal_prefix)
                         if spec.journal_dir is not None else None)
+        self.tracer = None
+        if spec.trace_dir is not None:
+            from repro.observe import TraceRecorder
+            self.tracer = TraceRecorder(spec.trace_dir,
+                                        run=spec.trace_run or None)
         self.executors: dict[str, ResilientExecutor] = {}
         for label in spec.backends:
             breaker = None
@@ -141,7 +150,7 @@ class CampaignWorker:
                     reset_timeout=spec.breaker_reset)
             self.executors[label] = ResilientExecutor(
                 retry=spec.retry, cell_timeout=spec.deadline,
-                breaker=breaker)
+                breaker=breaker, tracer=self.tracer)
 
     def execute(self, index: int, cell: CellSpec) -> CellResult:
         """Run one cell to a journaled :class:`CellResult`."""
@@ -159,6 +168,11 @@ class CampaignWorker:
         if self.journal is not None:
             entry = outcome.journal_entry()
             self.journal.record(entry)
+        if self.tracer is not None:
+            self.tracer.emit("cell", key=cell.key,
+                             status=outcome.status,
+                             attempt=outcome.attempts,
+                             duration=outcome.elapsed)
         return CellResult(index=index, key=cell.key, outcome=outcome,
                           entry=entry, resumed=False)
 
@@ -302,6 +316,7 @@ def run_cell_specs(
     on_result: Callable[[CellResult], None] | None = None,
     scheduler: "Scheduler | None" = None,
     supervisor: "Supervisor | None" = None,
+    tracer: Any = None,
 ) -> list[CellResult]:
     """Execute every cell spec across a process pool; results in order.
 
@@ -334,6 +349,8 @@ def run_cell_specs(
             results[index] = CellResult(index=index, key=cell.key,
                                         outcome=None, entry=entry,
                                         resumed=True)
+            if tracer is not None:
+                tracer.emit("resume", key=cell.key, status=entry.status)
         else:
             pending.append((index, cell))
 
@@ -364,8 +381,8 @@ def run_cell_specs(
     if scheduler is None:
         return _run_pooled(pending, results, max_workers, None, None,
                            on_result, pool_factory=pool_factory,
-                           submit_fn=submit_fn)
+                           submit_fn=submit_fn, tracer=tracer)
     return _run_pooled_scheduled(pending, results, max_workers, None,
                                  None, on_result, scheduler,
                                  pool_factory=pool_factory,
-                                 submit_fn=submit_fn)
+                                 submit_fn=submit_fn, tracer=tracer)

@@ -56,6 +56,7 @@ if TYPE_CHECKING:
     from repro.campaign.engine import CellTask
     from repro.core.backend import AcceleratorBackend
     from repro.models.config import ModelConfig, TrainConfig
+    from repro.observe import RunLedger, TraceRecorder
 
 __all__ = [
     "SCHEDULE_LANE_MAJOR",
@@ -143,16 +144,22 @@ class EWMACostPredictor:
     A family with no observations yet falls back to the analytic hint,
     so the very first pick is as good as :class:`AnalyticCostPredictor`
     and later picks are better.
+
+    ``prior`` warm-starts the per-family table — a
+    :class:`~repro.observe.RunLedger`'s persisted EWMAs carry one run's
+    observations into the next, so a warm-started campaign prices cells
+    realistically from its very first pick.
     """
 
     name = PREDICTOR_EWMA
 
-    def __init__(self, alpha: float = 0.3) -> None:
+    def __init__(self, alpha: float = 0.3,
+                 prior: dict[str, float] | None = None) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ConfigurationError(
                 f"EWMA alpha must be in (0, 1]: {alpha}")
         self.alpha = alpha
-        self._ewma: dict[str, float] = {}
+        self._ewma: dict[str, float] = dict(prior) if prior else {}
         self._lock = threading.Lock()
 
     def predict(self, task: "CellTask") -> float:
@@ -173,17 +180,21 @@ class EWMACostPredictor:
                                            + (1.0 - self.alpha) * previous)
 
 
-def make_predictor(spec: Any) -> CostPredictor:
+def make_predictor(spec: Any,
+                   prior: dict[str, float] | None = None) -> CostPredictor:
     """Resolve a policy's ``predictor`` field to an instance.
 
     Accepts the built-in names (``"analytic"`` / ``"ewma"``) or any
     object already implementing the :class:`CostPredictor` protocol.
+    ``prior`` (a ledger's persisted family EWMAs) only applies to the
+    built-in ``"ewma"`` predictor — the analytic model is static and a
+    caller-supplied instance owns its own state.
     """
     if isinstance(spec, str):
         if spec == PREDICTOR_ANALYTIC:
             return AnalyticCostPredictor()
         if spec == PREDICTOR_EWMA:
-            return EWMACostPredictor()
+            return EWMACostPredictor(prior=prior)
         raise ConfigurationError(
             f"predictor must be one of {PREDICTORS}: {spec!r}")
     if not (callable(getattr(spec, "predict", None))
@@ -247,7 +258,9 @@ class Scheduler:
     """
 
     def __init__(self, schedule: str = SCHEDULE_LANE_MAJOR,
-                 predictor: CostPredictor | None = None) -> None:
+                 predictor: CostPredictor | None = None,
+                 ledger: "RunLedger | None" = None,
+                 tracer: "TraceRecorder | None" = None) -> None:
         if schedule not in SCHEDULE_POLICIES:
             raise ConfigurationError(
                 f"schedule must be one of {SCHEDULE_POLICIES}: "
@@ -255,6 +268,8 @@ class Scheduler:
         self.schedule = schedule
         self.predictor: CostPredictor = (predictor if predictor is not None
                                          else EWMACostPredictor())
+        self.ledger = ledger
+        self.tracer = tracer
         self._order: list[str] = []
         self._forecast: dict[str, float] = {}
         self._actual: dict[str, float] = {}
@@ -288,12 +303,21 @@ class Scheduler:
         chosen = pending[position][1]
         self._order.append(chosen.key)
         self._forecast[chosen.key] = price
+        if self.tracer is not None:
+            self.tracer.emit("schedule", key=chosen.key,
+                             status=self.schedule, predicted=price)
         return position
 
     def observe(self, task: "CellTask", seconds: float) -> None:
-        """Record a finished task's measured (injected-clock) seconds."""
+        """Record a finished task's measured (injected-clock) seconds.
+
+        A configured :class:`~repro.observe.RunLedger` gets the same
+        observation, persisting it for the next run's warm start.
+        """
         self._actual[task.key] = seconds
         self.predictor.observe(task, seconds)
+        if self.ledger is not None:
+            self.ledger.record(task.family, seconds)
 
     def stats(self, max_workers: int = 1,
               dispatch: str = DISPATCH_THREAD) -> SchedulerStats:

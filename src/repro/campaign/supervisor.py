@@ -69,6 +69,7 @@ from repro.resilience.journal import (
 if TYPE_CHECKING:
     from repro.campaign.process import CellSpec, WorkerSpec
     from repro.campaign.scheduler import Scheduler
+    from repro.observe import TraceRecorder
 
 __all__ = [
     "HEARTBEAT_PREFIX",
@@ -199,12 +200,14 @@ class Supervisor:
                  heartbeat_interval: float = 5.0,
                  grace_factor: float = 2.0,
                  quarantine_after: int = 2,
-                 max_pool_rebuilds: int = 5) -> None:
+                 max_pool_rebuilds: int = 5,
+                 tracer: "TraceRecorder | None" = None) -> None:
         self.deadline = deadline
         self.heartbeat_interval = heartbeat_interval
         self.grace_factor = grace_factor
         self.quarantine_after = quarantine_after
         self.max_pool_rebuilds = max_pool_rebuilds
+        self.tracer = tracer
         self._deadline_kills = 0
         self._stale_kills = 0
         self._worker_crashes = 0
@@ -266,6 +269,9 @@ class Supervisor:
             while queue and first_error is None:
                 if broke is not None:  # a previous era broke the pool
                     self._pool_rebuilds += 1
+                    if self.tracer is not None:
+                        self.tracer.emit("pool-rebuild",
+                                         attempt=self._pool_rebuilds)
                     if self._pool_rebuilds > self.max_pool_rebuilds:
                         raise broke
                     broke = None
@@ -292,6 +298,12 @@ class Supervisor:
                         index, cell = queue.pop(positions[choice])
                         if crash_counts.get(cell.key, 0) > 0:
                             suspect_inflight = True
+                            if self.tracer is not None:
+                                self.tracer.emit(
+                                    "isolate", key=cell.key,
+                                    attempt=crash_counts[cell.key])
+                        if self.tracer is not None:
+                            self.tracer.emit("dispatch", key=cell.key)
                         try:
                             future = pool.submit(_execute_cell, index,
                                                  cell)
@@ -408,6 +420,10 @@ class Supervisor:
             if reason is None:
                 continue
             self._kill(beat.pid)
+            if self.tracer is not None:
+                self.tracer.emit("sigkill", key=beat.cell or "",
+                                 status=reason, pid=beat.pid,
+                                 elapsed=elapsed)
             if reason == "deadline":
                 self._deadline_kills += 1
             else:
@@ -477,6 +493,9 @@ class Supervisor:
                 # Finished in the worker; only the result pipe died.
                 baseline[key] = entry
                 crash_counts.pop(key, None)
+                if self.tracer is not None:
+                    self.tracer.emit("recovered", key=key,
+                                     status=entry.status)
                 result = CellResult(index=index, key=key, outcome=None,
                                     entry=entry, resumed=True)
                 results[index] = result
@@ -504,6 +523,10 @@ class Supervisor:
                 continue
             crashes = crash_counts.get(key, 0) + 1
             crash_counts[key] = crashes
+            if self.tracer is not None:
+                self.tracer.emit("worker-crash", key=key,
+                                 attempt=crashes,
+                                 reason=reason or "crash")
             if crashes >= self.quarantine_after:
                 record = ErrorRecord.from_exception(
                     QuarantinedError(
@@ -511,6 +534,9 @@ class Supervisor:
                         f"time(s); quarantined to protect the grid",
                         crashes=crashes),
                     phase="supervise", transient=False)
+                if self.tracer is not None:
+                    self.tracer.emit("quarantine", key=key,
+                                     attempt=crashes)
                 results[index] = self._finalize(
                     index, cell, record, attempts=crashes,
                     elapsed=elapsed, journal=journal,
@@ -537,6 +563,10 @@ class Supervisor:
         outcome = CellOutcome(key=cell.key, status=STATUS_FAILED,
                               error=record, attempts=attempts,
                               elapsed=elapsed)
+        if self.tracer is not None:
+            self.tracer.emit("cell", key=cell.key, status=STATUS_FAILED,
+                             attempt=attempts, duration=elapsed,
+                             error=record.type)
         result = CellResult(index=index, key=cell.key, outcome=outcome,
                             entry=entry, resumed=False)
         if scheduler is not None:

@@ -34,15 +34,18 @@ ones on a re-run (``--journal`` to checkpoint without skipping),
 worker — the right store for parallel campaigns; combine with a bare
 ``--resume``), ``--schedule`` / ``--predictor`` to dispatch cells by
 predicted cost (``longest-first`` cuts makespan on unbalanced grids;
-see ``docs/campaign.md``), and ``--inject-faults RATE`` /
+see ``docs/campaign.md``), ``--trace [DIR]`` / ``--ledger PATH`` for
+structured tracing and the persisted cross-run duration ledger (see
+``docs/observability.md``), and ``--inject-faults RATE`` /
 ``--fault-seed`` to chaos-test a campaign with seeded, per-platform
-calibrated transient faults.
+calibrated transient faults. ``repro trace DIR`` summarizes a recorded
+trace and exports it to Chrome-tracing JSON.
 
 All execution behaviour flows through one
 :class:`~repro.resilience.ExecutionPolicy` built by
 :func:`_policy_from_args` — the CLI has no side-channel into the sweep
-entry points (the pre-policy ``executor=``/``journal=`` keywords are
-deprecated aliases slated for removal; see ``docs/extending.md``).
+entry points (the pre-policy ``executor=``/``journal=`` keywords were
+removed in 0.3; see ``docs/extending.md``).
 """
 
 from __future__ import annotations
@@ -250,6 +253,8 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
         heartbeat_interval=args.heartbeat_interval,
         quarantine_after=args.quarantine_after,
         max_pool_rebuilds=args.max_pool_rebuilds,
+        trace=args.trace,
+        ledger=args.ledger,
     )
 
 
@@ -383,6 +388,39 @@ def cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a recorded trace directory (and export it)."""
+    from repro.observe import (
+        events_for_key,
+        load_events,
+        merged_trace_text,
+        summarize_events,
+        write_chrome_trace,
+    )
+
+    events = load_events(args.dir, run=args.run)
+    if args.key:
+        events = events_for_key(events, args.key)
+    if not events:
+        print("no trace events found", file=sys.stderr)
+        return 1
+    if args.merged:
+        print(merged_trace_text(events), end="")
+    else:
+        writers = {event.writer for event in events}
+        keys = {event.key for event in events if event.key}
+        rows = [[name, count]
+                for name, count in summarize_events(events).items()]
+        print(render_table(["event", "count"], rows,
+                           title=f"Trace: {len(events)} events, "
+                                 f"{len(keys)} cells, "
+                                 f"{len(writers)} writers"))
+    if args.chrome:
+        path = write_chrome_trace(events, args.chrome)
+        print(f"\n[chrome trace written to {path}]")
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     specs = _grid_specs(args)
     lanes = [
@@ -491,6 +529,17 @@ def _resilience_parent() -> argparse.ArgumentParser:
                        help="process dispatch: how many times a "
                             "broken worker pool is rebuilt before "
                             "the campaign gives up")
+    group.add_argument("--trace", metavar="DIR", default=False,
+                       nargs="?", const=True,
+                       help="record structured trace events; bare "
+                            "--trace writes beside the --journal-dir "
+                            "shards, or give an explicit directory "
+                            "(inspect with 'repro trace DIR')")
+    group.add_argument("--ledger", metavar="PATH", default=None,
+                       help="persisted cross-run duration ledger: "
+                            "warm-starts the ewma predictor and "
+                            "adapts the supervisor heartbeat on "
+                            "re-runs")
     group.add_argument("--inject-faults", type=float, default=0.0,
                        metavar="RATE",
                        help="chaos-test: inject seeded transient "
@@ -550,6 +599,22 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--compile-only", action="store_true",
                           help="skip the run phase "
                                "(compile-time metrics)")
+
+    trace = sub.add_parser(
+        "trace", help="summarize / export a recorded campaign trace")
+    trace.add_argument("dir", help="trace directory (the --journal-dir "
+                                   "or explicit --trace directory)")
+    trace.add_argument("--run", default=None,
+                       help="only this campaign run's shards")
+    trace.add_argument("--key", default=None,
+                       help="only this cell's events, in causal order")
+    trace.add_argument("--merged", action="store_true",
+                       help="print the canonical merged trace "
+                            "(deterministic JSON lines) instead of "
+                            "the summary")
+    trace.add_argument("--chrome", metavar="FILE", default=None,
+                       help="also export Chrome-tracing JSON "
+                            "(chrome://tracing, Perfetto)")
     return parser
 
 
@@ -561,6 +626,7 @@ COMMANDS = {
     "scaling": cmd_scaling,
     "grid": cmd_grid,
     "campaign": cmd_campaign,
+    "trace": cmd_trace,
 }
 
 

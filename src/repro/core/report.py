@@ -3,12 +3,20 @@
 The benchmark harness and examples use these helpers to print results in
 the same layout as the paper's tables, plus generated "Insight" lines
 mirroring the paper's per-platform guidance boxes.
+
+The campaign telemetry tables (infrastructure health, scheduling,
+supervision, observability) are all defined once as :class:`Table`
+entries in :data:`REPORT_TABLES`: each :class:`Column` carries both the
+rendered heading and the stable serialized key, so the ASCII report and
+``campaign_to_dict`` can never drift apart. The legacy
+``*_HEADERS``/``*_row`` names are thin views over the registry.
 """
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 from repro.common.units import fmt_flops, fmt_rate
 from repro.core.tier1 import Tier1Result
@@ -36,6 +44,140 @@ def render_table(headers: Sequence[str],
     return "\n".join(out)
 
 
+@dataclass(frozen=True)
+class Column:
+    """One stats-table column.
+
+    ``key`` is the stable serialized name (``None`` for display-only
+    columns derived from another serialized field, such as the breaker
+    state pulled out of the breaker metrics dict); ``header`` is the
+    rendered heading (``None`` for serialize-only fields that never
+    appear in the ASCII table). ``value`` extracts the raw
+    JSON-friendly value from a duck-typed stats object; ``display``
+    formats it for rendering and defaults to ``value``.
+    """
+
+    key: str | None
+    header: str | None
+    value: Callable[[Any], Any]
+    display: Callable[[Any], object] | None = None
+
+
+@dataclass(frozen=True)
+class Table:
+    """A registered stats table: one definition for render + serialize."""
+
+    name: str
+    title: str
+    columns: tuple[Column, ...]
+
+    @property
+    def headers(self) -> list[str]:
+        """Rendered headings, in column order."""
+        return [c.header for c in self.columns if c.header is not None]
+
+    def row(self, stats: Any) -> list[object]:
+        """One display row from a duck-typed stats object."""
+        return [(c.display or c.value)(stats)
+                for c in self.columns if c.header is not None]
+
+    def to_dict(self, stats: Any) -> dict[str, Any]:
+        """The stats object flattened under the stable serialized keys."""
+        return {c.key: c.value(stats)
+                for c in self.columns if c.key is not None}
+
+
+def _col(key: str | None, header: str | None,
+         value: Callable[[Any], Any] | None = None,
+         display: Callable[[Any], object] | None = None) -> Column:
+    if value is None:
+        if key is None:
+            raise ValueError("display-only columns need an explicit value")
+        value = operator.attrgetter(key)
+    return Column(key=key, header=header, value=value, display=display)
+
+
+def _breaker(stats: Any) -> dict[str, Any]:
+    return stats.breaker or {}
+
+
+REPORT_TABLES: dict[str, Table] = {
+    table.name: table
+    for table in (
+        Table("infrastructure", "Infrastructure health", (
+            _col("backend", "backend"),
+            _col("cells", "cells"),
+            _col("ok", "ok"),
+            _col("failed", "failed"),
+            _col("gated", "gated"),
+            _col("resumed", "resumed"),
+            _col("executed", None),
+            _col("attempts", "attempts"),
+            _col("retries", "retries"),
+            _col("elapsed_seconds", None),
+            _col("breaker", None, value=lambda s: dict(s.breaker)),
+            _col(None, "breaker",
+                 value=lambda s: _breaker(s).get("state", "-")),
+            _col(None, "trips",
+                 value=lambda s: _breaker(s).get("trip_count", 0)),
+            _col(None, "open (s)", value=lambda s:
+                 f"{_breaker(s).get('open_seconds', 0.0):.1f}"),
+            _col("abandoned_watchdogs", "abandoned wd",
+                 value=lambda s: getattr(s, "abandoned_watchdogs", 0)),
+        )),
+        Table("scheduling", "Scheduling", (
+            _col("schedule", "schedule"),
+            _col("predictor", "predictor"),
+            _col("cells", "cells"),
+            _col("predicted_seconds", "predicted (s)",
+                 display=lambda s: f"{s.predicted_seconds:.1f}"),
+            _col("actual_seconds", "actual (s)",
+                 display=lambda s: f"{s.actual_seconds:.1f}"),
+            _col("mean_abs_error", "MAE (s)",
+                 display=lambda s: f"{s.mean_abs_error:.2f}"),
+            _col("mape", "MAPE", display=lambda s:
+                 f"{s.mape * 100:.1f}%" if s.mape is not None else "-"),
+            _col("makespan_seconds", "makespan (s)",
+                 display=lambda s: f"{s.makespan_seconds:.1f}"),
+            _col("max_workers", "workers"),
+            _col("dispatch", "dispatch",
+                 value=lambda s: getattr(s, "dispatch", "thread")),
+        )),
+        Table("supervision", "Supervision", (
+            _col("deadline_kills", "deadline kills"),
+            _col("stale_kills", "stale kills"),
+            _col("worker_crashes", "worker crashes"),
+            _col("pool_rebuilds", "pool rebuilds"),
+            _col("quarantined", "quarantined",
+                 value=lambda s: list(s.quarantined),
+                 display=lambda s: ", ".join(s.quarantined) or "-"),
+            _col("corrupt_lines", "corrupt lines"),
+            _col("heartbeat_interval", "heartbeat (s)",
+                 display=lambda s: f"{s.heartbeat_interval:g}"),
+            _col("grace_factor", "grace",
+                 display=lambda s: f"{s.grace_factor:g}"),
+            _col("quarantine_after", None),
+            _col("max_pool_rebuilds", None),
+        )),
+        Table("observability", "Observability", (
+            _col("lane", "lane"),
+            _col("events", "events"),
+            _col("cells", "cells"),
+            _col("compile_seconds", "compile (s)",
+                 display=lambda s: f"{s.compile_seconds:.2f}"),
+            _col("run_seconds", "run (s)",
+                 display=lambda s: f"{s.run_seconds:.2f}"),
+            _col("retries", "retries"),
+            _col("gated", "gated"),
+            _col("sigkills", "sigkills"),
+            _col("worker_crashes", "crashes"),
+            _col("isolations", "isolated"),
+            _col("quarantines", "quarantined"),
+        )),
+    )
+}
+
+
 @dataclass
 class BenchmarkReport:
     """Accumulates titled tables and insight lines, renders as text."""
@@ -53,6 +195,14 @@ class BenchmarkReport:
     def add_text(self, text: str) -> None:
         self.sections.append(text)
 
+    def add_stats_table(self, name: str, stats: Sequence[object],
+                        title: str | None = None) -> None:
+        """One row per stats object, from the :data:`REPORT_TABLES`
+        definition registered under ``name``."""
+        table = REPORT_TABLES[name]
+        self.add_table(title or table.title, table.headers,
+                       [table.row(s) for s in stats])
+
     def add_infrastructure_health(self, stats: Sequence[object],
                                   title: str = "Infrastructure health",
                                   ) -> None:
@@ -60,8 +210,7 @@ class BenchmarkReport:
         circuit-breaker trip count and accumulated open time (each
         ``stats`` item is duck-typed like
         :class:`~repro.campaign.BackendStats`)."""
-        self.add_table(title, INFRA_HEADERS,
-                       [infrastructure_row(s) for s in stats])
+        self.add_stats_table("infrastructure", stats, title=title)
 
     def add_scheduling(self, stats: Sequence[object],
                        title: str = "Scheduling") -> None:
@@ -69,16 +218,21 @@ class BenchmarkReport:
         predicted-vs-actual cost accuracy plus simulated makespan (each
         ``stats`` item is duck-typed like
         :class:`~repro.campaign.SchedulerStats`)."""
-        self.add_table(title, SCHEDULING_HEADERS,
-                       [scheduling_row(s) for s in stats])
+        self.add_stats_table("scheduling", stats, title=title)
 
     def add_supervision(self, stats: object,
                         title: str = "Supervision") -> None:
         """Worker-supervision telemetry for a process-dispatched run:
         kills, pool rebuilds, and quarantined cells (``stats`` is
         duck-typed like :class:`~repro.campaign.SupervisionStats`)."""
-        self.add_table(title, SUPERVISION_HEADERS,
-                       [supervision_row(stats)])
+        self.add_stats_table("supervision", [stats], title=title)
+
+    def add_observability(self, stats: Sequence[object],
+                          title: str = "Observability") -> None:
+        """One row per lane rolled up from the campaign's trace (each
+        ``stats`` item is duck-typed like
+        :class:`~repro.observe.ObservabilityStats`)."""
+        self.add_stats_table("observability", stats, title=title)
 
     def render(self) -> str:
         banner = "=" * max(len(self.title), 8)
@@ -135,56 +289,34 @@ def sweep_cell_row(cell: object) -> list[object]:
             "yes" if cell.resumed else "no", rate]
 
 
-INFRA_HEADERS = [
-    "backend", "cells", "ok", "failed", "gated", "resumed", "attempts",
-    "retries", "breaker", "trips", "open (s)", "abandoned wd",
-]
+INFRA_HEADERS = REPORT_TABLES["infrastructure"].headers
+SCHEDULING_HEADERS = REPORT_TABLES["scheduling"].headers
+SUPERVISION_HEADERS = REPORT_TABLES["supervision"].headers
+OBSERVABILITY_HEADERS = REPORT_TABLES["observability"].headers
 
 
 def infrastructure_row(stats: object) -> list[object]:
     """An infrastructure-health row from per-lane campaign statistics
     (duck-typed over :class:`~repro.campaign.BackendStats`)."""
-    breaker = stats.breaker or {}
-    return [stats.backend, stats.cells, stats.ok, stats.failed,
-            stats.gated, stats.resumed, stats.attempts, stats.retries,
-            breaker.get("state", "-"), breaker.get("trip_count", 0),
-            f"{breaker.get('open_seconds', 0.0):.1f}",
-            getattr(stats, "abandoned_watchdogs", 0)]
-
-
-SUPERVISION_HEADERS = [
-    "deadline kills", "stale kills", "worker crashes", "pool rebuilds",
-    "quarantined", "corrupt lines", "heartbeat (s)", "grace",
-]
+    return REPORT_TABLES["infrastructure"].row(stats)
 
 
 def supervision_row(stats: object) -> list[object]:
     """A supervision-telemetry row (duck-typed over
     :class:`~repro.campaign.SupervisionStats`)."""
-    quarantined = ", ".join(stats.quarantined) or "-"
-    return [stats.deadline_kills, stats.stale_kills,
-            stats.worker_crashes, stats.pool_rebuilds, quarantined,
-            stats.corrupt_lines, f"{stats.heartbeat_interval:g}",
-            f"{stats.grace_factor:g}"]
-
-
-SCHEDULING_HEADERS = [
-    "schedule", "predictor", "cells", "predicted (s)", "actual (s)",
-    "MAE (s)", "MAPE", "makespan (s)", "workers", "dispatch",
-]
+    return REPORT_TABLES["supervision"].row(stats)
 
 
 def scheduling_row(stats: object) -> list[object]:
     """A scheduling-telemetry row (duck-typed over
     :class:`~repro.campaign.SchedulerStats`)."""
-    mape = stats.mape
-    return [stats.schedule, stats.predictor, stats.cells,
-            f"{stats.predicted_seconds:.1f}",
-            f"{stats.actual_seconds:.1f}",
-            f"{stats.mean_abs_error:.2f}",
-            f"{mape * 100:.1f}%" if mape is not None else "-",
-            f"{stats.makespan_seconds:.1f}", stats.max_workers,
-            getattr(stats, "dispatch", "thread")]
+    return REPORT_TABLES["scheduling"].row(stats)
+
+
+def observability_row(stats: object) -> list[object]:
+    """An observability row (duck-typed over
+    :class:`~repro.observe.ObservabilityStats`)."""
+    return REPORT_TABLES["observability"].row(stats)
 
 
 def describe_tier1(result: Tier1Result) -> str:

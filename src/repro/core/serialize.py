@@ -19,6 +19,7 @@ from repro.core.backend import (
     RunReport,
     TaskProfile,
 )
+from repro.core.report import REPORT_TABLES
 from repro.core.tier1 import SweepEntry, Tier1Result
 from repro.core.tier2 import (
     BatchSweepResult,
@@ -207,6 +208,12 @@ def execution_policy_to_dict(policy: Any) -> dict[str, Any]:
     if journal is not None and not isinstance(journal, (str,)):
         journal = getattr(journal, "path", None) or getattr(
             journal, "directory", None) or journal
+    trace = policy.trace
+    if not isinstance(trace, bool):
+        trace = str(trace)
+    ledger = policy.ledger
+    if ledger is not None:
+        ledger = str(getattr(ledger, "path", ledger))
     return {
         "max_retries": policy.retry.max_retries,
         "deadline": policy.deadline,
@@ -227,64 +234,39 @@ def execution_policy_to_dict(policy: Any) -> dict[str, Any]:
         "grace_factor": policy.grace_factor,
         "quarantine_after": policy.quarantine_after,
         "max_pool_rebuilds": policy.max_pool_rebuilds,
+        "trace": trace,
+        "ledger": ledger,
     }
 
 
 def backend_stats_to_dict(stats: Any) -> dict[str, Any]:
     """Flatten one campaign lane's :class:`~repro.campaign.BackendStats`
-    (the breaker metrics dict is already JSON-friendly)."""
-    return {
-        "backend": stats.backend,
-        "cells": stats.cells,
-        "ok": stats.ok,
-        "failed": stats.failed,
-        "gated": stats.gated,
-        "resumed": stats.resumed,
-        "executed": stats.executed,
-        "attempts": stats.attempts,
-        "retries": stats.retries,
-        "elapsed_seconds": stats.elapsed_seconds,
-        "breaker": dict(stats.breaker),
-        "abandoned_watchdogs": getattr(stats, "abandoned_watchdogs", 0),
-    }
+    under the ``"infrastructure"`` report table's stable keys."""
+    return REPORT_TABLES["infrastructure"].to_dict(stats)
 
 
 def scheduler_stats_to_dict(stats: Any) -> dict[str, Any] | None:
-    """Flatten a :class:`~repro.campaign.SchedulerStats` (``None``
-    passes through, for campaigns run without scheduling telemetry)."""
+    """Flatten a :class:`~repro.campaign.SchedulerStats` under the
+    ``"scheduling"`` report table's stable keys (``None`` passes
+    through, for campaigns run without scheduling telemetry)."""
     if stats is None:
         return None
-    return {
-        "schedule": stats.schedule,
-        "predictor": stats.predictor,
-        "cells": stats.cells,
-        "predicted_seconds": stats.predicted_seconds,
-        "actual_seconds": stats.actual_seconds,
-        "mean_abs_error": stats.mean_abs_error,
-        "mape": stats.mape,
-        "makespan_seconds": stats.makespan_seconds,
-        "max_workers": stats.max_workers,
-        "dispatch": getattr(stats, "dispatch", "thread"),
-    }
+    return REPORT_TABLES["scheduling"].to_dict(stats)
 
 
 def supervision_stats_to_dict(stats: Any) -> dict[str, Any] | None:
-    """Flatten a :class:`~repro.campaign.SupervisionStats` (``None``
-    passes through, for thread-dispatched campaigns)."""
+    """Flatten a :class:`~repro.campaign.SupervisionStats` under the
+    ``"supervision"`` report table's stable keys (``None`` passes
+    through, for thread-dispatched campaigns)."""
     if stats is None:
         return None
-    return {
-        "deadline_kills": stats.deadline_kills,
-        "stale_kills": stats.stale_kills,
-        "worker_crashes": stats.worker_crashes,
-        "pool_rebuilds": stats.pool_rebuilds,
-        "quarantined": list(stats.quarantined),
-        "corrupt_lines": stats.corrupt_lines,
-        "heartbeat_interval": stats.heartbeat_interval,
-        "grace_factor": stats.grace_factor,
-        "quarantine_after": stats.quarantine_after,
-        "max_pool_rebuilds": stats.max_pool_rebuilds,
-    }
+    return REPORT_TABLES["supervision"].to_dict(stats)
+
+
+def observability_stats_to_dict(stats: Any) -> dict[str, Any]:
+    """Flatten an :class:`~repro.observe.ObservabilityStats` under the
+    ``"observability"`` report table's stable keys."""
+    return REPORT_TABLES["observability"].to_dict(stats)
 
 
 def campaign_to_dict(result: Any) -> dict[str, Any]:
@@ -299,6 +281,10 @@ def campaign_to_dict(result: Any) -> dict[str, Any]:
             getattr(result, "scheduling", None)),
         "supervision": supervision_stats_to_dict(
             getattr(result, "supervision", None)),
+        "observability": (
+            [observability_stats_to_dict(s) for s in observability]
+            if (observability := getattr(result, "observability", None))
+            is not None else None),
         "lanes": [
             {
                 "label": label,

@@ -13,7 +13,6 @@ Two analyzers:
 
 from __future__ import annotations
 
-import os
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
@@ -24,12 +23,8 @@ from repro.core.metrics import allocation_ratio
 from repro.models.config import ModelConfig, TrainConfig
 from repro.models.precision import PrecisionPolicy
 from repro.resilience.executor import CellOutcome, ResilientExecutor
-from repro.resilience.journal import (
-    JournalEntry,
-    ShardedJournal,
-    SweepJournal,
-)
-from repro.resilience.policy import ExecutionPolicy, resolve_policy
+from repro.resilience.journal import JournalEntry
+from repro.resilience.policy import ExecutionPolicy, reject_removed_kwargs
 
 if TYPE_CHECKING:  # the engine is imported lazily inside the sweeps
     from repro.campaign.engine import CellResult
@@ -91,9 +86,7 @@ class ScalabilityAnalyzer:
               configurations: Iterable[tuple[str, dict[str, Any]]],
               *,
               policy: ExecutionPolicy | None = None,
-              journal: (SweepJournal | ShardedJournal | str
-                        | os.PathLike[str] | None) = None,
-              resume: bool | None = None) -> list[ScalingPoint]:
+              **removed: Any) -> list[ScalingPoint]:
         """Measure each labelled option-dict configuration.
 
         Failures (any :class:`~repro.common.errors.ReproError`, from
@@ -101,16 +94,17 @@ class ScalabilityAnalyzer:
         exceeding a platform's scalability envelope is a result. The
         ``policy`` controls journaling/resume, retry, deadlines, and
         worker fan-out; points always return in configuration order.
-        ``journal``/``resume`` are deprecated aliases for the policy
-        fields.
+        The pre-policy ``journal``/``resume`` keywords were removed in
+        0.3 and raise :class:`TypeError`.
         """
         # Lazy: the engine lives under repro.campaign, which resilience
         # (imported above) reaches back into via repro.core at import
         # time — a module-level import here would close that cycle.
         from repro.campaign.engine import CellTask, run_cell_tasks
 
-        policy = resolve_policy(policy, api="ScalabilityAnalyzer.sweep",
-                                journal=journal, resume=resume)
+        reject_removed_kwargs("ScalabilityAnalyzer.sweep", removed)
+        if policy is None:
+            policy = ExecutionPolicy()
         executor = self._executor_for(policy)
         serializer = _serializer_for(self.backend)
         configs = [(label, dict(options))
@@ -306,9 +300,6 @@ class DeploymentOptimizer:
 
     def batch_sweep(self, model: ModelConfig, train: TrainConfig,
                     batch_sizes: Iterable[int],
-                    journal: (SweepJournal | ShardedJournal | str
-                              | os.PathLike[str] | None) = None,
-                    resume: bool | None = None,
                     policy: ExecutionPolicy | None = None,
                     **options: Any) -> BatchSweepResult:
         """Measure throughput across batch sizes (other knobs fixed).
@@ -316,14 +307,17 @@ class DeploymentOptimizer:
         Any :class:`~repro.common.errors.ReproError` becomes a failed
         point with a structured record in ``failures``. The ``policy``
         controls journaling (keyed ``batch=<n>``), resume, retry,
-        deadlines, and worker fan-out; ``journal``/``resume`` are
-        deprecated aliases.
+        deadlines, and worker fan-out. The pre-policy
+        ``journal``/``resume`` keywords were removed in 0.3 and raise
+        :class:`TypeError`; remaining keywords are forwarded to
+        ``backend.compile``.
         """
         from repro.campaign.engine import CellTask, run_cell_tasks
 
-        policy = resolve_policy(policy,
-                                api="DeploymentOptimizer.batch_sweep",
-                                journal=journal, resume=resume)
+        reject_removed_kwargs("DeploymentOptimizer.batch_sweep", options,
+                              allow_extra=True)
+        if policy is None:
+            policy = ExecutionPolicy()
         executor = self._executor_for(policy)
         serializer = _serializer_for(self.backend)
         sizes = list(batch_sizes)

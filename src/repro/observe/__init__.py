@@ -1,0 +1,65 @@
+"""Campaign observability: trace spans, metrics, and the run ledger.
+
+Three pieces, all optional and all side-effect-free on the journal:
+
+* :mod:`repro.observe.trace` — JSONL trace shards written beside the
+  journal shards, a deterministic canonical merge, and Chrome
+  trace-event export (``repro trace`` on the CLI).
+* :mod:`repro.observe.metrics` — a seeded-deterministic metrics
+  registry plus the per-lane :class:`ObservabilityStats` rollup shown
+  in the report's "Observability" table.
+* :mod:`repro.observe.ledger` — :class:`RunLedger`, a persisted
+  per-(backend, model-family) duration table that warm-starts the
+  EWMA cost predictor and scales supervisor heartbeats across runs.
+
+Enable via ``ExecutionPolicy(trace=True, ledger="ledger.json")`` or the
+``--trace`` / ``--ledger`` CLI flags; see ``docs/observability.md``.
+"""
+
+from .ledger import LEDGER_ALPHA, LEDGER_VERSION, RunLedger
+from .metrics import (
+    RESERVOIR_SIZE,
+    HistogramSummary,
+    MetricsRegistry,
+    ObservabilityStats,
+    aggregate_observability,
+)
+from .trace import (
+    TRACE_PREFIX,
+    TRACE_VERSION,
+    TraceEvent,
+    TraceRecorder,
+    events_for_key,
+    load_events,
+    merge_events,
+    merged_trace_text,
+    new_run_token,
+    summarize_events,
+    to_chrome_events,
+    trace_shard_paths,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "LEDGER_ALPHA",
+    "LEDGER_VERSION",
+    "RESERVOIR_SIZE",
+    "TRACE_PREFIX",
+    "TRACE_VERSION",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "ObservabilityStats",
+    "RunLedger",
+    "TraceEvent",
+    "TraceRecorder",
+    "aggregate_observability",
+    "events_for_key",
+    "load_events",
+    "merge_events",
+    "merged_trace_text",
+    "new_run_token",
+    "summarize_events",
+    "to_chrome_events",
+    "trace_shard_paths",
+    "write_chrome_trace",
+]

@@ -1,0 +1,180 @@
+"""Persisted per-(backend, model-family) duration ledger.
+
+A :class:`RunLedger` is a small JSON file that survives across campaign
+runs. During a run the scheduler feeds every observed cell duration
+into it (keyed by the same ``"<lane>::<model family>"`` strings the
+:class:`~repro.campaign.scheduler.EWMACostPredictor` uses); the next
+run loads the file and uses the stored EWMAs to
+
+* warm-start the EWMA cost predictor — the second campaign starts with
+  realistic per-family estimates instead of analytic defaults, which
+  shows up directly as a lower MAE in the Scheduling table; and
+* scale the supervisor's heartbeat interval to the *typical* observed
+  cell duration (bounded by the configured value), so fast grids get
+  tight patrols without reconfiguring anything.
+
+Corruption never takes a campaign down: a truncated, garbage, or
+wrong-shape ledger file degrades to a cold start with a
+``RuntimeWarning`` (the same contract as the journal's corrupt-line
+handling). Saves are atomic (``tmp`` + ``os.replace``) so a crash
+mid-save leaves the previous ledger intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import warnings
+from pathlib import Path
+from typing import Any
+
+LEDGER_VERSION = 1
+
+#: Smoothing factor for the persisted EWMAs; matches the in-run
+#: :class:`~repro.campaign.scheduler.EWMACostPredictor` default.
+LEDGER_ALPHA = 0.3
+
+
+def _warn_corrupt(path: Path, why: str) -> None:
+    warnings.warn(
+        f"run ledger {path}: {why} — starting cold (the file will be "
+        "rewritten on the next save)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+class RunLedger:
+    """Cross-run EWMA duration table, persisted as one JSON file.
+
+    The file shape is ``{"v": 1, "families": {family: {"count": int,
+    "ewma_seconds": float, "total_seconds": float}}}``. The ledger
+    lives in the parent process only — it is never pickled into
+    workers; the supervisor/scheduler report observations back to it
+    from the parent side.
+    """
+
+    def __init__(self, path: str | os.PathLike[str],
+                 alpha: float = LEDGER_ALPHA) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.path = Path(path)
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        self._families: dict[str, dict[str, float]] = self._load()
+
+    def _load(self) -> dict[str, dict[str, float]]:
+        if not self.path.exists():
+            return {}
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            _warn_corrupt(self.path, f"unreadable ({exc})")
+            return {}
+        if not isinstance(payload, dict):
+            _warn_corrupt(self.path, "top level is not an object")
+            return {}
+        families = payload.get("families")
+        if not isinstance(families, dict):
+            _warn_corrupt(self.path, "missing 'families' table")
+            return {}
+        loaded: dict[str, dict[str, float]] = {}
+        dropped = 0
+        for family, row in families.items():
+            try:
+                ewma = float(row["ewma_seconds"])
+                count = int(row["count"])
+                total = float(row.get("total_seconds", 0.0))
+            except (KeyError, TypeError, ValueError):
+                dropped += 1
+                continue
+            if ewma <= 0.0 or count <= 0:
+                dropped += 1
+                continue
+            loaded[str(family)] = {"count": count, "ewma_seconds": ewma,
+                                   "total_seconds": total}
+        if dropped:
+            _warn_corrupt(self.path,
+                          f"dropped {dropped} malformed family row(s)")
+        return loaded
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._families)
+
+    def record(self, family: str, seconds: float) -> None:
+        """Fold one observed duration into the family's EWMA and save.
+
+        Empty families and non-positive durations are ignored — gated
+        or instantly-failed cells carry no cost signal.
+        """
+        if not family or seconds <= 0.0:
+            return
+        with self._lock:
+            row = self._families.get(family)
+            if row is None:
+                row = {"count": 0, "ewma_seconds": seconds,
+                       "total_seconds": 0.0}
+                self._families[family] = row
+            else:
+                row["ewma_seconds"] = (
+                    self.alpha * seconds
+                    + (1.0 - self.alpha) * row["ewma_seconds"])
+            row["count"] = int(row["count"]) + 1
+            row["total_seconds"] = float(row["total_seconds"]) + seconds
+            self._save_locked()
+
+    def priors(self) -> dict[str, float]:
+        """Family → persisted EWMA seconds (for predictor warm-start)."""
+        with self._lock:
+            return {family: float(row["ewma_seconds"])
+                    for family, row in self._families.items()}
+
+    def typical_seconds(self) -> float | None:
+        """Mean of the per-family EWMAs, or ``None`` when empty.
+
+        This is the adaptive-heartbeat signal: "how long does a cell
+        usually take on this grid", robust to one family dominating
+        the cell count.
+        """
+        with self._lock:
+            if not self._families:
+                return None
+            ewmas = [float(row["ewma_seconds"])
+                     for row in self._families.values()]
+            return sum(ewmas) / len(ewmas)
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "v": LEDGER_VERSION,
+                "families": {
+                    family: {"count": int(row["count"]),
+                             "ewma_seconds": float(row["ewma_seconds"]),
+                             "total_seconds": float(row["total_seconds"])}
+                    for family in sorted(self._families)
+                    for row in (self._families[family],)
+                },
+            }
+
+    def save(self) -> None:
+        with self._lock:
+            self._save_locked()
+
+    def _save_locked(self) -> None:
+        payload = {
+            "v": LEDGER_VERSION,
+            "families": {
+                family: {"count": int(row["count"]),
+                         "ewma_seconds": float(row["ewma_seconds"]),
+                         "total_seconds": float(row["total_seconds"])}
+                for family in sorted(self._families)
+                for row in (self._families[family],)
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, self.path)

@@ -64,7 +64,7 @@ from repro.resilience.policy import (
     SCHEDULE_POLICIES,
     SCHEDULE_SHORTEST_FIRST,
     ExecutionPolicy,
-    resolve_policy,
+    reject_removed_kwargs,
 )
 from repro.resilience.retry import BackoffSchedule, RetryPolicy
 
@@ -76,7 +76,7 @@ __all__ = [
     "BackoffSchedule",
     "CircuitBreaker",
     "ExecutionPolicy",
-    "resolve_policy",
+    "reject_removed_kwargs",
     "SCHEDULE_LANE_MAJOR",
     "SCHEDULE_LONGEST_FIRST",
     "SCHEDULE_SHORTEST_FIRST",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.common.errors import (
     CircuitOpenError,
@@ -43,6 +43,9 @@ from repro.resilience.journal import (
     JournalEntry,
 )
 from repro.resilience.retry import RetryPolicy
+
+if TYPE_CHECKING:
+    from repro.observe import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -115,11 +118,13 @@ class ResilientExecutor:
                  clock: Clock | None = None,
                  breaker: CircuitBreaker | None = None,
                  max_abandoned_watchdogs: int =
-                 DEFAULT_MAX_ABANDONED_WATCHDOGS) -> None:
+                 DEFAULT_MAX_ABANDONED_WATCHDOGS,
+                 tracer: "TraceRecorder | None" = None) -> None:
         self.retry = retry if retry is not None else RetryPolicy()
         self.cell_timeout = cell_timeout
         self.clock = clock if clock is not None else SystemClock()
         self.breaker = breaker
+        self.tracer = tracer
         self.max_abandoned_watchdogs = max_abandoned_watchdogs
         self._watchdog_lock = threading.Lock()
         self._abandoned: list[threading.Thread] = []
@@ -159,6 +164,12 @@ class ResilientExecutor:
             except CircuitOpenError as exc:
                 record = ErrorRecord.from_exception(exc, phase="gate",
                                                     transient=True)
+                if self.tracer is not None:
+                    self.tracer.emit("gate", key=key, phase="gate",
+                                     status=STATUS_GATED,
+                                     attempt=attempts,
+                                     breaker=getattr(self.breaker,
+                                                     "name", ""))
                 return CellOutcome(
                     key=key, status=STATUS_GATED, error=record,
                     attempts=attempts,
@@ -168,20 +179,28 @@ class ResilientExecutor:
             attempts += 1
             phase = "compile"
             attempt_started = self.clock.now()
+            phase_started = attempt_started
             try:
                 compiled = self._guarded(compile_fn, attempt_started, phase)
                 self._check_deadline(attempt_started, phase)
+                self._span(key, "compile", STATUS_OK, attempts,
+                           phase_started)
                 run = None
                 if run_fn is not None:
                     phase = "run"
+                    phase_started = self.clock.now()
                     run = self._guarded(lambda: run_fn(compiled),
                                         attempt_started, phase)
                     self._check_deadline(attempt_started, phase)
+                    self._span(key, "run", STATUS_OK, attempts,
+                               phase_started)
             except ReproError as exc:
                 transient = self._is_retryable(exc, is_transient)
                 record = ErrorRecord.from_exception(exc, phase=phase,
                                                     transient=transient,
                                                     capture_traceback=True)
+                self._span(key, phase, "error", attempts, phase_started,
+                           error=type(exc).__name__)
                 if self.breaker is not None:
                     if is_infrastructure_fault(exc):
                         self.breaker.record_failure()
@@ -190,7 +209,13 @@ class ResilientExecutor:
                         self.breaker.record_success()
                 if transient and attempts <= self.retry.max_retries:
                     retried.append(record)
-                    self.clock.sleep(schedule.delay(attempts - 1))
+                    delay = schedule.delay(attempts - 1)
+                    if self.tracer is not None:
+                        self.tracer.emit("retry", key=key, phase=phase,
+                                         status="error",
+                                         attempt=attempts, delay=delay,
+                                         error=type(exc).__name__)
+                    self.clock.sleep(delay)
                     continue
                 return CellOutcome(
                     key=key, status=STATUS_FAILED, error=record,
@@ -205,6 +230,17 @@ class ResilientExecutor:
                 retried=tuple(retried))
 
     # ------------------------------------------------------------------
+    def _span(self, key: str, name: str, status: str, attempt: int,
+              phase_started: float, **meta: Any) -> None:
+        """Emit one phase span (compile/run) when tracing is on."""
+        if self.tracer is None:
+            return
+        self.tracer.emit(name, key=key, phase=name, status=status,
+                         attempt=attempt,
+                         duration=max(0.0, self.clock.now()
+                                      - phase_started),
+                         **meta)
+
     def _is_retryable(self, exc: BaseException,
                       is_transient: Callable[[BaseException], bool] | None,
                       ) -> bool:

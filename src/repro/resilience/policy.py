@@ -15,21 +15,21 @@ consolidates all of them into a single frozen value that
                              max_workers=8)
     cells = run_grid(backend, specs, policy=policy)
 
-The old keywords keep working as deprecated aliases (they emit
-:class:`DeprecationWarning` and are translated through
-:func:`resolve_policy`), so existing scripts survive; internal callers
-are held to the new API by CI, which escalates ``repro.*``
-deprecations to errors.
+The 0.3 release completed the migration: the old keywords are gone.
+Passing any of them raises :class:`TypeError` with a one-line hint
+(:func:`reject_removed_kwargs`) — there is exactly one way to configure
+execution, and it is this class.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass, replace
-from typing import Any
+from pathlib import Path
+from typing import Any, Mapping
 
 from repro.common.errors import ConfigurationError
+from repro.observe import RunLedger, TraceRecorder
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.clock import Clock, SystemClock
 from repro.resilience.executor import ResilientExecutor
@@ -128,10 +128,21 @@ class ExecutionPolicy:
         clock: injected time source (``None`` = wall clock). Fake
             clocks make backoff/deadline/cooldown behaviour
             deterministic in tests.
+        trace: structured tracing (see :mod:`repro.observe`) —
+            ``False`` (off, the default), ``True`` (write trace shards
+            beside the journal shards; requires a
+            :class:`ShardedJournal`), or a directory path to write the
+            shards into. Tracing is side-effect-free on the journal:
+            ``merged_text()`` is byte-identical with it on or off.
+        ledger: a cross-run :class:`~repro.observe.RunLedger` — a
+            ready instance or a path to its JSON file. Observed cell
+            durations are folded into it during the run; the next run
+            warm-starts the EWMA cost predictor from it and scales the
+            supervisor heartbeat to the typical observed duration
+            (see :meth:`effective_heartbeat_interval`).
         executor: expert escape hatch — a pre-built
             :class:`ResilientExecutor` used verbatim instead of one
-            derived from ``retry``/``deadline``/``clock``. Also the
-            bridge the deprecated ``executor=`` keyword lands on.
+            derived from ``retry``/``deadline``/``clock``.
     """
 
     retry: RetryPolicy = NO_RETRY
@@ -151,6 +162,8 @@ class ExecutionPolicy:
     grace_factor: float = 2.0
     quarantine_after: int = 2
     max_pool_rebuilds: int = 5
+    trace: bool | str | os.PathLike[str] = False
+    ledger: RunLedger | str | os.PathLike[str] | None = None
     clock: Clock | None = None
     executor: ResilientExecutor | None = None
 
@@ -194,6 +207,11 @@ class ExecutionPolicy:
             raise ConfigurationError(
                 f"predictor must be one of {PREDICTORS} or a "
                 f"CostPredictor instance: {self.predictor!r}")
+        if self.trace is True and not isinstance(self.journal,
+                                                 ShardedJournal):
+            raise ConfigurationError(
+                "trace=True writes shards beside a ShardedJournal's; "
+                "without one, pass trace=<directory> instead")
 
     # -- derived pieces ------------------------------------------------
     def normalized_journal(self) -> SweepJournal | ShardedJournal | None:
@@ -203,6 +221,63 @@ class ExecutionPolicy:
                                                ShardedJournal)):
             return self.journal
         return SweepJournal(self.journal)
+
+    def trace_directory(self) -> Path | None:
+        """Where trace shards go, or ``None`` when tracing is off."""
+        if self.trace is False or self.trace is None:
+            return None
+        if self.trace is True:
+            journal = self.journal
+            if not isinstance(journal, ShardedJournal):
+                raise ConfigurationError(
+                    "trace=True writes shards beside a ShardedJournal's; "
+                    "without one, pass trace=<directory> instead")
+            return journal.directory
+        return Path(self.trace)
+
+    def make_tracer(self, run: str | None = None) -> TraceRecorder | None:
+        """A :class:`~repro.observe.TraceRecorder` per this policy.
+
+        ``None`` when tracing is off. ``run`` pins the run token (the
+        parent generates one and ships it to worker processes so one
+        campaign's shards group together).
+        """
+        directory = self.trace_directory()
+        if directory is None:
+            return None
+        return TraceRecorder(directory, run=run)
+
+    def normalized_ledger(self) -> RunLedger | None:
+        """The ledger as a :class:`~repro.observe.RunLedger` instance.
+
+        Paths become fresh ledgers (loading the file, warning on
+        corruption). The ledger lives parent-side only — it is never
+        pickled into worker processes.
+        """
+        if self.ledger is None or isinstance(self.ledger, RunLedger):
+            return self.ledger
+        return RunLedger(self.ledger)
+
+    def effective_heartbeat_interval(
+            self, ledger: RunLedger | None = None) -> float:
+        """The heartbeat cadence, adapted to observed cell durations.
+
+        With a ledger holding history, the interval tracks twice the
+        typical observed cell duration — fast grids get tight patrols,
+        slow grids are not pestered — clamped to
+        ``[heartbeat_interval / 10, heartbeat_interval]`` so the
+        configured value stays an upper bound. Without history the
+        configured value is used as-is.
+        """
+        if ledger is None:
+            ledger = self.normalized_ledger()
+        if ledger is None:
+            return self.heartbeat_interval
+        typical = ledger.typical_seconds()
+        if typical is None:
+            return self.heartbeat_interval
+        return max(self.heartbeat_interval / 10.0,
+                   min(self.heartbeat_interval, typical * 2.0))
 
     def make_breaker(self, name: str,
                      clock: Clock | None = None) -> CircuitBreaker | None:
@@ -223,84 +298,92 @@ class ExecutionPolicy:
 
     def make_executor(self, name: str = "backend", *,
                       breaker: CircuitBreaker | None = None,
-                      clock: Clock | None = None) -> ResilientExecutor:
+                      clock: Clock | None = None,
+                      tracer: TraceRecorder | None = None,
+                      ) -> ResilientExecutor:
         """The per-cell executor this policy describes.
 
-        ``breaker``/``clock`` override the policy's own (the campaign
-        passes per-lane instances). A pre-built ``executor`` is reused,
-        re-wrapped only when a breaker must be attached.
+        ``breaker``/``clock``/``tracer`` override the policy's own (the
+        campaign passes per-lane instances). A pre-built ``executor``
+        is reused, re-wrapped only when a breaker or tracer must be
+        attached.
         """
         if breaker is None:
             breaker = self.make_breaker(name, clock)
         if self.executor is not None:
-            if breaker is None or breaker is self.executor.breaker:
+            if (breaker is None or breaker is self.executor.breaker) \
+                    and tracer is None:
                 return self.executor
             return ResilientExecutor(retry=self.executor.retry,
                                      cell_timeout=self.executor.cell_timeout,
                                      clock=self.executor.clock,
-                                     breaker=breaker)
+                                     breaker=breaker
+                                     or self.executor.breaker,
+                                     tracer=tracer)
         return ResilientExecutor(retry=self.retry,
                                  cell_timeout=self.deadline,
                                  clock=clock or self.clock or SystemClock(),
-                                 breaker=breaker)
+                                 breaker=breaker, tracer=tracer)
 
-    def make_scheduler(self) -> Any:
+    def make_scheduler(self, tracer: TraceRecorder | None = None) -> Any:
         """A :class:`~repro.campaign.scheduler.Scheduler` per this policy.
 
-        Imported lazily: the campaign package imports this module, so
-        the policy cannot import it at module scope.
+        A configured ledger warm-starts the EWMA predictor from the
+        persisted per-family durations, and the scheduler feeds every
+        observed duration back into it. Imported lazily: the campaign
+        package imports this module, so the policy cannot import it at
+        module scope.
         """
         from repro.campaign.scheduler import Scheduler, make_predictor
-        return Scheduler(self.schedule, make_predictor(self.predictor))
+        ledger = self.normalized_ledger()
+        prior = ledger.priors() if ledger is not None else None
+        return Scheduler(self.schedule,
+                         make_predictor(self.predictor, prior=prior),
+                         ledger=ledger, tracer=tracer)
 
-    def make_supervisor(self) -> Any:
+    def make_supervisor(self, tracer: TraceRecorder | None = None) -> Any:
         """A :class:`~repro.campaign.supervisor.Supervisor` per this
         policy (process dispatch only; imported lazily like the
-        scheduler)."""
+        scheduler). The heartbeat cadence adapts to ledger history —
+        see :meth:`effective_heartbeat_interval`."""
         from repro.campaign.supervisor import Supervisor
         return Supervisor(deadline=self.deadline,
-                          heartbeat_interval=self.heartbeat_interval,
+                          heartbeat_interval=(
+                              self.effective_heartbeat_interval()),
                           grace_factor=self.grace_factor,
                           quarantine_after=self.quarantine_after,
-                          max_pool_rebuilds=self.max_pool_rebuilds)
+                          max_pool_rebuilds=self.max_pool_rebuilds,
+                          tracer=tracer)
 
     def with_options(self, **changes: Any) -> "ExecutionPolicy":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
 
 
-def resolve_policy(policy: ExecutionPolicy | None, *, api: str,
-                   stacklevel: int = 3,
-                   executor: ResilientExecutor | None = None,
-                   journal: (SweepJournal | ShardedJournal | str
-                             | os.PathLike[str] | None) = None,
-                   resume: bool | None = None,
-                   retry_failed: bool | None = None) -> ExecutionPolicy:
-    """Fold the deprecated per-keyword API into an :class:`ExecutionPolicy`.
+#: The pre-policy keywords removed in 0.3. They were deprecated aliases
+#: from 0.2 (``resolve_policy`` translated them with a
+#: DeprecationWarning); now they raise :class:`TypeError` with a
+#: migration hint.
+REMOVED_KEYWORDS = ("executor", "journal", "resume", "retry_failed")
 
-    The sweep entry points call this with whatever the caller passed:
-    no legacy keywords → the policy (or the default) is returned as-is;
-    any legacy keyword → a :class:`DeprecationWarning` names the
-    offending keywords and an equivalent policy is built. Mixing
-    ``policy=`` with legacy keywords is a configuration error — there
-    is no sane precedence between them.
+
+def reject_removed_kwargs(api: str, kwargs: Mapping[str, Any], *,
+                          allow_extra: bool = False) -> None:
+    """Raise :class:`TypeError` if ``kwargs`` uses a removed keyword.
+
+    The sweep entry points call this with their ``**kwargs`` catch-all
+    so the pre-policy keywords fail with a migration hint instead of a
+    bare "unexpected keyword argument". With ``allow_extra`` only the
+    removed names are rejected — for APIs like ``batch_sweep`` whose
+    ``**options`` legitimately forwards other keywords.
     """
-    legacy = {name: value
-              for name, value in (("executor", executor),
-                                  ("journal", journal),
-                                  ("resume", resume),
-                                  ("retry_failed", retry_failed))
-              if value is not None}
-    if not legacy:
-        return policy if policy is not None else ExecutionPolicy()
-    if policy is not None:
-        raise ConfigurationError(
-            f"{api}: pass either policy= or the deprecated "
-            f"{sorted(legacy)} keyword(s), not both")
-    warnings.warn(
-        f"{api}: the {', '.join(sorted(legacy))} keyword(s) are "
-        "deprecated; pass policy=ExecutionPolicy(...) instead",
-        DeprecationWarning, stacklevel=stacklevel)
-    return ExecutionPolicy(executor=executor, journal=journal,
-                           resume=bool(resume),
-                           retry_failed=bool(retry_failed))
+    removed = sorted(name for name in kwargs if name in REMOVED_KEYWORDS)
+    if removed:
+        raise TypeError(
+            f"{api}: the {', '.join(removed)} keyword(s) were removed "
+            "in 0.3 — pass policy=ExecutionPolicy(...) instead "
+            "(see docs/extending.md)")
+    if not allow_extra and kwargs:
+        raise TypeError(
+            f"{api}: unexpected keyword argument(s): "
+            f"{', '.join(sorted(kwargs))}")

@@ -18,13 +18,13 @@ fan-out — is described by one
                                             resume=True, max_workers=4))
 
 The pre-policy keywords (``executor=``, ``journal=``, ``resume=``,
-``retry_failed=``) keep working as deprecated aliases. Cells always
-come back in spec order, whatever order they executed in.
+``retry_failed=``) were removed in 0.3 — passing one raises
+``TypeError`` with a migration hint. Cells always come back in spec
+order, whatever order they executed in.
 """
 
 from __future__ import annotations
 
-import os
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -34,11 +34,11 @@ from repro.common.errors import ErrorRecord
 from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
 from repro.models.config import ModelConfig, TrainConfig
 from repro.resilience.executor import ResilientExecutor
-from repro.resilience.journal import JournalEntry, ShardedJournal, SweepJournal
+from repro.resilience.journal import JournalEntry, ShardedJournal
 from repro.resilience.policy import (
     DISPATCH_PROCESS,
     ExecutionPolicy,
-    resolve_policy,
+    reject_removed_kwargs,
 )
 
 
@@ -144,11 +144,7 @@ def run_grid(backend: AcceleratorBackend,
              on_cell: Callable[[SweepCell], None] | None = None,
              *,
              policy: ExecutionPolicy | None = None,
-             executor: ResilientExecutor | None = None,
-             journal: (SweepJournal | ShardedJournal | str
-                       | os.PathLike[str] | None) = None,
-             resume: bool | None = None,
-             retry_failed: bool | None = None) -> list[SweepCell]:
+             **removed: Any) -> list[SweepCell]:
     """Compile (and optionally run) every spec; failures become cells.
 
     Args:
@@ -161,16 +157,14 @@ def run_grid(backend: AcceleratorBackend,
             cells). With ``max_workers=1`` it fires in spec order; under
             a pool, in completion order.
         policy: the :class:`ExecutionPolicy` governing retry, deadlines,
-            journaling, resume, ``max_workers`` fan-out, and the
-            dispatch ``schedule``.
-        executor, journal, resume, retry_failed: deprecated aliases for
-            the corresponding policy fields (they emit
-            :class:`DeprecationWarning`; scheduled for removal in the
-            0.3 release — see ``docs/extending.md``).
+            journaling, resume, ``max_workers`` fan-out, the dispatch
+            ``schedule``, tracing, and the run ledger. The pre-policy
+            ``executor``/``journal``/``resume``/``retry_failed``
+            keywords were removed in 0.3 and raise :class:`TypeError`.
     """
-    policy = resolve_policy(policy, api="run_grid", executor=executor,
-                            journal=journal, resume=resume,
-                            retry_failed=retry_failed)
+    reject_removed_kwargs("run_grid", removed)
+    if policy is None:
+        policy = ExecutionPolicy()
 
     relay = None
     if on_cell is not None:
@@ -183,7 +177,9 @@ def run_grid(backend: AcceleratorBackend,
         return _run_grid_process(backend, specs, policy, measure=measure,
                                  relay=relay)
 
-    tasks = cell_tasks(backend, specs, policy.make_executor(backend.name),
+    tracer = policy.make_tracer()
+    tasks = cell_tasks(backend, specs,
+                       policy.make_executor(backend.name, tracer=tracer),
                        measure=measure)
     results = run_cell_tasks(
         tasks,
@@ -192,7 +188,8 @@ def run_grid(backend: AcceleratorBackend,
         resume=policy.resume,
         retry_failed=policy.retry_failed,
         on_result=relay,
-        scheduler=policy.make_scheduler(),
+        scheduler=policy.make_scheduler(tracer),
+        tracer=tracer,
     )
     return [cell_from_result(spec, result)
             for spec, result in zip(specs, results)]
@@ -235,6 +232,8 @@ def _run_grid_process(backend: AcceleratorBackend,
         )
         for spec in specs
     ]
+    tracer = policy.make_tracer()
+    trace_dir = policy.trace_directory()
     worker = WorkerSpec(
         backends={backend.name: backend},
         retry=policy.retry,
@@ -244,6 +243,8 @@ def _run_grid_process(backend: AcceleratorBackend,
         breaker_reset=policy.breaker_reset,
         journal_dir=str(store.directory) if store is not None else None,
         journal_prefix=store.prefix if store is not None else "shard",
+        trace_dir=str(trace_dir) if trace_dir is not None else None,
+        trace_run=tracer.run if tracer is not None else "",
     )
     results = run_cell_specs(
         cells,
@@ -253,8 +254,9 @@ def _run_grid_process(backend: AcceleratorBackend,
         resume=policy.resume,
         retry_failed=policy.retry_failed,
         on_result=relay,
-        scheduler=policy.make_scheduler(),
-        supervisor=policy.make_supervisor(),
+        scheduler=policy.make_scheduler(tracer),
+        supervisor=policy.make_supervisor(tracer),
+        tracer=tracer,
     )
     return [cell_from_result(spec, result)
             for spec, result in zip(specs, results)]

@@ -240,31 +240,39 @@ class TestTier2Robustness:
             [p.tokens_per_second for p in serial]
 
 
-class TestDeprecatedKeywords:
-    """The pre-policy keywords still work but warn (satellite 1)."""
+class TestRemovedKeywords:
+    """The pre-policy keywords were removed in 0.3 (satellite 1)."""
 
     def probe_train(self):
         return decoder_block_probe(256, 2), TrainConfig(batch_size=8,
                                                         seq_len=256)
 
-    def test_sweep_journal_keyword_warns(self, cerebras, tmp_path):
+    def test_sweep_journal_keyword_raises(self, cerebras, tmp_path):
         model, train = self.probe_train()
-        with pytest.warns(DeprecationWarning,
-                          match="ScalabilityAnalyzer.sweep"):
-            points = ScalabilityAnalyzer(cerebras).sweep(
+        with pytest.raises(TypeError,
+                           match="ScalabilityAnalyzer.sweep.*removed "
+                                 "in 0.3.*ExecutionPolicy"):
+            ScalabilityAnalyzer(cerebras).sweep(
                 model, train, [("DP1", {"n_replicas": 1})],
                 journal=tmp_path / "j.jsonl")
-        assert not points[0].failed
-        assert (tmp_path / "j.jsonl").exists()
+        assert not (tmp_path / "j.jsonl").exists()
 
-    def test_batch_sweep_resume_keyword_warns(self, cerebras, tmp_path):
+    def test_batch_sweep_resume_keyword_raises(self, cerebras, tmp_path):
         model, train = self.probe_train()
         journal = tmp_path / "batch.jsonl"
         optimizer = DeploymentOptimizer(cerebras)
-        with pytest.warns(DeprecationWarning,
-                          match="DeploymentOptimizer.batch_sweep"):
+        with pytest.raises(TypeError,
+                           match="DeploymentOptimizer.batch_sweep"):
             optimizer.batch_sweep(model, train, [8], journal=journal)
-        with pytest.warns(DeprecationWarning, match="journal, resume"):
-            sweep = optimizer.batch_sweep(model, train, [8],
-                                          journal=journal, resume=True)
+        with pytest.raises(TypeError, match="journal, resume"):
+            optimizer.batch_sweep(model, train, [8],
+                                  journal=journal, resume=True)
+
+    def test_batch_sweep_still_forwards_compile_options(self, cerebras):
+        # **options must keep flowing to backend.compile — only the
+        # four removed names are rejected.
+        model, train = self.probe_train()
+        from repro.resilience import ExecutionPolicy
+        sweep = DeploymentOptimizer(cerebras).batch_sweep(
+            model, train, [8], policy=ExecutionPolicy(), n_replicas=1)
         assert sweep.tokens_per_second[0] > 0

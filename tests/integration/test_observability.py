@@ -1,0 +1,202 @@
+"""Observability acceptance: trace determinism, lifecycle
+reconstruction, and the cross-run ledger (PR 7).
+
+The contracts:
+
+* a faultless grid's **canonical merged trace is byte-identical**
+  under thread and process dispatch — tracing observes execution, it
+  does not depend on where execution happened;
+* tracing is **side-effect-free on the journal**: ``merged_text()`` is
+  byte-identical with tracing on or off;
+* a chaos campaign's kill/isolate/quarantine story is reconstructable
+  from the merged trace alone — no log scraping, no supervisor state;
+* a second campaign run with a ``--ledger`` warm-starts the EWMA cost
+  predictor from persisted durations, observable as a (much) lower
+  MAE in the Scheduling stats, and a corrupt ledger file degrades to
+  a cold start with a ``RuntimeWarning``, never a crash.
+"""
+
+import pytest
+
+from repro.campaign import Campaign
+from repro.observe import (
+    RunLedger,
+    events_for_key,
+    load_events,
+    merged_trace_text,
+)
+from repro.resilience import (
+    ExecutionPolicy,
+    FaultInjectingBackend,
+    ShardedJournal,
+)
+from repro.workloads.sweeps import run_grid
+
+from .test_process_dispatch import fast_backend, grid
+from .test_supervision import crash_plan
+
+
+def traced_policy(journal_dir, **kwargs):
+    return ExecutionPolicy(max_workers=2, trace=True,
+                           journal=ShardedJournal(journal_dir),
+                           **kwargs)
+
+
+class TestTraceDeterminism:
+    def test_thread_and_process_merged_traces_identical(self, tmp_path):
+        """Property: same faultless grid, same canonical trace —
+        whatever dispatch mode, pool interleaving, or shard layout
+        produced the events."""
+        texts = {}
+        for dispatch in ("thread", "process"):
+            root = tmp_path / dispatch
+            cells = run_grid(fast_backend(), grid(),
+                             policy=traced_policy(root,
+                                                  dispatch=dispatch))
+            assert all(not c.failed for c in cells)
+            texts[dispatch] = merged_trace_text(load_events(root))
+        assert texts["thread"] == texts["process"]
+        assert texts["thread"]  # and it is not trivially empty
+
+    def test_repeated_runs_are_identical_too(self, tmp_path):
+        texts = set()
+        for attempt in ("one", "two"):
+            root = tmp_path / attempt
+            run_grid(fast_backend(), grid(),
+                     policy=traced_policy(root))
+            texts.add(merged_trace_text(load_events(root)))
+        assert len(texts) == 1
+
+    def test_tracing_is_side_effect_free_on_the_journal(self, tmp_path):
+        for root, trace in ((tmp_path / "traced", True),
+                            (tmp_path / "plain", False)):
+            run_grid(fast_backend(), grid(),
+                     policy=ExecutionPolicy(
+                         max_workers=2, dispatch="process", trace=trace,
+                         journal=ShardedJournal(root)))
+        assert (ShardedJournal(tmp_path / "traced").merged_text()
+                == ShardedJournal(tmp_path / "plain").merged_text())
+
+    def test_explicit_trace_directory_separate_from_journal(self,
+                                                            tmp_path):
+        run_grid(fast_backend(), grid(),
+                 policy=ExecutionPolicy(
+                     trace=tmp_path / "traces",
+                     journal=ShardedJournal(tmp_path / "journal")))
+        events = load_events(tmp_path / "traces")
+        assert events
+        assert not load_events(tmp_path / "journal")
+
+
+class TestLifecycleReconstruction:
+    def test_quarantine_story_from_trace_alone(self, tmp_path):
+        """The chaos-supervision acceptance: the poison cell's
+        crash -> isolation -> crash -> quarantine sequence must be
+        readable off the merged trace, per cell, in order."""
+        plan = crash_plan("sigkill", match="L4")  # poison: kills every
+        backend = FaultInjectingBackend(fast_backend(), plan)
+        result = Campaign(
+            [(backend, grid())],
+            traced_policy(tmp_path / "journal", dispatch="process",
+                          quarantine_after=2)).run()
+        label = result.labels[0]
+        assert result.supervision.quarantined == (f"{label}::L4",)
+
+        events = load_events(tmp_path / "journal")
+        story = [e.name for e in events_for_key(events,
+                                                f"{label}::L4")]
+        crashes = [i for i, name in enumerate(story)
+                   if name == "worker-crash"]
+        assert len(crashes) == 2  # quarantine_after=2
+        assert story.index("isolate") > crashes[0]
+        assert story.index("quarantine") > crashes[-1]
+        final = [e for e in events_for_key(events, f"{label}::L4")
+                 if e.name == "cell"]
+        assert final[-1].status == "failed"
+        assert final[-1].meta.get("error") == "QuarantinedError"
+        # Healthy cells completed normally in the same trace.
+        for healthy in ("L2", "L3", "L5"):
+            names = {e.name for e in
+                     events_for_key(events, f"{label}::{healthy}")}
+            assert {"dispatch", "compile", "run", "cell"} <= names
+
+    def test_supervisor_sigkill_lands_in_trace(self, tmp_path):
+        """A wedged worker (SIGSTOP) is hard-killed by the supervisor;
+        the kill itself must be a trace event on the cell's key."""
+        plan = crash_plan("stop", match="L3",
+                          once_path=tmp_path / "tripwire")
+        backend = FaultInjectingBackend(fast_backend(), plan)
+        result = Campaign(
+            [(backend, grid())],
+            traced_policy(tmp_path / "journal", dispatch="process",
+                          deadline=0.15, heartbeat_interval=1.0,
+                          grace_factor=2.0)).run()
+        label = result.labels[0]
+        events = load_events(tmp_path / "journal")
+        kills = [e for e in events if e.name == "sigkill"]
+        assert kills
+        assert kills[0].key == f"{label}::L3"
+
+    def test_observability_stats_in_report_and_json(self, tmp_path):
+        from repro.core.serialize import campaign_to_dict, to_json
+
+        result = Campaign(
+            [(fast_backend(), grid())],
+            traced_policy(tmp_path / "journal")).run()
+        label = result.labels[0]
+        assert result.observability is not None
+        row = result.observability[0]
+        assert row.lane == label
+        assert row.cells == len(grid())
+        assert row.compile_seconds > 0.0
+        rendered = result.report().render()
+        assert "Observability" in rendered
+        payload = campaign_to_dict(result)
+        assert payload["observability"][0]["cells"] == len(grid())
+        assert payload["policy"]["trace"] is True
+        to_json(payload)
+
+    def test_untraced_campaign_has_no_observability(self, tmp_path):
+        from repro.core.serialize import campaign_to_dict
+
+        result = Campaign(
+            [(fast_backend(), grid())],
+            ExecutionPolicy(max_workers=2,
+                            journal=ShardedJournal(tmp_path / "j"))).run()
+        assert result.observability is None
+        assert campaign_to_dict(result)["observability"] is None
+        assert "Observability" not in result.report().render()
+
+
+class TestRunLedgerAcrossRuns:
+    def run_once(self, tmp_path, tag, **kwargs):
+        return Campaign(
+            [(fast_backend(), grid())],
+            ExecutionPolicy(max_workers=2,
+                            journal=ShardedJournal(tmp_path / tag),
+                            ledger=tmp_path / "ledger.json",
+                            **kwargs)).run()
+
+    def test_second_run_warm_starts_the_predictor(self, tmp_path):
+        first = self.run_once(tmp_path, "one")
+        ledger = RunLedger(tmp_path / "ledger.json")
+        assert len(ledger) >= 1  # families persisted
+        assert all(v > 0 for v in ledger.priors().values())
+
+        second = self.run_once(tmp_path, "two")
+        # Cold analytic priors overestimate the reference cells by
+        # orders of magnitude; warm-started EWMAs track the observed
+        # milliseconds, so the MAE must collapse.
+        assert second.scheduling.mean_abs_error \
+            < first.scheduling.mean_abs_error
+        assert second.scheduling.predicted_seconds \
+            < first.scheduling.predicted_seconds
+
+    def test_corrupt_ledger_never_crashes_the_campaign(self, tmp_path):
+        (tmp_path / "ledger.json").write_text("{ totally not json")
+        with pytest.warns(RuntimeWarning, match="starting cold"):
+            result = self.run_once(tmp_path, "one")
+        label = result.labels[0]
+        assert all(not c.failed for c in result.cells[label])
+        # The run rewrote the file: reloading is clean.
+        assert len(RunLedger(tmp_path / "ledger.json")) >= 1

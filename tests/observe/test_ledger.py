@@ -1,0 +1,126 @@
+"""RunLedger: persistence, EWMA math, and corruption tolerance."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.observe import RunLedger
+
+
+class TestLedgerMath:
+    def test_first_observation_seeds_the_ewma(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.json")
+        ledger.record("wse::gpt2", 10.0)
+        assert ledger.priors() == {"wse::gpt2": 10.0}
+
+    def test_ewma_folds_with_alpha(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.json", alpha=0.5)
+        ledger.record("f", 10.0)
+        ledger.record("f", 20.0)
+        assert ledger.priors()["f"] == 15.0
+
+    def test_typical_seconds_is_mean_of_family_ewmas(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.json")
+        assert ledger.typical_seconds() is None
+        ledger.record("a", 1.0)
+        ledger.record("b", 3.0)
+        assert ledger.typical_seconds() == 2.0
+
+    def test_ignores_empty_family_and_nonpositive_durations(self,
+                                                            tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.json")
+        ledger.record("", 5.0)
+        ledger.record("f", 0.0)
+        ledger.record("f", -1.0)
+        assert len(ledger) == 0
+        assert not (tmp_path / "ledger.json").exists()
+
+    def test_alpha_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunLedger(tmp_path / "ledger.json", alpha=0.0)
+        with pytest.raises(ValueError):
+            RunLedger(tmp_path / "ledger.json", alpha=1.5)
+
+
+class TestPersistence:
+    def test_round_trips_across_instances(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        first = RunLedger(path)
+        first.record("wse::gpt2", 4.0)
+        first.record("rdu::llama2", 9.0)
+        second = RunLedger(path)
+        assert second.priors() == first.priors()
+        assert len(second) == 2
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = RunLedger(path)
+        ledger.record("f", 1.0)
+        assert not path.with_name(path.name + ".tmp").exists()
+        payload = json.loads(path.read_text())
+        assert payload["v"] == 1
+        assert payload["families"]["f"]["count"] == 1
+
+    def test_to_dict_matches_file_shape(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = RunLedger(path)
+        ledger.record("f", 2.0)
+        assert ledger.to_dict() == json.loads(path.read_text())
+
+
+class TestCorruption:
+    """A broken ledger degrades to a cold start — never a crash."""
+
+    def cold(self, path):
+        with pytest.warns(RuntimeWarning, match="starting cold"):
+            ledger = RunLedger(path)
+        assert len(ledger) == 0
+        return ledger
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_bytes(b"\x00\xffnot json at all")
+        self.cold(path)
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text('{"v": 1, "families": {"f": {"count": 3')
+        self.cold(path)
+
+    def test_wrong_top_level_shape(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text("[1, 2, 3]")
+        self.cold(path)
+
+    def test_missing_families_table(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text('{"v": 1}')
+        self.cold(path)
+
+    def test_malformed_rows_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text(json.dumps({"v": 1, "families": {
+            "good": {"count": 2, "ewma_seconds": 3.0,
+                     "total_seconds": 6.0},
+            "bad": {"count": "many"},
+            "negative": {"count": 1, "ewma_seconds": -1.0},
+        }}))
+        with pytest.warns(RuntimeWarning, match="2 malformed"):
+            ledger = RunLedger(path)
+        assert ledger.priors() == {"good": 3.0}
+
+    def test_recovers_by_rewriting_on_next_save(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text("garbage")
+        ledger = self.cold(path)
+        ledger.record("f", 1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # reload must not warn now
+            assert RunLedger(path).priors() == {"f": 1.0}
+
+    def test_missing_file_is_a_silent_cold_start(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ledger = RunLedger(tmp_path / "absent.json")
+        assert len(ledger) == 0

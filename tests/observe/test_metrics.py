@@ -1,0 +1,121 @@
+"""MetricsRegistry determinism and per-lane trace aggregation."""
+
+import pytest
+
+from repro.observe import (
+    MetricsRegistry,
+    TraceEvent,
+    aggregate_observability,
+)
+
+
+class TestRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.count("cells")
+        registry.count("cells", 2)
+        registry.gauge("workers", 4)
+        assert registry.counter_value("cells") == 3
+        assert registry.gauge_value("workers") == 4
+        assert registry.gauge_value("missing") is None
+        assert registry.counter_value("missing") == 0.0
+
+    def test_histogram_exact_aggregates(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("lat", value)
+        hist = registry.histogram("lat")
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+        assert hist.mean == 2.0
+        assert hist.to_dict()["sample"] == [1.0, 3.0, 2.0]
+
+    def test_reservoir_is_seeded_deterministic(self):
+        # Same seed + same stream => identical reservoir, even past the
+        # reservoir bound (the eviction RNG is CRC32-derived, not the
+        # per-process-salted hash()).
+        a = MetricsRegistry(seed=7, reservoir_size=8)
+        b = MetricsRegistry(seed=7, reservoir_size=8)
+        for i in range(200):
+            a.observe("lat", float(i))
+            b.observe("lat", float(i))
+        assert a.histogram("lat").sample == b.histogram("lat").sample
+        assert len(a.histogram("lat").sample) == 8
+        c = MetricsRegistry(seed=8, reservoir_size=8)
+        for i in range(200):
+            c.observe("lat", float(i))
+        assert c.histogram("lat").sample != a.histogram("lat").sample
+
+    def test_to_dict_is_sorted_and_json_friendly(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.count("b")
+        registry.count("a")
+        registry.observe("h", 1.0)
+        payload = registry.to_dict()
+        assert list(payload["counters"]) == ["a", "b"]
+        json.dumps(payload)
+
+    def test_reservoir_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(reservoir_size=0)
+
+
+def chaos_trace(lane="wse"):
+    key = f"{lane}::L4"
+    return [
+        TraceEvent("dispatch", key=key),
+        TraceEvent("compile", key=key, phase="compile", status="ok",
+                   attempt=1, duration=0.5),
+        TraceEvent("run", key=key, phase="run", status="ok", attempt=1,
+                   duration=1.5),
+        TraceEvent("retry", key=key, phase="run", status="error",
+                   attempt=1),
+        TraceEvent("gate", key=key, phase="gate", status="gated",
+                   attempt=2),
+        TraceEvent("sigkill", key=key, status="deadline"),
+        TraceEvent("worker-crash", key=key, attempt=1),
+        TraceEvent("isolate", key=key, attempt=1),
+        TraceEvent("worker-crash", key=key, attempt=2),
+        TraceEvent("quarantine", key=key, attempt=2),
+        TraceEvent("cell", key=key, status="failed", attempt=2),
+        TraceEvent("pool-rebuild", attempt=1),  # lane-less: dropped
+    ]
+
+
+class TestAggregateObservability:
+    def test_rollup_per_lane(self):
+        rows = aggregate_observability(chaos_trace("wse"),
+                                       ["wse", "idle"])
+        by_lane = {row.lane: row for row in rows}
+        wse = by_lane["wse"]
+        assert wse.events == 11  # all but the lane-less pool-rebuild
+        assert wse.cells == 1
+        assert wse.compile_seconds == 0.5
+        assert wse.run_seconds == 1.5
+        assert wse.retries == 1
+        assert wse.gated == 1
+        assert wse.sigkills == 1
+        assert wse.worker_crashes == 2
+        assert wse.isolations == 1
+        assert wse.quarantines == 1
+        idle = by_lane["idle"]
+        assert idle.events == 0 and idle.cells == 0
+
+    def test_registry_folding(self):
+        registry = MetricsRegistry()
+        aggregate_observability(chaos_trace("wse"), ["wse"],
+                                registry=registry)
+        assert registry.counter_value("wse.cells") == 1
+        assert registry.counter_value("wse.sigkills") == 1
+        assert registry.histogram("wse.compile_seconds").total == 0.5
+        assert registry.histogram("wse.run_seconds").total == 1.5
+
+    def test_lane_attribution_needs_exact_prefix(self):
+        # "wse2::..." must not leak into lane "wse".
+        events = [TraceEvent("cell", key="wse2::L2", status="ok")]
+        rows = aggregate_observability(events, ["wse"])
+        assert rows[0].events == 0

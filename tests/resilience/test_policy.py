@@ -1,4 +1,4 @@
-"""ExecutionPolicy and the deprecated-keyword resolution."""
+"""ExecutionPolicy and the removed-keyword rejection."""
 
 import pytest
 
@@ -9,8 +9,9 @@ from repro.resilience.executor import ResilientExecutor
 from repro.resilience.journal import ShardedJournal, SweepJournal
 from repro.resilience.policy import (
     NO_RETRY,
+    REMOVED_KEYWORDS,
     ExecutionPolicy,
-    resolve_policy,
+    reject_removed_kwargs,
 )
 from repro.resilience.retry import RetryPolicy
 
@@ -97,38 +98,97 @@ class TestExecutionPolicy:
         assert policy.max_workers == 2  # frozen original untouched
 
 
-class TestResolvePolicy:
-    def test_no_arguments_yields_default(self):
-        policy = resolve_policy(None, api="f")
-        assert policy == ExecutionPolicy()
+class TestObservabilityFields:
+    def test_trace_off_by_default(self):
+        policy = ExecutionPolicy()
+        assert policy.trace is False
+        assert policy.trace_directory() is None
+        assert policy.make_tracer() is None
+        assert policy.normalized_ledger() is None
 
-    def test_policy_passes_through(self):
-        policy = ExecutionPolicy(max_workers=4)
-        assert resolve_policy(policy, api="f") is policy
+    def test_trace_true_requires_sharded_journal(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="ShardedJournal"):
+            ExecutionPolicy(trace=True)
+        with pytest.raises(ConfigurationError, match="ShardedJournal"):
+            ExecutionPolicy(trace=True, journal=tmp_path / "j.jsonl")
+        journal = ShardedJournal(tmp_path / "shards")
+        policy = ExecutionPolicy(trace=True, journal=journal)
+        assert policy.trace_directory() == journal.directory
 
-    def test_legacy_keywords_warn_and_translate(self, tmp_path):
-        with pytest.warns(DeprecationWarning,
-                          match="f: the journal, resume keyword"):
-            policy = resolve_policy(None, api="f",
-                                    journal=tmp_path / "j.jsonl",
-                                    resume=True)
-        assert policy.resume
-        assert policy.journal == tmp_path / "j.jsonl"
+    def test_trace_path_is_explicit_directory(self, tmp_path):
+        policy = ExecutionPolicy(trace=tmp_path / "traces")
+        assert policy.trace_directory() == tmp_path / "traces"
+        tracer = policy.make_tracer(run="feed0000")
+        assert tracer is not None
+        assert tracer.run == "feed0000"
 
-    def test_legacy_executor_lands_on_policy(self):
-        executor = ResilientExecutor()
-        with pytest.warns(DeprecationWarning, match="executor"):
-            policy = resolve_policy(None, api="f", executor=executor)
-        assert policy.executor is executor
-        assert policy.make_executor("x") is executor
+    def test_normalized_ledger_wraps_paths(self, tmp_path):
+        from repro.observe import RunLedger
 
-    def test_mixing_policy_and_legacy_is_an_error(self):
-        with pytest.raises(ConfigurationError, match="not both"):
-            resolve_policy(ExecutionPolicy(), api="f", resume=True)
+        path = tmp_path / "ledger.json"
+        ledger = ExecutionPolicy(ledger=path).normalized_ledger()
+        assert isinstance(ledger, RunLedger)
+        assert ledger.path == path
+        ready = RunLedger(tmp_path / "other.json")
+        assert ExecutionPolicy(ledger=ready).normalized_ledger() is ready
 
-    def test_explicit_false_still_counts_as_legacy(self):
-        # Passing the old keyword at all is deprecated, even with its
-        # old default value: None is the only "not passed" sentinel.
-        with pytest.warns(DeprecationWarning):
-            policy = resolve_policy(None, api="f", resume=False)
-        assert not policy.resume
+    def test_heartbeat_adapts_to_ledger_history(self, tmp_path):
+        from repro.observe import RunLedger
+
+        ledger = RunLedger(tmp_path / "ledger.json")
+        policy = ExecutionPolicy(heartbeat_interval=5.0, ledger=ledger)
+        # No history: the configured interval stands.
+        assert policy.effective_heartbeat_interval() == 5.0
+        # Fast cells pull the cadence down, floored at interval/10.
+        ledger.record("f", 0.01)
+        assert policy.effective_heartbeat_interval() == 0.5
+        # Typical * 2 in the adaptive band.
+        ledger2 = RunLedger(tmp_path / "l2.json")
+        ledger2.record("f", 1.0)
+        assert policy.effective_heartbeat_interval(ledger2) == 2.0
+        # Slow cells never push past the configured upper bound.
+        ledger3 = RunLedger(tmp_path / "l3.json")
+        ledger3.record("f", 60.0)
+        assert policy.effective_heartbeat_interval(ledger3) == 5.0
+
+    def test_no_ledger_keeps_configured_heartbeat(self):
+        assert ExecutionPolicy(
+            heartbeat_interval=7.0).effective_heartbeat_interval() == 7.0
+
+
+class TestRejectRemovedKwargs:
+    def test_no_keywords_is_a_no_op(self):
+        reject_removed_kwargs("f", {})
+
+    def test_removed_keywords_raise_with_migration_hint(self, tmp_path):
+        with pytest.raises(TypeError,
+                           match=r"f: the journal, resume keyword\(s\) "
+                                 r"were removed in 0\.3"):
+            reject_removed_kwargs(
+                "f", {"journal": tmp_path / "j.jsonl", "resume": True})
+
+    def test_hint_points_at_execution_policy(self):
+        with pytest.raises(TypeError,
+                           match=r"policy=ExecutionPolicy\(\.\.\.\)"):
+            reject_removed_kwargs("f", {"executor": object()})
+
+    def test_every_removed_name_is_rejected(self):
+        for name in REMOVED_KEYWORDS:
+            with pytest.raises(TypeError, match=name):
+                reject_removed_kwargs("f", {name: None})
+
+    def test_unknown_keywords_raise_without_allow_extra(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            reject_removed_kwargs("f", {"typo": 1})
+
+    def test_allow_extra_passes_unknown_but_not_removed(self):
+        reject_removed_kwargs("f", {"mode": "O1"}, allow_extra=True)
+        with pytest.raises(TypeError, match="removed in 0.3"):
+            reject_removed_kwargs("f", {"mode": "O1", "resume": True},
+                                  allow_extra=True)
+
+    def test_explicit_old_default_still_raises(self):
+        # Passing the old keyword at all is an error, even with its
+        # old default value — there is no sentinel pass-through.
+        with pytest.raises(TypeError):
+            reject_removed_kwargs("f", {"resume": False})

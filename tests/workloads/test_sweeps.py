@@ -61,14 +61,18 @@ class TestRunGrid:
             if not p.failed:
                 assert p.run.tokens_per_second == s.run.tokens_per_second
 
-    def test_legacy_keywords_warn_and_still_work(self, cerebras, tmp_path):
+    def test_removed_keywords_raise_type_error(self, cerebras, tmp_path):
         journal = tmp_path / "grid.jsonl"
-        with pytest.warns(DeprecationWarning, match="run_grid"):
+        with pytest.raises(TypeError,
+                           match="run_grid.*removed in 0.3.*"
+                                 "ExecutionPolicy"):
             run_grid(cerebras, specs_for([2]), journal=journal)
-        with pytest.warns(DeprecationWarning, match="journal, resume"):
-            cells = run_grid(cerebras, specs_for([2]), journal=journal,
-                             resume=True)
-        assert cells[0].resumed
+        with pytest.raises(TypeError, match="journal, resume"):
+            run_grid(cerebras, specs_for([2]), journal=journal,
+                     resume=True)
+        assert not journal.exists()
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            run_grid(cerebras, specs_for([2]), jornal=journal)
 
 
 class TestRunGridRobustness:
