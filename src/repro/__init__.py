@@ -32,6 +32,7 @@ Quickstart::
     print(result.compute_allocation, result.load_imbalance)
 """
 
+from repro.cache import CompileCache, cell_fingerprint
 from repro.campaign import (
     BackendStats,
     Campaign,
@@ -148,4 +149,7 @@ __all__ = [
     "CampaignLane",
     "CampaignResult",
     "BackendStats",
+    # caching
+    "CompileCache",
+    "cell_fingerprint",
 ]

@@ -62,6 +62,7 @@ from repro.campaign.process import (
     run_cell_specs,
 )
 from repro.campaign.supervisor import SupervisionStats, Supervisor
+from repro.cache import cell_fingerprint
 from repro.common.errors import ConfigurationError
 from repro.core.backend import AcceleratorBackend
 from repro.core.report import BenchmarkReport, GRID_HEADERS, sweep_cell_row
@@ -268,6 +269,7 @@ class Campaign:
         if policy.dispatch == DISPATCH_PROCESS:
             return self._run_process(on_cell)
         journal = policy.normalized_journal()
+        cache = policy.normalized_cache()
 
         tasks: list[CellTask] = []
         owners: list[tuple[CampaignLane, "SweepSpec"]] = []
@@ -288,7 +290,8 @@ class Campaign:
             serializer = (None if lane.backend.thread_safe
                           else threading.Lock())
             for spec in lane.specs:
-                tasks.append(self._task(lane, spec, executor, serializer))
+                tasks.append(self._task(lane, spec, executor, serializer,
+                                        cached=cache is not None))
                 owners.append((lane, spec))
 
         def relay(result: CellResult) -> None:
@@ -307,10 +310,12 @@ class Campaign:
             on_result=relay if on_cell is not None else None,
             scheduler=scheduler,
             tracer=tracer,
+            cache=cache,
         )
 
         return self._assemble(results, breakers, scheduler,
-                              executors=executors, tracer=tracer)
+                              executors=executors, tracer=tracer,
+                              cache=cache)
 
     def _run_process(self, on_cell: "Callable[[str, SweepCell], None]"
                      " | None" = None) -> CampaignResult:
@@ -333,6 +338,7 @@ class Campaign:
             injected_clock=any(lane.clock is not None
                                for lane in self.lanes))
 
+        cache = policy.normalized_cache()
         specs: list[CellSpec] = []
         owners: list[tuple[CampaignLane, "SweepSpec"]] = []
         for lane in self.lanes:
@@ -349,6 +355,10 @@ class Campaign:
                         lane.backend, spec.model, spec.train,
                         measure=self.measure),
                     family=f"{lane.label}::{spec.model.family}",
+                    fingerprint=(cell_fingerprint(
+                        lane.backend, spec.model, spec.train,
+                        spec.options, measure=self.measure)
+                        if cache is not None else None),
                 ))
                 owners.append((lane, spec))
         tracer = policy.make_tracer()
@@ -367,6 +377,8 @@ class Campaign:
             trace_dir=(str(trace_dir) if trace_dir is not None
                        else None),
             trace_run=(tracer.run if tracer is not None else ""),
+            cache_dir=(str(cache.directory) if cache is not None
+                       else None),
         )
 
         def relay(result: CellResult) -> None:
@@ -376,7 +388,8 @@ class Campaign:
                 on_cell(lane.label, cell_from_result(spec, result))
 
         scheduler = policy.make_scheduler(tracer)
-        supervisor = policy.make_supervisor(tracer)
+        supervisor = policy.make_supervisor(
+            tracer, families={spec.family for spec in specs})
         results = run_cell_specs(
             specs,
             worker=worker,
@@ -391,7 +404,7 @@ class Campaign:
         )
         return self._assemble(results, {}, scheduler,
                               supervision=supervisor.stats(),
-                              tracer=tracer)
+                              tracer=tracer, cache=cache)
 
     # ------------------------------------------------------------------
     def _assemble(self, results: list[CellResult],
@@ -400,6 +413,7 @@ class Campaign:
                   executors: dict[str, ResilientExecutor] | None = None,
                   supervision: SupervisionStats | None = None,
                   tracer: TraceRecorder | None = None,
+                  cache: Any = None,
                   ) -> CampaignResult:
         from repro.workloads.sweeps import cell_from_result
 
@@ -424,6 +438,9 @@ class Campaign:
         if tracer is not None:
             observability = aggregate_observability(
                 load_events(tracer.directory, run=tracer.run), labels)
+        if cache is not None:
+            # Eviction is parent-owned: workers only read and publish.
+            cache.prune()
         return CampaignResult(labels=labels, cells=cells, stats=stats,
                               policy=policy,
                               scheduling=scheduler.stats(
@@ -434,7 +451,8 @@ class Campaign:
     # ------------------------------------------------------------------
     def _task(self, lane: CampaignLane, spec: "SweepSpec",
               executor: ResilientExecutor,
-              serializer: threading.Lock | None) -> CellTask:
+              serializer: threading.Lock | None,
+              cached: bool = False) -> CellTask:
         backend = lane.backend
         run_fn = ((lambda compiled: backend.run(compiled))
                   if self.measure else None)
@@ -450,6 +468,10 @@ class Campaign:
                                             spec.train,
                                             measure=self.measure),
             family=f"{lane.label}::{spec.model.family}",
+            fingerprint=(cell_fingerprint(backend, spec.model,
+                                          spec.train, spec.options,
+                                          measure=self.measure)
+                         if cached else None),
         )
 
     @staticmethod

@@ -36,6 +36,7 @@ from repro.resilience.executor import CellOutcome, ResilientExecutor
 from repro.resilience.journal import JournalEntry, ShardedJournal, SweepJournal
 
 if TYPE_CHECKING:  # the scheduler module imports nothing from here
+    from repro.cache import CompileCache
     from repro.campaign.scheduler import Scheduler
     from repro.observe import TraceRecorder
 
@@ -61,6 +62,9 @@ class CellTask:
             ``None`` means unpriced.
         family: workload-family key cost observations generalize over
             (the campaign stamps ``"<lane>::<model family>"``).
+        fingerprint: the cell's content-addressed cache key (see
+            :func:`repro.cache.cell_fingerprint`); ``None`` means the
+            cell bypasses any configured compile cache.
     """
 
     key: str
@@ -73,6 +77,7 @@ class CellTask:
     serializer: threading.Lock | None = None
     cost_hint: float | None = None
     family: str = ""
+    fingerprint: str | None = None
 
 
 @dataclass(frozen=True)
@@ -126,15 +131,23 @@ def _locked(fn: Callable[..., Any],
 def _execute(task: CellTask, index: int,
              journal: SweepJournal | ShardedJournal | None,
              fallback: ResilientExecutor,
-             tracer: "TraceRecorder | None" = None) -> CellResult:
-    executor = task.executor if task.executor is not None else fallback
-    run_fn = task.run_fn
-    outcome = executor.execute(
-        task.key,
-        _locked(task.compile_fn, task.serializer),
-        _locked(run_fn, task.serializer) if run_fn is not None else None,
-        is_transient=task.is_transient,
-    )
+             tracer: "TraceRecorder | None" = None,
+             cache: "CompileCache | None" = None) -> CellResult:
+    outcome = None
+    if cache is not None:
+        from repro.cache import cached_outcome
+        outcome = cached_outcome(cache, task.key, task.fingerprint,
+                                 tracer)
+    replayed = outcome is not None
+    if outcome is None:
+        executor = task.executor if task.executor is not None else fallback
+        run_fn = task.run_fn
+        outcome = executor.execute(
+            task.key,
+            _locked(task.compile_fn, task.serializer),
+            _locked(run_fn, task.serializer) if run_fn is not None else None,
+            is_transient=task.is_transient,
+        )
     entry = None
     if journal is not None:
         extra = None
@@ -145,6 +158,9 @@ def _execute(task: CellTask, index: int,
     if tracer is not None:
         tracer.emit("cell", key=task.key, status=outcome.status,
                     attempt=outcome.attempts, duration=outcome.elapsed)
+    if cache is not None and not replayed:
+        from repro.cache import store_outcome
+        store_outcome(cache, task.fingerprint, outcome)
     return CellResult(index=index, key=task.key, outcome=outcome,
                       entry=entry, resumed=False)
 
@@ -158,6 +174,7 @@ def run_cell_tasks(
     on_result: Callable[[CellResult], None] | None = None,
     scheduler: "Scheduler | None" = None,
     tracer: "TraceRecorder | None" = None,
+    cache: "CompileCache | None" = None,
 ) -> list[CellResult]:
     """Execute every task; return results in task order.
 
@@ -178,6 +195,13 @@ def run_cell_tasks(
     ``tracer`` (a :class:`~repro.observe.TraceRecorder`) records the
     dispatch/resume/cell lifecycle as JSONL trace events — pure
     telemetry, never touching results or the journal.
+
+    ``cache`` (a :class:`~repro.cache.CompileCache`) replays
+    fingerprinted cells read-through and publishes clean first-attempt
+    successes; replayed cells journal exactly what a cold execution
+    would have. Whatever path the drain takes, a scheduler's run
+    ledger is flushed once on the way out (batched persistence — see
+    :meth:`~repro.observe.RunLedger.flush`).
     """
     journaled: dict[str, JournalEntry] = {}
     if resume and journal is not None:
@@ -199,58 +223,65 @@ def run_cell_tasks(
 
     fallback = ResilientExecutor()
 
-    if max_workers <= 1 or len(pending) <= 1:
-        if scheduler is None or scheduler.is_lane_major:
-            # The pre-scheduler sequential path: strict task order,
-            # resumed callbacks interleaved at their positions. A
-            # lane-major scheduler observes each cell but never
-            # reorders (its pick is always the queue head).
+    try:
+        if max_workers <= 1 or len(pending) <= 1:
+            if scheduler is None or scheduler.is_lane_major:
+                # The pre-scheduler sequential path: strict task order,
+                # resumed callbacks interleaved at their positions. A
+                # lane-major scheduler observes each cell but never
+                # reorders (its pick is always the queue head).
+                queue = list(pending)
+                for index, task in enumerate(tasks):
+                    result = results[index]
+                    if result is None:
+                        if scheduler is not None:
+                            queue.pop(scheduler.pick(queue))
+                        if tracer is not None:
+                            tracer.emit("dispatch", key=task.key)
+                        result = _execute(task, index, journal, fallback,
+                                          tracer, cache)
+                        results[index] = result
+                        if scheduler is not None:
+                            scheduler.observe(task, result.elapsed)
+                    if on_result is not None:
+                        on_result(result)
+                return [r for r in results if r is not None]
+            # Cost-ordered sequential run: resumed cells resolve first
+            # (in task order), then cells execute in scheduler order.
+            if on_result is not None:
+                for result in results:
+                    if result is not None:
+                        on_result(result)
             queue = list(pending)
-            for index, task in enumerate(tasks):
-                result = results[index]
-                if result is None:
-                    if scheduler is not None:
-                        queue.pop(scheduler.pick(queue))
-                    if tracer is not None:
-                        tracer.emit("dispatch", key=task.key)
-                    result = _execute(task, index, journal, fallback,
-                                      tracer)
-                    results[index] = result
-                    if scheduler is not None:
-                        scheduler.observe(task, result.elapsed)
+            while queue:
+                index, task = queue.pop(scheduler.pick(queue))
+                if tracer is not None:
+                    tracer.emit("dispatch", key=task.key)
+                result = _execute(task, index, journal, fallback, tracer,
+                                  cache)
+                results[index] = result
+                scheduler.observe(task, result.elapsed)
                 if on_result is not None:
                     on_result(result)
             return [r for r in results if r is not None]
-        # Cost-ordered sequential run: resumed cells resolve first (in
-        # task order), then cells execute in scheduler order.
+
+        # Resumed cells resolve first, in order; executed cells as
+        # completed.
         if on_result is not None:
             for result in results:
                 if result is not None:
                     on_result(result)
-        queue = list(pending)
-        while queue:
-            index, task = queue.pop(scheduler.pick(queue))
-            if tracer is not None:
-                tracer.emit("dispatch", key=task.key)
-            result = _execute(task, index, journal, fallback, tracer)
-            results[index] = result
-            scheduler.observe(task, result.elapsed)
-            if on_result is not None:
-                on_result(result)
-        return [r for r in results if r is not None]
 
-    # Resumed cells resolve first, in order; executed cells as completed.
-    if on_result is not None:
-        for result in results:
-            if result is not None:
-                on_result(result)
-
-    if scheduler is None:
-        return _run_pooled(pending, results, max_workers, journal,
-                           fallback, on_result, tracer=tracer)
-    return _run_pooled_scheduled(pending, results, max_workers,
-                                 journal, fallback, on_result, scheduler,
-                                 tracer=tracer)
+        if scheduler is None:
+            return _run_pooled(pending, results, max_workers, journal,
+                               fallback, on_result, tracer=tracer,
+                               cache=cache)
+        return _run_pooled_scheduled(pending, results, max_workers,
+                                     journal, fallback, on_result,
+                                     scheduler, tracer=tracer, cache=cache)
+    finally:
+        if scheduler is not None:
+            scheduler.flush()
 
 
 def _thread_pool(workers: int) -> ThreadPoolExecutor:
@@ -268,6 +299,7 @@ def _run_pooled(
     pool_factory: Callable[[int], Any] = _thread_pool,
     submit_fn: Callable[..., Any] | None = None,
     tracer: "TraceRecorder | None" = None,
+    cache: "CompileCache | None" = None,
 ) -> list[CellResult]:
     """The unscheduled pool: submit everything, collect as completed.
 
@@ -279,7 +311,7 @@ def _run_pooled(
     if submit_fn is None:
         def submit_fn(pool: Any, index: int, task: CellTask) -> Any:
             return pool.submit(_execute, task, index, journal, fallback,
-                               tracer)
+                               tracer, cache)
 
     def dispatch(pool: Any, index: int, task: CellTask) -> Any:
         if tracer is not None:
@@ -321,6 +353,7 @@ def _run_pooled_scheduled(
     pool_factory: Callable[[int], Any] = _thread_pool,
     submit_fn: Callable[..., Any] | None = None,
     tracer: "TraceRecorder | None" = None,
+    cache: "CompileCache | None" = None,
 ) -> list[CellResult]:
     """The scheduled pool: incremental dispatch, one pick per free slot.
 
@@ -336,7 +369,7 @@ def _run_pooled_scheduled(
     if submit_fn is None:
         def submit_fn(pool: Any, index: int, task: CellTask) -> Any:
             return pool.submit(_execute, task, index, journal, fallback,
-                               tracer)
+                               tracer, cache)
     first_error: BaseException | None = None
     queue = list(pending)
     workers = min(max_workers, len(pending))

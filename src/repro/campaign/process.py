@@ -94,6 +94,10 @@ class CellSpec:
     measure: bool = True
     cost_hint: float | None = None
     family: str = ""
+    #: Content-addressed cache key (see
+    #: :func:`repro.cache.cell_fingerprint`); ``None`` bypasses any
+    #: configured compile cache.
+    fingerprint: str | None = None
 
 
 @dataclass(frozen=True)
@@ -118,6 +122,11 @@ class WorkerSpec:
     #: run token, so every worker's shards group under one campaign.
     trace_dir: str | None = None
     trace_run: str = ""
+    #: Compile-cache directory (``None`` = caching off). Workers open
+    #: the cache read-through and publish clean first-attempt results
+    #: with O_EXCL-style atomic writes, so concurrent workers never
+    #: corrupt an entry; eviction stays parent-side.
+    cache_dir: str | None = None
 
 
 class CampaignWorker:
@@ -141,6 +150,10 @@ class CampaignWorker:
             from repro.observe import TraceRecorder
             self.tracer = TraceRecorder(spec.trace_dir,
                                         run=spec.trace_run or None)
+        self.cache = None
+        if spec.cache_dir is not None:
+            from repro.cache import CompileCache
+            self.cache = CompileCache(spec.cache_dir)
         self.executors: dict[str, ResilientExecutor] = {}
         for label in spec.backends:
             breaker = None
@@ -154,16 +167,24 @@ class CampaignWorker:
 
     def execute(self, index: int, cell: CellSpec) -> CellResult:
         """Run one cell to a journaled :class:`CellResult`."""
-        backend = self.spec.backends[cell.lane]
-        run_fn = ((lambda compiled: backend.run(compiled))
-                  if cell.measure else None)
-        outcome = self.executors[cell.lane].execute(
-            cell.key,
-            lambda: backend.compile(cell.model, cell.train,
-                                    **cell.options),
-            run_fn,
-            is_transient=backend.is_transient,
-        )
+        outcome = None
+        fingerprint = getattr(cell, "fingerprint", None)
+        if self.cache is not None:
+            from repro.cache import cached_outcome
+            outcome = cached_outcome(self.cache, cell.key, fingerprint,
+                                     self.tracer)
+        replayed = outcome is not None
+        if outcome is None:
+            backend = self.spec.backends[cell.lane]
+            run_fn = ((lambda compiled: backend.run(compiled))
+                      if cell.measure else None)
+            outcome = self.executors[cell.lane].execute(
+                cell.key,
+                lambda: backend.compile(cell.model, cell.train,
+                                        **cell.options),
+                run_fn,
+                is_transient=backend.is_transient,
+            )
         entry: JournalEntry | None = None
         if self.journal is not None:
             entry = outcome.journal_entry()
@@ -173,6 +194,9 @@ class CampaignWorker:
                              status=outcome.status,
                              attempt=outcome.attempts,
                              duration=outcome.elapsed)
+        if self.cache is not None and not replayed:
+            from repro.cache import store_outcome
+            store_outcome(self.cache, fingerprint, outcome)
         return CellResult(index=index, key=cell.key, outcome=outcome,
                           entry=entry, resumed=False)
 
@@ -354,35 +378,43 @@ def run_cell_specs(
         else:
             pending.append((index, cell))
 
-    if on_result is not None:
-        for result in results:
-            if result is not None:
-                on_result(result)
-    if not pending:
-        return [r for r in results if r is not None]
+    try:
+        if on_result is not None:
+            for result in results:
+                if result is not None:
+                    on_result(result)
+        if not pending:
+            return [r for r in results if r is not None]
 
-    payload = _seed_bytes(worker, [cell for _, cell in pending])
+        payload = _seed_bytes(worker, [cell for _, cell in pending])
 
-    if supervisor is not None:
-        return supervisor.run(pending, results, worker=worker,
-                              payload=payload, max_workers=max_workers,
-                              journal=journal, on_result=on_result,
-                              scheduler=scheduler)
+        if supervisor is not None:
+            return supervisor.run(pending, results, worker=worker,
+                                  payload=payload,
+                                  max_workers=max_workers,
+                                  journal=journal, on_result=on_result,
+                                  scheduler=scheduler)
 
-    def pool_factory(workers: int) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=workers,
-                                   initializer=_init_worker,
-                                   initargs=(payload,))
+        def pool_factory(workers: int) -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(max_workers=workers,
+                                       initializer=_init_worker,
+                                       initargs=(payload,))
 
-    def submit_fn(pool: ProcessPoolExecutor, index: int,
-                  cell: CellSpec) -> Any:
-        return pool.submit(_execute_cell, index, cell)
+        def submit_fn(pool: ProcessPoolExecutor, index: int,
+                      cell: CellSpec) -> Any:
+            return pool.submit(_execute_cell, index, cell)
 
-    if scheduler is None:
-        return _run_pooled(pending, results, max_workers, None, None,
-                           on_result, pool_factory=pool_factory,
-                           submit_fn=submit_fn, tracer=tracer)
-    return _run_pooled_scheduled(pending, results, max_workers, None,
-                                 None, on_result, scheduler,
-                                 pool_factory=pool_factory,
-                                 submit_fn=submit_fn, tracer=tracer)
+        if scheduler is None:
+            return _run_pooled(pending, results, max_workers, None,
+                               None, on_result,
+                               pool_factory=pool_factory,
+                               submit_fn=submit_fn, tracer=tracer)
+        return _run_pooled_scheduled(pending, results, max_workers,
+                                     None, None, on_result, scheduler,
+                                     pool_factory=pool_factory,
+                                     submit_fn=submit_fn, tracer=tracer)
+    finally:
+        # The parent-side ledger batches observations in memory; one
+        # save per drain, whatever path (or error) the drain took.
+        if scheduler is not None:
+            scheduler.flush()

@@ -313,11 +313,27 @@ class Scheduler:
 
         A configured :class:`~repro.observe.RunLedger` gets the same
         observation, persisting it for the next run's warm start.
+        Zero-cost cells — cache replays and gated skips — still land in
+        the telemetry (the Scheduling table should show them) but carry
+        no cost signal, so neither the online predictor nor the ledger
+        learns from them: a warm run must not teach the EWMA that every
+        cell is free.
         """
         self._actual[task.key] = seconds
-        self.predictor.observe(task, seconds)
+        if seconds > 0.0:
+            self.predictor.observe(task, seconds)
+            if self.ledger is not None:
+                self.ledger.record(task.family, seconds)
+
+    def flush(self) -> None:
+        """Persist the run ledger's batched observations, if any.
+
+        The engine calls this once per drain (in a ``finally``), so a
+        campaign writes its ledger file once per run instead of once
+        per cell — see :meth:`~repro.observe.RunLedger.flush`.
+        """
         if self.ledger is not None:
-            self.ledger.record(task.family, seconds)
+            self.ledger.flush()
 
     def stats(self, max_workers: int = 1,
               dispatch: str = DISPATCH_THREAD) -> SchedulerStats:

@@ -255,6 +255,7 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
         max_pool_rebuilds=args.max_pool_rebuilds,
         trace=args.trace,
         ledger=args.ledger,
+        cache=args.cache,
     )
 
 
@@ -540,6 +541,12 @@ def _resilience_parent() -> argparse.ArgumentParser:
                             "warm-starts the ewma predictor and "
                             "adapts the supervisor heartbeat on "
                             "re-runs")
+    group.add_argument("--cache", metavar="DIR", default=None,
+                       help="content-addressed compile cache: "
+                            "deterministic cells already stored under "
+                            "this directory replay without touching "
+                            "the backend; fresh clean results are "
+                            "published for the next run")
     group.add_argument("--inject-faults", type=float, default=0.0,
                        metavar="RATE",
                        help="chaos-test: inject seeded transient "

@@ -224,6 +224,14 @@ class AcceleratorBackend(abc.ABC):
     the default is ``True``; a stateful adapter (e.g. one caching
     compile artifacts) must set it ``False``, and the campaign engine
     then serializes its calls behind a per-backend lock.
+
+    ``deterministic`` declares whether reports are a pure function of
+    ``(system, model, train, options)`` plus whatever
+    :meth:`fingerprint_extra` exposes. The bundled simulators are; a
+    fault-injecting wrapper or a live-hardware adapter is not and must
+    set it ``False`` — the :mod:`repro.cache` compile cache bypasses
+    such backends entirely rather than replaying a result that could
+    have differed.
     """
 
     #: Exception types this platform considers retryable.
@@ -231,6 +239,9 @@ class AcceleratorBackend(abc.ABC):
 
     #: Whether concurrent compile/run calls are safe (no per-call state).
     thread_safe: bool = True
+
+    #: Whether compile/run results are replayable from a content cache.
+    deterministic: bool = True
 
     def __init__(self, system: SystemSpec) -> None:
         self.system = system
@@ -243,6 +254,18 @@ class AcceleratorBackend(abc.ABC):
     def is_transient(self, exc: BaseException) -> bool:
         """Whether ``exc`` is a retryable fault on this platform."""
         return isinstance(exc, self.transient_errors)
+
+    def fingerprint_extra(self) -> dict[str, Any]:
+        """Backend state beyond the system spec that results depend on.
+
+        The :mod:`repro.cache` fingerprint covers the platform class,
+        the hardware spec, and the workload; a backend whose results
+        also depend on constructor knobs (a burn factor, a tuning
+        profile) must surface them here or stale cache hits become
+        possible. The default — no extra state — is correct for every
+        bundled simulator.
+        """
+        return {}
 
     @abc.abstractmethod
     def compile(self, model: ModelConfig, train: TrainConfig,

@@ -173,6 +173,12 @@ REPORT_TABLES: dict[str, Table] = {
             _col("worker_crashes", "crashes"),
             _col("isolations", "isolated"),
             _col("quarantines", "quarantined"),
+            _col("cache_hits", "cache hits",
+                 value=lambda s: getattr(s, "cache_hits", 0)),
+            _col("cache_misses", "cache misses",
+                 value=lambda s: getattr(s, "cache_misses", 0)),
+            _col("cache_bypasses", "cache bypassed",
+                 value=lambda s: getattr(s, "cache_bypasses", 0)),
         )),
     )
 }

@@ -214,6 +214,9 @@ def execution_policy_to_dict(policy: Any) -> dict[str, Any]:
     ledger = policy.ledger
     if ledger is not None:
         ledger = str(getattr(ledger, "path", ledger))
+    cache = policy.cache
+    if cache is not None:
+        cache = str(getattr(cache, "directory", cache))
     return {
         "max_retries": policy.retry.max_retries,
         "deadline": policy.deadline,
@@ -236,6 +239,7 @@ def execution_policy_to_dict(policy: Any) -> dict[str, Any]:
         "max_pool_rebuilds": policy.max_pool_rebuilds,
         "trace": trace,
         "ledger": ledger,
+        "cache": cache,
     }
 
 

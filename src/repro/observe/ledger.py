@@ -62,6 +62,11 @@ class RunLedger:
         self.path = Path(path)
         self.alpha = alpha
         self._lock = threading.Lock()
+        self._dirty = False
+        #: How many times the ledger file has been written by this
+        #: instance — regression guard for the batched-save contract
+        #: (one save per campaign, not one per cell).
+        self.saves = 0
         self._families: dict[str, dict[str, float]] = self._load()
 
     def _load(self) -> dict[str, dict[str, float]]:
@@ -104,10 +109,17 @@ class RunLedger:
             return len(self._families)
 
     def record(self, family: str, seconds: float) -> None:
-        """Fold one observed duration into the family's EWMA and save.
+        """Fold one observed duration into the family's EWMA.
 
         Empty families and non-positive durations are ignored — gated
         or instantly-failed cells carry no cost signal.
+
+        The observation lands in memory only; the file is written by
+        :meth:`flush` (the scheduler calls it once per drain) or an
+        explicit :meth:`save`. A per-cell fsync'd rewrite of the whole
+        table was the old behaviour and dominated fast grids' wall
+        clock — the ledger is a warm-start hint, not a journal, so
+        batching loses nothing a crash-resume needs.
         """
         if not family or seconds <= 0.0:
             return
@@ -123,7 +135,7 @@ class RunLedger:
                     + (1.0 - self.alpha) * row["ewma_seconds"])
             row["count"] = int(row["count"]) + 1
             row["total_seconds"] = float(row["total_seconds"]) + seconds
-            self._save_locked()
+            self._dirty = True
 
     def priors(self) -> dict[str, float]:
         """Family → persisted EWMA seconds (for predictor warm-start)."""
@@ -131,18 +143,30 @@ class RunLedger:
             return {family: float(row["ewma_seconds"])
                     for family, row in self._families.items()}
 
-    def typical_seconds(self) -> float | None:
+    def typical_seconds(self,
+                        families: "set[str] | None" = None) -> float | None:
         """Mean of the per-family EWMAs, or ``None`` when empty.
 
         This is the adaptive-heartbeat signal: "how long does a cell
         usually take on this grid", robust to one family dominating
         the cell count.
+
+        ``families`` scopes the mean to the families the *current*
+        campaign will actually run (intersected with what the ledger
+        has seen). A ledger is shared across campaigns, so without the
+        scope a history of hour-long Tier-2 families would inflate the
+        heartbeat of a seconds-long smoke grid — and vice versa.
+        Families the ledger has never seen contribute nothing; if none
+        intersect, the result is ``None`` (cold-start behaviour).
         """
         with self._lock:
-            if not self._families:
+            rows = self._families
+            if families is not None:
+                rows = {family: row for family, row in rows.items()
+                        if family in families}
+            if not rows:
                 return None
-            ewmas = [float(row["ewma_seconds"])
-                     for row in self._families.values()]
+            ewmas = [float(row["ewma_seconds"]) for row in rows.values()]
             return sum(ewmas) / len(ewmas)
 
     def to_dict(self) -> dict[str, Any]:
@@ -159,8 +183,18 @@ class RunLedger:
             }
 
     def save(self) -> None:
+        """Write the table to disk unconditionally (dirty or not)."""
         with self._lock:
             self._save_locked()
+
+    def flush(self) -> None:
+        """Write the table to disk iff observations arrived since the
+        last save. Idempotent — a second flush with nothing new is a
+        no-op, so callers can flush defensively in ``finally`` blocks.
+        """
+        with self._lock:
+            if self._dirty:
+                self._save_locked()
 
     def _save_locked(self) -> None:
         payload = {
@@ -178,3 +212,5 @@ class RunLedger:
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True),
                        encoding="utf-8")
         os.replace(tmp, self.path)
+        self._dirty = False
+        self.saves += 1

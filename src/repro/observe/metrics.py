@@ -142,6 +142,9 @@ class ObservabilityStats:
     worker_crashes: int = 0
     isolations: int = 0
     quarantines: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bypasses: int = 0
 
 
 def aggregate_observability(
@@ -163,7 +166,8 @@ def aggregate_observability(
         label: {"events": 0, "cells": 0, "compile_seconds": 0.0,
                 "run_seconds": 0.0, "retries": 0, "gated": 0,
                 "sigkills": 0, "worker_crashes": 0, "isolations": 0,
-                "quarantines": 0}
+                "quarantines": 0, "cache_hits": 0, "cache_misses": 0,
+                "cache_bypasses": 0}
         for label in labels
     }
     prefixes = {label: f"{label}::" for label in labels}
@@ -200,6 +204,14 @@ def aggregate_observability(
             row["isolations"] += 1
         elif event.name == "quarantine":
             row["quarantines"] += 1
+        elif event.name == "cache":
+            # status carries the cache verdict: hit / miss / bypass.
+            if event.status == "hit":
+                row["cache_hits"] += 1
+            elif event.status == "miss":
+                row["cache_misses"] += 1
+            elif event.status == "bypass":
+                row["cache_bypasses"] += 1
     out: list[ObservabilityStats] = []
     for label in labels:
         row = rows[label]
@@ -215,11 +227,16 @@ def aggregate_observability(
             worker_crashes=int(row["worker_crashes"]),
             isolations=int(row["isolations"]),
             quarantines=int(row["quarantines"]),
+            cache_hits=int(row["cache_hits"]),
+            cache_misses=int(row["cache_misses"]),
+            cache_bypasses=int(row["cache_bypasses"]),
         )
         if registry is not None:
             registry.count(f"{label}.events", stats.events)
             registry.count(f"{label}.cells", stats.cells)
             registry.count(f"{label}.retries", stats.retries)
             registry.count(f"{label}.sigkills", stats.sigkills)
+            registry.count(f"{label}.cache_hits", stats.cache_hits)
+            registry.count(f"{label}.cache_misses", stats.cache_misses)
         out.append(stats)
     return out

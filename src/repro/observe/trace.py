@@ -7,6 +7,7 @@ JSONL *trace events* through a :class:`TraceRecorder`. The records
 reconstruct a cell's full lifecycle::
 
     schedule -> dispatch -> compile -> run -> cell
+                         \\-> cache (hit / miss / bypass)
                          \\-> retry / gate (breaker open)
     worker-crash -> isolate -> worker-crash -> quarantine
     sigkill (supervisor patrol), pool-rebuild, resume, recovered
@@ -35,7 +36,7 @@ import os
 import threading
 import time
 import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
@@ -55,29 +56,54 @@ _NAME_RANK = {
     "recovered": 1,
     "schedule": 2,
     "dispatch": 3,
-    "gate": 4,
-    "compile": 5,
-    "run": 6,
-    "retry": 7,
-    "sigkill": 8,
-    "worker-crash": 9,
-    "isolate": 10,
-    "quarantine": 11,
-    "cell": 12,
-    "pool-rebuild": 13,
+    "cache": 4,
+    "gate": 5,
+    "compile": 6,
+    "run": 7,
+    "retry": 8,
+    "sigkill": 9,
+    "worker-crash": 10,
+    "isolate": 11,
+    "quarantine": 12,
+    "cell": 13,
+    "pool-rebuild": 14,
 }
 
 # Chrome traces use microseconds; trace timestamps are seconds.
 _SECONDS_TO_US = 1e6
+
+_EPOCH_OFFSET: float | None = None
+
+
+def _epoch_offset() -> float:
+    """This process's wall-minus-monotonic offset, computed once.
+
+    ``time.monotonic()`` epochs are per-process on every platform CPython
+    supports (POSIX allows ``CLOCK_MONOTONIC`` to start anywhere, and
+    Windows' ``QueryPerformanceCounter`` counts from boot of the *QPC*
+    unit) — raw stamps from two worker processes are NOT comparable.
+    Each shard therefore records its writer's offset in a header line so
+    :func:`load_events` can translate every stamp onto one timeline.
+    Computed once per process rather than per shard: two threads sampling
+    the pair microseconds apart would otherwise disagree by the sampling
+    jitter and reorder same-process events.
+    """
+    global _EPOCH_OFFSET
+    if _EPOCH_OFFSET is None:
+        _EPOCH_OFFSET = time.time() - time.monotonic()
+    return _EPOCH_OFFSET
 
 
 @dataclass(frozen=True)
 class TraceEvent:
     """One trace record.
 
-    ``ts`` is a ``time.monotonic()`` stamp (comparable across processes
-    on Linux); ``duration`` is nonzero for span events (compile / run /
-    cell). ``writer`` identifies the shard the event came from and
+    ``ts`` is a ``time.monotonic()`` stamp, meaningful only relative to
+    other stamps from the same process — :func:`load_events` uses the
+    per-shard epoch header to normalize stamps from different worker
+    processes onto one timeline; ``duration`` is nonzero for span
+    events (compile / run / cell). ``writer`` identifies the shard the
+    event came from and
     ``seq`` its position within that shard — together they give a total
     causal order per writer. ``meta`` holds free-form details (error
     types, kill reasons, predicted costs) excluded from the canonical
@@ -197,6 +223,13 @@ class TraceRecorder:
                     f"-{self._instance}-{writer:03d}.jsonl")
             self.directory.mkdir(parents=True, exist_ok=True)
             handle = (self.directory / name).open("a", encoding="utf-8")
+            # First line of every shard: the writer's wall-minus-
+            # monotonic offset, so the loader can put shards from
+            # different processes on one timeline (see _epoch_offset).
+            handle.write(json.dumps(
+                {"v": TRACE_VERSION, "header": True,
+                 "epoch": _epoch_offset()}, sort_keys=True) + "\n")
+            handle.flush()
             self._local.handle = handle
         return handle
 
@@ -228,27 +261,50 @@ def load_events(directory: str | os.PathLike[str],
     """Read every trace event under ``directory``, in causal time order.
 
     Torn or malformed lines (a crash mid-write) are skipped, like the
-    journal's loader. Events are ordered by ``(ts, writer, seq)`` —
-    monotonic stamps are system-wide on Linux, so the order is causal
-    across worker processes too.
+    journal's loader. Each shard's epoch header (its writer's
+    wall-minus-monotonic offset) translates that shard's monotonic
+    stamps onto one shared timeline before sorting — raw
+    ``time.monotonic()`` values from different processes are not
+    comparable, their epochs are arbitrary per process. Stamps are
+    shifted by ``offset - min(offsets)``, so a single-process trace
+    (every shard sharing one offset) is returned bit-for-bit unshifted,
+    and a shard with no header (an old or truncated file) is left
+    unshifted too. Events are then ordered by ``(ts, writer, seq)``.
     """
     events: list[TraceEvent] = []
+    shard_events: dict[str, list[int]] = {}
+    offsets: dict[str, float] = {}
     for path in trace_shard_paths(directory, run, prefix):
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
             continue
+        indices = shard_events.setdefault(path.stem, [])
         for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 payload = json.loads(line)
+                if payload.get("header"):
+                    epoch = payload.get("epoch")
+                    if isinstance(epoch, (int, float)):
+                        offsets[path.stem] = float(epoch)
+                    continue
+                indices.append(len(events))
                 events.append(TraceEvent.from_dict(payload,
                                                    writer=path.stem))
             except (json.JSONDecodeError, KeyError, TypeError,
                     ValueError):
                 continue
+    if offsets:
+        base = min(offsets.values())
+        for stem, indices in shard_events.items():
+            delta = offsets.get(stem, base) - base
+            if delta == 0.0:
+                continue
+            for i in indices:
+                events[i] = replace(events[i], ts=events[i].ts + delta)
     events.sort(key=lambda e: (e.ts, e.writer, e.seq))
     return events
 

@@ -417,6 +417,9 @@ class FaultInjectingBackend(AcceleratorBackend):
         self.clock = clock if clock is not None else SystemClock()
         self.transient_errors = inner.transient_errors
         self.thread_safe = inner.thread_safe
+        # Injected faults make outcomes draw-dependent: the compile
+        # cache must bypass this backend, not replay a lucky attempt.
+        self.deterministic = False
         self.calls: Counter = Counter()
         self._calls_lock = threading.Lock()
 

@@ -140,6 +140,13 @@ class ExecutionPolicy:
             warm-starts the EWMA cost predictor from it and scales the
             supervisor heartbeat to the typical observed duration
             (see :meth:`effective_heartbeat_interval`).
+        cache: a content-addressed compile/result cache (see
+            :mod:`repro.cache`) — a ready
+            :class:`~repro.cache.CompileCache` or a directory path.
+            Deterministic cells whose fingerprint is already stored
+            replay without touching the backend; clean first-attempt
+            successes are published for the next run. Fault-injecting
+            or otherwise nondeterministic backends bypass it entirely.
         executor: expert escape hatch — a pre-built
             :class:`ResilientExecutor` used verbatim instead of one
             derived from ``retry``/``deadline``/``clock``.
@@ -164,6 +171,7 @@ class ExecutionPolicy:
     max_pool_rebuilds: int = 5
     trace: bool | str | os.PathLike[str] = False
     ledger: RunLedger | str | os.PathLike[str] | None = None
+    cache: Any = None
     clock: Clock | None = None
     executor: ResilientExecutor | None = None
 
@@ -258,8 +266,24 @@ class ExecutionPolicy:
             return self.ledger
         return RunLedger(self.ledger)
 
+    def normalized_cache(self) -> Any:
+        """The cache as a :class:`~repro.cache.CompileCache` instance.
+
+        Paths become fresh caches rooted at that directory; ``None``
+        stays ``None`` (caching off). Imported lazily —
+        :mod:`repro.cache` imports the resilience package, so the
+        policy cannot import it at module scope.
+        """
+        if self.cache is None:
+            return None
+        from repro.cache import CompileCache
+        if isinstance(self.cache, CompileCache):
+            return self.cache
+        return CompileCache(self.cache)
+
     def effective_heartbeat_interval(
-            self, ledger: RunLedger | None = None) -> float:
+            self, ledger: RunLedger | None = None,
+            families: "set[str] | None" = None) -> float:
         """The heartbeat cadence, adapted to observed cell durations.
 
         With a ledger holding history, the interval tracks twice the
@@ -267,13 +291,17 @@ class ExecutionPolicy:
         slow grids are not pestered — clamped to
         ``[heartbeat_interval / 10, heartbeat_interval]`` so the
         configured value stays an upper bound. Without history the
-        configured value is used as-is.
+        configured value is used as-is. ``families`` scopes the typical
+        duration to the families the current run will actually execute
+        (see :meth:`~repro.observe.RunLedger.typical_seconds`) — a
+        ledger shared across differently-sized campaigns would
+        otherwise mis-scale the patrol cadence.
         """
         if ledger is None:
             ledger = self.normalized_ledger()
         if ledger is None:
             return self.heartbeat_interval
-        typical = ledger.typical_seconds()
+        typical = ledger.typical_seconds(families)
         if typical is None:
             return self.heartbeat_interval
         return max(self.heartbeat_interval / 10.0,
@@ -341,15 +369,18 @@ class ExecutionPolicy:
                          make_predictor(self.predictor, prior=prior),
                          ledger=ledger, tracer=tracer)
 
-    def make_supervisor(self, tracer: TraceRecorder | None = None) -> Any:
+    def make_supervisor(self, tracer: TraceRecorder | None = None,
+                        families: "set[str] | None" = None) -> Any:
         """A :class:`~repro.campaign.supervisor.Supervisor` per this
         policy (process dispatch only; imported lazily like the
-        scheduler). The heartbeat cadence adapts to ledger history —
-        see :meth:`effective_heartbeat_interval`."""
+        scheduler). The heartbeat cadence adapts to ledger history,
+        scoped to the ``families`` of the current run — see
+        :meth:`effective_heartbeat_interval`."""
         from repro.campaign.supervisor import Supervisor
         return Supervisor(deadline=self.deadline,
                           heartbeat_interval=(
-                              self.effective_heartbeat_interval()),
+                              self.effective_heartbeat_interval(
+                                  families=families)),
                           grace_factor=self.grace_factor,
                           quarantine_after=self.quarantine_after,
                           max_pool_rebuilds=self.max_pool_rebuilds,

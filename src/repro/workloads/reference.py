@@ -79,6 +79,11 @@ class CpuBoundBackend(AcceleratorBackend):
         super().__init__(CPU_REF_SYSTEM)
         self.spins_per_layer = spins_per_layer
 
+    def fingerprint_extra(self) -> dict[str, Any]:
+        # The burn length lands in the report checksums, so two burn
+        # factors must never share a cache entry.
+        return {"spins_per_layer": self.spins_per_layer}
+
     def compile(self, model: ModelConfig, train: TrainConfig,
                 **options: Any) -> CompileReport:
         checksum = _burn(model.n_layers * self.spins_per_layer,

@@ -108,14 +108,18 @@ def cell_from_result(spec: SweepSpec, result: CellResult) -> SweepCell:
 
 def cell_tasks(backend: AcceleratorBackend, specs: list[SweepSpec],
                executor: ResilientExecutor, *, measure: bool = True,
-               key_prefix: str = "") -> list[CellTask]:
+               key_prefix: str = "",
+               fingerprints: bool = False) -> list[CellTask]:
     """Engine tasks for a spec grid on one backend.
 
     Non-thread-safe backends get a shared serializer lock so a pooled
     run never overlaps their calls. Every task is stamped with its
     analytic cost prediction and workload-family key so a cost-aware
-    :class:`~repro.campaign.scheduler.Scheduler` can order dispatch.
+    :class:`~repro.campaign.scheduler.Scheduler` can order dispatch;
+    with ``fingerprints`` each task also carries its content-addressed
+    cache key (see :func:`repro.cache.cell_fingerprint`).
     """
+    from repro.cache import cell_fingerprint
     from repro.campaign.scheduler import estimate_cell_seconds
 
     serializer = None if backend.thread_safe else threading.Lock()
@@ -133,6 +137,10 @@ def cell_tasks(backend: AcceleratorBackend, specs: list[SweepSpec],
             cost_hint=estimate_cell_seconds(backend, spec.model,
                                             spec.train, measure=measure),
             family=f"{backend.name}::{spec.model.family}",
+            fingerprint=(cell_fingerprint(backend, spec.model,
+                                          spec.train, spec.options,
+                                          measure=measure)
+                         if fingerprints else None),
         )
         for spec in specs
     ]
@@ -178,9 +186,10 @@ def run_grid(backend: AcceleratorBackend,
                                  relay=relay)
 
     tracer = policy.make_tracer()
+    cache = policy.normalized_cache()
     tasks = cell_tasks(backend, specs,
                        policy.make_executor(backend.name, tracer=tracer),
-                       measure=measure)
+                       measure=measure, fingerprints=cache is not None)
     results = run_cell_tasks(
         tasks,
         max_workers=policy.max_workers,
@@ -190,7 +199,10 @@ def run_grid(backend: AcceleratorBackend,
         on_result=relay,
         scheduler=policy.make_scheduler(tracer),
         tracer=tracer,
+        cache=cache,
     )
+    if cache is not None:
+        cache.prune()
     return [cell_from_result(spec, result)
             for spec, result in zip(specs, results)]
 
@@ -206,6 +218,7 @@ def _run_grid_process(backend: AcceleratorBackend,
     Journal keys stay ``spec.label``, exactly as on the thread path, so
     a process-dispatched run and a sequential one resume each other.
     """
+    from repro.cache import cell_fingerprint
     from repro.campaign.process import (
         CellSpec,
         WorkerSpec,
@@ -218,6 +231,7 @@ def _run_grid_process(backend: AcceleratorBackend,
     check_process_policy(policy, store, api="run_grid")
     if store is not None:
         assert isinstance(store, ShardedJournal)  # check_process_policy
+    cache = policy.normalized_cache()
     cells = [
         CellSpec(
             key=spec.label,
@@ -229,6 +243,10 @@ def _run_grid_process(backend: AcceleratorBackend,
             cost_hint=estimate_cell_seconds(backend, spec.model,
                                             spec.train, measure=measure),
             family=f"{backend.name}::{spec.model.family}",
+            fingerprint=(cell_fingerprint(backend, spec.model,
+                                          spec.train, spec.options,
+                                          measure=measure)
+                         if cache is not None else None),
         )
         for spec in specs
     ]
@@ -245,6 +263,7 @@ def _run_grid_process(backend: AcceleratorBackend,
         journal_prefix=store.prefix if store is not None else "shard",
         trace_dir=str(trace_dir) if trace_dir is not None else None,
         trace_run=tracer.run if tracer is not None else "",
+        cache_dir=str(cache.directory) if cache is not None else None,
     )
     results = run_cell_specs(
         cells,
@@ -255,8 +274,11 @@ def _run_grid_process(backend: AcceleratorBackend,
         retry_failed=policy.retry_failed,
         on_result=relay,
         scheduler=policy.make_scheduler(tracer),
-        supervisor=policy.make_supervisor(tracer),
+        supervisor=policy.make_supervisor(
+            tracer, families={cell.family for cell in cells}),
         tracer=tracer,
     )
+    if cache is not None:
+        cache.prune()
     return [cell_from_result(spec, result)
             for spec, result in zip(specs, results)]

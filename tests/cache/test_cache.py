@@ -1,0 +1,275 @@
+"""CompileCache unit contracts: fingerprints, atomic publish,
+corruption tolerance, eviction, and the engine-facing read-through.
+"""
+
+import os
+import pickle
+import threading
+import warnings
+
+import pytest
+
+from repro.cache import (
+    CACHE_VERSION,
+    CompileCache,
+    cached_outcome,
+    canonical_fingerprint,
+    cell_fingerprint,
+    store_outcome,
+)
+from repro.common.errors import ErrorRecord
+from repro.models.config import TrainConfig, gpt2_model
+from repro.resilience import FaultInjectingBackend, FaultPlan
+from repro.resilience.executor import CellOutcome
+from repro.resilience.journal import STATUS_FAILED, STATUS_OK
+from repro.workloads.reference import CpuBoundBackend
+
+
+def train():
+    return TrainConfig(batch_size=4, seq_len=64)
+
+
+class TestCanonicalFingerprint:
+    def test_key_order_cannot_perturb_the_digest(self):
+        assert (canonical_fingerprint({"a": 1, "b": 2})
+                == canonical_fingerprint({"b": 2, "a": 1}))
+
+    def test_value_changes_change_the_digest(self):
+        assert (canonical_fingerprint({"a": 1})
+                != canonical_fingerprint({"a": 2}))
+
+    def test_non_json_values_serialize_through_str(self):
+        fp = canonical_fingerprint({"path": object()})
+        assert len(fp) == 64  # a real digest, not an exception
+
+
+class TestCellFingerprint:
+    def test_same_cell_same_key(self):
+        a = CpuBoundBackend(spins_per_layer=10)
+        b = CpuBoundBackend(spins_per_layer=10)
+        assert (cell_fingerprint(a, gpt2_model("mini"), train())
+                == cell_fingerprint(b, gpt2_model("mini"), train()))
+
+    def test_every_input_is_load_bearing(self):
+        backend = CpuBoundBackend(spins_per_layer=10)
+        base = cell_fingerprint(backend, gpt2_model("mini"), train())
+        assert base != cell_fingerprint(
+            backend, gpt2_model("mini").with_layers(7), train())
+        assert base != cell_fingerprint(
+            backend, gpt2_model("mini"), TrainConfig(batch_size=8,
+                                                     seq_len=64))
+        assert base != cell_fingerprint(
+            backend, gpt2_model("mini"), train(), {"option": 1})
+        assert base != cell_fingerprint(
+            backend, gpt2_model("mini"), train(), measure=False)
+        # Backend-declared extra state (spin count) is in the key too.
+        assert base != cell_fingerprint(
+            CpuBoundBackend(spins_per_layer=99), gpt2_model("mini"),
+            train())
+
+    def test_nondeterministic_backend_bypasses(self):
+        backend = FaultInjectingBackend(CpuBoundBackend(), FaultPlan())
+        assert backend.deterministic is False
+        assert cell_fingerprint(backend, gpt2_model("mini"),
+                                train()) is None
+
+
+class TestStoreAndLookup:
+    def fp(self, tag="cell"):
+        return canonical_fingerprint({"cell": tag})
+
+    def test_round_trip(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        fp = self.fp()
+        assert cache.store(fp, {"compiled": 1}, {"run": 2}) is True
+        entry = cache.lookup(fp)
+        assert entry is not None
+        assert entry.fingerprint == fp
+        assert entry.compiled == {"compiled": 1}
+        assert entry.run == {"run": 2}
+        assert cache.stats() == {"hits": 1, "misses": 0,
+                                 "bypasses": 0, "stores": 1}
+
+    def test_missing_entry_is_a_silent_miss(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.lookup(self.fp()) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_no_tmp_litter_after_publish(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.store(self.fp(), "artifact")
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_two_level_fanout_layout(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        fp = self.fp()
+        cache.store(fp, "artifact")
+        assert cache.entry_path(fp).exists()
+        assert cache.entry_path(fp).parent.name == fp[:2]
+        assert len(cache) == 1
+
+    def test_corrupt_entry_warns_drops_and_misses(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        fp = self.fp()
+        path = cache.entry_path(fp)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"\x00not a pickle")
+        with pytest.warns(RuntimeWarning, match="treating as a miss"):
+            assert cache.lookup(fp) is None
+        assert not path.exists()  # dropped so a re-run can rewrite it
+        assert cache.stats()["misses"] == 1
+
+    def test_foreign_entry_under_wrong_name_is_dropped(self, tmp_path):
+        # A valid pickle whose recorded fingerprint disagrees with the
+        # name it was found under must not be trusted.
+        cache = CompileCache(tmp_path)
+        fp = self.fp()
+        path = cache.entry_path(fp)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps(
+            {"v": CACHE_VERSION, "fingerprint": self.fp("other"),
+             "compiled": "stolen"}))
+        with pytest.warns(RuntimeWarning, match="fingerprint/schema"):
+            assert cache.lookup(fp) is None
+        assert not path.exists()
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        fp = self.fp()
+        path = cache.entry_path(fp)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps(
+            {"v": CACHE_VERSION + 1, "fingerprint": fp,
+             "compiled": "old"}))
+        with pytest.warns(RuntimeWarning):
+            assert cache.lookup(fp) is None
+
+    def test_unpicklable_artifact_warns_not_raises(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="do not pickle"):
+            assert cache.store(self.fp(), threading.Lock()) is False
+        assert len(cache) == 0
+
+
+class TestConcurrentWriters:
+    def test_second_writer_loses_the_race_quietly(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        fp = canonical_fingerprint({"cell": 1})
+        assert cache.store(fp, "first") is True
+        assert cache.store(fp, "second") is False
+        assert cache.lookup(fp).compiled == "first"
+
+    def test_exactly_one_of_many_concurrent_writers_publishes(
+            self, tmp_path):
+        fp = canonical_fingerprint({"cell": 1})
+        results = []
+        barrier = threading.Barrier(8)
+
+        def publish(n):
+            cache = CompileCache(tmp_path)  # one instance per "process"
+            barrier.wait()
+            results.append(cache.store(fp, f"writer-{n}"))
+
+        threads = [threading.Thread(target=publish, args=(n,))
+                   for n in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results.count(True) == 1
+        cache = CompileCache(tmp_path)
+        assert len(cache) == 1
+        assert cache.lookup(fp).compiled.startswith("writer-")
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestPrune:
+    def fill(self, cache, count):
+        fps = [canonical_fingerprint({"cell": n}) for n in range(count)]
+        for age, fp in enumerate(fps):
+            cache.store(fp, f"artifact-{age}")
+            # Deterministic mtimes: entry 0 is the oldest.
+            os.utime(cache.entry_path(fp), (1000.0 + age, 1000.0 + age))
+        return fps
+
+    def test_evicts_oldest_beyond_the_cap(self, tmp_path):
+        cache = CompileCache(tmp_path, max_entries=2)
+        fps = self.fill(cache, 5)
+        assert cache.prune() == 3
+        assert len(cache) == 2
+        assert cache.lookup(fps[0]) is None  # oldest gone
+        assert cache.lookup(fps[4]) is not None  # newest kept
+
+    def test_unbounded_cache_never_prunes(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        self.fill(cache, 3)
+        assert cache.prune() == 0
+        assert len(cache) == 3
+
+    def test_explicit_cap_overrides_constructor(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        self.fill(cache, 3)
+        assert cache.prune(max_entries=1) == 2
+        assert len(cache) == 1
+
+    def test_negative_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CompileCache(tmp_path, max_entries=-1)
+
+
+class FakeTracer:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, name, **kwargs):
+        self.events.append((name, kwargs))
+
+
+class TestEngineReadThrough:
+    def clean(self, key="cell"):
+        return CellOutcome(key=key, status=STATUS_OK,
+                           compiled={"c": 1}, run={"r": 2},
+                           attempts=1, elapsed=0.5)
+
+    def test_bypass_counts_and_traces(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        tracer = FakeTracer()
+        assert cached_outcome(cache, "cell", None, tracer) is None
+        assert cache.stats()["bypasses"] == 1
+        assert tracer.events == [("cache", {"key": "cell",
+                                            "status": "bypass"})]
+        assert store_outcome(cache, None, self.clean()) is False
+
+    def test_miss_then_hit_replays_the_outcome(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        tracer = FakeTracer()
+        fp = canonical_fingerprint({"cell": 1})
+        assert cached_outcome(cache, "cell", fp, tracer) is None
+        assert store_outcome(cache, fp, self.clean()) is True
+        replay = cached_outcome(cache, "cell", fp, tracer)
+        assert replay is not None
+        assert replay.ok
+        assert replay.key == "cell"
+        assert replay.attempts == 1
+        assert replay.elapsed == 0.0  # no cost signal to the scheduler
+        assert replay.compiled == {"c": 1}
+        assert replay.run == {"r": 2}
+        assert [(n, k["status"]) for n, k in tracer.events] \
+            == [("cache", "miss"), ("cache", "hit")]
+
+    def test_only_clean_first_attempts_are_cached(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        fp = canonical_fingerprint({"cell": 1})
+        failure = ErrorRecord(type="CompilationError",
+                              message="boom", phase="compile")
+        failed = CellOutcome(key="cell", status=STATUS_FAILED,
+                             error=failure, attempts=1)
+        retried_ok = CellOutcome(key="cell", status=STATUS_OK,
+                                 compiled={"c": 1}, attempts=2,
+                                 retried=(failure,))
+        assert store_outcome(cache, fp, failed) is False
+        assert store_outcome(cache, fp, retried_ok) is False
+        assert len(cache) == 0
+        assert store_outcome(cache, fp, self.clean()) is True

@@ -1,0 +1,132 @@
+"""Compile-cache acceptance: a warm re-run of an unchanged grid is
+indistinguishable from the cold run that populated the cache.
+
+The contracts:
+
+* a warm re-run produces a **byte-identical merged journal** and an
+  identical report (minus the wall-clock Scheduling section) under
+  thread *and* process dispatch — replaying a cached cell is not
+  observable in the results;
+* the warm run **skips the backend entirely** for cached cells, and the
+  skips are observable: nonzero ``cache hits`` in the Observability
+  table and in ``campaign_to_dict``, under both dispatch modes;
+* nondeterministic backends (fault injectors) **bypass** the cache —
+  nothing is ever stored for them;
+* a corrupt cache entry degrades to a miss with a ``RuntimeWarning``;
+  the campaign completes and rewrites the entry.
+"""
+
+import pytest
+
+from repro.cache import CompileCache
+from repro.campaign import Campaign
+from repro.core.serialize import campaign_to_dict
+from repro.resilience import (
+    ExecutionPolicy,
+    FaultInjectingBackend,
+    FaultPlan,
+    ShardedJournal,
+)
+
+from .test_process_dispatch import fast_backend, grid
+
+
+def stable_report(result):
+    """The rendered report minus the Scheduling block (wall-clock)."""
+    blocks = result.report().render().split("\n\n")
+    return "\n\n".join(b for b in blocks if not b.startswith("Scheduling"))
+
+
+def run_once(tmp_path, tag, dispatch, **kwargs):
+    policy = ExecutionPolicy(max_workers=2, dispatch=dispatch,
+                             journal=ShardedJournal(tmp_path / tag),
+                             cache=tmp_path / "cache", **kwargs)
+    result = Campaign([(fast_backend(), grid())], policy).run()
+    label = result.labels[0]
+    assert all(not c.failed for c in result.cells[label])
+    return result
+
+
+class TestWarmRerunByteIdentity:
+    @pytest.mark.parametrize("dispatch", ["thread", "process"])
+    def test_warm_rerun_matches_cold_exactly(self, tmp_path, dispatch):
+        cold = run_once(tmp_path, "cold", dispatch)
+        warm = run_once(tmp_path, "warm", dispatch)
+        assert (ShardedJournal(tmp_path / "cold").merged_text()
+                == ShardedJournal(tmp_path / "warm").merged_text())
+        assert stable_report(cold) == stable_report(warm)
+        # The replayed artifacts are the stored ones, not re-derived.
+        label = cold.labels[0]
+        for a, b in zip(cold.cells[label], warm.cells[label]):
+            assert a.compiled == b.compiled
+            assert a.attempts == b.attempts == 1
+
+    def test_dispatch_modes_share_one_cache(self, tmp_path):
+        """A cache populated by a thread run warms a process run: the
+        fingerprint is content-addressed, not dispatch-addressed."""
+        run_once(tmp_path, "cold", "thread")
+        warm = run_once(tmp_path, "warm", "process", trace=True)
+        assert warm.observability[0].cache_hits == len(grid())
+        assert warm.observability[0].cache_misses == 0
+
+
+class TestCacheHitsObservable:
+    @pytest.mark.parametrize("dispatch", ["thread", "process"])
+    def test_hits_surface_in_table_and_json(self, tmp_path, dispatch):
+        cold = run_once(tmp_path, "cold", dispatch, trace=True)
+        row = cold.observability[0]
+        assert row.cache_hits == 0
+        assert row.cache_misses == len(grid())
+
+        warm = run_once(tmp_path, "warm", dispatch, trace=True)
+        row = warm.observability[0]
+        assert row.cache_hits == len(grid())
+        assert row.cache_misses == 0
+        rendered = warm.report().render()
+        assert "cache hits" in rendered
+        payload = campaign_to_dict(warm)
+        assert payload["observability"][0]["cache_hits"] == len(grid())
+        assert payload["policy"]["cache"] == str(tmp_path / "cache")
+
+    def test_cache_column_absent_without_policy_cache(self, tmp_path):
+        result = Campaign(
+            [(fast_backend(), grid())],
+            ExecutionPolicy(max_workers=2, trace=True,
+                            journal=ShardedJournal(tmp_path / "j"))).run()
+        row = result.observability[0]
+        assert (row.cache_hits, row.cache_misses,
+                row.cache_bypasses) == (0, 0, 0)
+        assert campaign_to_dict(result)["policy"]["cache"] is None
+
+
+class TestNondeterministicBackendsBypass:
+    def test_fault_injector_never_populates_the_cache(self, tmp_path):
+        backend = FaultInjectingBackend(fast_backend(), FaultPlan())
+        result = Campaign(
+            [(backend, grid())],
+            ExecutionPolicy(max_workers=2, trace=True,
+                            journal=ShardedJournal(tmp_path / "j"),
+                            cache=tmp_path / "cache")).run()
+        label = result.labels[0]
+        assert all(not c.failed for c in result.cells[label])
+        row = result.observability[0]
+        assert row.cache_bypasses == len(grid())
+        assert (row.cache_hits, row.cache_misses) == (0, 0)
+        assert len(CompileCache(tmp_path / "cache")) == 0
+
+
+class TestCorruptEntryDegrades:
+    def test_corrupt_entry_is_a_warned_miss_and_rewritten(self,
+                                                          tmp_path):
+        run_once(tmp_path, "cold", "thread")
+        cache = CompileCache(tmp_path / "cache")
+        entries = cache.entries()
+        assert len(entries) == len(grid())
+        entries[0].write_bytes(b"\x00torn mid-write")
+        with pytest.warns(RuntimeWarning, match="treating as a miss"):
+            warm = run_once(tmp_path, "warm", "thread", trace=True)
+        row = warm.observability[0]
+        assert row.cache_hits == len(grid()) - 1
+        assert row.cache_misses == 1
+        # The re-executed cell republished its entry.
+        assert len(cache) == len(grid())

@@ -114,11 +114,20 @@ class TestLifecycleReconstruction:
                  if e.name == "cell"]
         assert final[-1].status == "failed"
         assert final[-1].meta.get("error") == "QuarantinedError"
-        # Healthy cells completed normally in the same trace.
+        # Healthy cells reached a terminal event in the same trace.
+        # A sibling of the poison cell can be collateral damage: the
+        # pool manager terminates every worker when one dies, and a
+        # healthy cell whose result was already journaled but not yet
+        # returned is *recovered* on redispatch instead of re-run —
+        # its story legitimately ends in "recovered", not "cell".
         for healthy in ("L2", "L3", "L5"):
             names = {e.name for e in
                      events_for_key(events, f"{label}::{healthy}")}
-            assert {"dispatch", "compile", "run", "cell"} <= names
+            assert "dispatch" in names
+            if "recovered" in names:
+                assert {"compile", "run"} <= names
+            else:
+                assert {"compile", "run", "cell"} <= names
 
     def test_supervisor_sigkill_lands_in_trace(self, tmp_path):
         """A wedged worker (SIGSTOP) is hard-killed by the supervisor;

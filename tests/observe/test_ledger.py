@@ -27,6 +27,24 @@ class TestLedgerMath:
         ledger.record("b", 3.0)
         assert ledger.typical_seconds() == 2.0
 
+    def test_typical_seconds_scopes_to_the_given_families(self, tmp_path):
+        # A shared ledger polluted by another campaign's hour-long
+        # families must not inflate this run's typical duration.
+        ledger = RunLedger(tmp_path / "ledger.json")
+        ledger.record("smoke::gpt2", 0.5)
+        ledger.record("smoke::llama2", 1.5)
+        ledger.record("tier2::llama2", 3600.0)
+        assert ledger.typical_seconds(
+            {"smoke::gpt2", "smoke::llama2"}) == 1.0
+        # Unknown families contribute nothing; no overlap = cold start.
+        assert ledger.typical_seconds(
+            {"smoke::gpt2", "never-seen"}) == 0.5
+        assert ledger.typical_seconds({"never-seen"}) is None
+        assert ledger.typical_seconds(set()) is None
+        # Unscoped keeps the old global-mean behaviour.
+        assert ledger.typical_seconds() == pytest.approx(
+            (0.5 + 1.5 + 3600.0) / 3)
+
     def test_ignores_empty_family_and_nonpositive_durations(self,
                                                             tmp_path):
         ledger = RunLedger(tmp_path / "ledger.json")
@@ -49,6 +67,7 @@ class TestPersistence:
         first = RunLedger(path)
         first.record("wse::gpt2", 4.0)
         first.record("rdu::llama2", 9.0)
+        first.flush()
         second = RunLedger(path)
         assert second.priors() == first.priors()
         assert len(second) == 2
@@ -57,6 +76,7 @@ class TestPersistence:
         path = tmp_path / "ledger.json"
         ledger = RunLedger(path)
         ledger.record("f", 1.0)
+        ledger.flush()
         assert not path.with_name(path.name + ".tmp").exists()
         payload = json.loads(path.read_text())
         assert payload["v"] == 1
@@ -66,7 +86,60 @@ class TestPersistence:
         path = tmp_path / "ledger.json"
         ledger = RunLedger(path)
         ledger.record("f", 2.0)
+        ledger.flush()
         assert ledger.to_dict() == json.loads(path.read_text())
+
+
+class TestBatchedSaves:
+    """record() is in-memory; the file is written once, by flush().
+
+    The old behaviour — a full fsync'd rewrite of the table inside
+    every record() — made ledger IO scale with cell count and dominated
+    fast grids (the scheduler observes every cell). These are the
+    regression guards: the write count must stay at one per drain.
+    """
+
+    def test_record_never_writes(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = RunLedger(path)
+        for i in range(100):
+            ledger.record("f", 1.0 + i)
+            ledger.record("g", 2.0 + i)
+        assert ledger.saves == 0
+        assert not path.exists()
+
+    def test_flush_writes_once_and_is_idempotent(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = RunLedger(path)
+        for i in range(100):
+            ledger.record("f", 1.0 + i)
+        ledger.flush()
+        assert ledger.saves == 1
+        assert path.exists()
+        ledger.flush()  # nothing new observed: no second write
+        assert ledger.saves == 1
+
+    def test_flush_after_new_observations_writes_again(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.json")
+        ledger.record("f", 1.0)
+        ledger.flush()
+        ledger.record("f", 2.0)
+        ledger.flush()
+        assert ledger.saves == 2
+
+    def test_clean_flush_is_a_no_op(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = RunLedger(path)
+        ledger.flush()
+        assert ledger.saves == 0
+        assert not path.exists()
+
+    def test_explicit_save_writes_unconditionally(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = RunLedger(path)
+        ledger.save()
+        assert ledger.saves == 1
+        assert path.exists()
 
 
 class TestCorruption:
@@ -115,6 +188,7 @@ class TestCorruption:
         path.write_text("garbage")
         ledger = self.cold(path)
         ledger.record("f", 1.0)
+        ledger.flush()
         with warnings.catch_warnings():
             warnings.simplefilter("error")  # reload must not warn now
             assert RunLedger(path).priors() == {"f": 1.0}

@@ -151,6 +151,85 @@ class TestQueries:
                           "run": 2, "schedule": 2}
 
 
+class TestEpochNormalization:
+    """Monotonic epochs are per-process: each shard's header records
+    its writer's wall-minus-monotonic offset, and the loader shifts
+    stamps onto one timeline. These shards are synthetic — real worker
+    processes differ by whatever their boots/namespaces dictate."""
+
+    RUN = "feed0000"
+
+    def write_shard(self, tmp_path, n, events, epoch=None, pid=1):
+        lines = []
+        if epoch is not None:
+            lines.append(json.dumps({"v": 1, "header": True,
+                                     "epoch": epoch}))
+        lines += [json.dumps({"v": 1, "seq": i + 1, **e})
+                  for i, e in enumerate(events)]
+        path = (tmp_path
+                / f"trace-{self.RUN}-{pid}-aaaa-{n:03d}.jsonl")
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    def test_skewed_shards_merge_onto_one_timeline(self, tmp_path):
+        # Parent process: monotonic epoch 1000s behind the wall clock.
+        # Its dispatch (wall 1005) and terminal cell event (wall 1009).
+        self.write_shard(tmp_path, 0, [
+            {"name": "dispatch", "key": "k", "ts": 5.0},
+            {"name": "cell", "key": "k", "status": "ok", "ts": 9.0},
+        ], epoch=1000.0, pid=1)
+        # Worker process: epoch 500s behind the wall clock. Raw stamps
+        # (506, 507) dwarf the parent's (5, 9) — sorting raw stamps
+        # would put the terminal "cell" *before* the work it reports.
+        self.write_shard(tmp_path, 0, [
+            {"name": "compile", "key": "k", "phase": "compile",
+             "status": "ok", "ts": 506.0},
+            {"name": "run", "key": "k", "phase": "run",
+             "status": "ok", "ts": 507.0},
+        ], epoch=500.0, pid=2)
+        events = load_events(tmp_path, run=self.RUN)
+        assert [e.name for e in events] == \
+            ["dispatch", "compile", "run", "cell"]
+        # Shifted by offset - min(offsets): the lower-offset shard is
+        # the anchor and stays put.
+        assert [e.ts for e in events] == [505.0, 506.0, 507.0, 509.0]
+        assert [e.name for e in events_for_key(events, "k")] == \
+            ["dispatch", "compile", "run", "cell"]
+
+    def test_single_process_trace_is_returned_unshifted(self, tmp_path):
+        # All shards share one offset: stamps come back bit-for-bit.
+        for n, ts in ((0, 3.25), (1, 1.75)):
+            self.write_shard(tmp_path, n, [
+                {"name": "cell", "key": f"k{n}", "ts": ts},
+            ], epoch=1234.5)
+        events = load_events(tmp_path, run=self.RUN)
+        assert [e.ts for e in events] == [1.75, 3.25]
+
+    def test_headerless_shard_is_tolerated_unshifted(self, tmp_path):
+        # A pre-header (or torn-at-birth) shard has no epoch line; its
+        # stamps pass through, and the sole headered shard anchors the
+        # timeline (offset == base), so nothing shifts anywhere.
+        self.write_shard(tmp_path, 0, [
+            {"name": "dispatch", "key": "k", "ts": 5.0},
+        ], epoch=1000.0, pid=1)
+        self.write_shard(tmp_path, 0, [
+            {"name": "legacy", "key": "k", "ts": 2.0},
+        ], epoch=None, pid=2)
+        events = load_events(tmp_path, run=self.RUN)
+        assert {(e.name, e.ts) for e in events} == \
+            {("dispatch", 5.0), ("legacy", 2.0)}
+
+    def test_header_line_is_not_an_event(self, tmp_path):
+        recorder = TraceRecorder(tmp_path, run=self.RUN)
+        recorder.emit("cell", key="k")
+        shard = trace_shard_paths(tmp_path, run=self.RUN)[0]
+        first = json.loads(shard.read_text().splitlines()[0])
+        assert first["header"] is True
+        assert isinstance(first["epoch"], float)
+        events = load_events(tmp_path, run=self.RUN)
+        assert [e.name for e in events] == ["cell"]
+
+
 class TestChromeExport:
     def test_spans_and_instants(self):
         payload = to_chrome_events(merge_events(lifecycle("k")),

@@ -19,7 +19,8 @@ from repro.workloads.sweeps import SweepSpec
 DOCS_DIR = Path(__file__).resolve().parent.parent / "docs"
 
 # Pages whose blocks are executed, not just compiled.
-EXECUTED_PAGES = ("campaign.md", "robustness.md", "observability.md")
+EXECUTED_PAGES = ("campaign.md", "robustness.md", "observability.md",
+                  "caching.md")
 
 FENCE = re.compile(r"^```python\n(.*?)^```", re.MULTILINE | re.DOTALL)
 
