@@ -1,0 +1,141 @@
+"""Cold-campaign acceptance: staged compile memoization, measured.
+
+The tentpole claim: on the reference grid — one model family at a
+fixed layer count swept across batch sizes — stage memoization cuts a
+*cold* campaign's wall time by at least 2x, because every cell after
+the first reuses the layer-proportional graph burn instead of
+recomputing it (:meth:`~repro.workloads.reference.CpuBoundBackend
+.compile_stages` keys that stage on ``n_layers`` alone).
+
+And the sharing must be invisible in the results: the merged journal,
+the report, and the canonical merged trace are byte-identical with the
+memo on or off, under thread *and* process dispatch. Only the
+Observability rollup may differ — its ``stage hits`` / ``stage
+misses`` columns exist precisely to report the sharing.
+"""
+
+import time
+
+import pytest
+
+from repro.cache import CompileCache
+from repro.campaign import Campaign
+from repro.core.serialize import campaign_to_dict
+from repro.models.config import TrainConfig, gpt2_model
+from repro.observe import load_events, merged_trace_text
+from repro.resilience import ExecutionPolicy, ShardedJournal
+from repro.workloads.reference import CpuBoundBackend
+from repro.workloads.sweeps import SweepSpec
+
+MIN_SPEEDUP = 2.0
+#: Heavy enough that the burn dominates harness overhead (~0.1 s per
+#: cold compile on commodity cores).
+SPINS_PER_LAYER = 60_000
+LAYERS = 6
+BATCHES = (4, 8, 12, 16, 20, 24, 28, 32)
+
+
+def grid():
+    return [SweepSpec(f"b{b}", gpt2_model("mini").with_layers(LAYERS),
+                      TrainConfig(batch_size=b, seq_len=64))
+            for b in BATCHES]
+
+
+def timed_campaign(stage_memo, spins=SPINS_PER_LAYER, **policy_kwargs):
+    backend = CpuBoundBackend(spins_per_layer=spins)
+    policy = ExecutionPolicy(stage_memo=stage_memo, **policy_kwargs)
+    start = time.perf_counter()
+    result = Campaign([(backend, grid())], policy, measure=False).run()
+    elapsed = time.perf_counter() - start
+    label = result.labels[0]
+    assert all(not c.failed for c in result.cells[label])
+    return elapsed, result
+
+
+def stable_report(result):
+    """The report minus the blocks allowed to differ.
+
+    Scheduling carries measured wall-clock; Supervision's heartbeat
+    adapts to ledger history; Observability intentionally reports the
+    memo's stage hit/miss counters. Everything else — the grid tables,
+    infrastructure health, insights — must match byte for byte.
+    """
+    blocks = result.report().render().split("\n\n")
+    return "\n\n".join(
+        b for b in blocks
+        if not b.startswith(("Scheduling", "Supervision",
+                             "Observability")))
+
+
+def test_stage_memo_speeds_up_cold_campaign():
+    # Same grid, same backend, sequential thread dispatch — the only
+    # variable is the memo. Interleave a throwaway warm-up so both
+    # measured runs see equally warm interpreter state.
+    timed_campaign(True, spins=10)
+    cold_s, cold = timed_campaign(False)
+    memo_s, memo = timed_campaign(True)
+    speedup = cold_s / memo_s
+    print(f"\n  memo off: {cold_s:6.2f} s")
+    print(f"  memo on:  {memo_s:6.2f} s")
+    print(f"  speedup:  {speedup:.2f}x (floor {MIN_SPEEDUP}x)")
+    label = cold.labels[0]
+    for a, b in zip(cold.cells[label], memo.cells[label]):
+        assert a.compiled == b.compiled
+    assert speedup >= MIN_SPEEDUP
+
+
+@pytest.mark.parametrize("dispatch", ["thread", "process"])
+def test_memo_is_invisible_in_results(tmp_path, dispatch):
+    def run(tag, stage_memo):
+        return timed_campaign(
+            stage_memo, spins=200, dispatch=dispatch, max_workers=2,
+            journal=ShardedJournal(tmp_path / tag),
+            trace=str(tmp_path / f"{tag}-trace"))[1]
+
+    plain = run("off", False)
+    memoized = run("on", True)
+    assert (ShardedJournal(tmp_path / "off").merged_text()
+            == ShardedJournal(tmp_path / "on").merged_text())
+    assert stable_report(plain) == stable_report(memoized)
+    # The canonical merged trace excludes stage_cache telemetry, so it
+    # too is byte-identical with the memo on or off.
+    assert (merged_trace_text(load_events(tmp_path / "off-trace"))
+            == merged_trace_text(load_events(tmp_path / "on-trace")))
+
+
+def test_stage_hits_surface_in_table_and_json(tmp_path):
+    # Sequential, so the split is exact: the first cell misses both
+    # stages; every later cell hits the shared graph stage and misses
+    # its own report stage.
+    _, result = timed_campaign(
+        True, spins=100, journal=ShardedJournal(tmp_path / "j"),
+        trace=str(tmp_path / "trace"))
+    row = result.observability[0]
+    assert row.stage_hits == len(BATCHES) - 1
+    assert row.stage_misses == len(BATCHES) + 1
+    rendered = result.report().render()
+    assert "stage hits" in rendered
+    payload = campaign_to_dict(result)
+    assert payload["observability"][0]["stage_hits"] == len(BATCHES) - 1
+    assert payload["observability"][0]["stage_misses"] == len(BATCHES) + 1
+
+    _, plain = timed_campaign(
+        False, spins=100, journal=ShardedJournal(tmp_path / "j2"),
+        trace=str(tmp_path / "trace2"))
+    row = plain.observability[0]
+    assert (row.stage_hits, row.stage_misses) == (0, 0)
+
+
+def test_stage_spill_is_shared_across_processes(tmp_path):
+    # With a cache directory, worker processes publish stage artifacts
+    # into its stage tier: the grid's single graph fingerprint ends up
+    # stored exactly once, however many workers compiled cells.
+    timed_campaign(True, spins=100, dispatch="process", max_workers=2,
+                   journal=ShardedJournal(tmp_path / "j"),
+                   cache=tmp_path / "cache")
+    cache = CompileCache(tmp_path / "cache")
+    stage_entries = cache.stage_entries()
+    assert len(stage_entries["graph"]) == 1
+    assert len(stage_entries["report"]) == len(BATCHES)
+    # The stage tier is invisible to whole-cell entry accounting.
+    assert len(cache) == len(BATCHES)

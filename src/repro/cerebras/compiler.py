@@ -23,7 +23,7 @@ beyond 36 layers and the hard compile failure at 78.
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Callable
 
 from repro.common.errors import CompilationError, ConfigurationError, OutOfMemoryError
 from repro.common.units import MB
@@ -32,6 +32,16 @@ from repro.core.backend import (
     MemoryBreakdown,
     PhaseProfile,
     TaskProfile,
+)
+from repro.core.stages import (
+    STAGE_GRAPH,
+    STAGE_PARTITION,
+    STAGE_PLACEMENT,
+    STAGE_REPORT,
+    CompileStage,
+    hardware_digest,
+    run_stages,
+    unfingerprinted,
 )
 from repro.cerebras.kernels import Kernel, extract_kernels
 from repro.cerebras.placement import Placement, WaferPlacer
@@ -85,6 +95,28 @@ class WSECompiler:
                 the usable ceiling but pays the communication-efficiency
                 penalty of oversized kernels.
         """
+        return run_stages(self.compile_stages(
+            model, train, unfingerprinted, n_replicas=n_replicas,
+            mode=mode, respect_caps=respect_caps))
+
+    def compile_stages(self, model: ModelConfig, train: TrainConfig,
+                       fp_of: Callable[..., str | None],
+                       n_replicas: int = 1,
+                       mode: str = "pipeline",
+                       respect_caps: bool = True) -> list[CompileStage]:
+        """:meth:`compile` as a staged pipeline (graph → partition →
+        placement → report).
+
+        ``fp_of(name, parent, **params)`` supplies each stage's
+        fingerprint (the backend adapter passes
+        :meth:`~repro.core.backend.AcceleratorBackend.stage_fingerprint`;
+        plain ``compile`` passes
+        :func:`~repro.core.stages.unfingerprinted`). The graph stage
+        keys only on the model/train digests, so a replica or mode
+        sweep re-extracts kernels exactly once; allocation adds the
+        hardware and replica geometry, placement is pure downstream of
+        it, and only the report stage sees ``mode``.
+        """
         if n_replicas < 1:
             raise ConfigurationError("n_replicas must be >= 1")
         if mode not in ("pipeline", "weight_streaming"):
@@ -93,85 +125,120 @@ class WSECompiler:
             raise ConfigurationError(
                 "batch size must be at least the replica count")
 
-        kernels = extract_kernels(model, train)
-        usable_height = max(1, int(self.grid_height * USABLE_FRACTION))
-        region_width = max(1, self.grid_width // n_replicas)
-        placer = WaferPlacer(region_width, usable_height)
-        region_pes = float(region_width * usable_height)
+        def build_graph(_prev: None) -> tuple[Kernel, ...]:
+            return tuple(extract_kernels(model, train))
 
-        grants = self._allocate(kernels, region_pes,
-                                respect_caps=respect_caps)
-        grants, placement = self._fit_placement(placer, kernels, grants)
-        memory, pipeline_eff, depth = self._plan_memory(
-            model, train, kernels, n_replicas, mode)
+        def partition(kernels: tuple[Kernel, ...]) -> dict[str, Any]:
+            usable_height = max(1,
+                                int(self.grid_height * USABLE_FRACTION))
+            region_width = max(1, self.grid_width // n_replicas)
+            region_pes = float(region_width * usable_height)
+            grants = self._allocate(kernels, region_pes,
+                                    respect_caps=respect_caps)
+            return {"kernels": kernels, "grants": grants,
+                    "region_width": region_width,
+                    "usable_height": usable_height}
 
-        rate = (self.chip.flops_per_compute_unit
-                * train.precision.compute.compute_scale / 2.0
-                * DATAFLOW_EFFICIENCY)
-        tasks: list[TaskProfile] = []
-        service_times: dict[str, float] = {}
-        for replica in range(n_replicas):
-            prefix = f"r{replica}/" if n_replicas > 1 else ""
-            for kernel in kernels:
-                grant = grants[kernel.name]
-                compute = grant * (1.0 - TRANSMISSION_FRACTION)
-                trans = grant * TRANSMISSION_FRACTION
-                efficiency = self._comm_efficiency(grant, kernel.cap_pes)
-                service = kernel.flops_per_sample / (
-                    compute * rate * efficiency)
-                if replica == 0:
-                    service_times[kernel.name] = service
-                tasks.append(TaskProfile(
-                    name=prefix + kernel.name,
-                    compute_units=compute,
-                    memory_units=compute,
-                    role="compute",
-                    throughput=1.0 / service,
-                    flops=kernel.flops_per_sample,
-                    meta={"kind": kernel.kind, "layer": kernel.layer_index},
-                ))
-                tasks.append(TaskProfile(
-                    name=prefix + kernel.name + ".tx",
-                    compute_units=trans,
-                    memory_units=trans,
-                    role="transmission",
-                    meta={"kind": kernel.kind, "layer": kernel.layer_index},
-                ))
+        def place(part: dict[str, Any]) -> dict[str, Any]:
+            placer = WaferPlacer(part["region_width"],
+                                 part["usable_height"])
+            grants, placement = self._fit_placement(
+                placer, part["kernels"], part["grants"])
+            return {**part, "grants": grants, "placement": placement}
 
-        per_replica_batch = max(1, train.batch_size // n_replicas)
-        t_max = max(service_times.values())
-        fill = sum(service_times.values())
-        step_estimate = fill + (per_replica_batch - 1) * t_max
-        step_estimate /= pipeline_eff
+        def report(part: dict[str, Any]) -> CompileReport:
+            kernels = part["kernels"]
+            grants = part["grants"]
+            memory, pipeline_eff, depth = self._plan_memory(
+                model, train, kernels, n_replicas, mode)
 
-        phase = PhaseProfile(name="graph", runtime=step_estimate,
-                             tasks=tuple(tasks))
-        return CompileReport(
-            platform=self.system.name,
-            model=model,
-            train=train,
-            phases=(phase,),
-            total_compute_units=float(self.chip.compute_units),
-            total_memory_units=float(self.chip.memory_units),
-            shared_memory=memory,
-            global_memory=memory,  # WSE-2's on-chip tier plays both roles
-            n_chips=1,
-            meta={
-                "mode": mode,
-                "n_replicas": n_replicas,
-                "kernel_order": [k.name for k in kernels],
-                "service_times": service_times,
-                "pipeline_efficiency": pipeline_eff,
-                "pipeline_depth": depth,
-                "per_replica_batch": per_replica_batch,
-                "placement": placement,
-                "flops_per_sample": sum(k.flops_per_sample for k in kernels),
-                "kernel_weight_bytes": {
-                    k.name: k.weight_bytes for k in kernels},
-                "boundary_bytes": {
-                    k.name: k.boundary_bytes for k in kernels},
-            },
-        )
+            rate = (self.chip.flops_per_compute_unit
+                    * train.precision.compute.compute_scale / 2.0
+                    * DATAFLOW_EFFICIENCY)
+            tasks: list[TaskProfile] = []
+            service_times: dict[str, float] = {}
+            for replica in range(n_replicas):
+                prefix = f"r{replica}/" if n_replicas > 1 else ""
+                for kernel in kernels:
+                    grant = grants[kernel.name]
+                    compute = grant * (1.0 - TRANSMISSION_FRACTION)
+                    trans = grant * TRANSMISSION_FRACTION
+                    efficiency = self._comm_efficiency(grant,
+                                                       kernel.cap_pes)
+                    service = kernel.flops_per_sample / (
+                        compute * rate * efficiency)
+                    if replica == 0:
+                        service_times[kernel.name] = service
+                    tasks.append(TaskProfile(
+                        name=prefix + kernel.name,
+                        compute_units=compute,
+                        memory_units=compute,
+                        role="compute",
+                        throughput=1.0 / service,
+                        flops=kernel.flops_per_sample,
+                        meta={"kind": kernel.kind,
+                              "layer": kernel.layer_index},
+                    ))
+                    tasks.append(TaskProfile(
+                        name=prefix + kernel.name + ".tx",
+                        compute_units=trans,
+                        memory_units=trans,
+                        role="transmission",
+                        meta={"kind": kernel.kind,
+                              "layer": kernel.layer_index},
+                    ))
+
+            per_replica_batch = max(1, train.batch_size // n_replicas)
+            t_max = max(service_times.values())
+            fill = sum(service_times.values())
+            step_estimate = fill + (per_replica_batch - 1) * t_max
+            step_estimate /= pipeline_eff
+
+            phase = PhaseProfile(name="graph", runtime=step_estimate,
+                                 tasks=tuple(tasks))
+            return CompileReport(
+                platform=self.system.name,
+                model=model,
+                train=train,
+                phases=(phase,),
+                total_compute_units=float(self.chip.compute_units),
+                total_memory_units=float(self.chip.memory_units),
+                shared_memory=memory,
+                global_memory=memory,  # on-chip tier plays both roles
+                n_chips=1,
+                meta={
+                    "mode": mode,
+                    "n_replicas": n_replicas,
+                    "kernel_order": [k.name for k in kernels],
+                    "service_times": service_times,
+                    "pipeline_efficiency": pipeline_eff,
+                    "pipeline_depth": depth,
+                    "per_replica_batch": per_replica_batch,
+                    "placement": part["placement"],
+                    "flops_per_sample": sum(
+                        k.flops_per_sample for k in kernels),
+                    "kernel_weight_bytes": {
+                        k.name: k.weight_bytes for k in kernels},
+                    "boundary_bytes": {
+                        k.name: k.boundary_bytes for k in kernels},
+                },
+            )
+
+        graph_fp = fp_of(STAGE_GRAPH, "",
+                         model=model.content_digest(),
+                         train=train.content_digest())
+        partition_fp = fp_of(STAGE_PARTITION, graph_fp,
+                             system=hardware_digest(self),
+                             n_replicas=n_replicas,
+                             respect_caps=respect_caps)
+        placement_fp = fp_of(STAGE_PLACEMENT, partition_fp)
+        report_fp = fp_of(STAGE_REPORT, placement_fp, mode=mode)
+        return [
+            CompileStage(STAGE_GRAPH, graph_fp, build_graph),
+            CompileStage(STAGE_PARTITION, partition_fp, partition),
+            CompileStage(STAGE_PLACEMENT, placement_fp, place),
+            CompileStage(STAGE_REPORT, report_fp, report),
+        ]
 
     # ------------------------------------------------------------------
     @staticmethod

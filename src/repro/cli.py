@@ -39,7 +39,10 @@ structured tracing and the persisted cross-run duration ledger (see
 ``docs/observability.md``), and ``--inject-faults RATE`` /
 ``--fault-seed`` to chaos-test a campaign with seeded, per-platform
 calibrated transient faults. ``repro trace DIR`` summarizes a recorded
-trace and exports it to Chrome-tracing JSON.
+trace and exports it to Chrome-tracing JSON; ``repro cache stats DIR``
+prints a compile-cache directory's entry counts and bytes, split by
+tier (whole-cell entries vs per-stage artifacts — see
+``docs/performance.md``).
 
 All execution behaviour flows through one
 :class:`~repro.resilience.ExecutionPolicy` built by
@@ -422,6 +425,43 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect a content-addressed compile-cache directory."""
+    from pathlib import Path
+
+    from repro.cache import CompileCache
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        raise ConfigurationError(f"not a cache directory: {root}")
+    hexdigits = set("0123456789abcdef")
+    for child in sorted(root.iterdir()):
+        if child.name == "ledger.json":
+            continue
+        if child.is_dir() and (child.name == CompileCache.STAGE_DIR
+                               or (len(child.name) == 2
+                                   and set(child.name) <= hexdigits)):
+            continue
+        raise ConfigurationError(
+            f"not a cache directory: {root} "
+            f"(unexpected entry {child.name!r})")
+    cache = CompileCache(root)
+    entries = cache.entries()
+    rows: list[list[object]] = [
+        ["cell", len(entries),
+         sum(path.stat().st_size for path in entries)],
+    ]
+    for stage_name, paths in sorted(cache.stage_entries().items()):
+        rows.append([f"stage:{stage_name}", len(paths),
+                     sum(path.stat().st_size for path in paths)])
+    total_entries = sum(int(row[1]) for row in rows)
+    total_bytes = sum(int(row[2]) for row in rows)
+    rows.append(["total", total_entries, total_bytes])
+    print(render_table(["tier", "entries", "bytes"], rows,
+                       title=f"Cache {root}"))
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     specs = _grid_specs(args)
     lanes = [
@@ -622,6 +662,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--chrome", metavar="FILE", default=None,
                        help="also export Chrome-tracing JSON "
                             "(chrome://tracing, Perfetto)")
+
+    cache = sub.add_parser(
+        "cache", help="inspect a compile-cache directory")
+    cache.add_argument("action", choices=["stats"],
+                       help="stats: entry counts and bytes per tier "
+                            "(whole-cell entries and per-stage "
+                            "artifacts)")
+    cache.add_argument("dir", help="the cache directory (a policy's "
+                                   "--cache DIR)")
     return parser
 
 
@@ -634,6 +683,7 @@ COMMANDS = {
     "grid": cmd_grid,
     "campaign": cmd_campaign,
     "trace": cmd_trace,
+    "cache": cmd_cache,
 }
 
 

@@ -22,12 +22,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import ConfigurationError, TransientError
 from repro.hardware.specs import SystemSpec
 from repro.models.config import ModelConfig, TrainConfig
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.core.stages import CompileStage
 
 
 @dataclass(frozen=True)
@@ -271,6 +274,67 @@ class AcceleratorBackend(abc.ABC):
     def compile(self, model: ModelConfig, train: TrainConfig,
                 **options: Any) -> CompileReport:
         """Map the workload onto the device; returns the compiler report."""
+
+    # -- staged compilation (repro.core.stages) ------------------------
+    def compile_pipeline(self, model: ModelConfig, train: TrainConfig,
+                         **options: Any) -> "list[CompileStage]":
+        """The compile as a staged pipeline (graph → partition →
+        placement → report); the final stage's artifact is exactly what
+        :meth:`compile` returns.
+
+        The default wraps :meth:`compile` in a single unfingerprinted
+        report stage — correct for any backend (wrappers like the
+        fault injector included) but memoizes nothing. The bundled
+        platforms override it with real stage splits whose
+        fingerprints let a :class:`~repro.cache.StageMemo` share
+        upstream work across sweep cells; such overrides must also
+        route :meth:`compile` through
+        :func:`~repro.core.stages.run_stages` so the two paths cannot
+        drift.
+        """
+        from repro.core.stages import STAGE_REPORT, CompileStage
+        return [CompileStage(
+            STAGE_REPORT, None,
+            lambda _prev: self.compile(model, train, **options))]
+
+    def _staged_compile_intact(self, owner: type) -> bool:
+        """Whether ``self`` still compiles via ``owner``'s staged split.
+
+        A subclass overriding :meth:`compile` (a fault-injecting test
+        double, say) changes what compiling *means*; an inherited
+        staged pipeline would silently bypass that override. The
+        staged backends call this with their own class and fall back
+        to the base single-stage :meth:`compile` wrapper — faithful,
+        just unmemoized — when it returns ``False``.
+        """
+        return type(self).compile is owner.compile
+
+    def stage_fingerprint(self, name: str, parent: str | None,
+                          **params: Any) -> str | None:
+        """Fingerprint one pipeline stage, or ``None`` to disable.
+
+        Chains the parent stage's fingerprint (the first stage passes
+        ``parent=""``): a ``None`` parent, or a backend declaring
+        ``deterministic = False``, poisons the whole downstream chain
+        — exactly the cells the whole-cell cache bypasses too. The
+        platform class and :meth:`fingerprint_extra` are always keyed;
+        ``params`` carries the *stage-specific* inputs (config
+        digests for the graph stage, hardware/options slices for
+        partition and placement), which is what lets sweep cells that
+        differ only downstream share an upstream artifact.
+        """
+        if parent is None or not getattr(self, "deterministic", True):
+            return None
+        from repro.cache import CACHE_VERSION, canonical_fingerprint
+        cls = type(self)
+        return canonical_fingerprint({
+            "v": CACHE_VERSION,
+            "stage": name,
+            "platform": f"{cls.__module__}.{cls.__qualname__}",
+            "extra": self.fingerprint_extra(),
+            "parent": parent,
+            "params": params,
+        })
 
     @abc.abstractmethod
     def run(self, compiled: CompileReport) -> RunReport:

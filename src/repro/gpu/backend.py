@@ -13,6 +13,14 @@ from repro.core.backend import (
     RunReport,
     TaskProfile,
 )
+from repro.core.stages import (
+    STAGE_PARTITION,
+    STAGE_REPORT,
+    CompileStage,
+    hardware_digest,
+    run_stages,
+    unfingerprinted,
+)
 from repro.gpu.simulator import GPUClusterModel
 from repro.hardware.specs import GPU_CLUSTER, SystemSpec
 from repro.models.config import ModelConfig, TrainConfig
@@ -46,51 +54,84 @@ class GPUBackend(AcceleratorBackend):
         self.model_ = GPUClusterModel(system)
 
     def compile(self, model: ModelConfig, train: TrainConfig,
-                tp: int = 1, pp: int = 1, dp: int = 1,
-                micro_batches: int | None = None,
                 **options: Any) -> CompileReport:
+        return run_stages(self.compile_stages(
+            model, train, unfingerprinted, **options))
+
+    def compile_pipeline(self, model: ModelConfig, train: TrainConfig,
+                         **options: Any) -> list[CompileStage]:
+        if not self._staged_compile_intact(GPUBackend):
+            return super().compile_pipeline(model, train, **options)
+        return self.compile_stages(
+            model, train, self.stage_fingerprint, **options)
+
+    def compile_stages(self, model: ModelConfig, train: TrainConfig,
+                       fp_of: Any, tp: int = 1, pp: int = 1, dp: int = 1,
+                       micro_batches: int | None = None) -> list[CompileStage]:
+        """Two-stage pipeline: analytic plan, then report assembly.
+
+        GPUs are BSP devices with no dataflow mapping, so the whole
+        "compile" is the cost-model breakdown; there is no model-only
+        graph stage worth memoizing separately.
+        """
         n_gpus = self.model_.validate(tp, pp, dp)
-        breakdown = self.model_.step_breakdown(model, train, tp, pp, dp,
-                                               micro_batches)
-        cost = TransformerCostModel(model)
-        per_gpu_state = (cost.weight_bytes(train)
-                         + cost.gradient_bytes(train)
-                         + cost.optimizer_state_bytes(train)) / (tp * pp)
-        chip = self.system.chip
-        tasks = tuple(
-            TaskProfile(
-                name=f"gpu{i}",
-                compute_units=float(chip.compute_units),
-                memory_units=float(chip.compute_units),
-                role="compute",
-                throughput=1.0 / breakdown.total_seconds,
-                flops=cost.step_flops(train) / n_gpus,
+
+        def partition(_prev: Any) -> Any:
+            return self.model_.step_breakdown(model, train, tp, pp, dp,
+                                              micro_batches)
+
+        def report(breakdown: Any) -> CompileReport:
+            cost = TransformerCostModel(model)
+            per_gpu_state = (cost.weight_bytes(train)
+                             + cost.gradient_bytes(train)
+                             + cost.optimizer_state_bytes(train)) / (tp * pp)
+            chip = self.system.chip
+            tasks = tuple(
+                TaskProfile(
+                    name=f"gpu{i}",
+                    compute_units=float(chip.compute_units),
+                    memory_units=float(chip.compute_units),
+                    role="compute",
+                    throughput=1.0 / breakdown.total_seconds,
+                    flops=cost.step_flops(train) / n_gpus,
+                )
+                for i in range(min(n_gpus, 8))  # representative node
             )
-            for i in range(min(n_gpus, 8))  # representative node
-        )
-        memory = MemoryBreakdown(
-            capacity_bytes=chip.global_memory.capacity_bytes,
-            weight_bytes=per_gpu_state,
-            activation_bytes=cost.activation_bytes(train) / n_gpus,
-        )
-        phase = PhaseProfile(name="step", runtime=breakdown.total_seconds,
-                             tasks=tasks)
-        return CompileReport(
-            platform=self.system.name,
-            model=model,
-            train=train,
-            phases=(phase,),
-            total_compute_units=float(chip.compute_units * n_gpus),
-            total_memory_units=float(chip.compute_units * n_gpus),
-            shared_memory=memory,
-            global_memory=memory,
-            n_chips=n_gpus,
-            meta={
-                "tp": tp, "pp": pp, "dp": dp,
-                "breakdown": breakdown,
-                "step_flops": cost.step_flops(train),
-            },
-        )
+            memory = MemoryBreakdown(
+                capacity_bytes=chip.global_memory.capacity_bytes,
+                weight_bytes=per_gpu_state,
+                activation_bytes=cost.activation_bytes(train) / n_gpus,
+            )
+            phase = PhaseProfile(name="step",
+                                 runtime=breakdown.total_seconds,
+                                 tasks=tasks)
+            return CompileReport(
+                platform=self.system.name,
+                model=model,
+                train=train,
+                phases=(phase,),
+                total_compute_units=float(chip.compute_units * n_gpus),
+                total_memory_units=float(chip.compute_units * n_gpus),
+                shared_memory=memory,
+                global_memory=memory,
+                n_chips=n_gpus,
+                meta={
+                    "tp": tp, "pp": pp, "dp": dp,
+                    "breakdown": breakdown,
+                    "step_flops": cost.step_flops(train),
+                },
+            )
+
+        partition_fp = fp_of(
+            STAGE_PARTITION, "",
+            model=model.content_digest(), train=train.content_digest(),
+            system=hardware_digest(self),
+            tp=tp, pp=pp, dp=dp, micro_batches=micro_batches)
+        report_fp = fp_of(STAGE_REPORT, partition_fp)
+        return [
+            CompileStage(STAGE_PARTITION, partition_fp, partition),
+            CompileStage(STAGE_REPORT, report_fp, report),
+        ]
 
     def run(self, compiled: CompileReport) -> RunReport:
         breakdown = compiled.meta["breakdown"]

@@ -6,6 +6,7 @@ from typing import Any
 
 from repro.common.errors import OutOfMemoryError, TransientError
 from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
+from repro.core.stages import CompileStage, run_stages
 from repro.graphcore.compiler import IPUCompiler
 from repro.graphcore.pipeline import PipelineExecutor
 from repro.hardware.specs import BOW2000_SYSTEM, SystemSpec
@@ -47,7 +48,14 @@ class GraphcoreBackend(AcceleratorBackend):
 
     def compile(self, model: ModelConfig, train: TrainConfig,
                 **options: Any) -> CompileReport:
-        return self.compiler.compile(model, train, **options)
+        return run_stages(self.compile_pipeline(model, train, **options))
+
+    def compile_pipeline(self, model: ModelConfig, train: TrainConfig,
+                         **options: Any) -> list[CompileStage]:
+        if not self._staged_compile_intact(GraphcoreBackend):
+            return super().compile_pipeline(model, train, **options)
+        return self.compiler.compile_stages(
+            model, train, self.stage_fingerprint, **options)
 
     def run(self, compiled: CompileReport) -> RunReport:
         return self.executor.run(compiled)

@@ -25,7 +25,7 @@ failure at 10 layers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.common.errors import ConfigurationError, OutOfMemoryError
 from repro.common.units import KB
@@ -34,6 +34,15 @@ from repro.core.backend import (
     MemoryBreakdown,
     PhaseProfile,
     TaskProfile,
+)
+from repro.core.stages import (
+    STAGE_PARTITION,
+    STAGE_PLACEMENT,
+    STAGE_REPORT,
+    CompileStage,
+    hardware_digest,
+    run_stages,
+    unfingerprinted,
 )
 from repro.graph.partition import balanced_groups
 from repro.hardware.specs import BOW2000_SYSTEM, SystemSpec
@@ -124,6 +133,27 @@ class IPUCompiler:
                 depth); defaults to ``train.grad_accumulation`` when > 1,
                 else :data:`DEFAULT_MICRO_BATCHES`.
         """
+        return run_stages(self.compile_stages(
+            model, train, unfingerprinted, n_ipus=n_ipus,
+            layers_per_ipu=layers_per_ipu, micro_batches=micro_batches))
+
+    def compile_stages(self, model: ModelConfig, train: TrainConfig,
+                       fp_of: Callable[..., str | None],
+                       n_ipus: int = 2,
+                       layers_per_ipu: list[int] | None = None,
+                       micro_batches: int | None = None
+                       ) -> list[CompileStage]:
+        """:meth:`compile` as a staged pipeline (partition → placement
+        → report).
+
+        The IPU has no model-only graph stage: the pipeline layout
+        (layer grouping over decoder IPUs, micro-batch schedule) is
+        where its compile work starts, and it already depends on the
+        IPU count — so the first stage is the partition. Defaults
+        (balanced grouping, the micro-batch heuristic) are resolved
+        *before* fingerprinting: two option spellings that resolve to
+        the same layout share one artifact.
+        """
         if n_ipus < 2:
             raise ConfigurationError(
                 "training needs at least two IPUs (embedding + decoders)")
@@ -165,51 +195,80 @@ class IPUCompiler:
             raise ConfigurationError(
                 f"layers_per_ipu sums to {sum(layers_per_ipu)}, model has "
                 f"{model.n_layers} layers")
+        resolved_layers = list(layers_per_ipu)
 
-        stages = self._plan_stages(model, train, layers_per_ipu, head_ipus,
-                                   micro_size, in_flight)
-        memories = [self._check_memory(model, train, stage, micro_batches)
-                    for stage in stages]
-        worst = max(memories, key=lambda m: m.utilization)
+        def partition(_prev: None) -> tuple[StagePlan, ...]:
+            return tuple(self._plan_stages(
+                model, train, resolved_layers, head_ipus, micro_size,
+                in_flight))
 
-        tasks = tuple(
-            TaskProfile(
-                name=stage.name,
-                compute_units=stage.tiles_used,
-                memory_units=stage.tiles_used,
-                role="compute",
-                throughput=1.0 / stage.compute_seconds
-                if stage.compute_seconds > 0 else 0.0,
-                flops=stage.flops_per_micro,
-                meta={"ipu": stage.ipu_index, "layers": stage.n_layers},
+        def place(stages: tuple[StagePlan, ...]) -> dict[str, Any]:
+            memories = tuple(
+                self._check_memory(model, train, stage, micro_batches)
+                for stage in stages)
+            worst = max(memories, key=lambda m: m.utilization)
+            return {"stages": stages, "memories": memories,
+                    "worst": worst}
+
+        def report(placed: dict[str, Any]) -> CompileReport:
+            stages = placed["stages"]
+            tasks = tuple(
+                TaskProfile(
+                    name=stage.name,
+                    compute_units=stage.tiles_used,
+                    memory_units=stage.tiles_used,
+                    role="compute",
+                    throughput=1.0 / stage.compute_seconds
+                    if stage.compute_seconds > 0 else 0.0,
+                    flops=stage.flops_per_micro,
+                    meta={"ipu": stage.ipu_index,
+                          "layers": stage.n_layers},
+                )
+                for stage in stages
             )
-            for stage in stages
-        )
-        bottleneck = max(stage.compute_seconds for stage in stages)
-        step_estimate = (micro_batches + len(stages) - 1) * (
-            bottleneck + STAGE_SYNC_SECONDS) * 3.0
-        phase = PhaseProfile(name="pipeline", runtime=step_estimate,
-                             tasks=tasks)
-        return CompileReport(
-            platform=self.system.name,
-            model=model,
-            train=train,
-            phases=(phase,),
-            total_compute_units=float(self.chip.compute_units * n_ipus),
-            total_memory_units=float(self.chip.memory_units * n_ipus),
-            shared_memory=worst,
-            global_memory=self._global_memory(model, train),
-            n_chips=n_ipus,
-            meta={
-                "n_ipus": n_ipus,
-                "layers_per_ipu": list(layers_per_ipu),
-                "micro_batches": micro_batches,
-                "micro_size": micro_size,
-                "stages": stages,
-                "stage_memories": memories,
-                "step_flops": TransformerCostModel(model).step_flops(train),
-            },
-        )
+            bottleneck = max(stage.compute_seconds for stage in stages)
+            step_estimate = (micro_batches + len(stages) - 1) * (
+                bottleneck + STAGE_SYNC_SECONDS) * 3.0
+            phase = PhaseProfile(name="pipeline", runtime=step_estimate,
+                                 tasks=tasks)
+            return CompileReport(
+                platform=self.system.name,
+                model=model,
+                train=train,
+                phases=(phase,),
+                total_compute_units=float(
+                    self.chip.compute_units * n_ipus),
+                total_memory_units=float(
+                    self.chip.memory_units * n_ipus),
+                shared_memory=placed["worst"],
+                global_memory=self._global_memory(model, train),
+                n_chips=n_ipus,
+                meta={
+                    "n_ipus": n_ipus,
+                    "layers_per_ipu": list(resolved_layers),
+                    "micro_batches": micro_batches,
+                    "micro_size": micro_size,
+                    "stages": list(stages),
+                    "stage_memories": list(placed["memories"]),
+                    "step_flops": TransformerCostModel(model).step_flops(
+                        train),
+                },
+            )
+
+        partition_fp = fp_of(STAGE_PARTITION, "",
+                             model=model.content_digest(),
+                             train=train.content_digest(),
+                             system=hardware_digest(self),
+                             n_ipus=n_ipus,
+                             layers_per_ipu=resolved_layers,
+                             micro_batches=micro_batches)
+        placement_fp = fp_of(STAGE_PLACEMENT, partition_fp)
+        report_fp = fp_of(STAGE_REPORT, placement_fp)
+        return [
+            CompileStage(STAGE_PARTITION, partition_fp, partition),
+            CompileStage(STAGE_PLACEMENT, placement_fp, place),
+            CompileStage(STAGE_REPORT, report_fp, report),
+        ]
 
     # ------------------------------------------------------------------
     def _tile_rate(self, train: TrainConfig) -> float:

@@ -10,7 +10,9 @@ and LLaMA-2 7B for the RDU tensor-parallel study.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.common.errors import ConfigurationError
 from repro.models.precision import Precision, PrecisionPolicy
@@ -19,6 +21,30 @@ from repro.models.precision import Precision, PrecisionPolicy
 def _round_to_multiple(value: int, multiple: int) -> int:
     """Round ``value`` up to the nearest multiple of ``multiple``."""
     return ((value + multiple - 1) // multiple) * multiple
+
+
+def _canonical_json(payload: dict) -> str:
+    """The cache's canonicalization: ``sort_keys`` JSON, ``str`` for
+    values outside the JSON model (enums, nested reprs)."""
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _content_digest(config) -> str:
+    """Memoized SHA-256 of a frozen config's canonical JSON form.
+
+    Fingerprinting used to re-serialize the full config for every
+    cell of a campaign; a grid reuses a handful of config objects
+    across hundreds of cells, so the digest is computed once and
+    cached on the instance. Safe because the dataclasses are frozen —
+    the sweep helpers (``with_layers`` et al.) build *new* instances
+    via ``replace``, so a cached digest can never go stale.
+    """
+    digest = config.__dict__.get("_digest")
+    if digest is None:
+        text = _canonical_json(asdict(config))
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        object.__setattr__(config, "_digest", digest)
+    return digest
 
 
 @dataclass(frozen=True)
@@ -99,6 +125,11 @@ class ModelConfig:
         """GPT-2 stores learned absolute position embeddings."""
         return self.family == "gpt2"
 
+    def content_digest(self) -> str:
+        """Memoized canonical-JSON digest (the fingerprint building
+        block — see :func:`repro.cache.cell_fingerprint`)."""
+        return _content_digest(self)
+
     # ------------------------------------------------------------------
     # Sweep helpers (the paper's layer-count / hidden-size probes)
     # ------------------------------------------------------------------
@@ -171,6 +202,11 @@ class TrainConfig:
         """FLOPs multiplier over the forward pass: 3x when training
         (fwd + 2x bwd), 1x for inference."""
         return 3.0 if self.training else 1.0
+
+    def content_digest(self) -> str:
+        """Memoized canonical-JSON digest (the fingerprint building
+        block — see :func:`repro.cache.cell_fingerprint`)."""
+        return _content_digest(self)
 
     def with_batch_size(self, batch_size: int) -> "TrainConfig":
         """Copy with a different global batch size."""

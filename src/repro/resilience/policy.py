@@ -147,6 +147,18 @@ class ExecutionPolicy:
             replay without touching the backend; clean first-attempt
             successes are published for the next run. Fault-injecting
             or otherwise nondeterministic backends bypass it entirely.
+            When ``cache`` is set and ``ledger`` is not, the run ledger
+            is persisted *inside* the cache directory
+            (``<cache>/ledger.json``) so warm re-runs also warm-start
+            scheduling.
+        stage_memo: memoize compile-*stage* artifacts across the cells
+            of a run (see :class:`~repro.cache.StageMemo`): cells that
+            share a model build or a partitioning reuse it instead of
+            recomputing, in-process under thread dispatch and through
+            the ``cache`` directory's stage tier under process
+            dispatch. On by default; set ``False`` to force every cell
+            through the full pipeline (e.g. when benchmarking compile
+            cost itself).
         executor: expert escape hatch — a pre-built
             :class:`ResilientExecutor` used verbatim instead of one
             derived from ``retry``/``deadline``/``clock``.
@@ -172,6 +184,7 @@ class ExecutionPolicy:
     trace: bool | str | os.PathLike[str] = False
     ledger: RunLedger | str | os.PathLike[str] | None = None
     cache: Any = None
+    stage_memo: bool = True
     clock: Clock | None = None
     executor: ResilientExecutor | None = None
 
@@ -259,11 +272,21 @@ class ExecutionPolicy:
         """The ledger as a :class:`~repro.observe.RunLedger` instance.
 
         Paths become fresh ledgers (loading the file, warning on
-        corruption). The ledger lives parent-side only — it is never
-        pickled into worker processes.
+        corruption). With a ``cache`` configured but no explicit
+        ledger, the ledger is kept *inside* the cache directory
+        (``<cache>/ledger.json``) — a warm cache then also
+        warm-starts the scheduler's cost predictor. The ledger lives
+        parent-side only — it is never pickled into worker processes.
         """
-        if self.ledger is None or isinstance(self.ledger, RunLedger):
+        if isinstance(self.ledger, RunLedger):
             return self.ledger
+        if self.ledger is None:
+            if self.cache is None:
+                return None
+            directory = getattr(self.cache, "directory", None)
+            if directory is None:
+                directory = Path(self.cache)
+            return RunLedger(Path(directory) / "ledger.json")
         return RunLedger(self.ledger)
 
     def normalized_cache(self) -> Any:

@@ -6,6 +6,7 @@ from typing import Any
 
 from repro.common.errors import TransientError
 from repro.core.backend import AcceleratorBackend, CompileReport, RunReport
+from repro.core.stages import CompileStage, run_stages
 from repro.hardware.specs import SN30_SYSTEM, SystemSpec
 from repro.models.config import ModelConfig, TrainConfig
 from repro.sambanova.compiler import RDUCompiler
@@ -46,7 +47,14 @@ class SambaNovaBackend(AcceleratorBackend):
 
     def compile(self, model: ModelConfig, train: TrainConfig,
                 **options: Any) -> CompileReport:
-        return self.compiler.compile(model, train, **options)
+        return run_stages(self.compile_pipeline(model, train, **options))
+
+    def compile_pipeline(self, model: ModelConfig, train: TrainConfig,
+                         **options: Any) -> list[CompileStage]:
+        if not self._staged_compile_intact(SambaNovaBackend):
+            return super().compile_pipeline(model, train, **options)
+        return self.compiler.compile_stages(
+            model, train, self.stage_fingerprint, **options)
 
     def run(self, compiled: CompileReport) -> RunReport:
         return self.runtime.run(compiled)

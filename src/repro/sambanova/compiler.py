@@ -28,7 +28,7 @@ fits inside one SN30 machine (Sec. VI-A3b).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.common.errors import ConfigurationError, OutOfMemoryError
 from repro.core.backend import (
@@ -36,6 +36,15 @@ from repro.core.backend import (
     MemoryBreakdown,
     PhaseProfile,
     TaskProfile,
+)
+from repro.core.stages import (
+    STAGE_GRAPH,
+    STAGE_PARTITION,
+    STAGE_REPORT,
+    CompileStage,
+    hardware_digest,
+    run_stages,
+    unfingerprinted,
 )
 from repro.graph.graph import ComputationGraph
 from repro.graph.ops import OpKind, Operator
@@ -99,6 +108,23 @@ class RDUCompiler:
     def compile(self, model: ModelConfig, train: TrainConfig,
                 mode: str = "O1", tp: int = 1) -> CompileReport:
         """Compile under one of the three RDU modes, optionally with TP."""
+        return run_stages(self.compile_stages(
+            model, train, unfingerprinted, mode=mode, tp=tp))
+
+    def compile_stages(self, model: ModelConfig, train: TrainConfig,
+                       fp_of: Callable[..., str | None],
+                       mode: str = "O1",
+                       tp: int = 1) -> list[CompileStage]:
+        """:meth:`compile` as a staged pipeline (graph → partition →
+        report).
+
+        The graph stage keys only on the model/train digests — an
+        O0/O1/O3 or TP sweep builds the training graph exactly once.
+        Sectioning adds the mode, the TP degree, and the hardware spec;
+        the report stage is pure downstream of the sections. There is
+        no distinct placement stage on the RDU: section mapping *is*
+        the placement.
+        """
         if mode not in ("O0", "O1", "O3"):
             raise ConfigurationError(f"unknown RDU compile mode: {mode!r}")
         if tp < 1:
@@ -108,46 +134,67 @@ class RDUCompiler:
                 f"tp={tp} exceeds the {self.system.total_chips} RDUs of "
                 f"{self.system.name}")
 
-        graph = build_training_graph(model, train)
-        if mode == "O0":
-            sections = self._sections_o0(graph, model, train, tp)
-        elif mode == "O1":
-            sections = self._sections_o1(graph, model, train, tp)
-        else:
-            sections = self._sections_o3(graph, model, train, tp)
-        if tp > 1:
-            sections.extend(self._comm_sections(model, train, tp))
+        def build_graph(_prev: None) -> ComputationGraph:
+            return build_training_graph(model, train)
 
-        rate = (self.chip.flops_per_compute_unit
-                * train.precision.compute.compute_scale / 2.0
-                * PCU_EFFICIENCY)
-        if mode == "O0":
-            rate *= OPERATOR_MODE_EFFICIENCY
-        if train.precision.needs_activation_casts:
-            rate *= ACTIVATION_CAST_PENALTY
-        phases = tuple(
-            self._phase_of(section, rate) for section in sections)
-        memory = self._shared_memory(sections)
-        global_memory = self._global_memory(model, train, tp, sections)
-        self._check_ddr(model, global_memory)
-        return CompileReport(
-            platform=self.system.name,
-            model=model,
-            train=train,
-            phases=phases,
-            total_compute_units=float(self.chip.compute_units),
-            total_memory_units=float(self.chip.memory_units),
-            shared_memory=memory,
-            global_memory=global_memory,
-            n_chips=tp,
-            meta={
-                "mode": mode,
-                "tp": tp,
-                "sections": sections,
-                "pcu_rate": rate,
-                "step_flops": graph.total_flops,
-            },
-        )
+        def partition(graph: ComputationGraph) -> dict[str, Any]:
+            if mode == "O0":
+                sections = self._sections_o0(graph, model, train, tp)
+            elif mode == "O1":
+                sections = self._sections_o1(graph, model, train, tp)
+            else:
+                sections = self._sections_o3(graph, model, train, tp)
+            if tp > 1:
+                sections.extend(self._comm_sections(model, train, tp))
+            return {"sections": tuple(sections),
+                    "step_flops": graph.total_flops}
+
+        def report(part: dict[str, Any]) -> CompileReport:
+            sections = part["sections"]
+            rate = (self.chip.flops_per_compute_unit
+                    * train.precision.compute.compute_scale / 2.0
+                    * PCU_EFFICIENCY)
+            if mode == "O0":
+                rate *= OPERATOR_MODE_EFFICIENCY
+            if train.precision.needs_activation_casts:
+                rate *= ACTIVATION_CAST_PENALTY
+            phases = tuple(
+                self._phase_of(section, rate) for section in sections)
+            memory = self._shared_memory(sections)
+            global_memory = self._global_memory(model, train, tp,
+                                                sections)
+            self._check_ddr(model, global_memory)
+            return CompileReport(
+                platform=self.system.name,
+                model=model,
+                train=train,
+                phases=phases,
+                total_compute_units=float(self.chip.compute_units),
+                total_memory_units=float(self.chip.memory_units),
+                shared_memory=memory,
+                global_memory=global_memory,
+                n_chips=tp,
+                meta={
+                    "mode": mode,
+                    "tp": tp,
+                    "sections": list(sections),
+                    "pcu_rate": rate,
+                    "step_flops": part["step_flops"],
+                },
+            )
+
+        graph_fp = fp_of(STAGE_GRAPH, "",
+                         model=model.content_digest(),
+                         train=train.content_digest())
+        partition_fp = fp_of(STAGE_PARTITION, graph_fp,
+                             system=hardware_digest(self),
+                             mode=mode, tp=tp)
+        report_fp = fp_of(STAGE_REPORT, partition_fp)
+        return [
+            CompileStage(STAGE_GRAPH, graph_fp, build_graph),
+            CompileStage(STAGE_PARTITION, partition_fp, partition),
+            CompileStage(STAGE_REPORT, report_fp, report),
+        ]
 
     # ------------------------------------------------------------------
     # Demand model

@@ -3,12 +3,21 @@
 Deterministic by construction: events at equal timestamps fire in
 scheduling order (a monotone sequence number breaks ties), so repeated
 runs of the same workload produce identical traces.
+
+The event loop is the run phase's hot path — a campaign cell can push
+hundreds of thousands of events through it — so :meth:`Simulator.run`
+dispatches from locals (the heap, ``heappop``, the sequence counter)
+instead of going through :meth:`Simulator.step` and per-event
+attribute lookups, and :class:`Resource` wakeups re-use the stored
+argument tuple rather than re-packing it through ``schedule``'s
+``*args``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable
 
 from repro.common.errors import SimulationError
@@ -49,6 +58,16 @@ class Simulator:
         heapq.heappush(
             self._heap, (when, next(self._seq), callback, args))
 
+    def _wake(self, callback: Callback, args: tuple[Any, ...]) -> None:
+        """Schedule a stored ``(callback, args)`` pair at the current time.
+
+        Equivalent to ``schedule(0.0, callback, *args)`` but without
+        unpacking and re-packing the argument tuple — the
+        :class:`Resource` grant path calls this for every wakeup.
+        """
+        heapq.heappush(self._heap, (self.now, next(self._seq), callback,
+                                    args))
+
     @property
     def events_processed(self) -> int:
         """Number of events executed so far."""
@@ -77,18 +96,26 @@ class Simulator:
         a :class:`SimulationError` because a well-formed workload always
         terminates.
         """
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
-                break
-            self.step()
-            executed += 1
-            if executed > max_events:
-                raise SimulationError(
-                    f"simulation exceeded {max_events} events; "
-                    "likely a scheduling loop"
-                )
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self.now = until
+                    break
+                when, _seq, callback, args = pop(heap)
+                self.now = when
+                executed += 1
+                callback(*args)
+                if executed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely a scheduling loop"
+                    )
+        finally:
+            # An event counts even when its callback (or the cap) raised.
+            self._events_processed += executed
         return self.now
 
 
@@ -108,7 +135,7 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._waiters: list[tuple[Callback, tuple[Any, ...]]] = []
+        self._waiters: deque[tuple[Callback, tuple[Any, ...]]] = deque()
         self.busy_time = 0.0
         self._busy_since: float | None = None
 
@@ -124,7 +151,7 @@ class Resource:
         """Acquire one capacity unit; fires ``callback`` when granted."""
         if self._in_use < self.capacity:
             self._grant()
-            self._sim.schedule(0.0, callback, *args)
+            self._sim._wake(callback, args)
         else:
             self._waiters.append((callback, args))
 
@@ -138,9 +165,9 @@ class Resource:
             self.busy_time += self._sim.now - self._busy_since
             self._busy_since = None
         if self._waiters:
-            callback, args = self._waiters.pop(0)
+            callback, args = self._waiters.popleft()
             self._grant()
-            self._sim.schedule(0.0, callback, *args)
+            self._sim._wake(callback, args)
 
     def _grant(self) -> None:
         if self._in_use == 0:

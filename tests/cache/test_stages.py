@@ -1,0 +1,320 @@
+"""Staged compile memoization: ``CompileStage``, ``run_stages``,
+``StageMemo``, and the cache's stage tier.
+
+The campaign-level story — thread and process dispatch sharing
+upstream compile work, byte-identical results, the Observability
+rollup — lives in ``benchmarks/test_cold_campaign.py`` and
+``tests/integration/``. This file pins the unit contracts: fold
+semantics, the backward probe, per-stage counters, spill round-trips,
+the thundering herd, the prune/reader race, and the memoized config
+digests the fingerprints are built from.
+"""
+
+import threading
+import warnings
+
+import pytest
+
+from repro.cache import (
+    CompileCache,
+    StageMemo,
+    canonical_fingerprint,
+    cell_fingerprint,
+)
+from repro.core.stages import (
+    STAGE_GRAPH,
+    STAGE_REPORT,
+    CompileStage,
+    run_stages,
+    unfingerprinted,
+)
+from repro.models.config import TrainConfig, gpt2_model
+from repro.workloads.reference import CpuBoundBackend
+
+
+def fp(tag):
+    return canonical_fingerprint({"tag": tag})
+
+
+def two_stages(calls, graph_fp, report_fp):
+    """graph -> report, logging every compute into ``calls``."""
+    def build_graph(_prev):
+        calls.append("graph")
+        return {"nodes": 3}
+
+    def report(graph):
+        calls.append("report")
+        return {"from": graph["nodes"]}
+
+    return [CompileStage(STAGE_GRAPH, graph_fp, build_graph),
+            CompileStage(STAGE_REPORT, report_fp, report)]
+
+
+class FakeTracer:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, name, **fields):
+        self.events.append((name, fields))
+
+
+class TestRunStages:
+    def test_without_memo_is_a_plain_fold(self):
+        calls = []
+        result = run_stages(two_stages(calls, fp("g"), fp("r")))
+        assert result == {"from": 3}
+        assert calls == ["graph", "report"]
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            run_stages([])
+
+    def test_unfingerprinted_disables_memoization(self):
+        assert unfingerprinted(STAGE_GRAPH, "", n_layers=4) is None
+        calls = []
+        memo = StageMemo()
+        for _ in range(2):
+            run_stages(two_stages(calls, None, None), memo)
+        assert calls == ["graph", "report"] * 2
+        assert memo.stats() == {"hits": {}, "misses": {}}
+
+
+class TestStageMemo:
+    def test_miss_then_full_prefix_hit(self):
+        calls = []
+        memo = StageMemo()
+        first = run_stages(two_stages(calls, fp("g"), fp("r")), memo)
+        second = run_stages(two_stages(calls, fp("g"), fp("r")), memo)
+        # Second run computed nothing — the backward probe found the
+        # report stage memoized, which proves the whole prefix matched.
+        assert calls == ["graph", "report"]
+        assert second is first
+        assert memo.stats() == {
+            "hits": {STAGE_GRAPH: 1, STAGE_REPORT: 1},
+            "misses": {STAGE_GRAPH: 1, STAGE_REPORT: 1},
+        }
+
+    def test_shared_upstream_partial_hit(self):
+        calls = []
+        memo = StageMemo()
+        run_stages(two_stages(calls, fp("g"), fp("r1")), memo)
+        run_stages(two_stages(calls, fp("g"), fp("r2")), memo)
+        # The cells differ only downstream: one graph burn, two reports.
+        assert calls == ["graph", "report", "report"]
+        assert memo.stats()["hits"] == {STAGE_GRAPH: 1}
+        assert memo.stats()["misses"] == {STAGE_GRAPH: 1,
+                                          STAGE_REPORT: 2}
+
+    def test_unfingerprinted_middle_stage_always_recomputes(self):
+        calls = []
+
+        def pipeline():
+            stages = two_stages(calls, fp("g"), fp("r"))
+            def middle(artifact):
+                calls.append("middle")
+                return artifact
+            stages.insert(1, CompileStage("middle", None, middle))
+            return stages
+
+        memo = StageMemo()
+        run_stages(pipeline(), memo)
+        run_stages(pipeline(), memo)
+        # The probe's report hit satisfies everything upstream, the
+        # unfingerprinted stage included — it only recomputes when it
+        # actually sits on the recomputed suffix.
+        assert calls == ["graph", "middle", "report"]
+        assert "middle" not in memo.stats()["misses"]
+
+    def test_one_trace_event_per_fingerprinted_stage(self):
+        memo = StageMemo()
+        tracer = FakeTracer()
+        run_stages(two_stages([], fp("g"), fp("r")), memo,
+                   key="cell-1", tracer=tracer)
+        run_stages(two_stages([], fp("g"), fp("r")), memo,
+                   key="cell-2", tracer=tracer)
+        assert [(n, f["key"], f["phase"], f["status"])
+                for n, f in tracer.events] == [
+            ("stage_cache", "cell-1", STAGE_GRAPH, "miss"),
+            ("stage_cache", "cell-1", STAGE_REPORT, "miss"),
+            ("stage_cache", "cell-2", STAGE_GRAPH, "hit"),
+            ("stage_cache", "cell-2", STAGE_REPORT, "hit"),
+        ]
+
+    def test_thundering_herd_computes_once(self):
+        calls = []
+        memo = StageMemo()
+        barrier = threading.Barrier(8)
+        results = []
+
+        def race():
+            barrier.wait()
+            results.append(
+                run_stages(two_stages(calls, fp("g"), fp("r")), memo))
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Of 8 threads racing the same cold pipeline, one computed and
+        # the other 7 blocked on the per-fingerprint lock, then
+        # replayed the same artifact object.
+        assert calls.count("graph") == 1
+        assert calls.count("report") == 1
+        assert all(r is results[0] for r in results)
+        stats = memo.stats()
+        assert stats["misses"][STAGE_REPORT] == 1
+        assert stats["hits"][STAGE_REPORT] == 7
+
+
+class TestStageSpill:
+    def test_round_trip_across_memos(self, tmp_path):
+        calls = []
+        cache = CompileCache(tmp_path)
+        run_stages(two_stages(calls, fp("g"), fp("r")),
+                   StageMemo(spill=cache))
+        # A fresh memo — another worker process — finds the artifacts
+        # through the spill without recomputing anything.
+        fresh = StageMemo(spill=cache)
+        result = run_stages(two_stages(calls, fp("g"), fp("r")), fresh)
+        assert calls == ["graph", "report"]
+        assert result == {"from": 3}
+        assert fresh.stats()["hits"] == {STAGE_GRAPH: 1,
+                                         STAGE_REPORT: 1}
+
+    def test_stage_tier_is_invisible_to_cell_accounting(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        run_stages(two_stages([], fp("g"), fp("r")),
+                   StageMemo(spill=cache))
+        assert len(cache) == 0
+        assert cache.entries() == []
+        assert sorted(cache.stage_entries()) == [STAGE_GRAPH,
+                                                 STAGE_REPORT]
+
+    def test_corrupt_spilled_artifact_degrades_to_miss(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        path = cache.stage_path(STAGE_GRAPH, fp("g"))
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            found, artifact = cache.stage_lookup(STAGE_GRAPH, fp("g"))
+        assert (found, artifact) == (False, None)
+        assert not path.exists()  # dropped so it can be rewritten
+        calls = []
+        run_stages(two_stages(calls, fp("g"), fp("r")),
+                   StageMemo(spill=cache))
+        assert calls == ["graph", "report"]
+
+    def test_foreign_stage_artifact_dropped(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        assert cache.stage_store(STAGE_GRAPH, fp("g"), 123)
+        moved = cache.stage_path(STAGE_REPORT, fp("g"))
+        moved.parent.mkdir(parents=True)
+        moved.write_bytes(
+            cache.stage_path(STAGE_GRAPH, fp("g")).read_bytes())
+        with pytest.warns(RuntimeWarning, match="fingerprint/schema"):
+            found, _ = cache.stage_lookup(STAGE_REPORT, fp("g"))
+        assert not found
+        assert not moved.exists()
+
+
+class TestPruneRace:
+    """``prune()`` and readers share a directory with no lock; either
+    side may see the other's unlink mid-operation. Both must degrade
+    to a miss or a skipped victim — never an exception."""
+
+    def test_reader_sees_pruned_entry_as_plain_miss(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.store(fp("a"), {"x": 1})
+        assert cache.lookup(fp("a")) is not None
+        assert cache.prune(max_entries=0) == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.lookup(fp("a")) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_prune_survives_entries_vanishing_underneath(
+            self, tmp_path, monkeypatch):
+        cache = CompileCache(tmp_path)
+        for i in range(4):
+            cache.store(fp(i), i)
+        stale = cache.entries()
+        # A reader's corrupt-entry drop (or another parent's prune)
+        # unlinks one victim between the listing and the unlink.
+        stale[0].unlink()
+        monkeypatch.setattr(cache, "entries", lambda: stale)
+        assert cache.prune(max_entries=1) == 2
+        assert len(CompileCache(tmp_path)) == 1
+
+    def test_prune_races_concurrent_readers(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        fingerprints = [fp(i) for i in range(8)]
+        stop = threading.Event()
+        failures = []
+
+        def read_loop():
+            reader = CompileCache(tmp_path)
+            try:
+                while not stop.is_set():
+                    for f in fingerprints:
+                        entry = reader.lookup(f)
+                        assert entry is None or entry.compiled == f
+            except Exception as exc:  # noqa: BLE001 — the assertion
+                failures.append(exc)
+
+        threads = [threading.Thread(target=read_loop)
+                   for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                for f in fingerprints:
+                    cache.store(f, f)
+                cache.prune(max_entries=2)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert failures == []
+
+
+class TestMemoizedConfigDigests:
+    def test_digest_cached_on_the_instance(self):
+        # A fresh instance — the shared presets may carry a digest
+        # cached by any earlier cell in the session.
+        model = gpt2_model("mini").with_layers(7)
+        assert "_digest" not in model.__dict__
+        digest = model.content_digest()
+        assert model.__dict__["_digest"] == digest
+        assert model.content_digest() == digest
+
+    def test_cell_fingerprint_serializes_each_config_once(
+            self, monkeypatch):
+        import repro.models.config as config_mod
+
+        calls = []
+        real = config_mod._canonical_json
+
+        def counting(payload):
+            calls.append(payload)
+            return real(payload)
+
+        monkeypatch.setattr(config_mod, "_canonical_json", counting)
+        backend = CpuBoundBackend()
+        # A fresh instance, not the shared preset — a preset's digest
+        # may already be cached by earlier cells (that is the point).
+        model = gpt2_model("mini").with_layers(5)
+        train = TrainConfig(batch_size=8, seq_len=64)
+        keys = {cell_fingerprint(backend, model, train)
+                for _ in range(5)}
+        assert len(keys) == 1
+        # Five cells, two serializations: one per config object.
+        assert len(calls) == 2
+        cell_fingerprint(backend, model,
+                         TrainConfig(batch_size=16, seq_len=64))
+        assert len(calls) == 3
+
+    def test_distinct_configs_get_distinct_digests(self):
+        base = gpt2_model("mini")
+        assert (base.content_digest()
+                != base.with_layers(base.n_layers + 1).content_digest())

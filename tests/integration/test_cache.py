@@ -4,9 +4,10 @@ indistinguishable from the cold run that populated the cache.
 The contracts:
 
 * a warm re-run produces a **byte-identical merged journal** and an
-  identical report (minus the wall-clock Scheduling section) under
-  thread *and* process dispatch — replaying a cached cell is not
-  observable in the results;
+  identical report (minus the wall-clock Scheduling section and the
+  Supervision patrol cadence, which adapts to the ledger history the
+  cache directory now carries) under thread *and* process dispatch —
+  replaying a cached cell is not observable in the results;
 * the warm run **skips the backend entirely** for cached cells, and the
   skips are observable: nonzero ``cache hits`` in the Observability
   table and in ``campaign_to_dict``, under both dispatch modes;
@@ -32,9 +33,15 @@ from .test_process_dispatch import fast_backend, grid
 
 
 def stable_report(result):
-    """The rendered report minus the Scheduling block (wall-clock)."""
+    """The rendered report minus the wall-clock-sensitive blocks.
+
+    Scheduling carries measured seconds; Supervision's heartbeat
+    column adapts to the run ledger that a ``cache=DIR`` policy keeps
+    inside the cache directory, so a warm run patrols faster.
+    """
     blocks = result.report().render().split("\n\n")
-    return "\n\n".join(b for b in blocks if not b.startswith("Scheduling"))
+    return "\n\n".join(b for b in blocks
+                       if not b.startswith(("Scheduling", "Supervision")))
 
 
 def run_once(tmp_path, tag, dispatch, **kwargs):

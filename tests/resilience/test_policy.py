@@ -132,6 +132,24 @@ class TestObservabilityFields:
         ready = RunLedger(tmp_path / "other.json")
         assert ExecutionPolicy(ledger=ready).normalized_ledger() is ready
 
+    def test_ledger_defaults_into_cache_directory(self, tmp_path):
+        from repro.cache import CompileCache
+        from repro.observe import RunLedger
+
+        # A cache directory without an explicit ledger carries one:
+        # warm re-runs then feed the adaptive heartbeat for free.
+        ledger = ExecutionPolicy(cache=tmp_path / "cc").normalized_ledger()
+        assert isinstance(ledger, RunLedger)
+        assert ledger.path == tmp_path / "cc" / "ledger.json"
+        prebuilt = ExecutionPolicy(cache=CompileCache(tmp_path / "cc"))
+        assert (prebuilt.normalized_ledger().path
+                == tmp_path / "cc" / "ledger.json")
+        # An explicit ledger still wins over the cache default.
+        explicit = ExecutionPolicy(cache=tmp_path / "cc",
+                                   ledger=tmp_path / "elsewhere.json")
+        assert (explicit.normalized_ledger().path
+                == tmp_path / "elsewhere.json")
+
     def test_heartbeat_adapts_to_ledger_history(self, tmp_path):
         from repro.observe import RunLedger
 

@@ -337,3 +337,51 @@ class TestObservabilityFlags:
                      "--layers", "2", "--batches", "8", "--trace"])
         assert code == 2
         assert "ShardedJournal" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    @staticmethod
+    def _populated(tmp_path):
+        from repro.cache import CompileCache, canonical_fingerprint
+        cache = CompileCache(tmp_path / "cc")
+        cache.store(canonical_fingerprint({"cell": 1}), {"compiled": 1})
+        cache.store(canonical_fingerprint({"cell": 2}), {"compiled": 2})
+        cache.stage_store("graph", canonical_fingerprint({"s": 1}), 11)
+        cache.stage_store("report", canonical_fingerprint({"s": 2}), 22)
+        return cache
+
+    def test_stats_table_breaks_down_tiers(self, capsys, tmp_path):
+        self._populated(tmp_path)
+        assert main(["cache", "stats", str(tmp_path / "cc")]) == 0
+        out = capsys.readouterr().out
+        cells = [[col.strip() for col in line.split("|")]
+                 for line in out.splitlines() if "|" in line]
+        rows = {row[0]: row[1] for row in cells
+                if row[0] in ("cell", "stage:graph", "stage:report",
+                              "total")}
+        assert rows == {"cell": "2", "stage:graph": "1",
+                        "stage:report": "1", "total": "4"}
+
+    def test_stats_accepts_a_fresh_empty_directory(self, capsys,
+                                                   tmp_path):
+        empty = tmp_path / "cc"
+        empty.mkdir()
+        assert main(["cache", "stats", str(empty)]) == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_stats_tolerates_the_embedded_ledger(self, capsys,
+                                                 tmp_path):
+        self._populated(tmp_path)
+        (tmp_path / "cc" / "ledger.json").write_text("{}")
+        assert main(["cache", "stats", str(tmp_path / "cc")]) == 0
+
+    def test_non_cache_directory_rejected(self, capsys, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello")
+        assert main(["cache", "stats", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "not a cache directory" in err
+        assert "notes.txt" in err
+
+    def test_missing_directory_rejected(self, capsys, tmp_path):
+        assert main(["cache", "stats", str(tmp_path / "absent")]) == 2
+        assert "not a cache directory" in capsys.readouterr().err

@@ -20,7 +20,7 @@ DOCS_DIR = Path(__file__).resolve().parent.parent / "docs"
 
 # Pages whose blocks are executed, not just compiled.
 EXECUTED_PAGES = ("campaign.md", "robustness.md", "observability.md",
-                  "caching.md")
+                  "caching.md", "performance.md")
 
 FENCE = re.compile(r"^```python\n(.*?)^```", re.MULTILINE | re.DOTALL)
 
